@@ -1,0 +1,108 @@
+// Experiment E1 — Lemma 1: with a fixed static partition B, any
+// deterministic online eviction policy is Theta(max_j k_j)-competitive
+// against the per-part offline optimum sP^B_OPT.
+//
+// Lower bound: the adaptive adversary (request whatever the algorithm just
+// evicted) drives the measured ratio toward max_j k_j as k grows.
+// Upper bound: on random locality workloads the ratio never exceeds
+// max_j k_j for marking/conservative policies (LRU, FIFO).
+#include <algorithm>
+#include <cstdio>
+
+#include "adversary/adversary.hpp"
+#include "bench_util.hpp"
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/static_partition.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace mcp;
+
+double adversarial_ratio(const Partition& partition, const std::string& policy,
+                         std::size_t requests_per_core) {
+  const CoreId victim = static_cast<CoreId>(
+      std::max_element(partition.begin(), partition.end()) - partition.begin());
+  Lemma1AdversaryStream adversary(partition.size(), victim,
+                                  partition[victim] + 1, requests_per_core);
+  RecordingStream recorder(adversary);
+  StaticPartitionStrategy strategy(partition, make_policy_factory(policy));
+  std::size_t cache = 0;
+  for (std::size_t k : partition) cache += k;
+  SimConfig cfg;
+  cfg.cache_size = cache;
+  cfg.fault_penalty = 1;
+  Simulator sim(cfg);
+  const Count online = sim.run_stream(recorder, strategy, nullptr).total_faults();
+  Count opt = 0;
+  for (CoreId j = 0; j < partition.size(); ++j) {
+    opt += belady_faults(recorder.recorded().sequence(j), partition[j]);
+  }
+  return static_cast<double>(online) / static_cast<double>(opt);
+}
+
+double random_workload_ratio(const Partition& partition,
+                             const std::string& policy, std::uint64_t seed) {
+  CoreWorkload core;
+  core.pattern = AccessPattern::kZipf;
+  core.num_pages = 24;
+  core.length = 3000;
+  const RequestSet rs =
+      make_workload(homogeneous_spec(partition.size(), core, true, seed));
+  Count online = 0;
+  Count opt = 0;
+  for (CoreId j = 0; j < partition.size(); ++j) {
+    online += single_core_policy_faults(rs.sequence(j), partition[j],
+                                        make_policy_factory(policy));
+    opt += belady_faults(rs.sequence(j), partition[j]);
+  }
+  return static_cast<double>(online) / static_cast<double>(opt);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcp;
+  bench::header("E1  Lemma 1 — online policy vs sP^B_OPT on a fixed partition",
+                "adversarial ratio grows ~linearly with max_j k_j; on any "
+                "input the ratio stays <= max_j k_j (upper bound)");
+
+  std::printf("Lower bound (adaptive adversary, p=2, n/core=600):\n");
+  bench::columns({"max_k", "LRU", "FIFO", "CLOCK", "MARK"});
+  std::vector<double> lru_series;
+  for (std::size_t kmax : {2u, 4u, 8u, 12u, 16u}) {
+    const Partition partition = {kmax, 2};
+    bench::cell(static_cast<std::uint64_t>(kmax));
+    for (const char* policy : {"lru", "fifo", "clock", "mark"}) {
+      const double ratio = adversarial_ratio(partition, policy, 600);
+      bench::cell(ratio);
+      if (std::string(policy) == "lru") lru_series.push_back(ratio);
+    }
+    bench::end_row();
+  }
+
+  std::printf("\nUpper bound (Zipf workloads, ratio must stay <= max_j k_j):\n");
+  bench::columns({"partition", "LRU", "FIFO", "bound"});
+  bool upper_ok = true;
+  for (const Partition& partition :
+       {Partition{4, 4}, Partition{8, 4}, Partition{12, 2}}) {
+    bench::cell(partition_to_string(partition));
+    const double bound =
+        static_cast<double>(*std::max_element(partition.begin(), partition.end()));
+    for (const char* policy : {"lru", "fifo"}) {
+      const double ratio = random_workload_ratio(partition, policy, 42);
+      bench::cell(ratio);
+      upper_ok = upper_ok && ratio <= bound + 1e-9;
+    }
+    bench::cell(bound);
+    bench::end_row();
+  }
+
+  const bool lower_ok = lru_series.back() > 3.0 * lru_series.front() &&
+                        lru_series.back() > 10.0;
+  return bench::verdict(lower_ok && upper_ok,
+                        "adversarial ratio scales with max k_j and random-"
+                        "workload ratios respect the k_max upper bound");
+}

@@ -1,0 +1,89 @@
+// Experiment E18 (extension) — the cross-model comparison the paper's
+// Section 2 argues about, executed: what does Hassidim's scheduling power
+// (delaying sequences) buy over this paper's serve-as-they-arrive rule?
+//
+// On working sets that don't fit together, a time-multiplexing scheduler
+// converts capacity thrash into compulsory misses.  The cost is serialized
+// makespan — and the fault-time tradeoff flips with tau: concurrency wins
+// the makespan when faults are cheap, scheduling wins both metrics once
+// faults are expensive.
+#include <cstdio>
+
+#include "adversary/scheduling.hpp"
+#include "bench_util.hpp"
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+
+namespace {
+
+using namespace mcp;
+
+RequestSet overfull_cycles(std::size_t p, std::size_t cycle, std::size_t laps) {
+  RequestSet rs;
+  for (std::size_t j = 0; j < p; ++j) {
+    RequestSequence seq;
+    const std::vector<PageId> pages =
+        page_block(static_cast<PageId>(j * cycle), cycle);
+    seq.append_repeated(pages, laps);
+    rs.add_sequence(std::move(seq));
+  }
+  return rs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcp;
+  bench::header(
+      "E18  Scheduling power (Hassidim's model vs this paper's), executed",
+      "time-multiplexing (illegal here, legal there) removes capacity "
+      "thrash; the makespan crossover moves with tau");
+
+  // 4 cores, each cycling 3 private pages; K = 4 holds any one working set
+  // but not two.
+  const std::size_t p = 4;
+  const std::size_t K = 4;
+  const RequestSet rs = overfull_cycles(p, 3, 60);
+
+  bench::columns({"tau", "LRU_faults", "MUX_faults", "LRU_mksp", "MUX_mksp",
+                  "mksp_winner"});
+  bool fault_reduction_everywhere = true;
+  bool crossover_seen_low = false;
+  bool crossover_seen_high = false;
+  for (Time tau : {Time{0}, Time{1}, Time{2}, Time{4}, Time{8}, Time{16}}) {
+    SimConfig cfg;
+    cfg.cache_size = K;
+    cfg.fault_penalty = tau;
+    SharedStrategy lru(make_policy_factory("lru"));
+    const RunStats shared = simulate(cfg, rs, lru);
+    TimeMultiplexStrategy mux;
+    const RunStats muxed = simulate(cfg, rs, mux);
+
+    fault_reduction_everywhere =
+        fault_reduction_everywhere &&
+        muxed.total_faults() * 10 < shared.total_faults();
+    const bool mux_wins = muxed.makespan() < shared.makespan();
+    if (tau == 0 && !mux_wins) crossover_seen_low = true;
+    if (tau >= 8 && mux_wins) crossover_seen_high = true;
+
+    bench::cell(static_cast<std::uint64_t>(tau));
+    bench::cell(shared.total_faults());
+    bench::cell(muxed.total_faults());
+    bench::cell(shared.makespan());
+    bench::cell(muxed.makespan());
+    bench::cell(std::string(mux_wins ? "scheduling" : "concurrency"));
+    bench::end_row();
+  }
+
+  std::printf(
+      "\nReading: the scheduler pays serialization but never thrashes; the\n"
+      "paper's model must serve everyone concurrently and eats the conflict\n"
+      "faults.  This is why competitive ratios differ across the models\n"
+      "(paper Section 2) — the offline comparators have different powers.\n");
+
+  return bench::verdict(
+      fault_reduction_everywhere && crossover_seen_low && crossover_seen_high,
+      "scheduling cuts faults 10x+ at every tau; concurrency wins the "
+      "makespan at tau=0, scheduling wins it at large tau");
+}

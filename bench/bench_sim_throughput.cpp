@@ -1,0 +1,139 @@
+// Experiment E13 — engine microbenchmarks (google-benchmark): simulator
+// request throughput across core counts, cache sizes, eviction policies and
+// strategy families, plus the victim-selection ablation (list-backed LRU vs
+// scan-based LFU) and the offline solver's cost per state.
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+#include "offline/ftf_solver.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace mcp;
+
+RequestSet zipf_workload(std::size_t p, std::size_t pages, std::size_t length,
+                         std::uint64_t seed) {
+  CoreWorkload core;
+  core.pattern = AccessPattern::kZipf;
+  core.num_pages = pages;
+  core.length = length;
+  return make_workload(homogeneous_spec(p, core, true, seed));
+}
+
+void BM_SharedPolicy(benchmark::State& state, const char* policy) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const RequestSet rs = zipf_workload(p, 64, 4000, 5);
+  SimConfig cfg;
+  cfg.cache_size = 16 * p;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  for (auto _ : state) {
+    SharedStrategy strategy(make_policy_factory(policy, 7));
+    const RunStats stats = simulate(cfg, rs, strategy);
+    benchmark::DoNotOptimize(stats.total_faults());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rs.total_requests()));
+}
+
+void BM_StaticPartition(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const RequestSet rs = zipf_workload(p, 64, 4000, 6);
+  SimConfig cfg;
+  cfg.cache_size = 16 * p;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  for (auto _ : state) {
+    StaticPartitionStrategy strategy(even_partition(cfg.cache_size, p),
+                                     make_policy_factory("lru"));
+    const RunStats stats = simulate(cfg, rs, strategy);
+    benchmark::DoNotOptimize(stats.total_faults());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rs.total_requests()));
+}
+
+void BM_Lemma3Dynamic(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const RequestSet rs = zipf_workload(p, 64, 4000, 7);
+  SimConfig cfg;
+  cfg.cache_size = 16 * p;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  for (auto _ : state) {
+    Lemma3DynamicPartition strategy;
+    const RunStats stats = simulate(cfg, rs, strategy);
+    benchmark::DoNotOptimize(stats.total_faults());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rs.total_requests()));
+}
+
+void BM_SharedFitf(benchmark::State& state) {
+  const RequestSet rs = zipf_workload(4, 64, 4000, 8);
+  SimConfig cfg;
+  cfg.cache_size = 64;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  for (auto _ : state) {
+    auto strategy = SharedStrategy::fitf();
+    const RunStats stats = simulate(cfg, rs, *strategy);
+    benchmark::DoNotOptimize(stats.total_faults());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rs.total_requests()));
+}
+
+void BM_FtfSolver(benchmark::State& state) {
+  const std::size_t per_core = static_cast<std::size_t>(state.range(0));
+  CoreWorkload core;
+  core.pattern = AccessPattern::kUniform;
+  core.num_pages = 3;
+  core.length = per_core;
+  OfflineInstance inst;
+  inst.requests = make_workload(homogeneous_spec(2, core, true, 9));
+  inst.cache_size = 2;
+  inst.tau = 1;
+  for (auto _ : state) {
+    const FtfResult result = solve_ftf(inst);
+    benchmark::DoNotOptimize(result.min_faults);
+    state.counters["states"] = static_cast<double>(result.states_stored);
+  }
+}
+
+void BM_BigFleetThroughput(benchmark::State& state) {
+  // Wide configuration: 16 cores, large shared cache, timeline recording on
+  // (the full-featured path a user measures).
+  const RequestSet rs = zipf_workload(16, 128, 2000, 10);
+  SimConfig cfg;
+  cfg.cache_size = 256;  // K = p^2
+  cfg.fault_penalty = 8;
+  for (auto _ : state) {
+    SharedStrategy strategy(make_policy_factory("lru"));
+    const RunStats stats = simulate(cfg, rs, strategy);
+    benchmark::DoNotOptimize(stats.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rs.total_requests()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SharedPolicy, lru, "lru")->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_SharedPolicy, lru_scan, "lru-scan")->Arg(4);
+BENCHMARK_CAPTURE(BM_SharedPolicy, fifo, "fifo")->Arg(4);
+BENCHMARK_CAPTURE(BM_SharedPolicy, clock, "clock")->Arg(4);
+BENCHMARK_CAPTURE(BM_SharedPolicy, lfu, "lfu")->Arg(4);
+BENCHMARK_CAPTURE(BM_SharedPolicy, mark, "mark")->Arg(4);
+BENCHMARK(BM_StaticPartition)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_Lemma3Dynamic)->Arg(4);
+BENCHMARK(BM_SharedFitf);
+BENCHMARK(BM_FtfSolver)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_BigFleetThroughput);
+
+BENCHMARK_MAIN();

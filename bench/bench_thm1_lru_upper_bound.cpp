@@ -1,0 +1,80 @@
+// Experiment E4 — Theorem 1.2: the reverse direction is bounded:
+// S_LRU(R) <= K * sP^OPT_OPT(R) for every input.  We sweep synthetic
+// workloads (including the adversarial families) and report the worst
+// observed ratio, which must stay below K.
+#include <algorithm>
+#include <cstdio>
+
+#include "adversary/adversary.hpp"
+#include "bench_util.hpp"
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/partition_search.hpp"
+#include "strategies/shared.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace mcp;
+
+double lru_vs_partition_opt(const RequestSet& rs, std::size_t K, Time tau) {
+  SimConfig cfg;
+  cfg.cache_size = K;
+  cfg.fault_penalty = tau;
+  SharedStrategy lru(make_policy_factory("lru"));
+  const Count shared = simulate(cfg, rs, lru).total_faults();
+  const auto opt = optimal_partition_opt(rs, K);
+  return static_cast<double>(shared) / static_cast<double>(opt.faults);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcp;
+  const std::size_t K = 8;
+  const std::size_t p = 4;
+  bench::header("E4  Theorem 1.2 — S_LRU <= K * sP^OPT_OPT on every input",
+                "the worst observed S_LRU / sP^OPT_OPT ratio stays below K");
+
+  bench::columns({"workload", "tau", "ratio", "bound_K"});
+  double worst = 0.0;
+  const auto row = [&](const std::string& name, const RequestSet& rs, Time tau) {
+    const double ratio = lru_vs_partition_opt(rs, K, tau);
+    worst = std::max(worst, ratio);
+    bench::cell(name);
+    bench::cell(static_cast<std::uint64_t>(tau));
+    bench::cell(ratio);
+    bench::cell(static_cast<std::uint64_t>(K));
+    bench::end_row();
+  };
+
+  for (Time tau : {Time{0}, Time{2}, Time{8}}) {
+    CoreWorkload zipf;
+    zipf.pattern = AccessPattern::kZipf;
+    zipf.num_pages = 16;
+    zipf.length = 2500;
+    row("zipf", make_workload(homogeneous_spec(p, zipf, true, 11)), tau);
+
+    CoreWorkload phases;
+    phases.pattern = AccessPattern::kWorkingSet;
+    phases.num_pages = 32;
+    phases.working_set = 3;
+    phases.phase_length = 100;
+    phases.length = 2500;
+    row("working-set", make_workload(homogeneous_spec(p, phases, true, 12)), tau);
+
+    CoreWorkload loops;
+    loops.pattern = AccessPattern::kLoop;
+    loops.num_pages = 16;
+    loops.loop_length = 3;
+    loops.length = 2500;
+    row("loop", make_workload(homogeneous_spec(p, loops, true, 13)), tau);
+
+    row("lemma4-adv", lemma4_request_set(p, K, 600), tau);
+    row("thm1-adv", theorem1_distinct_period_set(p, K, tau, 16), tau);
+  }
+
+  std::printf("\nworst observed ratio: %.3f (bound: %zu)\n", worst, K);
+  return bench::verdict(worst <= static_cast<double>(K),
+                        "S_LRU / sP^OPT_OPT <= K across the sweep");
+}

@@ -1,0 +1,100 @@
+// Experiment E5 — Theorem 1.3: a dynamic partition that changes rarely
+// (o(n) stages; here: a single static stage, the worst case) loses
+// unboundedly against shared LRU on the staged adversary: the adversary's
+// loss ratio grows with the stage/turn length ell.
+#include <cstdio>
+
+#include "adversary/adversary.hpp"
+#include "bench_util.hpp"
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/shared.hpp"
+
+int main() {
+  using namespace mcp;
+  bench::header(
+      "E5  Theorem 1.3 — rarely-changing dynamic partition vs shared LRU",
+      "dP^D_A(R)/S_LRU(R) = omega(1): grows with the stage length ell "
+      "(constant-stage partitions are Omega(n) behind)");
+
+  const std::size_t p = 2;
+  const std::size_t K = 4;
+  SimConfig cfg;
+  cfg.cache_size = K;
+  cfg.fault_penalty = 1;
+
+  bench::columns({"turn_len", "n", "dP_even", "S_LRU", "ratio"});
+  std::vector<double> ratios;
+  for (std::size_t turn : {25u, 50u, 100u, 200u, 400u}) {
+    StagedAdversaryStream adversary(p, K / p + 1, turn, /*laps=*/2);
+    RecordingStream recorder(adversary);
+    // One-stage schedule: the even partition never changes (the theorem's
+    // "long stage" in its purest form).
+    StagedPartitionStrategy staged({{0, even_partition(K, p)}},
+                                   make_policy_factory("lru"));
+    Simulator sim(cfg);
+    const Count partition_faults =
+        sim.run_stream(recorder, staged, nullptr).total_faults();
+
+    SharedStrategy lru(make_policy_factory("lru"));
+    const Count shared_faults =
+        simulate(cfg, recorder.recorded(), lru).total_faults();
+    const double ratio = static_cast<double>(partition_faults) /
+                         static_cast<double>(shared_faults);
+    ratios.push_back(ratio);
+    bench::cell(static_cast<std::uint64_t>(turn));
+    bench::cell(static_cast<std::uint64_t>(recorder.recorded().total_requests()));
+    bench::cell(partition_faults);
+    bench::cell(shared_faults);
+    bench::cell(ratio);
+    bench::end_row();
+  }
+
+  const bool grows = ratios.back() > 3.0 * ratios.front() && ratios.back() > 8.0;
+
+  // Flip side: more stages (partition changes) shrink the loss.  Re-run the
+  // recorded worst trace against staged schedules that re-balance toward
+  // the active core more and more often.
+  std::printf("\nMore stages help (same adversary, turn_len=200):\n");
+  bench::columns({"stages", "dP faults", "S_LRU", "ratio"});
+  StagedAdversaryStream adversary(p, K / p + 1, 200, /*laps=*/2);
+  RecordingStream recorder(adversary);
+  {
+    StagedPartitionStrategy probe({{0, even_partition(K, p)}},
+                                  make_policy_factory("lru"));
+    Simulator sim(cfg);
+    (void)sim.run_stream(recorder, probe, nullptr);
+  }
+  const RequestSet trace = recorder.recorded();
+  SharedStrategy shared_ref(make_policy_factory("lru"));
+  const Count shared_ref_faults =
+      simulate(cfg, trace, shared_ref).total_faults();
+  std::vector<double> staged_ratios;
+  for (std::size_t stages : {1u, 4u, 16u, 64u}) {
+    // Evenly spaced stages alternating which core gets the big share.
+    std::vector<PartitionStage> schedule;
+    const Time horizon = 2000;
+    for (std::size_t s = 0; s < stages; ++s) {
+      Partition sizes(p, 1);
+      sizes[s % p] = K - (p - 1);
+      schedule.push_back({s * (horizon / stages), sizes});
+    }
+    schedule.front().start = 0;
+    StagedPartitionStrategy staged(schedule, make_policy_factory("lru"));
+    const Count faults = simulate(cfg, trace, staged).total_faults();
+    const double ratio =
+        static_cast<double>(faults) / static_cast<double>(shared_ref_faults);
+    staged_ratios.push_back(ratio);
+    bench::cell(static_cast<std::uint64_t>(stages));
+    bench::cell(faults);
+    bench::cell(shared_ref_faults);
+    bench::cell(ratio);
+    bench::end_row();
+  }
+  const bool more_stages_help = staged_ratios.back() < staged_ratios.front();
+
+  return bench::verdict(grows && more_stages_help,
+                        "loss ratio grows with the stage length; more "
+                        "frequent repartitioning shrinks it");
+}

@@ -1,0 +1,44 @@
+// Shared output helpers for the experiment harness.
+//
+// Every bench binary regenerates one experiment from DESIGN.md's index and
+// prints a self-describing table: the claim under test, the measured series,
+// and a PASS/FAIL verdict on the claim's *shape* (growth order, dominance,
+// crossover) — absolute numbers are simulator-specific by design.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mcp::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void columns(const std::vector<std::string>& names) {
+  for (const auto& name : names) std::printf("%14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < names.size(); ++i) std::printf("%14s", "------------");
+  std::printf("\n");
+}
+
+inline void cell(double value) { std::printf("%14.3f", value); }
+inline void cell(std::uint64_t value) {
+  std::printf("%14llu", static_cast<unsigned long long>(value));
+}
+inline void cell(const std::string& value) { std::printf("%14s", value.c_str()); }
+inline void end_row() { std::printf("\n"); }
+
+/// Prints the verdict and returns the process exit code (0 pass, 1 fail) so
+/// a CI loop over bench binaries notices broken claims.
+inline int verdict(bool pass, const std::string& what) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("%s: %s\n\n", pass ? "PASS" : "FAIL", what.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace mcp::bench

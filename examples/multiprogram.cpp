@@ -1,0 +1,129 @@
+// Multiprogrammed workload study — the scenario the paper's introduction
+// motivates: heterogeneous processes share one cache; how do strategy
+// families trade total faults against per-core fairness?
+//
+// Four cores with very different behaviour: a Zipf-hot web-ish process, a
+// phase-based "program", a streaming scan, and a tight kernel loop.  We run
+// every strategy family and report fault rate, makespan and Jain fairness
+// over per-core slowdowns.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/progress.hpp"
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/partition_search.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+mcp::RequestSet heterogeneous_workload() {
+  using namespace mcp;
+  WorkloadSpec spec;
+  spec.disjoint = true;
+  spec.seed = 7;
+
+  CoreWorkload hot;          // skewed key-value style accesses
+  hot.pattern = AccessPattern::kZipf;
+  hot.num_pages = 96;
+  hot.zipf_alpha = 1.1;
+  hot.length = 6000;
+  spec.cores.push_back(hot);
+
+  CoreWorkload program;      // classic working-set phases
+  program.pattern = AccessPattern::kWorkingSet;
+  program.num_pages = 128;
+  program.working_set = 10;
+  program.phase_length = 400;
+  program.length = 6000;
+  spec.cores.push_back(program);
+
+  CoreWorkload stream;       // sequential scan, cache-hostile
+  stream.pattern = AccessPattern::kScan;
+  stream.num_pages = 200;
+  stream.length = 6000;
+  spec.cores.push_back(stream);
+
+  CoreWorkload kernel;       // tiny loop, cache-friendly
+  kernel.pattern = AccessPattern::kLoop;
+  kernel.num_pages = 32;
+  kernel.loop_length = 6;
+  kernel.length = 6000;
+  spec.cores.push_back(kernel);
+  return make_workload(spec);
+}
+
+void report_row(const std::string& name, const mcp::RunStats& stats,
+                double spread) {
+  std::printf("%-22s %8llu %9.4f %9llu %7.3f %7.3f |", name.c_str(),
+              static_cast<unsigned long long>(stats.total_faults()),
+              stats.overall_fault_rate(),
+              static_cast<unsigned long long>(stats.makespan()),
+              stats.jain_fairness(), spread);
+  for (mcp::CoreId j = 0; j < stats.num_cores(); ++j) {
+    std::printf(" %6llu",
+                static_cast<unsigned long long>(stats.core(j).faults));
+  }
+  std::printf("\n");
+}
+
+/// Runs `strategy` with a ProgressTracker attached; reports the worst
+/// relative-progress spread alongside the usual stats.
+template <typename Strategy>
+void run_and_report(const std::string& name, const mcp::RequestSet& requests,
+                    const mcp::SimConfig& config, Strategy&& strategy) {
+  mcp::ProgressTracker tracker(requests.num_cores(), /*sample_interval=*/256);
+  mcp::Simulator sim(config);
+  sim.add_observer(&tracker);
+  const mcp::RunStats stats = sim.run(requests, strategy);
+  report_row(name, stats, tracker.max_spread(requests));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcp;
+  const RequestSet requests = heterogeneous_workload();
+  SimConfig config;
+  config.cache_size = 64;
+  config.fault_penalty = 8;
+
+  std::printf("multiprogram workload: zipf | phases | scan | loop  (%s)\n\n",
+              requests.describe().c_str());
+  std::printf("%-22s %8s %9s %9s %7s %7s | per-core faults\n", "strategy",
+              "faults", "rate", "makespan", "jain", "spread");
+
+  for (const char* policy : {"lru", "fifo", "clock", "lfu", "mark"}) {
+    SharedStrategy shared(make_policy_factory(policy));
+    run_and_report("S_" + std::string(policy), requests, config, shared);
+  }
+
+  StaticPartitionStrategy even(even_partition(config.cache_size, 4),
+                               make_policy_factory("lru"));
+  run_and_report("sP_even_LRU", requests, config, even);
+
+  // Offline-tuned partition: give each core what its own fault curve earns.
+  const auto tuned = optimal_partition_for_policy(requests, config.cache_size,
+                                                  make_policy_factory("lru"));
+  StaticPartitionStrategy best(tuned.partition, make_policy_factory("lru"));
+  run_and_report("sP^OPT_LRU " + partition_to_string(tuned.partition),
+                 requests, config, best);
+
+  Lemma3DynamicPartition dynamic;
+  run_and_report(dynamic.name(), requests, config, dynamic);
+
+  auto fitf = SharedStrategy::fitf();
+  run_and_report("S_FITF (offline)", requests, config, *fitf);
+
+  std::printf(
+      "\nNotes: the scan core is hopeless for everyone (no reuse); the tuned\n"
+      "partition shields the loop and phase cores from it, which shows up as\n"
+      "a higher Jain index; 'spread' is the worst max-min gap in normalized\n"
+      "progress across cores (the paper's relative-progress measure); shared\n"
+      "FITF shows how much headroom is left.\n");
+  return 0;
+}

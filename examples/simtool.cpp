@@ -1,0 +1,287 @@
+// simtool — a small CLI driver around the library: generate or load a
+// trace, run a named strategy, print the stats.  The sixth example doubles
+// as the end-to-end exercise of trace I/O.
+//
+// Usage:
+//   simtool gen <pattern> <cores> <pages/core> <reqs/core> <out.trace> [seed]
+//   simtool run <trace|-> <strategy> <K> <tau>
+//   simtool compare <trace|-> <K> <tau>
+//   simtool opt <trace|-> <K> <tau>        (tiny traces: exact FTF/makespan)
+//   simtool reduce <tau> <B> <s1> <s2> ... <out.pif>   (Theorem 2 reduction)
+//   simtool decide <file.pif>              (tiny instances: Algorithm 2)
+//   simtool analyze <trace|-> [max_k]      (stack distances / LRU MRC)
+//
+// strategies: s-lru s-fifo s-clock s-lfu s-mru s-random s-mark s-fitf
+//             p-even p-opt dp-lemma3 dp-utility dp-fairness
+// ("-" reads the trace from stdin.)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <memory>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "core/trace_io.hpp"
+#include "hardness/reduction.hpp"
+#include "offline/ftf_solver.hpp"
+#include "offline/instance_io.hpp"
+#include "offline/makespan_solver.hpp"
+#include "offline/pif_solver.hpp"
+#include "offline/replay.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/adaptive_partition.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/partition_search.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "workload/analysis.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace mcp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  simtool gen <uniform|zipf|working-set|scan|loop|markov>"
+               " <cores> <pages/core> <reqs/core> <out.trace> [seed]\n"
+               "  simtool run <trace|-> <strategy> <K> <tau>\n"
+               "  simtool compare <trace|-> <K> <tau>\n"
+               "  simtool opt <trace|-> <K> <tau>   (tiny traces only)\n"
+               "  simtool reduce <tau> <B> <s1> <s2> ... <out.pif>\n"
+               "  simtool decide <file.pif>         (tiny instances only)\n"
+               "  simtool analyze <trace|-> [max_k]\n"
+               "strategies: s-<policy> s-fitf p-even p-opt dp-lemma3"
+               " dp-utility dp-fairness\n");
+  return 2;
+}
+
+/// Loads either the structured mcptrace format or the interleaved
+/// "<core> <page>" pairs format, sniffing by the first non-comment token.
+RequestSet load(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file) throw InputError("cannot open for reading: " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  std::istringstream sniff(text);
+  std::string line;
+  while (std::getline(sniff, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream probe(text);
+    if (line.rfind("mcptrace", 0) == 0) return read_trace(probe);
+    return read_trace_pairs(probe);
+  }
+  throw InputError("empty trace: " + path);
+}
+
+std::unique_ptr<CacheStrategy> make_strategy(const std::string& name,
+                                             const RequestSet& rs,
+                                             std::size_t cache_size) {
+  if (name.rfind("s-", 0) == 0) {
+    const std::string policy = name.substr(2);
+    if (policy == "fitf") return SharedStrategy::fitf();
+    return std::make_unique<SharedStrategy>(make_policy_factory(policy));
+  }
+  if (name == "p-even") {
+    return std::make_unique<StaticPartitionStrategy>(
+        even_partition(cache_size, rs.num_cores()), make_policy_factory("lru"));
+  }
+  if (name == "p-opt") {
+    const auto best =
+        optimal_partition_for_policy(rs, cache_size, make_policy_factory("lru"));
+    std::printf("# offline-optimal partition: %s (predicted faults %llu)\n",
+                partition_to_string(best.partition).c_str(),
+                static_cast<unsigned long long>(best.faults));
+    return std::make_unique<StaticPartitionStrategy>(best.partition,
+                                                     make_policy_factory("lru"));
+  }
+  if (name == "dp-lemma3") return std::make_unique<Lemma3DynamicPartition>();
+  if (name == "dp-utility") {
+    return std::make_unique<UtilityPartitionStrategy>(make_policy_factory("lru"));
+  }
+  if (name == "dp-fairness") {
+    return std::make_unique<FairnessPartitionStrategy>(make_policy_factory("lru"));
+  }
+  throw InputError("unknown strategy: " + name);
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 7) return usage();
+  CoreWorkload core;
+  const std::string pattern = argv[2];
+  if (pattern == "uniform") core.pattern = AccessPattern::kUniform;
+  else if (pattern == "zipf") core.pattern = AccessPattern::kZipf;
+  else if (pattern == "working-set") core.pattern = AccessPattern::kWorkingSet;
+  else if (pattern == "scan") core.pattern = AccessPattern::kScan;
+  else if (pattern == "loop") core.pattern = AccessPattern::kLoop;
+  else if (pattern == "markov") core.pattern = AccessPattern::kMarkov;
+  else return usage();
+  const auto cores = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  core.num_pages = static_cast<std::size_t>(std::strtoull(argv[4], nullptr, 10));
+  core.length = static_cast<std::size_t>(std::strtoull(argv[5], nullptr, 10));
+  const std::uint64_t seed =
+      argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 0x5EED;
+  const RequestSet rs = make_workload(homogeneous_spec(cores, core, true, seed));
+  save_trace(argv[6], rs);
+  std::printf("wrote %s: %s\n", argv[6], rs.describe().c_str());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const RequestSet rs = load(argv[2]);
+  SimConfig cfg;
+  cfg.cache_size = static_cast<std::size_t>(std::strtoull(argv[4], nullptr, 10));
+  cfg.fault_penalty = std::strtoull(argv[5], nullptr, 10);
+  const auto strategy = make_strategy(argv[3], rs, cfg.cache_size);
+  const RunStats stats = simulate(cfg, rs, *strategy);
+  std::printf("%s", stats.report(strategy->name()).c_str());
+  return 0;
+}
+
+int cmd_opt(int argc, char** argv) {
+  if (argc < 5) return usage();
+  OfflineInstance inst;
+  inst.requests = load(argv[2]);
+  inst.cache_size = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  inst.tau = std::strtoull(argv[4], nullptr, 10);
+  if (inst.requests.total_requests() > 60 || inst.cache_size > 4 ||
+      inst.requests.num_cores() > 3) {
+    std::fprintf(stderr,
+                 "opt: exact solvers are exponential in K and p — use a tiny "
+                 "trace (n <= 60, K <= 4, p <= 3)\n");
+    return 2;
+  }
+  FtfOptions options;
+  options.build_schedule = true;
+  const FtfResult ftf = solve_ftf(inst, options);
+  std::printf("optimal total faults (Algorithm 1): %llu\n",
+              static_cast<unsigned long long>(ftf.min_faults));
+  const RunStats replay = replay_schedule(inst, ftf.schedule);
+  std::printf("replayed through the simulator:     %llu faults, makespan %llu\n",
+              static_cast<unsigned long long>(replay.total_faults()),
+              static_cast<unsigned long long>(replay.makespan()));
+  const MakespanResult ms = solve_min_makespan(inst);
+  std::printf("optimal makespan:                   %llu\n",
+              static_cast<unsigned long long>(ms.min_makespan));
+  return 0;
+}
+
+int cmd_reduce(int argc, char** argv) {
+  if (argc < 6) return usage();
+  KPartitionInstance source;
+  source.group_size = 3;
+  const Time tau = std::strtoull(argv[2], nullptr, 10);
+  source.target = static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10));
+  for (int i = 4; i < argc - 1; ++i) {
+    source.values.push_back(
+        static_cast<std::uint32_t>(std::strtoul(argv[i], nullptr, 10)));
+  }
+  const PifReduction red = reduce_kpartition_to_pif(source, tau);
+  save_pif_instance(argv[argc - 1], red.pif);
+  std::printf("wrote %s: p=%zu, K=%zu, deadline=%llu (Theorem 2 reduction)\n",
+              argv[argc - 1], source.values.size(), red.pif.base.cache_size,
+              static_cast<unsigned long long>(red.pif.deadline));
+  const auto solution = solve_kpartition(source);
+  std::printf("3-PARTITION solver says: %s => PIF instance is %s\n",
+              solution ? "solvable" : "unsolvable",
+              solution ? "feasible" : "infeasible");
+  return 0;
+}
+
+int cmd_decide(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const PifInstance inst = load_pif_instance(argv[2]);
+  if (inst.base.requests.total_requests() > 120 ||
+      inst.base.cache_size > 4 || inst.base.requests.num_cores() > 3) {
+    std::fprintf(stderr,
+                 "decide: Algorithm 2 is exponential in K and p — use a tiny "
+                 "instance (n <= 120, K <= 4, p <= 3)\n");
+    return 2;
+  }
+  const PifResult result = solve_pif(inst);
+  std::printf("PIF decision: %s (decided at layer %llu, peak width %zu)\n",
+              result.feasible ? "FEASIBLE" : "INFEASIBLE",
+              static_cast<unsigned long long>(result.decided_at),
+              result.peak_layer_width);
+  return result.feasible ? 0 : 3;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const RequestSet rs = load(argv[2]);
+  const std::size_t max_k =
+      argc > 3 ? static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10))
+               : 32;
+  std::printf("trace: %s%s\n", rs.describe().c_str(),
+              rs.is_disjoint() ? " (disjoint)" : " (shared pages)");
+  std::printf("%-6s %9s %9s %7s |  LRU faults at k = 1, 2, 4, ... %zu\n",
+              "core", "requests", "distinct", "cold", max_k);
+  for (CoreId j = 0; j < rs.num_cores(); ++j) {
+    const StackDistanceHistogram hist(rs.sequence(j));
+    std::printf("%-6u %9zu %9zu %7llu | ", j, rs.sequence(j).size(),
+                hist.distinct(), static_cast<unsigned long long>(hist.cold()));
+    for (std::size_t k = 1; k <= max_k; k *= 2) {
+      std::printf(" %llu", static_cast<unsigned long long>(hist.lru_faults(k)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const RequestSet rs = load(argv[2]);
+  SimConfig cfg;
+  cfg.cache_size = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+  cfg.fault_penalty = std::strtoull(argv[4], nullptr, 10);
+  std::printf("%-16s %10s %10s %10s %8s\n", "strategy", "faults", "rate",
+              "makespan", "jain");
+  for (const char* name : {"s-lru", "s-fifo", "s-clock", "s-mark", "s-fitf",
+                           "p-even", "p-opt", "dp-lemma3", "dp-utility",
+                           "dp-fairness"}) {
+    try {
+      const auto strategy = make_strategy(name, rs, cfg.cache_size);
+      const RunStats stats = simulate(cfg, rs, *strategy);
+      std::printf("%-16s %10llu %10.4f %10llu %8.3f\n", name,
+                  static_cast<unsigned long long>(stats.total_faults()),
+                  stats.overall_fault_rate(),
+                  static_cast<unsigned long long>(stats.makespan()),
+                  stats.jain_fairness());
+    } catch (const ModelError& e) {
+      std::printf("%-16s skipped (%s)\n", name, e.what());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "compare") return cmd_compare(argc, argv);
+    if (cmd == "opt") return cmd_opt(argc, argv);
+    if (cmd == "reduce") return cmd_reduce(argc, argv);
+    if (cmd == "decide") return cmd_decide(argc, argv);
+    if (cmd == "analyze") return cmd_analyze(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,17 @@
+# Drives the simtool CLI end to end: generate a trace, run one strategy,
+# compare all strategies.
+execute_process(COMMAND ${SIMTOOL} gen zipf 4 32 2000 ${WORKDIR}/smoke.trace 9
+                RESULT_VARIABLE rc1)
+execute_process(COMMAND ${SIMTOOL} run ${WORKDIR}/smoke.trace s-lru 32 4
+                RESULT_VARIABLE rc2)
+execute_process(COMMAND ${SIMTOOL} compare ${WORKDIR}/smoke.trace 32 4
+                RESULT_VARIABLE rc3)
+execute_process(COMMAND ${SIMTOOL} reduce 0 12 4 4 4 ${WORKDIR}/smoke.pif
+                RESULT_VARIABLE rc4)
+execute_process(COMMAND ${SIMTOOL} decide ${WORKDIR}/smoke.pif
+                RESULT_VARIABLE rc5)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0 OR NOT rc3 EQUAL 0 OR NOT rc4 EQUAL 0
+   OR NOT rc5 EQUAL 0)
+  message(FATAL_ERROR "simtool smoke failed: gen=${rc1} run=${rc2}"
+          " compare=${rc3} reduce=${rc4} decide=${rc5}")
+endif()

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds everything, runs the test suite and every experiment binary,
+# capturing outputs next to the repo root (the files EXPERIMENTS.md cites).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+status=0
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==> $b" | tee -a bench_output.txt
+  if ! "$b" >> bench_output.txt 2>&1; then
+    echo "FAILED: $b" | tee -a bench_output.txt
+    status=1
+  fi
+done
+exit $status

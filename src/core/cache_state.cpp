@@ -1,0 +1,91 @@
+#include "core/cache_state.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+CacheState::CacheState(std::size_t capacity) : capacity_(capacity) {
+  MCP_REQUIRE(capacity > 0, "cache capacity must be positive");
+  cells_.reserve(capacity);
+}
+
+bool CacheState::contains(PageId page) const {
+  auto it = cells_.find(page);
+  return it != cells_.end() && it->second.status == CellStatus::kPresent;
+}
+
+bool CacheState::is_fetching(PageId page) const {
+  auto it = cells_.find(page);
+  return it != cells_.end() && it->second.status == CellStatus::kFetching;
+}
+
+const CellInfo* CacheState::find(PageId page) const {
+  auto it = cells_.find(page);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void CacheState::begin_fetch(PageId page, CoreId core, Time ready_at) {
+  MCP_REQUIRE(cells_.size() < capacity_, "begin_fetch on a full cache");
+  auto [it, inserted] = cells_.try_emplace(
+      page, CellInfo{CellStatus::kFetching, ready_at, core});
+  MCP_REQUIRE(inserted, "begin_fetch: page already resident");
+  (void)it;
+  ++fetching_count_;
+}
+
+std::vector<PageId> CacheState::complete_fetches(Time now) {
+  std::vector<PageId> done;
+  if (fetching_count_ == 0) return done;
+  for (auto& [page, info] : cells_) {
+    if (info.status == CellStatus::kFetching && info.ready_at <= now) {
+      info.status = CellStatus::kPresent;
+      --fetching_count_;
+      done.push_back(page);
+    }
+  }
+  std::sort(done.begin(), done.end());
+  return done;
+}
+
+void CacheState::evict(PageId page) {
+  auto it = cells_.find(page);
+  MCP_REQUIRE(it != cells_.end(), "evict: page not resident");
+  MCP_REQUIRE(it->second.status == CellStatus::kPresent,
+              "evict: page is still being fetched (reserved cell)");
+  cells_.erase(it);
+}
+
+void CacheState::insert_present(PageId page, CoreId core) {
+  MCP_REQUIRE(cells_.size() < capacity_, "insert_present on a full cache");
+  auto [it, inserted] =
+      cells_.try_emplace(page, CellInfo{CellStatus::kPresent, 0, core});
+  MCP_REQUIRE(inserted, "insert_present: page already resident");
+  (void)it;
+}
+
+std::vector<PageId> CacheState::present_pages() const {
+  std::vector<PageId> pages;
+  pages.reserve(cells_.size());
+  for (const auto& [page, info] : cells_) {
+    if (info.status == CellStatus::kPresent) pages.push_back(page);
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+std::vector<PageId> CacheState::resident_pages() const {
+  std::vector<PageId> pages;
+  pages.reserve(cells_.size());
+  for (const auto& [page, info] : cells_) pages.push_back(page);
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+void CacheState::clear() {
+  cells_.clear();
+  fetching_count_ = 0;
+}
+
+}  // namespace mcp

@@ -1,0 +1,89 @@
+// The shared cache's ground-truth state machine.
+//
+// The paper's conventions (Section 3):
+//   * on a fault the victim is evicted immediately and its cell stays
+//     *reserved but unusable* until the fetch completes tau+1 steps after
+//     the faulting request was issued ("first the page is evicted and the
+//     cache cell is unused until the fetching of the new page is finished");
+//   * pages can be read and fetched in parallel across cores.
+//
+// CacheState tracks, per resident page, whether it is PRESENT (hit-able,
+// evictable) or FETCHING (occupies a cell, neither hit-able nor evictable).
+// Strategies never mutate CacheState directly; the Simulator applies their
+// eviction decisions after validating them against this state.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Lifecycle of a cache cell's content.
+enum class CellStatus {
+  kFetching,  ///< Cell reserved; page arrives at `ready_at`.
+  kPresent,   ///< Page resident and evictable.
+};
+
+/// Metadata for one resident (present or in-flight) page.
+struct CellInfo {
+  CellStatus status = CellStatus::kPresent;
+  Time ready_at = 0;            ///< First timestep the page is usable.
+  CoreId fetched_by = kInvalidCore;  ///< Core whose fault brought it in.
+};
+
+class CacheState {
+ public:
+  explicit CacheState(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Cells in use (present + fetching).
+  [[nodiscard]] std::size_t occupied() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t free_cells() const noexcept { return capacity_ - cells_.size(); }
+
+  /// True iff the page is resident and usable (a request to it is a hit).
+  [[nodiscard]] bool contains(PageId page) const;
+  /// True iff the page occupies a cell but is still in flight.
+  [[nodiscard]] bool is_fetching(PageId page) const;
+  /// Metadata lookup; nullptr if the page holds no cell.
+  [[nodiscard]] const CellInfo* find(PageId page) const;
+
+  /// Reserves a cell and starts fetching `page`; it becomes present at
+  /// `ready_at`.  Throws ModelError if the cache is full or the page already
+  /// holds a cell.
+  void begin_fetch(PageId page, CoreId core, Time ready_at);
+
+  /// Promotes all fetches with ready_at <= now to PRESENT.  Returns the
+  /// promoted pages (ascending page id, for deterministic iteration).
+  std::vector<PageId> complete_fetches(Time now);
+
+  /// Evicts a PRESENT page.  Throws ModelError if the page is absent or
+  /// still fetching (reserved cells cannot be evicted, per the model).
+  void evict(PageId page);
+
+  /// Inserts a page directly as PRESENT (used by offline replayers and
+  /// tests that construct mid-run states).
+  void insert_present(PageId page, CoreId core);
+
+  /// Snapshot of present (evictable) pages, ascending page id.
+  [[nodiscard]] std::vector<PageId> present_pages() const;
+  /// Snapshot of every resident page (present + fetching), ascending id.
+  [[nodiscard]] std::vector<PageId> resident_pages() const;
+  /// Number of PRESENT pages.
+  [[nodiscard]] std::size_t present_count() const noexcept {
+    return cells_.size() - fetching_count_;
+  }
+  /// Number of FETCHING pages.
+  [[nodiscard]] std::size_t fetching_count() const noexcept { return fetching_count_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t fetching_count_ = 0;
+  std::unordered_map<PageId, CellInfo> cells_;
+};
+
+}  // namespace mcp

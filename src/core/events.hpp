@@ -1,0 +1,55 @@
+// Simulation event observers.
+//
+// Observers give adaptive adversaries (Lemma 1's "request the page the
+// algorithm just evicted"), statistics collectors, and honesty checkers a
+// read-only feed of everything the simulator does, without entangling them
+// with the strategy under test.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Context of one request being served.  `seq_index` is the 0-based index of
+/// the request within its core's sequence.
+struct AccessContext {
+  CoreId core = kInvalidCore;
+  PageId page = kInvalidPage;
+  Time now = 0;
+  std::size_t seq_index = 0;
+};
+
+/// Why a page left the cache.
+enum class EvictionCause {
+  kFault,        ///< Evicted to make room for a faulting request.
+  kVoluntary,    ///< Evicted by the strategy without a fault (dishonest move
+                 ///< in the paper's sense, or a partition shrink).
+};
+
+/// Passive observer of a simulation run.  All callbacks default to no-ops so
+/// implementations override only what they need.  Callbacks fire in model
+/// order: step_begin, then per-core events in logical core order, then
+/// step_end.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_step_begin(Time /*now*/) {}
+  virtual void on_hit(const AccessContext& /*ctx*/) {}
+  /// A fault was charged to `ctx.core` for `ctx.page`.  Fires before the
+  /// associated evictions.
+  virtual void on_fault(const AccessContext& /*ctx*/) {}
+  /// `page` was evicted at time `now`; `cause_core` is the faulting core for
+  /// kFault evictions and the strategy's acting core (may be kInvalidCore)
+  /// for voluntary ones.
+  virtual void on_evict(PageId /*page*/, CoreId /*cause_core*/, Time /*now*/,
+                        EvictionCause /*cause*/) {}
+  /// A fetch completed; `page` is now present.
+  virtual void on_fetch_complete(PageId /*page*/, CoreId /*core*/, Time /*now*/) {}
+  /// Core `core` served its final request; `finish` is the timestep at which
+  /// that request's service completes.
+  virtual void on_core_done(CoreId /*core*/, Time /*finish*/) {}
+  virtual void on_step_end(Time /*now*/) {}
+};
+
+}  // namespace mcp

@@ -1,0 +1,95 @@
+#include "core/request.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+void RequestSequence::append_repeated(std::span<const PageId> pages, std::size_t reps) {
+  pages_.reserve(pages_.size() + pages.size() * reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    pages_.insert(pages_.end(), pages.begin(), pages.end());
+  }
+}
+
+std::size_t RequestSequence::distinct_pages() const {
+  std::unordered_set<PageId> seen(pages_.begin(), pages_.end());
+  return seen.size();
+}
+
+std::size_t RequestSet::total_requests() const noexcept {
+  std::size_t n = 0;
+  for (const auto& seq : seqs_) n += seq.size();
+  return n;
+}
+
+std::size_t RequestSet::max_sequence_length() const noexcept {
+  std::size_t m = 0;
+  for (const auto& seq : seqs_) m = std::max(m, seq.size());
+  return m;
+}
+
+std::vector<PageId> RequestSet::universe() const {
+  std::unordered_set<PageId> seen;
+  for (const auto& seq : seqs_) seen.insert(seq.begin(), seq.end());
+  std::vector<PageId> pages(seen.begin(), seen.end());
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+bool RequestSet::is_disjoint() const {
+  std::unordered_set<PageId> seen;
+  for (const auto& seq : seqs_) {
+    std::unordered_set<PageId> mine(seq.begin(), seq.end());
+    for (PageId page : mine) {
+      if (!seen.insert(page).second) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CoreId> RequestSet::owner_map(PageId universe_size) const {
+  std::vector<CoreId> owner(universe_size, kInvalidCore);
+  for (CoreId core = 0; core < seqs_.size(); ++core) {
+    for (PageId page : seqs_[core]) {
+      MCP_REQUIRE(page < universe_size, "owner_map: page id outside universe bound");
+      if (owner[page] == kInvalidCore) {
+        owner[page] = core;
+      } else {
+        MCP_REQUIRE(owner[page] == core,
+                    "owner_map requires a disjoint request set");
+      }
+    }
+  }
+  return owner;
+}
+
+PageId RequestSet::page_bound() const noexcept {
+  PageId bound = 0;
+  for (const auto& seq : seqs_) {
+    for (PageId page : seq) bound = std::max(bound, page + 1);
+  }
+  return bound;
+}
+
+std::string RequestSet::describe() const {
+  std::ostringstream os;
+  os << "p=" << seqs_.size() << " n=" << total_requests() << " (";
+  for (std::size_t j = 0; j < seqs_.size(); ++j) {
+    if (j > 0) os << '/';
+    os << seqs_[j].size();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::vector<PageId> page_block(PageId first, std::size_t count) {
+  std::vector<PageId> pages(count);
+  for (std::size_t i = 0; i < count; ++i) pages[i] = first + static_cast<PageId>(i);
+  return pages;
+}
+
+}  // namespace mcp

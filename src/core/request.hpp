@@ -1,0 +1,104 @@
+// Request sequences and multicore request sets (the model's input `R`).
+//
+// A RequestSet bundles one RequestSequence per core, R = {R_1, ..., R_p}.
+// The paper's results distinguish *disjoint* request sets (no page appears
+// in two cores' sequences) from non-disjoint ones; `is_disjoint()` decides
+// this and several offline algorithms require it.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// One core's request sequence R_j: an ordered list of page ids.
+class RequestSequence {
+ public:
+  RequestSequence() = default;
+  explicit RequestSequence(std::vector<PageId> pages) : pages_(std::move(pages)) {}
+  RequestSequence(std::initializer_list<PageId> pages) : pages_(pages) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return pages_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pages_.empty(); }
+  [[nodiscard]] PageId operator[](std::size_t i) const noexcept { return pages_[i]; }
+  [[nodiscard]] PageId at(std::size_t i) const { return pages_.at(i); }
+  [[nodiscard]] std::span<const PageId> pages() const noexcept { return pages_; }
+
+  void push_back(PageId page) { pages_.push_back(page); }
+  void append(std::span<const PageId> pages) {
+    pages_.insert(pages_.end(), pages.begin(), pages.end());
+  }
+  /// Appends `reps` copies of the block `pages` (the `(sigma_1 ... sigma_k)^x`
+  /// notation used throughout the paper's constructions).
+  void append_repeated(std::span<const PageId> pages, std::size_t reps);
+
+  [[nodiscard]] auto begin() const noexcept { return pages_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return pages_.end(); }
+
+  /// Number of distinct pages referenced.
+  [[nodiscard]] std::size_t distinct_pages() const;
+
+  bool operator==(const RequestSequence&) const = default;
+
+ private:
+  std::vector<PageId> pages_;
+};
+
+/// The multicore input R = {R_1, ..., R_p}; index j is core j's sequence.
+class RequestSet {
+ public:
+  RequestSet() = default;
+  explicit RequestSet(std::vector<RequestSequence> seqs) : seqs_(std::move(seqs)) {}
+  explicit RequestSet(std::size_t num_cores) : seqs_(num_cores) {}
+
+  [[nodiscard]] std::size_t num_cores() const noexcept { return seqs_.size(); }
+  [[nodiscard]] const RequestSequence& sequence(CoreId core) const { return seqs_.at(core); }
+  [[nodiscard]] RequestSequence& sequence(CoreId core) { return seqs_.at(core); }
+  [[nodiscard]] const RequestSequence& operator[](CoreId core) const { return seqs_[core]; }
+
+  void add_sequence(RequestSequence seq) { seqs_.push_back(std::move(seq)); }
+
+  /// Total number of page requests n = sum_j n_j.
+  [[nodiscard]] std::size_t total_requests() const noexcept;
+
+  /// Length of the longest individual sequence.
+  [[nodiscard]] std::size_t max_sequence_length() const noexcept;
+
+  /// Sorted list of distinct pages requested anywhere in R (the instance's
+  /// effective universe; `w` in the paper's complexity bounds).
+  [[nodiscard]] std::vector<PageId> universe() const;
+
+  /// True iff no page appears in the sequences of two different cores
+  /// (the paper's "disjoint" condition: intersection of all R_j is empty
+  /// pairwise; repeats within one sequence are of course allowed).
+  [[nodiscard]] bool is_disjoint() const;
+
+  /// For disjoint request sets: page -> owning core map (kInvalidCore for
+  /// pages outside the universe).  Throws ModelError if R is not disjoint.
+  [[nodiscard]] std::vector<CoreId> owner_map(PageId universe_size) const;
+
+  /// Largest page id referenced plus one (convenient dense-array bound);
+  /// zero for an empty request set.
+  [[nodiscard]] PageId page_bound() const noexcept;
+
+  /// Human-readable shape summary, e.g. "p=4 n=4096 (1024/1024/1024/1024)".
+  [[nodiscard]] std::string describe() const;
+
+  bool operator==(const RequestSet&) const = default;
+
+  [[nodiscard]] auto begin() const noexcept { return seqs_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return seqs_.end(); }
+
+ private:
+  std::vector<RequestSequence> seqs_;
+};
+
+/// Builds the page-id block {first, first+1, ..., first+count-1}.
+[[nodiscard]] std::vector<PageId> page_block(PageId first, std::size_t count);
+
+}  // namespace mcp

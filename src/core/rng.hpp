@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of mcpaging (workload generators, randomized
+// eviction policies, instance samplers) draws from this generator so that a
+// run is reproducible from a single 64-bit seed.  The implementation is
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64 — fast,
+// well-tested statistically, and trivially portable, which matters more here
+// than cryptographic strength.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+/// SplitMix64 step: used to expand a single seed into xoshiro state and as a
+/// standalone hash-like mixer for deriving per-core sub-seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine.  Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though mcpaging uses the bounded
+/// helpers below to stay bit-for-bit reproducible across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Lemire-style rejection keeps the draw
+  /// unbiased without library-dependent behaviour.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    MCP_REQUIRE(bound > 0, "Rng::below bound must be positive");
+    // Rejection sampling on the top bits.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    MCP_REQUIRE(lo <= hi, "Rng::between requires lo <= hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability `prob`.
+  [[nodiscard]] bool chance(double prob) noexcept { return uniform01() < prob; }
+
+  /// Derives an independent child generator; `salt` distinguishes siblings
+  /// (e.g. one stream per core).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const noexcept {
+    std::uint64_t sm = state_[0] ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mcp

@@ -1,0 +1,208 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+Simulator::Simulator(SimConfig config) : config_(config) {
+  MCP_REQUIRE(config_.cache_size > 0, "SimConfig.cache_size must be positive");
+}
+
+void Simulator::add_observer(SimObserver* observer) {
+  MCP_REQUIRE(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+RunStats Simulator::run(const RequestSet& requests, CacheStrategy& strategy) {
+  FixedStream stream(requests);
+  return run_stream(stream, strategy, &requests);
+}
+
+void Simulator::apply_evictions(const std::vector<PageId>& victims,
+                                PageId incoming, CoreId cause_core, Time now,
+                                CacheState& cache, EvictionCause cause) {
+  std::unordered_set<PageId> seen;
+  for (PageId victim : victims) {
+    MCP_REQUIRE(victim != incoming, "strategy evicted the incoming page");
+    MCP_REQUIRE(seen.insert(victim).second, "strategy evicted a page twice");
+    cache.evict(victim);  // validates: present, not a reserved (fetching) cell
+    notify([&](SimObserver& obs) { obs.on_evict(victim, cause_core, now, cause); });
+  }
+}
+
+void Simulator::serve_request(CoreId core, PageId page, Time now,
+                              CacheState& cache, CacheStrategy& strategy,
+                              RunStats& stats, CoreRuntime& runtime) {
+  const AccessContext ctx{core, page, now, runtime.issued};
+  CoreStats& cstats = stats.core(core);
+
+  if (cache.contains(page)) {  // hit: served within this step
+    ++cstats.hits;
+    ++cstats.requests;
+    strategy.on_hit(ctx);
+    notify([&](SimObserver& obs) { obs.on_hit(ctx); });
+    runtime.ready_at = now + 1;
+    runtime.last_finish = now;
+    ++runtime.issued;
+    runtime.has_pending = false;
+    return;
+  }
+
+  if (cache.is_fetching(page)) {
+    // Another core's fetch for this page is in flight (only possible for
+    // non-disjoint inputs).  Behaviour per SharedFetchMode; see types.hpp.
+    if (config_.shared_fetch == SharedFetchMode::kJoinsFetch) {
+      // Block until the in-flight fetch lands, then retry (it will be a hit
+      // unless the strategy evicts it first, in which case it faults then).
+      const CellInfo* info = cache.find(page);
+      MCP_ASSERT(info != nullptr);
+      runtime.ready_at = std::max(info->ready_at, now + 1);
+      runtime.has_pending = true;
+      runtime.pending = page;
+      return;
+    }
+    // kCountsAsFault: full fault accounting, but the page needs no new cell.
+    ++cstats.faults;
+    ++cstats.requests;
+    if (config_.record_fault_timeline) cstats.fault_times.push_back(now);
+    notify([&](SimObserver& obs) { obs.on_fault(ctx); });
+    const std::vector<PageId> victims = strategy.on_fault(ctx, cache, /*needs_cell=*/false);
+    MCP_REQUIRE(victims.empty(),
+                "on_fault(needs_cell=false) must not request evictions");
+    runtime.ready_at = now + config_.fault_penalty + 1;
+    runtime.last_finish = now + config_.fault_penalty;
+    ++runtime.issued;
+    runtime.has_pending = false;
+    return;
+  }
+
+  // Plain fault: charge it, let the strategy pick victims, reserve a cell.
+  ++cstats.faults;
+  ++cstats.requests;
+  if (config_.record_fault_timeline) cstats.fault_times.push_back(now);
+  notify([&](SimObserver& obs) { obs.on_fault(ctx); });
+  const std::vector<PageId> victims = strategy.on_fault(ctx, cache, /*needs_cell=*/true);
+  apply_evictions(victims, page, core, now, cache, EvictionCause::kFault);
+  MCP_REQUIRE(cache.free_cells() >= 1,
+              "strategy left no free cell for a faulting request");
+  cache.begin_fetch(page, core, now + config_.fault_penalty + 1);
+  runtime.ready_at = now + config_.fault_penalty + 1;
+  runtime.last_finish = now + config_.fault_penalty;
+  ++runtime.issued;
+  runtime.has_pending = false;
+}
+
+RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
+                               const RequestSet* offline_info) {
+  const std::size_t p = stream.num_cores();
+  MCP_REQUIRE(p > 0, "request stream has no cores");
+
+  active_observers_.clear();
+  if (SimObserver* obs = stream.observer(); obs != nullptr) {
+    active_observers_.push_back(obs);
+  }
+  active_observers_.insert(active_observers_.end(), observers_.begin(),
+                           observers_.end());
+
+  strategy.attach(config_, p, offline_info);
+
+  CacheState cache(config_.cache_size);
+  RunStats stats(p);
+  std::vector<CoreRuntime> cores(p);
+  std::size_t active = p;
+  Time now = 0;
+  Time steps = 0;
+  Time stalled_steps = 0;
+  constexpr Time kMaxStalledSteps = 1 << 20;
+
+  while (active > 0) {
+    if (config_.max_steps != 0 && ++steps > config_.max_steps) {
+      throw ModelError("simulation exceeded SimConfig.max_steps");
+    }
+
+    notify([&](SimObserver& obs) { obs.on_step_begin(now); });
+
+    // 1. Land fetches due now, before any request is served this step.
+    for (PageId page : cache.complete_fetches(now)) {
+      const CellInfo* info = cache.find(page);
+      const CoreId by = info != nullptr ? info->fetched_by : kInvalidCore;
+      strategy.on_fetch_complete(page, by, now);
+      notify([&](SimObserver& obs) { obs.on_fetch_complete(page, by, now); });
+    }
+
+    // 2. Voluntary evictions (dynamic-partition shrinks, dishonest moves).
+    const std::vector<PageId> voluntary = strategy.on_step_begin(now, cache);
+    apply_evictions(voluntary, kInvalidPage, kInvalidCore, now, cache,
+                    EvictionCause::kVoluntary);
+
+    // 3. Serve ready cores in logical (increasing id) order.
+    bool any_deferred = false;
+    bool any_served = false;
+    for (CoreId core = 0; core < p; ++core) {
+      CoreRuntime& rt = cores[core];
+      if (rt.done || rt.ready_at > now) continue;
+      if (!rt.has_pending) {
+        const std::optional<PageId> next = stream.next(core);
+        if (!next.has_value()) {
+          rt.done = true;
+          stats.core(core).completion_time = rt.last_finish;
+          strategy.on_core_done(core, now);
+          notify([&](SimObserver& obs) { obs.on_core_done(core, rt.last_finish); });
+          --active;
+          continue;
+        }
+        rt.has_pending = true;
+        rt.pending = *next;
+      }
+      const AccessContext ctx{core, rt.pending, now, rt.issued};
+      if (strategy.defer_request(ctx, cache)) {
+        any_deferred = true;  // postponed; the core stays ready next step
+        continue;
+      }
+      any_served = true;
+      serve_request(core, rt.pending, now, cache, strategy, stats, rt);
+    }
+
+    notify([&](SimObserver& obs) { obs.on_step_end(now); });
+
+    if (active == 0) {
+      stats.end_time = now;
+      break;
+    }
+
+    // Deferrals with nothing in flight and nothing served make no progress.
+    // Tolerate bounded idle waiting (a strategy may stall until a target
+    // time), but call a persistent stall what it is: livelock.
+    if (any_deferred && !any_served && cache.fetching_count() == 0) {
+      if (++stalled_steps > kMaxStalledSteps) {
+        throw ModelError("strategy deferred every serviceable request with "
+                         "nothing in flight for too long (livelock)");
+      }
+    } else {
+      stalled_steps = 0;
+    }
+
+    // 4. Advance time; fast-forward over steps where no core can act —
+    //    impossible while a deferral keeps a core ready at `now`.
+    Time next_time = kTimeNever;
+    for (const CoreRuntime& rt : cores) {
+      if (!rt.done) next_time = std::min(next_time, rt.ready_at);
+    }
+    MCP_ASSERT(next_time != kTimeNever);
+    now = any_deferred ? now + 1 : std::max(now + 1, next_time);
+  }
+
+  active_observers_.clear();
+  return stats;
+}
+
+RunStats simulate(const SimConfig& config, const RequestSet& requests,
+                  CacheStrategy& strategy) {
+  Simulator sim(config);
+  return sim.run(requests, strategy);
+}
+
+}  // namespace mcp

@@ -1,0 +1,99 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+Count RunStats::total_faults() const noexcept {
+  Count sum = 0;
+  for (const auto& c : cores_) sum += c.faults;
+  return sum;
+}
+
+Count RunStats::total_hits() const noexcept {
+  Count sum = 0;
+  for (const auto& c : cores_) sum += c.hits;
+  return sum;
+}
+
+Count RunStats::total_requests() const noexcept {
+  Count sum = 0;
+  for (const auto& c : cores_) sum += c.requests;
+  return sum;
+}
+
+Time RunStats::makespan() const noexcept {
+  Time span = 0;
+  for (const auto& c : cores_) span = std::max(span, c.completion_time);
+  return span;
+}
+
+double RunStats::overall_fault_rate() const noexcept {
+  const Count reqs = total_requests();
+  return reqs == 0 ? 0.0
+                   : static_cast<double>(total_faults()) / static_cast<double>(reqs);
+}
+
+Count RunStats::faults_before(CoreId core, Time t) const {
+  const CoreStats& c = cores_.at(core);
+  MCP_REQUIRE(c.fault_times.size() == c.faults,
+              "faults_before requires record_fault_timeline=true");
+  // fault_times is non-decreasing by construction.
+  const auto it = std::lower_bound(c.fault_times.begin(), c.fault_times.end(), t);
+  return static_cast<Count>(it - c.fault_times.begin());
+}
+
+std::vector<Count> RunStats::fault_vector_at(Time t) const {
+  std::vector<Count> vec(cores_.size());
+  for (CoreId j = 0; j < cores_.size(); ++j) vec[j] = faults_before(j, t);
+  return vec;
+}
+
+bool RunStats::within_bounds_at(Time t, const std::vector<Count>& bounds) const {
+  MCP_REQUIRE(bounds.size() == cores_.size(),
+              "bounds vector size must equal the number of cores");
+  for (CoreId j = 0; j < cores_.size(); ++j) {
+    if (faults_before(j, t) > bounds[j]) return false;
+  }
+  return true;
+}
+
+double RunStats::jain_fairness() const {
+  if (cores_.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& c : cores_) {
+    // Ideal all-hit completion of m requests issued back-to-back is m-1
+    // (request i issued at step i, the last one at m-1).
+    const double ideal =
+        c.requests <= 1 ? 1.0 : static_cast<double>(c.requests - 1);
+    const double slowdown = static_cast<double>(c.completion_time) / ideal;
+    sum += slowdown;
+    sum_sq += slowdown * slowdown;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  const auto p = static_cast<double>(cores_.size());
+  return (sum * sum) / (p * sum_sq);
+}
+
+std::string RunStats::report(const std::string& label) const {
+  std::ostringstream os;
+  if (!label.empty()) os << label << '\n';
+  os << "  total: requests=" << total_requests() << " faults=" << total_faults()
+     << " hits=" << total_hits() << " fault_rate=" << std::fixed
+     << std::setprecision(4) << overall_fault_rate()
+     << " makespan=" << makespan() << " jain=" << std::setprecision(3)
+     << jain_fairness() << '\n';
+  for (CoreId j = 0; j < cores_.size(); ++j) {
+    const auto& c = cores_[j];
+    os << "  core " << j << ": requests=" << c.requests << " faults=" << c.faults
+       << " completion=" << c.completion_time << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mcp

@@ -1,0 +1,79 @@
+// Run statistics: fault/hit counts, completion times, fault timelines and
+// fairness measures.
+//
+// FTF needs only total faults; PIF needs "faults of core i by time t", so
+// the collector optionally records the timestamp of every fault.  Fairness
+// metrics (Jain's index over slowdowns) support the paper's closing
+// discussion that fairness, not just total faults, is the interesting
+// objective for multicore paging.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Per-core tallies of one run.
+struct CoreStats {
+  Count hits = 0;
+  Count faults = 0;
+  Count requests = 0;          ///< hits + faults (requests actually issued).
+  Time completion_time = 0;    ///< Timestep at which the last request's
+                               ///< service finished (hits finish in their own
+                               ///< step; faults tau steps later).
+  std::vector<Time> fault_times;  ///< Issue time of each fault (if recorded).
+
+  [[nodiscard]] double fault_rate() const noexcept {
+    return requests == 0 ? 0.0 : static_cast<double>(faults) / static_cast<double>(requests);
+  }
+};
+
+/// Aggregated results of a simulation run.
+class RunStats {
+ public:
+  RunStats() = default;
+  explicit RunStats(std::size_t num_cores) : cores_(num_cores) {}
+
+  [[nodiscard]] std::size_t num_cores() const noexcept { return cores_.size(); }
+  [[nodiscard]] const CoreStats& core(CoreId core) const { return cores_.at(core); }
+  [[nodiscard]] CoreStats& core(CoreId core) { return cores_.at(core); }
+
+  [[nodiscard]] Count total_faults() const noexcept;
+  [[nodiscard]] Count total_hits() const noexcept;
+  [[nodiscard]] Count total_requests() const noexcept;
+  /// Max over cores of completion time (Hassidim's makespan objective; we
+  /// report it for cross-model comparisons even though FTF/PIF are the
+  /// paper's objectives).
+  [[nodiscard]] Time makespan() const noexcept;
+  [[nodiscard]] double overall_fault_rate() const noexcept;
+
+  /// Number of faults core `core` has incurred on requests issued at
+  /// timesteps < `t` (the "at time t" accounting used by PIF; a request
+  /// issued exactly at t-1 that faults counts, one issued at t does not).
+  /// Requires the fault timeline to have been recorded.
+  [[nodiscard]] Count faults_before(CoreId core, Time t) const;
+
+  /// The per-core fault vector at time `t` (see faults_before).
+  [[nodiscard]] std::vector<Count> fault_vector_at(Time t) const;
+
+  /// True iff fault_vector_at(t) <= bounds componentwise.
+  [[nodiscard]] bool within_bounds_at(Time t, const std::vector<Count>& bounds) const;
+
+  /// Jain's fairness index over per-core slowdowns.  Slowdown of core j is
+  /// completion_time / (requests - 1 ... clamped to >=1): 1.0 would be an
+  /// all-hit run.  Index is 1 for perfectly equal slowdowns, down to 1/p.
+  [[nodiscard]] double jain_fairness() const;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string report(const std::string& label = {}) const;
+
+  Time end_time = 0;  ///< First timestep at which every core was finished.
+
+ private:
+  std::vector<CoreStats> cores_;
+};
+
+}  // namespace mcp

@@ -1,0 +1,94 @@
+// The cache-strategy interface: the decision maker under test.
+//
+// The paper classifies strategies as *shared* (S_A), *static partition*
+// (sP^B_A) and *dynamic partition* (dP^D_A); all fit this interface.  A
+// strategy never mutates the cache itself — it returns eviction decisions
+// which the simulator validates (pages must be present, reserved cells are
+// untouchable) and applies.  This separation is what lets the honesty
+// checker (Theorem 4) and the statistics layer trust the event feed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache_state.hpp"
+#include "core/events.hpp"
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Run-wide parameters of the model.
+struct SimConfig {
+  std::size_t cache_size = 0;  ///< K, in pages.
+  Time fault_penalty = 0;      ///< tau: extra delay per miss (miss = tau+1 steps).
+  SharedFetchMode shared_fetch = SharedFetchMode::kCountsAsFault;
+  /// Record per-fault timestamps (needed for PIF-style "faults by time t"
+  /// queries; costs memory proportional to the number of faults).
+  bool record_fault_timeline = true;
+  /// Hard stop: abort with ModelError if the run exceeds this many steps
+  /// (guards against adaptive streams that never terminate). 0 = no limit.
+  Time max_steps = 0;
+};
+
+class CacheStrategy {
+ public:
+  virtual ~CacheStrategy() = default;
+
+  /// Called once before a run.  `requests` is non-null when the input is a
+  /// materialized RequestSet (offline strategies need it; online strategies
+  /// must ignore everything but the core count).
+  virtual void attach(const SimConfig& config, std::size_t num_cores,
+                      const RequestSet* requests) = 0;
+
+  /// The request `ctx` hit in cache.
+  virtual void on_hit(const AccessContext& ctx) = 0;
+
+  /// The request `ctx` faulted.  If `needs_cell` is true the strategy must
+  /// return the pages to evict so that at least one free cell exists; the
+  /// usual case is exactly one victim when its region is full and none
+  /// otherwise.  If `needs_cell` is false (shared-fetch join: the page is
+  /// already in flight) the strategy must return no evictions.
+  [[nodiscard]] virtual std::vector<PageId> on_fault(const AccessContext& ctx,
+                                                     const CacheState& cache,
+                                                     bool needs_cell) = 0;
+
+  /// A fetch issued earlier completed; `page` is now present.
+  virtual void on_fetch_complete(PageId page, CoreId core, Time now) {
+    (void)page; (void)core; (void)now;
+  }
+
+  /// Called at the start of every timestep, before any request is served.
+  /// May return *voluntary* evictions — pages evicted without a fault.  The
+  /// paper calls strategies that never do this "honest" (Theorem 4 shows
+  /// honesty is WLOG for disjoint inputs); dynamic partitions use it to
+  /// shrink parts, and Theorem-4 experiments use it to force faults.
+  [[nodiscard]] virtual std::vector<PageId> on_step_begin(Time now,
+                                                          const CacheState& cache) {
+    (void)now; (void)cache;
+    return {};
+  }
+
+  /// Core `core` issued its last request.
+  virtual void on_core_done(CoreId core, Time now) { (void)core; (void)now; }
+
+  /// Model extension (OFF in the paper's model): called before serving a
+  /// ready request; returning true postpones it to the next step.  This is
+  /// exactly the scheduling power Hassidim's model grants and this paper's
+  /// model forbids ("requests must be served as they arrive") — every
+  /// in-model strategy keeps the default.  Deferral-based strategies exist
+  /// to make the cross-model comparison executable (experiment E18); the
+  /// simulator aborts if deferrals ever stall the whole system.
+  [[nodiscard]] virtual bool defer_request(const AccessContext& ctx,
+                                           const CacheState& cache) {
+    (void)ctx;
+    (void)cache;
+    return false;
+  }
+
+  /// Display name, e.g. "S_LRU" or "sP[4,4]_FIFO".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace mcp

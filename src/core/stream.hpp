@@ -1,0 +1,102 @@
+// Request streams: where the simulator pulls requests from.
+//
+// Most experiments use a materialized RequestSet, but the paper's lower
+// bounds (Lemma 1, Theorem 1.3) are *adaptive adversaries*: the next request
+// depends on what the algorithm evicted.  RequestStream abstracts both; an
+// adaptive stream additionally registers as a SimObserver to watch
+// evictions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/events.hpp"
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Pull-based request source, one lane per core.  `next(core)` is called
+/// exactly once per request when the core becomes ready to issue; returning
+/// nullopt permanently finishes the core.
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  [[nodiscard]] virtual std::size_t num_cores() const = 0;
+  /// The next page core `core` requests, or nullopt if its sequence ended.
+  virtual std::optional<PageId> next(CoreId core) = 0;
+  /// Observer hook for adaptive streams; nullptr for oblivious ones.
+  virtual SimObserver* observer() { return nullptr; }
+};
+
+/// Stream over a fixed, fully materialized RequestSet.
+class FixedStream final : public RequestStream {
+ public:
+  explicit FixedStream(const RequestSet& requests)
+      : requests_(&requests), cursor_(requests.num_cores(), 0) {}
+
+  [[nodiscard]] std::size_t num_cores() const override {
+    return requests_->num_cores();
+  }
+
+  std::optional<PageId> next(CoreId core) override {
+    const RequestSequence& seq = requests_->sequence(core);
+    std::size_t& pos = cursor_[core];
+    if (pos >= seq.size()) return std::nullopt;
+    return seq[pos++];
+  }
+
+ private:
+  const RequestSet* requests_;
+  std::vector<std::size_t> cursor_;
+};
+
+/// Records every request an (adaptive) stream emitted, so the resulting
+/// fixed trace can be replayed against reference algorithms (e.g. the
+/// offline optimum that Lemma 1's ratio is measured against).
+class RecordingStream final : public RequestStream, public SimObserver {
+ public:
+  explicit RecordingStream(RequestStream& inner)
+      : inner_(&inner), recorded_(inner.num_cores()) {}
+
+  [[nodiscard]] std::size_t num_cores() const override { return inner_->num_cores(); }
+
+  std::optional<PageId> next(CoreId core) override {
+    auto page = inner_->next(core);
+    if (page) recorded_.sequence(core).push_back(*page);
+    return page;
+  }
+
+  SimObserver* observer() override { return this; }
+
+  /// The trace issued so far.
+  [[nodiscard]] const RequestSet& recorded() const noexcept { return recorded_; }
+
+  // SimObserver passthrough to the inner stream's observer, if any.
+  void on_step_begin(Time now) override { forward()->on_step_begin(now); }
+  void on_hit(const AccessContext& ctx) override { forward()->on_hit(ctx); }
+  void on_fault(const AccessContext& ctx) override { forward()->on_fault(ctx); }
+  void on_evict(PageId page, CoreId core, Time now, EvictionCause cause) override {
+    forward()->on_evict(page, core, now, cause);
+  }
+  void on_fetch_complete(PageId page, CoreId core, Time now) override {
+    forward()->on_fetch_complete(page, core, now);
+  }
+  void on_core_done(CoreId core, Time finish) override {
+    forward()->on_core_done(core, finish);
+  }
+  void on_step_end(Time now) override { forward()->on_step_end(now); }
+
+ private:
+  SimObserver* forward() {
+    static SimObserver null_observer;
+    SimObserver* obs = inner_->observer();
+    return obs != nullptr ? obs : &null_observer;
+  }
+
+  RequestStream* inner_;
+  RequestSet recorded_;
+};
+
+}  // namespace mcp

@@ -1,0 +1,51 @@
+// 3-PARTITION / 4-PARTITION: the NP-complete sources of the paper's
+// hardness reductions (Theorems 2 and 3).
+//
+// k-PARTITION: given n = k*m integers s_i with B/(k+1) < s_i < B/(k-1) and
+// sum = m*B, partition them into m groups of exactly k elements each
+// summing to B.  The size bounds force every group to have exactly k
+// elements; the solver exploits that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace mcp {
+
+struct KPartitionInstance {
+  std::vector<std::uint32_t> values;  ///< s_1..s_n
+  std::uint32_t target = 0;           ///< B
+  std::size_t group_size = 3;         ///< k (3 or 4 in the paper)
+
+  /// Throws ModelError unless the instance satisfies the size constraints
+  /// (n divisible by k, sum = (n/k)*B, B/(k+1) < s_i < B/(k-1)).
+  void validate() const;
+};
+
+/// Groups of element *indices*, each of size k and summing to B; nullopt if
+/// the instance has no solution.  Exact backtracking — exponential, fine
+/// for the reduction-scale instances (n <= ~24).
+[[nodiscard]] std::optional<std::vector<std::vector<std::size_t>>>
+solve_kpartition(const KPartitionInstance& instance);
+
+/// True iff `groups` is a valid solution of `instance`.
+[[nodiscard]] bool check_kpartition_solution(
+    const KPartitionInstance& instance,
+    const std::vector<std::vector<std::size_t>>& groups);
+
+/// Random planted YES instance: `num_groups` groups of `group_size` values
+/// summing to `target` each, then shuffled.  All constraints hold by
+/// construction.
+[[nodiscard]] KPartitionInstance random_yes_instance(Rng& rng,
+                                                     std::size_t num_groups,
+                                                     std::size_t group_size,
+                                                     std::uint32_t target);
+
+/// The canonical smallest NO instance of 3-PARTITION under the paper's
+/// constraints: S = {4,4,4,4,4,6}, B = 13 (triples can only reach 12 or 14).
+[[nodiscard]] KPartitionInstance smallest_no_instance_3partition();
+
+}  // namespace mcp

@@ -1,0 +1,39 @@
+#include "offline/competitive.hpp"
+
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "offline/ftf_solver.hpp"
+
+namespace mcp {
+
+CompetitiveReport measure_competitive_ratio(const StrategyFactory& strategy,
+                                            const InstanceGenerator& generator,
+                                            std::size_t trials) {
+  MCP_REQUIRE(trials > 0, "measure_competitive_ratio: no trials");
+  CompetitiveReport report;
+  double ratio_sum = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const OfflineInstance instance = generator(trial);
+    if (instance.requests.total_requests() == 0) continue;
+    const Count opt = solve_ftf(instance).min_faults;
+    MCP_ASSERT_MSG(opt > 0, "nonempty instance must have compulsory misses");
+    const auto online = strategy();
+    const Count faults =
+        simulate(instance.sim_config(), instance.requests, *online)
+            .total_faults();
+    const double ratio =
+        static_cast<double>(faults) / static_cast<double>(opt);
+    ++report.samples;
+    ratio_sum += ratio;
+    if (faults == opt) ++report.optimal_hits;
+    if (ratio > report.max_ratio) {
+      report.max_ratio = ratio;
+      report.worst_trial = trial;
+    }
+  }
+  MCP_REQUIRE(report.samples > 0, "all generated instances were empty");
+  report.mean_ratio = ratio_sum / static_cast<double>(report.samples);
+  return report;
+}
+
+}  // namespace mcp

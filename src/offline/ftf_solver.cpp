@@ -1,0 +1,97 @@
+#include "offline/ftf_solver.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+
+struct NodeInfo {
+  Count dist = 0;
+  // Parent pointer for schedule reconstruction (only when requested).
+  const OfflineState* parent = nullptr;
+  std::vector<PageId> step_evictions;
+};
+
+struct QueueEntry {
+  Count dist;
+  const OfflineState* state;
+  bool operator>(const QueueEntry& other) const { return dist > other.dist; }
+};
+
+}  // namespace
+
+FtfResult solve_ftf(const OfflineInstance& instance, const FtfOptions& options) {
+  const TransitionSystem system(instance, options.victim_rule);
+
+  // Node ownership: the map's keys are the canonical state objects; queue
+  // entries and parent pointers reference them (stable across rehashing —
+  // unordered_map never moves its nodes).
+  std::unordered_map<OfflineState, NodeInfo, OfflineStateHash> nodes;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+
+  const OfflineState start = system.initial();
+  nodes.emplace(start, NodeInfo{});
+  queue.push(QueueEntry{0, &nodes.find(start)->first});
+
+  FtfResult result;
+  const OfflineState* goal = nullptr;
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const auto it = nodes.find(*top.state);
+    MCP_ASSERT(it != nodes.end());
+    if (top.dist > it->second.dist) continue;  // stale entry
+    if (system.is_terminal(*top.state)) {
+      goal = top.state;
+      result.min_faults = top.dist;
+      break;
+    }
+    ++result.states_expanded;
+
+    system.expand(*top.state, [&](StepOutcome&& outcome) {
+      const Count dist = top.dist + outcome.fault_count();
+      auto [node_it, inserted] = nodes.try_emplace(std::move(outcome.next));
+      if (!inserted && node_it->second.dist <= dist) return;
+      node_it->second.dist = dist;
+      if (options.build_schedule) {
+        node_it->second.parent = top.state;
+        node_it->second.step_evictions = std::move(outcome.evictions);
+      }
+      if (options.max_states != 0 && nodes.size() > options.max_states) {
+        throw ModelError("solve_ftf: state limit exceeded");
+      }
+      queue.push(QueueEntry{dist, &node_it->first});
+    });
+  }
+
+  MCP_REQUIRE(goal != nullptr, "solve_ftf: no terminal state reachable");
+  result.states_stored = nodes.size();
+
+  if (options.build_schedule) {
+    // Walk parents back to the start, collecting per-step eviction lists;
+    // flatten in forward order.  Entries are per *fault*; steps without
+    // faults contributed empty lists.
+    std::vector<const std::vector<PageId>*> steps;
+    for (const OfflineState* cur = goal; cur != nullptr;) {
+      const NodeInfo& info = nodes.find(*cur)->second;
+      if (info.parent == nullptr) break;
+      steps.push_back(&info.step_evictions);
+      cur = info.parent;
+    }
+    std::reverse(steps.begin(), steps.end());
+    for (const auto* step : steps) {
+      result.schedule.insert(result.schedule.end(), step->begin(), step->end());
+    }
+    MCP_ASSERT(result.schedule.size() == result.min_faults);
+  }
+  return result;
+}
+
+}  // namespace mcp

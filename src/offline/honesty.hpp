@@ -1,0 +1,53 @@
+// Honesty auditing (the paper's Theorem 4 vocabulary).
+//
+// A strategy is *honest* if it never evicts a page except to make room for
+// a fault — no voluntary evictions, at most one eviction per fault, and
+// only when the cache is full.  Theorem 4 shows an honest optimum exists
+// for FTF on disjoint inputs; this observer lets tests assert which of our
+// strategies are honest (all shared/static ones) and which are not (staged
+// dynamic partitions shrink voluntarily).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/events.hpp"
+
+namespace mcp {
+
+class HonestyChecker final : public SimObserver {
+ public:
+  void on_step_begin(Time /*now*/) override { faults_this_step_ = 0; }
+  void on_fault(const AccessContext& /*ctx*/) override {
+    ++faults_this_step_;
+    evictions_since_fault_ = 0;
+  }
+  void on_evict(PageId page, CoreId /*core*/, Time now,
+                EvictionCause cause) override {
+    if (cause == EvictionCause::kVoluntary) {
+      violations_.push_back("voluntary eviction of page " +
+                            std::to_string(page) + " at t=" +
+                            std::to_string(now));
+      return;
+    }
+    if (faults_this_step_ == 0) {
+      violations_.push_back("fault-eviction with no fault this step at t=" +
+                            std::to_string(now));
+    } else if (++evictions_since_fault_ > 1) {
+      violations_.push_back("multiple evictions for one fault at t=" +
+                            std::to_string(now));
+    }
+  }
+
+  [[nodiscard]] bool honest() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+
+ private:
+  int faults_this_step_ = 0;
+  int evictions_since_fault_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace mcp

@@ -1,0 +1,47 @@
+// Offline problem instances (Section 5 of the paper).
+//
+// The offline algorithms assume a *disjoint* request set — the paper's
+// Theorems 4 and 5 (honesty and FITF-within-a-sequence are WLOG for the
+// optimum) are stated for disjoint sequences, and our searches rely on both
+// reductions of the decision space.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/strategy.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Shared data of FTF / PIF instances.
+struct OfflineInstance {
+  RequestSet requests;
+  std::size_t cache_size = 0;  ///< K
+  Time tau = 0;                ///< fault penalty
+
+  /// Throws ModelError unless the instance is well-formed (disjoint, K>0,
+  /// at least one core).
+  void validate() const;
+
+  [[nodiscard]] SimConfig sim_config() const {
+    SimConfig cfg;
+    cfg.cache_size = cache_size;
+    cfg.fault_penalty = tau;
+    return cfg;
+  }
+};
+
+/// A PARTIAL-INDIVIDUAL-FAULTS instance (Definition 2): can `base.requests`
+/// be served so that each core i has faulted at most `bounds[i]` times on
+/// requests issued before `deadline`?
+struct PifInstance {
+  OfflineInstance base;
+  Time deadline = 0;
+  std::vector<Count> bounds;
+
+  void validate() const;
+};
+
+}  // namespace mcp

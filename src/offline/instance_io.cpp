@@ -1,0 +1,94 @@
+#include "offline/instance_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/trace_io.hpp"
+
+namespace mcp {
+
+void write_pif_instance(std::ostream& os, const PifInstance& instance) {
+  instance.validate();
+  os << "mcppif 1\n";
+  os << "cache " << instance.base.cache_size << '\n';
+  os << "tau " << instance.base.tau << '\n';
+  os << "deadline " << instance.deadline << '\n';
+  os << "bounds";
+  for (Count b : instance.bounds) os << ' ' << b;
+  os << '\n';
+  write_trace(os, instance.base.requests);
+}
+
+PifInstance read_pif_instance(std::istream& is) {
+  PifInstance instance;
+  std::string line;
+  bool saw_header = false;
+  bool saw_cache = false;
+  bool saw_tau = false;
+  bool saw_deadline = false;
+  bool saw_bounds = false;
+
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    const auto fail = [&](const std::string& why) -> void {
+      throw InputError("pif line " + std::to_string(lineno) + ": " + why);
+    };
+    if (!saw_header) {
+      int version = 0;
+      if (keyword != "mcppif" || !(ls >> version) || version != 1) {
+        fail("expected header 'mcppif 1'");
+      }
+      saw_header = true;
+    } else if (keyword == "cache") {
+      if (!(ls >> instance.base.cache_size)) fail("bad cache size");
+      saw_cache = true;
+    } else if (keyword == "tau") {
+      if (!(ls >> instance.base.tau)) fail("bad tau");
+      saw_tau = true;
+    } else if (keyword == "deadline") {
+      if (!(ls >> instance.deadline)) fail("bad deadline");
+      saw_deadline = true;
+    } else if (keyword == "bounds") {
+      Count b = 0;
+      while (ls >> b) instance.bounds.push_back(b);
+      saw_bounds = true;
+    } else if (keyword == "mcptrace") {
+      if (!saw_cache || !saw_tau || !saw_deadline || !saw_bounds) {
+        fail("trace before a complete pif header");
+      }
+      // Hand the trace (including this line) to the trace reader.
+      std::ostringstream rest;
+      rest << line << '\n' << is.rdbuf();
+      std::istringstream trace_stream(rest.str());
+      instance.base.requests = read_trace(trace_stream);
+      instance.validate();
+      return instance;
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  throw InputError("pif instance: missing embedded mcptrace document");
+}
+
+void save_pif_instance(const std::string& path, const PifInstance& instance) {
+  std::ofstream os(path);
+  if (!os) throw InputError("cannot open for writing: " + path);
+  write_pif_instance(os, instance);
+  if (!os) throw InputError("write failed: " + path);
+}
+
+PifInstance load_pif_instance(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw InputError("cannot open for reading: " + path);
+  return read_pif_instance(is);
+}
+
+}  // namespace mcp

@@ -1,0 +1,29 @@
+// Text serialization of PIF instances ("mcppif v1") — so hardness-reduction
+// artifacts can be saved, shared and decided later (see simtool's
+// reduce/decide subcommands).
+//
+// Format: a small header followed by an embedded mcptrace document:
+//
+//   mcppif 1
+//   cache <K>
+//   tau <tau>
+//   deadline <t>
+//   bounds <b_0> <b_1> ... <b_{p-1}>
+//   mcptrace 1
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "offline/instance.hpp"
+
+namespace mcp {
+
+void write_pif_instance(std::ostream& os, const PifInstance& instance);
+[[nodiscard]] PifInstance read_pif_instance(std::istream& is);
+
+void save_pif_instance(const std::string& path, const PifInstance& instance);
+[[nodiscard]] PifInstance load_pif_instance(const std::string& path);
+
+}  // namespace mcp

@@ -1,0 +1,68 @@
+#include "offline/makespan_solver.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+
+/// Completion time of a terminal state first reached at the start of step
+/// `layer`: its last service step was layer-1, extended by any fetch still
+/// in flight (fetch[j] = r means that fetch lands at layer-1+r).
+Time terminal_makespan(const OfflineState& state, Time layer) {
+  std::uint32_t residual = 0;
+  for (std::uint32_t r : state.fetch) residual = std::max(residual, r);
+  if (layer == 0) return residual;  // empty instance
+  return layer - 1 + residual;
+}
+
+}  // namespace
+
+MakespanResult solve_min_makespan(const OfflineInstance& instance,
+                                  const MakespanOptions& options) {
+  const TransitionSystem system(instance, options.victim_rule);
+
+  using Layer = std::unordered_set<OfflineState, OfflineStateHash>;
+  Layer layer;
+  layer.insert(system.initial());
+
+  MakespanResult result;
+  Time best = kTimeNever;
+  for (Time t = 0;; ++t) {
+    // Harvest terminals; once layer start can no longer beat the incumbent,
+    // stop.
+    for (const OfflineState& state : layer) {
+      if (system.is_terminal(state)) {
+        best = std::min(best, terminal_makespan(state, t));
+      }
+    }
+    if (best != kTimeNever && (t == 0 || t - 1 >= best)) break;
+
+    Layer next;
+    for (const OfflineState& state : layer) {
+      if (system.is_terminal(state)) continue;  // done; nothing to expand
+      ++result.states_expanded;
+      system.expand(state, [&next](StepOutcome&& outcome) {
+        next.insert(std::move(outcome.next));
+      });
+    }
+    if (next.empty()) {
+      // All states terminal: the harvest above already set `best`.
+      MCP_REQUIRE(best != kTimeNever, "makespan search: dead end");
+      break;
+    }
+    layer = std::move(next);
+    result.peak_layer_width = std::max(result.peak_layer_width, layer.size());
+    if (options.max_layer_width != 0 &&
+        result.peak_layer_width > options.max_layer_width) {
+      throw ModelError("solve_min_makespan: layer width limit exceeded");
+    }
+  }
+  result.min_makespan = best;
+  return result;
+}
+
+}  // namespace mcp

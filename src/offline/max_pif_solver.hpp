@@ -1,0 +1,32 @@
+// MAX-PARTIAL-INDIVIDUAL-FAULTS (Definition 3): maximize the number of
+// sequences whose faults stay within their bounds at the deadline.
+//
+// Theorem 3 shows MAX-PIF is APX-hard (via 4-PARTITION), so no PTAS exists;
+// this exact solver is exponential in p by necessity.  It decides, for
+// subsets of cores in decreasing size, whether the PIF instance restricted
+// to that subset (everyone else unbounded) is feasible, with two standard
+// prunings: monotonicity (supersets of an infeasible subset are infeasible)
+// and early exit on the first feasible subset of a given size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "offline/instance.hpp"
+#include "offline/pif_solver.hpp"
+
+namespace mcp {
+
+struct MaxPifResult {
+  std::size_t max_satisfied = 0;      ///< most sequences within bounds
+  std::vector<CoreId> witness;        ///< one maximizing subset (sorted)
+  std::size_t subsets_tried = 0;      ///< PIF decisions run
+};
+
+/// Exact MAX-PIF by subset search over per-core bound enforcement.
+/// Exponential in p (APX-hardness says it must be); tiny instances only.
+[[nodiscard]] MaxPifResult solve_max_pif(const PifInstance& instance,
+                                         const PifOptions& options = {});
+
+}  // namespace mcp

@@ -1,0 +1,175 @@
+#include "offline/pif_solver.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "offline/replay.hpp"
+
+namespace mcp {
+
+namespace {
+
+using FaultVec = std::vector<std::uint32_t>;
+
+/// true iff a[i] <= b[i] for all i.
+bool dominates(const FaultVec& a, const FaultVec& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+/// One Pareto-frontier member of a state, with its provenance (provenance
+/// fields stay empty unless a witness schedule was requested).
+struct VecEntry {
+  FaultVec faults;
+  const OfflineState* parent_state = nullptr;
+  std::uint32_t parent_vec = 0;
+  std::vector<PageId> evictions;
+};
+
+/// Inserts `entry` unless dominated; removes entries it dominates.
+bool pareto_insert(std::vector<VecEntry>& front, VecEntry&& entry) {
+  for (const VecEntry& existing : front) {
+    if (dominates(existing.faults, entry.faults)) return false;
+  }
+  std::erase_if(front, [&entry](const VecEntry& existing) {
+    return dominates(entry.faults, existing.faults);
+  });
+  front.push_back(std::move(entry));
+  return true;
+}
+
+using Layer =
+    std::unordered_map<OfflineState, std::vector<VecEntry>, OfflineStateHash>;
+
+std::size_t layer_width(const Layer& layer) {
+  std::size_t width = 0;
+  for (const auto& [state, entries] : layer) width += entries.size();
+  return width;
+}
+
+/// Walks provenance back to layer 0 and flattens the per-step eviction
+/// lists into the global fault-order schedule.
+std::vector<PageId> reconstruct(const std::deque<Layer>& history,
+                                std::size_t layer_index,
+                                const OfflineState* state,
+                                std::uint32_t vec_index) {
+  std::vector<const std::vector<PageId>*> steps;
+  while (layer_index > 0) {
+    const auto it = history[layer_index].find(*state);
+    MCP_ASSERT(it != history[layer_index].end());
+    const VecEntry& entry = it->second[vec_index];
+    steps.push_back(&entry.evictions);
+    state = entry.parent_state;
+    vec_index = entry.parent_vec;
+    --layer_index;
+  }
+  std::reverse(steps.begin(), steps.end());
+  std::vector<PageId> schedule;
+  for (const auto* step : steps) {
+    schedule.insert(schedule.end(), step->begin(), step->end());
+  }
+  return schedule;
+}
+
+}  // namespace
+
+PifResult solve_pif(const PifInstance& instance, const PifOptions& options) {
+  instance.validate();
+  const TransitionSystem system(instance.base, options.victim_rule);
+  const std::size_t p = system.num_cores();
+
+  PifResult result;
+  // history[t] = layer at the start of step t.  Without schedule building we
+  // only ever keep the last two layers alive (the deque is pruned).
+  std::deque<Layer> history;
+  history.emplace_back();
+  {
+    VecEntry start;
+    start.faults.assign(p, 0);
+    history.back()[system.initial()].push_back(std::move(start));
+  }
+
+  for (Time t = 0; t < instance.deadline; ++t) {
+    const Layer& layer = history.back();
+    // Early success: a finished state's fault vector is frozen, and every
+    // vector still alive satisfies the bounds by construction.
+    for (const auto& [state, entries] : layer) {
+      if (system.is_terminal(state) && !entries.empty()) {
+        result.feasible = true;
+        result.decided_at = t;
+        if (options.build_schedule) {
+          result.schedule = reconstruct(history, history.size() - 1, &state, 0);
+        }
+        return result;
+      }
+    }
+
+    Layer next;
+    for (const auto& [state, entries] : layer) {
+      ++result.states_expanded;
+      const OfflineState* state_ptr = &state;
+      system.expand(state, [&](StepOutcome&& outcome) {
+        for (std::uint32_t v = 0; v < entries.size(); ++v) {
+          VecEntry advanced;
+          advanced.faults = entries[v].faults;
+          bool alive = true;
+          for (std::size_t j = 0; j < p; ++j) {
+            if ((outcome.faulted_cores >> j) & 1u) {
+              if (++advanced.faults[j] > instance.bounds[j]) {
+                alive = false;
+                break;
+              }
+            }
+          }
+          if (!alive) continue;
+          if (options.build_schedule) {
+            advanced.parent_state = state_ptr;
+            advanced.parent_vec = v;
+            advanced.evictions = outcome.evictions;
+          }
+          pareto_insert(next[outcome.next], std::move(advanced));
+        }
+      });
+    }
+    history.push_back(std::move(next));
+    if (!options.build_schedule && history.size() > 2) history.pop_front();
+
+    result.peak_layer_width =
+        std::max(result.peak_layer_width, layer_width(history.back()));
+    if (options.max_layer_width != 0 &&
+        result.peak_layer_width > options.max_layer_width) {
+      throw ModelError("solve_pif: layer width limit exceeded");
+    }
+    if (history.back().empty()) {  // every branch blew a bound
+      result.feasible = false;
+      result.decided_at = t + 1;
+      return result;
+    }
+  }
+
+  result.feasible = !history.back().empty();
+  result.decided_at = instance.deadline;
+  if (result.feasible && options.build_schedule) {
+    const auto& final_layer = history.back();
+    const auto it = final_layer.begin();
+    result.schedule =
+        reconstruct(history, history.size() - 1, &it->first, 0);
+  }
+  return result;
+}
+
+bool verify_pif_witness(const PifInstance& instance,
+                        const std::vector<PageId>& schedule) {
+  instance.validate();
+  ReplayStrategy strategy(schedule, ReplayStrategy::OnExhausted::kFallbackLru);
+  Simulator sim(instance.base.sim_config());
+  const RunStats stats = sim.run(instance.base.requests, strategy);
+  return stats.within_bounds_at(instance.deadline, instance.bounds);
+}
+
+}  // namespace mcp

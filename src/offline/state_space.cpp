@@ -1,0 +1,214 @@
+#include "offline/state_space.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+constexpr std::uint32_t kNever = std::numeric_limits<std::uint32_t>::max();
+
+std::size_t hash_mix(std::size_t seed, std::size_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+std::size_t OfflineStateHash::operator()(const OfflineState& s) const noexcept {
+  std::size_t h = 0x12345678;
+  for (PageId page : s.cache) h = hash_mix(h, page);
+  h = hash_mix(h, 0xABCD);
+  for (std::uint32_t v : s.pos) h = hash_mix(h, v);
+  for (std::uint32_t v : s.fetch) h = hash_mix(h, v);
+  return h;
+}
+
+void OfflineInstance::validate() const {
+  MCP_REQUIRE(cache_size > 0, "offline instance: cache_size must be positive");
+  MCP_REQUIRE(requests.num_cores() > 0, "offline instance: no cores");
+  MCP_REQUIRE(requests.is_disjoint(),
+              "offline algorithms require a disjoint request set");
+}
+
+void PifInstance::validate() const {
+  base.validate();
+  MCP_REQUIRE(bounds.size() == base.requests.num_cores(),
+              "PIF instance: one bound per core required");
+}
+
+TransitionSystem::TransitionSystem(const OfflineInstance& instance,
+                                   VictimRule rule)
+    : instance_(&instance), rule_(rule), p_(instance.requests.num_cores()) {
+  instance.validate();
+  universe_size_ = instance.requests.page_bound();
+  owner_ = instance.requests.owner_map(universe_size_);
+  occurrences_.resize(universe_size_);
+  for (CoreId core = 0; core < p_; ++core) {
+    const RequestSequence& seq = instance.requests.sequence(core);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      occurrences_[seq[i]].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+OfflineState TransitionSystem::initial() const {
+  OfflineState state;
+  state.pos.assign(p_, 0);
+  state.fetch.assign(p_, 0);
+  return state;
+}
+
+bool TransitionSystem::is_terminal(const OfflineState& state) const {
+  for (CoreId j = 0; j < p_; ++j) {
+    if (state.pos[j] < instance_->requests.sequence(j).size()) return false;
+  }
+  return true;
+}
+
+std::uint32_t TransitionSystem::next_occurrence(PageId page,
+                                                std::uint32_t from) const {
+  MCP_REQUIRE(page < universe_size_, "next_occurrence: unknown page");
+  const auto& occ = occurrences_[page];
+  const auto it = std::lower_bound(occ.begin(), occ.end(), from);
+  return it == occ.end() ? kNever : *it;
+}
+
+CoreId TransitionSystem::owner_of(PageId page) const {
+  MCP_REQUIRE(page < universe_size_, "owner_of: unknown page");
+  return owner_[page];
+}
+
+// Mutable working set threaded through the per-core recursion of one step.
+struct TransitionSystem::StepScratch {
+  std::unordered_set<PageId> cache;       // current cache contents
+  std::unordered_set<PageId> locked;      // in-flight (start of step + new faults)
+  std::vector<std::uint32_t> pos;
+  std::vector<std::uint32_t> fetch;
+  std::uint32_t faulted = 0;
+  std::vector<PageId> evictions;
+};
+
+void TransitionSystem::expand(const OfflineState& state,
+                              const std::function<void(StepOutcome&&)>& emit) const {
+  StepScratch scratch;
+  scratch.cache.insert(state.cache.begin(), state.cache.end());
+  scratch.pos = state.pos;
+  scratch.fetch = state.fetch;
+  // Pages still in flight at the start of the step are locked: not hit-able,
+  // not evictable (the paper's reserved-cell convention).
+  for (CoreId j = 0; j < p_; ++j) {
+    if (state.fetch[j] > 0) {
+      MCP_ASSERT(state.pos[j] > 0);
+      scratch.locked.insert(instance_->requests.sequence(j)[state.pos[j] - 1]);
+    }
+  }
+  expand_core(0, scratch, emit);
+}
+
+std::vector<PageId> TransitionSystem::victim_candidates(
+    const StepScratch& scratch, CoreId /*faulting_core*/) const {
+  std::vector<PageId> evictable;
+  evictable.reserve(scratch.cache.size());
+  for (PageId page : scratch.cache) {
+    if (!scratch.locked.contains(page)) evictable.push_back(page);
+  }
+  std::sort(evictable.begin(), evictable.end());
+  if (rule_ == VictimRule::kAllPages || evictable.empty()) return evictable;
+
+  // Theorem 5: for each core c, only the evictable page of R_c whose next
+  // request in R_c is furthest (never-again counts as infinitely far).
+  std::vector<PageId> best_per_core(p_, kInvalidPage);
+  std::vector<std::uint64_t> best_dist(p_, 0);
+  for (PageId page : evictable) {
+    const CoreId c = owner_[page];
+    const std::uint32_t next = next_occurrence(page, scratch.pos[c]);
+    const std::uint64_t dist =
+        next == kNever ? std::numeric_limits<std::uint64_t>::max() : next;
+    if (best_per_core[c] == kInvalidPage || dist > best_dist[c]) {
+      best_per_core[c] = page;
+      best_dist[c] = dist;
+    }
+  }
+  std::vector<PageId> candidates;
+  for (CoreId c = 0; c < p_; ++c) {
+    if (best_per_core[c] != kInvalidPage) candidates.push_back(best_per_core[c]);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+void TransitionSystem::emit_outcome(
+    StepScratch& scratch, const std::function<void(StepOutcome&&)>& emit) const {
+  StepOutcome outcome;
+  outcome.next.cache.assign(scratch.cache.begin(), scratch.cache.end());
+  std::sort(outcome.next.cache.begin(), outcome.next.cache.end());
+  outcome.next.pos = scratch.pos;
+  outcome.next.fetch = scratch.fetch;
+  outcome.faulted_cores = scratch.faulted;
+  outcome.evictions = scratch.evictions;
+  emit(std::move(outcome));
+}
+
+void TransitionSystem::expand_core(
+    std::size_t core, StepScratch& scratch,
+    const std::function<void(StepOutcome&&)>& emit) const {
+  if (core == p_) {
+    emit_outcome(scratch, emit);
+    return;
+  }
+  const CoreId j = static_cast<CoreId>(core);
+  if (scratch.fetch[j] > 0) {  // blocked: the fetch ticks down
+    --scratch.fetch[j];
+    expand_core(core + 1, scratch, emit);
+    ++scratch.fetch[j];
+    return;
+  }
+  const RequestSequence& seq = instance_->requests.sequence(j);
+  if (scratch.pos[j] >= seq.size()) {  // finished
+    expand_core(core + 1, scratch, emit);
+    return;
+  }
+  const PageId page = seq[scratch.pos[j]];
+  if (scratch.cache.contains(page) && !scratch.locked.contains(page)) {
+    // Hit: consumes this step only.
+    ++scratch.pos[j];
+    expand_core(core + 1, scratch, emit);
+    --scratch.pos[j];
+    return;
+  }
+  MCP_ASSERT_MSG(!scratch.locked.contains(page),
+                 "disjoint input requested an in-flight page");
+  // Fault.
+  ++scratch.pos[j];
+  scratch.fetch[j] = static_cast<std::uint32_t>(instance_->tau);
+  scratch.faulted |= 1u << j;
+  if (scratch.cache.size() < instance_->cache_size) {
+    // Honest: no eviction while a cell is free.
+    scratch.cache.insert(page);
+    scratch.locked.insert(page);
+    scratch.evictions.push_back(kInvalidPage);
+    expand_core(core + 1, scratch, emit);
+    scratch.evictions.pop_back();
+    scratch.locked.erase(page);
+    scratch.cache.erase(page);
+  } else {
+    for (PageId victim : victim_candidates(scratch, j)) {
+      scratch.cache.erase(victim);
+      scratch.cache.insert(page);
+      scratch.locked.insert(page);
+      scratch.evictions.push_back(victim);
+      expand_core(core + 1, scratch, emit);
+      scratch.evictions.pop_back();
+      scratch.locked.erase(page);
+      scratch.cache.erase(page);
+      scratch.cache.insert(victim);
+    }
+  }
+  scratch.faulted &= ~(1u << j);
+  scratch.fetch[j] = 0;
+  --scratch.pos[j];
+}
+
+}  // namespace mcp

@@ -1,0 +1,93 @@
+// The offline search state space shared by Algorithm 1 (FTF), Algorithm 2
+// (PIF) and the Theorem-5 restricted search.
+//
+// A state captures the system between timesteps: the cache contents
+// (including in-flight pages), each core's next request index, and how many
+// more steps each core stays blocked by its current fetch.  One expansion =
+// one timestep: cores are processed in logical order (lower id first, as in
+// the online model — an eviction by core 0 is visible to core 2 within the
+// same step), and every fault branches over the admissible victims.
+//
+// The searches are restricted to *honest* schedules (evict exactly one page
+// per fault, and only when the cache is full).  Theorem 4 of the paper shows
+// this loses no optimality for FTF on disjoint inputs; for PIF it is a
+// documented restriction (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "offline/instance.hpp"
+
+namespace mcp {
+
+struct OfflineState {
+  std::vector<PageId> cache;        ///< sorted resident pages (present + in flight)
+  std::vector<std::uint32_t> pos;   ///< next request index per core
+  std::vector<std::uint32_t> fetch; ///< remaining blocked steps per core
+
+  bool operator==(const OfflineState&) const = default;
+};
+
+struct OfflineStateHash {
+  std::size_t operator()(const OfflineState& s) const noexcept;
+};
+
+/// Everything one timestep did, for one branch of victim choices.
+struct StepOutcome {
+  OfflineState next;
+  std::uint32_t faulted_cores = 0;   ///< bitmask of cores that faulted
+  std::vector<PageId> evictions;     ///< victims, in faulting-core order
+                                     ///< (kInvalidPage for no-eviction faults)
+  [[nodiscard]] Count fault_count() const noexcept {
+    return static_cast<Count>(__builtin_popcount(faulted_cores));
+  }
+};
+
+/// Which victims a fault may choose from.
+enum class VictimRule {
+  kAllPages,          ///< any present (non-reserved) page — the full optimum
+  kFitfPerSequence,   ///< per Theorem 5: for each core c, only the page of
+                      ///< R_c whose next request is furthest in R_c
+};
+
+class TransitionSystem {
+ public:
+  TransitionSystem(const OfflineInstance& instance, VictimRule rule);
+
+  [[nodiscard]] OfflineState initial() const;
+  /// All requests served (in-flight tails don't matter for fault counts).
+  [[nodiscard]] bool is_terminal(const OfflineState& state) const;
+  /// Invokes `emit` once per admissible outcome of the next timestep.
+  void expand(const OfflineState& state,
+              const std::function<void(StepOutcome&&)>& emit) const;
+
+  [[nodiscard]] std::size_t num_cores() const noexcept { return p_; }
+  [[nodiscard]] const OfflineInstance& instance() const noexcept { return *instance_; }
+
+  /// Next request index >= `from` of `page` within its owner's sequence;
+  /// UINT32_MAX if never again.  Exposed for tests.
+  [[nodiscard]] std::uint32_t next_occurrence(PageId page, std::uint32_t from) const;
+  [[nodiscard]] CoreId owner_of(PageId page) const;
+
+ private:
+  struct StepScratch;
+  void expand_core(std::size_t core, StepScratch& scratch,
+                   const std::function<void(StepOutcome&&)>& emit) const;
+  void emit_outcome(StepScratch& scratch,
+                    const std::function<void(StepOutcome&&)>& emit) const;
+  [[nodiscard]] std::vector<PageId> victim_candidates(
+      const StepScratch& scratch, CoreId faulting_core) const;
+
+  const OfflineInstance* instance_;
+  VictimRule rule_;
+  std::size_t p_;
+  PageId universe_size_ = 0;
+  std::vector<CoreId> owner_;                         // page -> core
+  std::vector<std::vector<std::uint32_t>> occurrences_;  // page -> indices in owner's seq
+};
+
+}  // namespace mcp

@@ -1,0 +1,86 @@
+#include "policies/belady.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+Count belady_faults(const RequestSequence& seq, std::size_t k) {
+  if (k == 0) return seq.size();
+  const std::size_t n = seq.size();
+
+  // next_use[i] = index of the next request to seq[i] after i, or n.
+  std::vector<std::size_t> next_use(n, n);
+  std::unordered_map<PageId, std::size_t> last_seen;
+  for (std::size_t i = n; i-- > 0;) {
+    auto it = last_seen.find(seq[i]);
+    next_use[i] = it == last_seen.end() ? n : it->second;
+    last_seen[seq[i]] = i;
+  }
+
+  // Cache as a map from next-use index to page (all keys distinct: two
+  // resident pages cannot share the same next-use position).
+  std::map<std::size_t, PageId, std::greater<>> by_next_use;  // furthest first
+  std::unordered_map<PageId, std::size_t> resident;           // page -> key
+  Count faults = 0;
+  // Pages never used again share key n; disambiguate with descending
+  // sub-keys below n would collide — instead give each dead page a unique
+  // key beyond n.
+  std::size_t dead_key = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PageId page = seq[i];
+    const std::size_t next = next_use[i] == n ? ++dead_key : next_use[i];
+    auto it = resident.find(page);
+    if (it != resident.end()) {  // hit: reposition under its new next use
+      by_next_use.erase(it->second);
+      by_next_use.emplace(next, page);
+      it->second = next;
+      continue;
+    }
+    ++faults;
+    if (resident.size() == k) {  // evict the furthest-in-the-future page
+      auto victim = by_next_use.begin();
+      resident.erase(victim->second);
+      by_next_use.erase(victim);
+    }
+    by_next_use.emplace(next, page);
+    resident[page] = next;
+  }
+  return faults;
+}
+
+Count single_core_policy_faults(const RequestSequence& seq, std::size_t k,
+                                const PolicyFactory& factory) {
+  if (k == 0) return seq.size();
+  const std::unique_ptr<EvictionPolicy> policy = factory();
+  policy->reset();
+  policy->set_capacity(k);
+  std::unordered_set<PageId> resident;
+  const EvictablePredicate always = [](PageId) { return true; };
+  Count faults = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const PageId page = seq[i];
+    const AccessContext ctx{/*core=*/0, page, /*now=*/static_cast<Time>(i), i};
+    if (resident.contains(page)) {
+      policy->on_hit(page, ctx);
+      continue;
+    }
+    ++faults;
+    if (resident.size() == k) {
+      const PageId victim = policy->victim(ctx, always);
+      MCP_ASSERT_MSG(victim != kInvalidPage, "policy returned no victim");
+      policy->on_remove(victim);
+      resident.erase(victim);
+    }
+    policy->on_insert(page, ctx);
+    resident.insert(page);
+  }
+  return faults;
+}
+
+}  // namespace mcp

@@ -1,0 +1,33 @@
+// Classic single-core paging reference algorithms.
+//
+// For a *static* partition and disjoint sequences, what happens inside one
+// part depends only on that core's own subsequence (delays change timing,
+// never the order of one core's requests), so per-part fault counts reduce
+// to classic sequential paging.  That makes Belady's algorithm the exact
+// value of the paper's sP^B_OPT per part, and sum-of-Belady the exact
+// sP^OPT_OPT once minimized over partitions (see partition_search.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+#include "policies/eviction_policy.hpp"
+
+namespace mcp {
+
+/// Exact minimum number of faults to serve `seq` alone with a cache of `k`
+/// pages (Belady / Furthest-In-The-Future; optimal for sequential paging).
+/// k = 0 returns seq.size() (every request faults and the model never
+/// actually allows it, but the value is the natural limit).
+[[nodiscard]] Count belady_faults(const RequestSequence& seq, std::size_t k);
+
+/// Faults of the online policy produced by `factory` serving `seq` alone
+/// with `k` cells.  Timing plays no role in a single-core run, so this is a
+/// tight loop over the sequence (much faster than the full simulator) —
+/// used to build per-core fault curves for partition search.
+[[nodiscard]] Count single_core_policy_faults(const RequestSequence& seq,
+                                              std::size_t k,
+                                              const PolicyFactory& factory);
+
+}  // namespace mcp

@@ -1,0 +1,73 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void ClockPolicy::reset() {
+  ring_.clear();
+  index_.clear();
+  hand_ = 0;
+}
+
+void ClockPolicy::on_insert(PageId page, const AccessContext& /*ctx*/) {
+  MCP_REQUIRE(!index_.contains(page), "CLOCK: inserting tracked page");
+  // Insert at the hand position so the new page is the last the hand will
+  // revisit (classic CLOCK admission).  The faulting access references the
+  // page, so it arrives with its bit set — this keeps CLOCK conservative
+  // (a just-fetched page always survives the next sweep).
+  const std::size_t slot = ring_.empty() ? 0 : hand_;
+  ring_.insert(ring_.begin() + static_cast<std::ptrdiff_t>(slot),
+               Entry{page, /*referenced=*/true});
+  // Slots at or after the insertion point shifted by one.
+  for (auto& [tracked_page, tracked_slot] : index_) {
+    if (tracked_slot >= slot) ++tracked_slot;
+  }
+  index_[page] = slot;
+  if (!ring_.empty()) hand_ = (slot + 1) % ring_.size();
+}
+
+void ClockPolicy::on_hit(PageId page, const AccessContext& /*ctx*/) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "CLOCK: hit on untracked page");
+  ring_[it->second].referenced = true;
+}
+
+void ClockPolicy::on_remove(PageId page) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "CLOCK: removing untracked page");
+  const std::size_t slot = it->second;
+  ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(slot));
+  index_.erase(it);
+  for (auto& [tracked_page, tracked_slot] : index_) {
+    if (tracked_slot > slot) --tracked_slot;
+  }
+  if (ring_.empty()) {
+    hand_ = 0;
+  } else if (hand_ > slot || hand_ >= ring_.size()) {
+    hand_ = (hand_ == 0 ? ring_.size() : hand_) - 1;
+    hand_ %= ring_.size();
+  }
+}
+
+PageId ClockPolicy::victim(const AccessContext& /*ctx*/,
+                           const EvictablePredicate& evictable) {
+  if (ring_.empty()) return kInvalidPage;
+  // Two full sweeps suffice: the first clears referenced bits, the second
+  // must find an unreferenced evictable page if any page is evictable.
+  for (std::size_t visited = 0; visited < 2 * ring_.size(); ++visited) {
+    Entry& entry = ring_[hand_];
+    if (!evictable(entry.page)) {
+      hand_ = (hand_ + 1) % ring_.size();
+      continue;
+    }
+    if (entry.referenced) {
+      entry.referenced = false;
+      hand_ = (hand_ + 1) % ring_.size();
+      continue;
+    }
+    return entry.page;  // hand stays; caller removes the page via on_remove
+  }
+  return kInvalidPage;  // nothing evictable
+}
+
+}  // namespace mcp

@@ -1,0 +1,68 @@
+// Eviction-policy interface.
+//
+// In the paper's taxonomy a cache strategy = (partition policy, eviction
+// policy A).  An EvictionPolicy instance manages *one region* of the cache:
+// the whole cache for shared strategies (S_A), or one core's part for
+// partitioned strategies (sP^B_A / dP^D_A, one instance per part).  The
+// policy tracks the pages of its region and ranks them for eviction; it
+// never touches the CacheState.
+//
+// victim() takes an `evictable` predicate because a page whose cell is
+// reserved (fetch in flight) cannot be evicted under the model; policies
+// must return their best-ranked page among the evictable ones.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/events.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Returns true iff the page may be evicted right now.
+using EvictablePredicate = std::function<bool(PageId)>;
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// Forget all tracked pages (start of a run).
+  virtual void reset() = 0;
+
+  /// Hints how many cells this policy's region holds.  Strategies call it
+  /// after reset() and again whenever the region is resized (dynamic
+  /// partitions).  Most policies ignore it; segment-structured ones (SLRU)
+  /// size their segments from it.
+  virtual void set_capacity(std::size_t cells) { (void)cells; }
+
+  /// `page` entered this policy's region (it faulted in).  `ctx` is the
+  /// faulting request.
+  virtual void on_insert(PageId page, const AccessContext& ctx) = 0;
+
+  /// `page` was requested and hit in this region.
+  virtual void on_hit(PageId page, const AccessContext& ctx) = 0;
+
+  /// `page` left the region (evicted, or migrated by a repartition).
+  virtual void on_remove(PageId page) = 0;
+
+  /// Best eviction candidate among tracked pages with evictable(page).
+  /// Returns kInvalidPage if no tracked page is evictable.  Does not remove
+  /// the page — callers follow up with on_remove().
+  [[nodiscard]] virtual PageId victim(const AccessContext& ctx,
+                                      const EvictablePredicate& evictable) = 0;
+
+  /// Number of tracked pages.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual bool contains(PageId page) const = 0;
+
+  /// Short display name ("LRU", "FIFO", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory producing fresh policy instances — partitioned strategies need
+/// one instance per part, so strategies take factories, not instances.
+using PolicyFactory = std::function<std::unique_ptr<EvictionPolicy>()>;
+
+}  // namespace mcp

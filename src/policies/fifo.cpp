@@ -1,0 +1,32 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void FifoPolicy::reset() {
+  order_.clear();
+  index_.clear();
+}
+
+void FifoPolicy::on_insert(PageId page, const AccessContext& /*ctx*/) {
+  MCP_REQUIRE(!index_.contains(page), "FIFO: inserting tracked page");
+  order_.push_front(page);
+  index_[page] = order_.begin();
+}
+
+void FifoPolicy::on_remove(PageId page) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "FIFO: removing untracked page");
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+PageId FifoPolicy::victim(const AccessContext& /*ctx*/,
+                          const EvictablePredicate& evictable) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (evictable(*it)) return *it;
+  }
+  return kInvalidPage;
+}
+
+}  // namespace mcp

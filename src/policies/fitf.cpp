@@ -1,0 +1,45 @@
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+FitfPolicy::FitfPolicy(const FutureOracle* oracle) : oracle_(oracle) {
+  MCP_REQUIRE(oracle != nullptr, "FITF requires a future oracle");
+}
+
+void FitfPolicy::reset() { pages_.clear(); }
+
+void FitfPolicy::on_insert(PageId page, const AccessContext& /*ctx*/) {
+  const auto it = std::lower_bound(pages_.begin(), pages_.end(), page);
+  MCP_REQUIRE(it == pages_.end() || *it != page, "FITF: inserting tracked page");
+  pages_.insert(it, page);
+}
+
+void FitfPolicy::on_remove(PageId page) {
+  const auto it = std::lower_bound(pages_.begin(), pages_.end(), page);
+  MCP_REQUIRE(it != pages_.end() && *it == page, "FITF: removing untracked page");
+  pages_.erase(it);
+}
+
+bool FitfPolicy::contains(PageId page) const {
+  return std::binary_search(pages_.begin(), pages_.end(), page);
+}
+
+PageId FitfPolicy::victim(const AccessContext& /*ctx*/,
+                          const EvictablePredicate& evictable) {
+  PageId best = kInvalidPage;
+  std::uint64_t best_distance = 0;
+  for (PageId page : pages_) {  // ascending id => deterministic tie-breaking
+    if (!evictable(page)) continue;
+    const std::uint64_t distance = oracle_->next_use_any(page);
+    if (best == kInvalidPage || distance > best_distance) {
+      best = page;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+}  // namespace mcp

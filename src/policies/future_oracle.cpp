@@ -1,0 +1,60 @@
+#include "policies/future_oracle.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+void FutureOracle::attach(const RequestSet& requests) {
+  occurrences_.clear();
+  positions_.assign(requests.num_cores(), 0);
+  for (CoreId core = 0; core < requests.num_cores(); ++core) {
+    const RequestSequence& seq = requests.sequence(core);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      auto& lists = occurrences_[seq[i]];
+      if (lists.empty() || lists.back().core != core) {
+        lists.push_back(CoreOccurrences{core, {}});
+      }
+      lists.back().indices.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+void FutureOracle::advance(CoreId core, std::size_t seq_index) {
+  MCP_REQUIRE(core < positions_.size(), "FutureOracle: core out of range");
+  MCP_REQUIRE(seq_index >= positions_[core],
+              "FutureOracle positions must advance monotonically");
+  positions_[core] = seq_index;
+}
+
+std::uint64_t FutureOracle::next_use_in(CoreId core, PageId page) const {
+  MCP_REQUIRE(core < positions_.size(), "FutureOracle: core out of range");
+  const auto it = occurrences_.find(page);
+  if (it == occurrences_.end()) return kNeverAgain;
+  for (const CoreOccurrences& occ : it->second) {
+    if (occ.core != core) continue;
+    const std::size_t pos = positions_[core];
+    const auto next = std::lower_bound(occ.indices.begin(), occ.indices.end(),
+                                       static_cast<std::uint32_t>(pos));
+    if (next == occ.indices.end()) return kNeverAgain;
+    return *next - pos;
+  }
+  return kNeverAgain;
+}
+
+std::uint64_t FutureOracle::next_use_any(PageId page) const {
+  const auto it = occurrences_.find(page);
+  if (it == occurrences_.end()) return kNeverAgain;
+  std::uint64_t best = kNeverAgain;
+  for (const CoreOccurrences& occ : it->second) {
+    const std::size_t pos = positions_[occ.core];
+    const auto next = std::lower_bound(occ.indices.begin(), occ.indices.end(),
+                                       static_cast<std::uint32_t>(pos));
+    if (next == occ.indices.end()) continue;
+    best = std::min<std::uint64_t>(best, *next - pos);
+  }
+  return best;
+}
+
+}  // namespace mcp

@@ -1,0 +1,58 @@
+// Future-knowledge oracle for offline eviction policies (FITF / Belady).
+//
+// In multicore paging the *absolute time* of a page's next request shifts as
+// faults delay sequences, but the number of requests until it (its index
+// distance) does not.  The oracle therefore measures "furthest in the
+// future" in per-core request counts from each core's current position —
+// the natural generalization of Belady's rule used by Theorem 5 ("evicts a
+// page sigma in R_j whose next request time is maximal in R_j").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Distance value for "never requested again".
+inline constexpr std::uint64_t kNeverAgain = std::numeric_limits<std::uint64_t>::max();
+
+class FutureOracle {
+ public:
+  FutureOracle() = default;
+
+  /// Indexes `requests` and resets all positions to 0.
+  void attach(const RequestSet& requests);
+
+  /// Core `core` is about to serve the request at `seq_index`; occurrences
+  /// before it no longer count as future uses.  Positions must advance
+  /// monotonically.
+  void advance(CoreId core, std::size_t seq_index);
+
+  /// Requests remaining until core `core` next uses `page`, measured from
+  /// the core's current position (0 = the very next request).  kNeverAgain
+  /// if the core never requests it again.
+  [[nodiscard]] std::uint64_t next_use_in(CoreId core, PageId page) const;
+
+  /// min over cores of next_use_in — how soon *anyone* needs the page.
+  /// This is the ranking shared FITF maximizes.
+  [[nodiscard]] std::uint64_t next_use_any(PageId page) const;
+
+  [[nodiscard]] std::size_t num_cores() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t position(CoreId core) const { return positions_.at(core); }
+
+ private:
+  struct CoreOccurrences {
+    CoreId core = kInvalidCore;
+    std::vector<std::uint32_t> indices;  // ascending request indices in R_core
+  };
+  // page -> occurrence lists, one per core that requests it.
+  std::unordered_map<PageId, std::vector<CoreOccurrences>> occurrences_;
+  std::vector<std::size_t> positions_;
+};
+
+}  // namespace mcp

@@ -1,0 +1,46 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void LfuPolicy::reset() { entries_.clear(); }
+
+void LfuPolicy::on_insert(PageId page, const AccessContext& ctx) {
+  auto [it, inserted] = entries_.try_emplace(page, Entry{1, ctx.now});
+  MCP_REQUIRE(inserted, "LFU: inserting tracked page");
+  (void)it;
+}
+
+void LfuPolicy::on_hit(PageId page, const AccessContext& ctx) {
+  auto it = entries_.find(page);
+  MCP_REQUIRE(it != entries_.end(), "LFU: hit on untracked page");
+  ++it->second.uses;
+  it->second.last_use = ctx.now;
+}
+
+void LfuPolicy::on_remove(PageId page) {
+  MCP_REQUIRE(entries_.erase(page) == 1, "LFU: removing untracked page");
+}
+
+PageId LfuPolicy::victim(const AccessContext& /*ctx*/,
+                         const EvictablePredicate& evictable) {
+  PageId best = kInvalidPage;
+  Count best_uses = 0;
+  Time best_last = 0;
+  for (const auto& [page, entry] : entries_) {
+    if (!evictable(page)) continue;
+    const bool better =
+        best == kInvalidPage || entry.uses < best_uses ||
+        (entry.uses == best_uses &&
+         (entry.last_use < best_last ||
+          (entry.last_use == best_last && page < best)));
+    if (better) {
+      best = page;
+      best_uses = entry.uses;
+      best_last = entry.last_use;
+    }
+  }
+  return best;
+}
+
+}  // namespace mcp

@@ -1,0 +1,90 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void LruPolicy::reset() {
+  order_.clear();
+  index_.clear();
+  last_use_.clear();
+}
+
+void LruPolicy::touch(PageId page, Time now) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "LRU: touching untracked page");
+  order_.splice(order_.begin(), order_, it->second);
+  last_use_[page] = now;
+}
+
+void LruPolicy::on_insert(PageId page, const AccessContext& ctx) {
+  MCP_REQUIRE(!index_.contains(page), "LRU: inserting tracked page");
+  order_.push_front(page);
+  index_[page] = order_.begin();
+  last_use_[page] = ctx.now;
+}
+
+void LruPolicy::on_hit(PageId page, const AccessContext& ctx) {
+  touch(page, ctx.now);
+}
+
+void LruPolicy::on_remove(PageId page) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "LRU: removing untracked page");
+  order_.erase(it->second);
+  index_.erase(it);
+  last_use_.erase(page);
+}
+
+PageId LruPolicy::victim(const AccessContext& /*ctx*/,
+                         const EvictablePredicate& evictable) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (evictable(*it)) return *it;
+  }
+  return kInvalidPage;
+}
+
+Time LruPolicy::last_use(PageId page) const {
+  auto it = last_use_.find(page);
+  return it == last_use_.end() ? kTimeNever : it->second;
+}
+
+}  // namespace mcp
+
+// ---------------------------------------------------------------------------
+// LruScanPolicy (the victim-selection data-structure ablation)
+// ---------------------------------------------------------------------------
+
+namespace mcp {
+
+void LruScanPolicy::on_insert(PageId page, const AccessContext& ctx) {
+  const auto [it, inserted] = last_use_.try_emplace(page, ctx.now);
+  MCP_REQUIRE(inserted, "LRU-SCAN: inserting tracked page");
+  (void)it;
+}
+
+void LruScanPolicy::on_hit(PageId page, const AccessContext& ctx) {
+  const auto it = last_use_.find(page);
+  MCP_REQUIRE(it != last_use_.end(), "LRU-SCAN: hit on untracked page");
+  it->second = ctx.now;
+}
+
+void LruScanPolicy::on_remove(PageId page) {
+  MCP_REQUIRE(last_use_.erase(page) == 1, "LRU-SCAN: removing untracked page");
+}
+
+PageId LruScanPolicy::victim(const AccessContext& /*ctx*/,
+                             const EvictablePredicate& evictable) {
+  PageId best = kInvalidPage;
+  Time best_time = 0;
+  for (const auto& [page, used] : last_use_) {
+    if (!evictable(page)) continue;
+    if (best == kInvalidPage || used < best_time ||
+        (used == best_time && page < best)) {
+      best = page;
+      best_time = used;
+    }
+  }
+  return best;
+}
+
+}  // namespace mcp

@@ -1,0 +1,88 @@
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void MarkingPolicy::reset() {
+  entries_.clear();
+  marked_count_ = 0;
+  phases_ = 0;
+}
+
+void MarkingPolicy::on_insert(PageId page, const AccessContext& ctx) {
+  auto [it, inserted] = entries_.try_emplace(page, Entry{true, ctx.now});
+  MCP_REQUIRE(inserted, "MARK: inserting tracked page");
+  (void)it;
+  ++marked_count_;
+}
+
+void MarkingPolicy::on_hit(PageId page, const AccessContext& ctx) {
+  auto it = entries_.find(page);
+  MCP_REQUIRE(it != entries_.end(), "MARK: hit on untracked page");
+  if (!it->second.marked) {
+    it->second.marked = true;
+    ++marked_count_;
+  }
+  it->second.last_use = ctx.now;
+}
+
+void MarkingPolicy::on_remove(PageId page) {
+  auto it = entries_.find(page);
+  MCP_REQUIRE(it != entries_.end(), "MARK: removing untracked page");
+  if (it->second.marked) --marked_count_;
+  entries_.erase(it);
+}
+
+PageId MarkingPolicy::victim(const AccessContext& /*ctx*/,
+                             const EvictablePredicate& evictable) {
+  if (entries_.empty()) return kInvalidPage;
+  if (marked_count_ == entries_.size()) {
+    // Every page is marked: the phase ends, all marks clear.
+    for (auto& [page, entry] : entries_) entry.marked = false;
+    marked_count_ = 0;
+    ++phases_;
+  }
+  if (tie_break_ == TieBreak::kRandom) {
+    // Randomized marking: uniform over unmarked evictable pages; fall back
+    // to a uniform marked evictable page only if none (reserved cells).
+    std::vector<PageId> unmarked;
+    std::vector<PageId> marked;
+    for (const auto& [page, entry] : entries_) {
+      if (!evictable(page)) continue;
+      (entry.marked ? marked : unmarked).push_back(page);
+    }
+    std::vector<PageId>& pool = unmarked.empty() ? marked : unmarked;
+    if (pool.empty()) return kInvalidPage;
+    std::sort(pool.begin(), pool.end());  // iteration-order independence
+    return pool[rng_.below(pool.size())];
+  }
+  // Evict the least recently used *unmarked* evictable page; fall back to a
+  // marked page only if no unmarked page is evictable (reserved cells can
+  // force this), preferring the least recently used again.
+  PageId best_unmarked = kInvalidPage;
+  Time best_unmarked_time = kTimeNever;
+  PageId best_marked = kInvalidPage;
+  Time best_marked_time = kTimeNever;
+  for (const auto& [page, entry] : entries_) {
+    if (!evictable(page)) continue;
+    if (!entry.marked) {
+      if (best_unmarked == kInvalidPage || entry.last_use < best_unmarked_time ||
+          (entry.last_use == best_unmarked_time && page < best_unmarked)) {
+        best_unmarked = page;
+        best_unmarked_time = entry.last_use;
+      }
+    } else {
+      if (best_marked == kInvalidPage || entry.last_use < best_marked_time ||
+          (entry.last_use == best_marked_time && page < best_marked)) {
+        best_marked = page;
+        best_marked_time = entry.last_use;
+      }
+    }
+  }
+  return best_unmarked != kInvalidPage ? best_unmarked : best_marked;
+}
+
+}  // namespace mcp

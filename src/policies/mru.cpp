@@ -1,0 +1,38 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void MruPolicy::reset() {
+  order_.clear();
+  index_.clear();
+}
+
+void MruPolicy::on_insert(PageId page, const AccessContext& /*ctx*/) {
+  MCP_REQUIRE(!index_.contains(page), "MRU: inserting tracked page");
+  order_.push_front(page);
+  index_[page] = order_.begin();
+}
+
+void MruPolicy::on_hit(PageId page, const AccessContext& /*ctx*/) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "MRU: hit on untracked page");
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void MruPolicy::on_remove(PageId page) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "MRU: removing untracked page");
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+PageId MruPolicy::victim(const AccessContext& /*ctx*/,
+                         const EvictablePredicate& evictable) {
+  for (PageId page : order_) {  // front = most recent
+    if (evictable(page)) return page;
+  }
+  return kInvalidPage;
+}
+
+}  // namespace mcp

@@ -1,0 +1,299 @@
+// Concrete eviction policies.
+//
+// Online: LRU, FIFO, CLOCK, LFU, MRU, Random, LRU-Marking.
+// Offline: FITF (Belady's furthest-in-the-future, via FutureOracle).
+//
+// The paper's bounds reference LRU (its running example of a marking /
+// conservative algorithm), FIFO (conservative), marking algorithms as a
+// class, and FITF; the remaining policies round out the shootout benchmark
+// (experiment E12) with the classics every paging suite is expected to have.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "policies/eviction_policy.hpp"
+#include "policies/future_oracle.hpp"
+
+namespace mcp {
+
+/// Least Recently Used.  Victim = least recently requested evictable page.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+
+  /// Least recently used tracked page regardless of evictability (used by
+  /// the Lemma-3 dynamic-partition controller to find the global LRU page).
+  [[nodiscard]] PageId least_recent() const {
+    return order_.empty() ? kInvalidPage : order_.back();
+  }
+  /// Timestep of the page's last use; kTimeNever if untracked.
+  [[nodiscard]] Time last_use(PageId page) const;
+
+ private:
+  void touch(PageId page, Time now);
+  std::list<PageId> order_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+  std::unordered_map<PageId, Time> last_use_;
+};
+
+/// LRU implemented by timestamp scan instead of an intrusive list — the
+/// victim-selection data-structure ablation (DESIGN.md): O(1) bookkeeping
+/// per access, O(size) victim selection.  Semantically identical to
+/// LruPolicy whenever access timestamps are unique (always true for a
+/// single core); with simultaneous same-step accesses ties break by page id
+/// instead of touch order.
+class LruScanPolicy final : public EvictionPolicy {
+ public:
+  void reset() override { last_use_.clear(); }
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return last_use_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return last_use_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "LRU-SCAN"; }
+
+ private:
+  std::unordered_map<PageId, Time> last_use_;
+};
+
+/// First-In First-Out.  Victim = evictable page resident the longest.
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId /*page*/, const AccessContext& /*ctx*/) override {}
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+ private:
+  std::list<PageId> order_;  // front = newest arrival
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+};
+
+/// CLOCK (second-chance).  A circular hand sweeps pages; referenced bits are
+/// cleared on the way and the first evictable page with a clear bit is the
+/// victim.
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "CLOCK"; }
+
+ private:
+  struct Entry {
+    PageId page = kInvalidPage;
+    bool referenced = false;
+  };
+  std::vector<Entry> ring_;
+  std::size_t hand_ = 0;
+  std::unordered_map<PageId, std::size_t> index_;  // page -> ring slot
+};
+
+/// Least Frequently Used, with LRU tie-breaking.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return entries_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+
+ private:
+  struct Entry {
+    Count uses = 0;
+    Time last_use = 0;
+  };
+  std::unordered_map<PageId, Entry> entries_;
+};
+
+/// Most Recently Used (good for cyclic scans longer than the cache; included
+/// as the textbook anti-LRU baseline).
+class MruPolicy final : public EvictionPolicy {
+ public:
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "MRU"; }
+
+ private:
+  std::list<PageId> order_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+};
+
+/// Segmented LRU: a probation segment absorbs new arrivals; a hit promotes
+/// the page into a protected segment capped at half the region (classic
+/// SLRU).  Scan-resistant: a one-shot sweep churns probation but cannot
+/// displace the protected hot set.
+class SlruPolicy final : public EvictionPolicy {
+ public:
+  void reset() override;
+  void set_capacity(std::size_t cells) override {
+    protected_cap_ = cells == 0 ? 1 : std::max<std::size_t>(1, cells / 2);
+  }
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "SLRU"; }
+
+  /// Pages currently in the protected segment (for tests).
+  [[nodiscard]] std::size_t protected_size() const noexcept {
+    return protected_count_;
+  }
+
+ private:
+  struct Node {
+    std::list<PageId>::iterator where;
+    bool is_protected = false;
+  };
+  void demote_if_needed();
+
+  std::list<PageId> probation_;   // front = most recent
+  std::list<PageId> protected_;   // front = most recent
+  std::unordered_map<PageId, Node> index_;
+  std::size_t protected_cap_ = 1;
+  std::size_t protected_count_ = 0;
+};
+
+/// Uniform random eviction (seeded, reproducible).
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0xC0FFEE) : rng_(seed) {}
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId /*page*/, const AccessContext& /*ctx*/) override {}
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return pages_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override { return "RANDOM"; }
+
+ private:
+  Rng rng_;
+  std::vector<PageId> pages_;
+  std::unordered_map<PageId, std::size_t> index_;  // page -> slot in pages_
+};
+
+/// Generic marking algorithm.  Requests mark their page; when every tracked
+/// page is marked a new phase begins and all marks are cleared.  Any marking
+/// algorithm faults at most k times per phase (the paper's Lemma 1 upper
+/// bound applies to it).  Victim selection among unmarked pages is either
+/// deterministic (LRU tie-break) or uniformly random — the latter is the
+/// classic RANDOMIZED MARKING algorithm (H_k-competitive sequentially).
+class MarkingPolicy final : public EvictionPolicy {
+ public:
+  enum class TieBreak { kLru, kRandom };
+
+  explicit MarkingPolicy(TieBreak tie_break = TieBreak::kLru,
+                         std::uint64_t seed = 0xBADBEEF)
+      : tie_break_(tie_break), rng_(seed) {}
+
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId page, const AccessContext& ctx) override;
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override {
+    return entries_.contains(page);
+  }
+  [[nodiscard]] std::string name() const override {
+    return tie_break_ == TieBreak::kLru ? "MARK" : "MARK-RAND";
+  }
+
+  /// Number of phase resets so far (exposed for the phase-bound tests).
+  [[nodiscard]] Count phases() const noexcept { return phases_; }
+
+ private:
+  struct Entry {
+    bool marked = false;
+    Time last_use = 0;
+  };
+  TieBreak tie_break_;
+  Rng rng_;
+  std::unordered_map<PageId, Entry> entries_;
+  std::size_t marked_count_ = 0;
+  Count phases_ = 0;
+};
+
+/// Furthest-In-The-Future (Belady), offline.  Victim = evictable page whose
+/// next use — min over cores, per the oracle — is furthest away; pages never
+/// used again rank furthest of all.  Optimal for p=1; *not* optimal for
+/// multicore paging when tau > K/p (paper, Section 4), which experiment E7
+/// reproduces.
+class FitfPolicy final : public EvictionPolicy {
+ public:
+  /// `oracle` is shared with the owning strategy, which keeps its positions
+  /// current; not owned, must outlive the policy.
+  explicit FitfPolicy(const FutureOracle* oracle);
+  void reset() override;
+  void on_insert(PageId page, const AccessContext& ctx) override;
+  void on_hit(PageId /*page*/, const AccessContext& /*ctx*/) override {}
+  void on_remove(PageId page) override;
+  [[nodiscard]] PageId victim(const AccessContext& ctx,
+                              const EvictablePredicate& evictable) override;
+  [[nodiscard]] std::size_t size() const override { return pages_.size(); }
+  [[nodiscard]] bool contains(PageId page) const override;
+  [[nodiscard]] std::string name() const override { return "FITF"; }
+
+ private:
+  const FutureOracle* oracle_;
+  std::vector<PageId> pages_;  // sorted, small: scan is fine and deterministic
+};
+
+}  // namespace mcp

@@ -1,0 +1,60 @@
+#include "policies/policy_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+namespace {
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+PolicyFactory make_policy_factory(const std::string& name, std::uint64_t seed) {
+  const std::string key = lowercase(name);
+  if (key == "lru") return [] { return std::make_unique<LruPolicy>(); };
+  if (key == "lru-scan") {
+    return [] { return std::make_unique<LruScanPolicy>(); };
+  }
+  if (key == "slru") return [] { return std::make_unique<SlruPolicy>(); };
+  if (key == "fifo") return [] { return std::make_unique<FifoPolicy>(); };
+  if (key == "clock") return [] { return std::make_unique<ClockPolicy>(); };
+  if (key == "lfu") return [] { return std::make_unique<LfuPolicy>(); };
+  if (key == "mru") return [] { return std::make_unique<MruPolicy>(); };
+  if (key == "random") {
+    return [seed] { return std::make_unique<RandomPolicy>(seed); };
+  }
+  if (key == "mark" || key == "marking") {
+    return [] { return std::make_unique<MarkingPolicy>(); };
+  }
+  if (key == "mark-random") {
+    return [seed] {
+      return std::make_unique<MarkingPolicy>(MarkingPolicy::TieBreak::kRandom,
+                                             seed);
+    };
+  }
+  throw InputError("unknown eviction policy: '" + name +
+                   "' (known: lru lru-scan slru fifo clock lfu mru random mark mark-random; "
+                   "fitf needs "
+                   "an oracle, see fitf_policy_factory)");
+}
+
+PolicyFactory fitf_policy_factory(const FutureOracle* oracle) {
+  MCP_REQUIRE(oracle != nullptr, "fitf_policy_factory: null oracle");
+  return [oracle] { return std::make_unique<FitfPolicy>(oracle); };
+}
+
+const std::vector<std::string>& online_policy_names() {
+  static const std::vector<std::string> names = {
+      "lru",  "lru-scan", "slru", "fifo",        "clock",
+      "lfu",  "mru",      "random", "mark",      "mark-random"};
+  return names;
+}
+
+}  // namespace mcp

@@ -1,0 +1,27 @@
+// Name-based policy construction, for benches / examples with CLI knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policies/eviction_policy.hpp"
+#include "policies/future_oracle.hpp"
+
+namespace mcp {
+
+/// Factory for an *online* policy by name: "lru", "fifo", "clock", "lfu",
+/// "mru", "random", "mark" (case-insensitive).  `seed` feeds randomized
+/// policies.  Throws InputError for unknown names (including "fitf", which
+/// needs an oracle — use fitf_policy_factory).
+[[nodiscard]] PolicyFactory make_policy_factory(const std::string& name,
+                                                std::uint64_t seed = 0xC0FFEE);
+
+/// Factory for offline FITF bound to `oracle` (not owned; must outlive all
+/// produced policies).
+[[nodiscard]] PolicyFactory fitf_policy_factory(const FutureOracle* oracle);
+
+/// The online policy names make_policy_factory accepts, in canonical order.
+[[nodiscard]] const std::vector<std::string>& online_policy_names();
+
+}  // namespace mcp

@@ -1,0 +1,40 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void RandomPolicy::reset() {
+  pages_.clear();
+  index_.clear();
+}
+
+void RandomPolicy::on_insert(PageId page, const AccessContext& /*ctx*/) {
+  MCP_REQUIRE(!index_.contains(page), "RANDOM: inserting tracked page");
+  index_[page] = pages_.size();
+  pages_.push_back(page);
+}
+
+void RandomPolicy::on_remove(PageId page) {
+  auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "RANDOM: removing untracked page");
+  const std::size_t slot = it->second;
+  const PageId moved = pages_.back();
+  pages_[slot] = moved;
+  pages_.pop_back();
+  if (moved != page) index_[moved] = slot;
+  index_.erase(it);
+}
+
+PageId RandomPolicy::victim(const AccessContext& /*ctx*/,
+                            const EvictablePredicate& evictable) {
+  // Collect the evictable subset so the draw is uniform over it.
+  std::vector<PageId> candidates;
+  candidates.reserve(pages_.size());
+  for (PageId page : pages_) {
+    if (evictable(page)) candidates.push_back(page);
+  }
+  if (candidates.empty()) return kInvalidPage;
+  return candidates[rng_.below(candidates.size())];
+}
+
+}  // namespace mcp

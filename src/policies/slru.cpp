@@ -1,0 +1,75 @@
+#include "core/error.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+
+void SlruPolicy::reset() {
+  probation_.clear();
+  protected_.clear();
+  index_.clear();
+  protected_count_ = 0;
+}
+
+void SlruPolicy::demote_if_needed() {
+  while (protected_count_ > protected_cap_) {
+    // Protected overflow: its LRU page drops to the front of probation
+    // (still warm, but exposed to eviction again).
+    const PageId demoted = protected_.back();
+    protected_.pop_back();
+    probation_.push_front(demoted);
+    Node& node = index_.at(demoted);
+    node.where = probation_.begin();
+    node.is_protected = false;
+    --protected_count_;
+  }
+}
+
+void SlruPolicy::on_insert(PageId page, const AccessContext& /*ctx*/) {
+  MCP_REQUIRE(!index_.contains(page), "SLRU: inserting tracked page");
+  probation_.push_front(page);
+  index_[page] = Node{probation_.begin(), false};
+}
+
+void SlruPolicy::on_hit(PageId page, const AccessContext& /*ctx*/) {
+  const auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "SLRU: hit on untracked page");
+  Node& node = it->second;
+  if (node.is_protected) {
+    protected_.splice(protected_.begin(), protected_, node.where);
+    node.where = protected_.begin();
+    return;
+  }
+  // Promotion: probation -> protected.
+  probation_.erase(node.where);
+  protected_.push_front(page);
+  node.where = protected_.begin();
+  node.is_protected = true;
+  ++protected_count_;
+  demote_if_needed();
+}
+
+void SlruPolicy::on_remove(PageId page) {
+  const auto it = index_.find(page);
+  MCP_REQUIRE(it != index_.end(), "SLRU: removing untracked page");
+  if (it->second.is_protected) {
+    protected_.erase(it->second.where);
+    --protected_count_;
+  } else {
+    probation_.erase(it->second.where);
+  }
+  index_.erase(it);
+}
+
+PageId SlruPolicy::victim(const AccessContext& /*ctx*/,
+                          const EvictablePredicate& evictable) {
+  // Probation LRU first; fall back to protected LRU.
+  for (auto it = probation_.rbegin(); it != probation_.rend(); ++it) {
+    if (evictable(*it)) return *it;
+  }
+  for (auto it = protected_.rbegin(); it != protected_.rend(); ++it) {
+    if (evictable(*it)) return *it;
+  }
+  return kInvalidPage;
+}
+
+}  // namespace mcp

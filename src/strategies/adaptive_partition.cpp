@@ -1,0 +1,153 @@
+#include "strategies/adaptive_partition.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+// ---------------------------------------------------------------------------
+// UtilityPartitionStrategy
+// ---------------------------------------------------------------------------
+
+UtilityPartitionStrategy::UtilityPartitionStrategy(PolicyFactory factory,
+                                                   Time interval, double decay)
+    : BudgetedPartitionStrategy(std::move(factory)),
+      interval_(interval),
+      decay_(decay) {
+  MCP_REQUIRE(interval > 0, "utility partition: interval must be positive");
+  MCP_REQUIRE(decay >= 0.0 && decay <= 1.0,
+              "utility partition: decay must be in [0, 1]");
+}
+
+void UtilityPartitionStrategy::attach(const SimConfig& config,
+                                      std::size_t num_cores,
+                                      const RequestSet* requests) {
+  BudgetedPartitionStrategy::attach(config, num_cores, requests);
+  shadow_.assign(num_cores, {});
+  histogram_.assign(num_cores, std::vector<double>(config.cache_size, 0.0));
+  next_update_ = interval_;
+}
+
+void UtilityPartitionStrategy::profile(const AccessContext& ctx) {
+  std::vector<PageId>& stack = shadow_[ctx.core];
+  const auto it = std::find(stack.begin(), stack.end(), ctx.page);
+  if (it != stack.end()) {
+    const std::size_t distance = static_cast<std::size_t>(it - stack.begin());
+    // A cache of (distance+1) cells or more would have hit this access.
+    for (std::size_t d = distance; d < histogram_[ctx.core].size(); ++d) {
+      histogram_[ctx.core][d] += 1.0;
+    }
+    stack.erase(it);
+  } else if (stack.size() == cache_size()) {
+    stack.pop_back();
+  }
+  stack.insert(stack.begin(), ctx.page);
+}
+
+Partition UtilityPartitionStrategy::decide_sizes(Time now) {
+  if (now < next_update_) return {};
+  next_update_ = now + interval_;
+
+  // Qureshi-style "lookahead" allocation: plain greedy stalls on utility
+  // plateaus (a loop over L pages yields zero hits until all L cells are
+  // there), so each round we award a whole *block* of cells to the core
+  // with the best hits-per-cell density over any extension of its current
+  // allocation.
+  const std::size_t p = num_cores();
+  const std::size_t K = cache_size();
+  Partition alloc(p, 1);
+  std::size_t remaining = K - p;
+  while (remaining > 0) {
+    CoreId best_core = kInvalidCore;
+    std::size_t best_block = 1;
+    double best_density = -1.0;
+    for (CoreId j = 0; j < p; ++j) {
+      const double at_cur = histogram_[j][alloc[j] - 1];
+      for (std::size_t u = alloc[j] + 1; u <= alloc[j] + remaining && u <= K;
+           ++u) {
+        const double density = (histogram_[j][u - 1] - at_cur) /
+                               static_cast<double>(u - alloc[j]);
+        if (density > best_density) {
+          best_density = density;
+          best_core = j;
+          best_block = u - alloc[j];
+        }
+      }
+    }
+    if (best_core == kInvalidCore || best_density <= 0.0) {
+      // No one profits from more cells; spread the remainder evenly.
+      for (CoreId j = 0; remaining > 0; j = (j + 1) % static_cast<CoreId>(p)) {
+        ++alloc[j];
+        --remaining;
+      }
+      break;
+    }
+    alloc[best_core] += best_block;
+    remaining -= best_block;
+  }
+  for (auto& hist : histogram_) {
+    for (double& v : hist) v *= decay_;
+  }
+  return alloc;
+}
+
+// ---------------------------------------------------------------------------
+// FairnessPartitionStrategy
+// ---------------------------------------------------------------------------
+
+FairnessPartitionStrategy::FairnessPartitionStrategy(PolicyFactory factory,
+                                                     Time interval)
+    : BudgetedPartitionStrategy(std::move(factory)), interval_(interval) {
+  MCP_REQUIRE(interval > 0, "fairness partition: interval must be positive");
+}
+
+void FairnessPartitionStrategy::attach(const SimConfig& config,
+                                       std::size_t num_cores,
+                                       const RequestSet* requests) {
+  BudgetedPartitionStrategy::attach(config, num_cores, requests);
+  tau_ = config.fault_penalty;
+  window_hits_.assign(num_cores, 0);
+  window_faults_.assign(num_cores, 0);
+  next_update_ = interval_;
+}
+
+Partition FairnessPartitionStrategy::decide_sizes(Time now) {
+  if (now < next_update_) return {};
+  next_update_ = now + interval_;
+
+  const std::size_t p = num_cores();
+  CoreId slowest = kInvalidCore;
+  CoreId fastest = kInvalidCore;
+  double max_slowdown = -1.0;
+  double min_slowdown = -1.0;
+  const Partition& sizes = current_sizes();
+  for (CoreId j = 0; j < p; ++j) {
+    const Count requests = window_hits_[j] + window_faults_[j];
+    if (requests == 0) continue;  // idle cores keep their cells
+    const double slowdown =
+        (static_cast<double>(window_hits_[j]) +
+         static_cast<double>(tau_ + 1) * static_cast<double>(window_faults_[j])) /
+        static_cast<double>(requests);
+    if (slowdown > max_slowdown) {
+      max_slowdown = slowdown;
+      slowest = j;
+    }
+    if ((min_slowdown < 0.0 || slowdown < min_slowdown) && sizes[j] > 1) {
+      min_slowdown = slowdown;
+      fastest = j;
+    }
+  }
+  std::fill(window_hits_.begin(), window_hits_.end(), 0);
+  std::fill(window_faults_.begin(), window_faults_.end(), 0);
+
+  if (slowest == kInvalidCore || fastest == kInvalidCore || slowest == fastest) {
+    return {};
+  }
+  Partition next = sizes;
+  --next[fastest];
+  ++next[slowest];
+  return next;
+}
+
+}  // namespace mcp

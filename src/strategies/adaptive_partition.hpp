@@ -1,0 +1,82 @@
+// Online adaptive partition controllers — the direction the paper's
+// conclusion points at ("perhaps other measures such as fairness or
+// relative progress of sequences should be considered") and the practical
+// line it cites (Stone et al., Qureshi et al.: utility-based cache
+// partitioning).
+//
+//  * UtilityPartitionStrategy ("UCP-lite"): per-core shadow LRU stacks
+//    record the stack-distance histogram of each core's access stream; at a
+//    fixed cadence the cache is re-divided greedily, giving each next cell
+//    to the core whose histogram promises the most extra hits.  A decay
+//    factor keeps the profile adaptive to phase changes.
+//
+//  * FairnessPartitionStrategy: equalizes relative progress.  Each core's
+//    slowdown proxy is (hits + (tau+1)*faults) / requests over the current
+//    window; at each cadence one cell migrates from the least-slowed core
+//    to the most-slowed one.
+//
+// Both are honest except for the voluntary evictions repartitioning implies
+// (exactly like the paper's dynamic partitions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "strategies/partitioned_base.hpp"
+
+namespace mcp {
+
+class UtilityPartitionStrategy final : public BudgetedPartitionStrategy {
+ public:
+  /// `interval`: timesteps between repartitions; `decay`: multiplier applied
+  /// to the histograms at each repartition (0 = forget everything, 1 = never
+  /// forget).
+  explicit UtilityPartitionStrategy(PolicyFactory factory,
+                                    Time interval = 256, double decay = 0.5);
+
+  void attach(const SimConfig& config, std::size_t num_cores,
+              const RequestSet* requests) override;
+  [[nodiscard]] std::string name() const override { return "dP[utility]_A"; }
+
+ protected:
+  [[nodiscard]] Partition decide_sizes(Time now) override;
+  void observe_hit(const AccessContext& ctx) override { profile(ctx); }
+  void observe_fault(const AccessContext& ctx) override { profile(ctx); }
+
+ private:
+  void profile(const AccessContext& ctx);
+
+  Time interval_;
+  double decay_;
+  Time next_update_ = 0;
+  // shadow_[j]: most-recent-first list of up to K pages core j touched.
+  std::vector<std::vector<PageId>> shadow_;
+  // histogram_[j][d]: (decayed) hits core j would get with d+1 cells —
+  // accesses at shadow-stack distance <= d+1.
+  std::vector<std::vector<double>> histogram_;
+};
+
+class FairnessPartitionStrategy final : public BudgetedPartitionStrategy {
+ public:
+  explicit FairnessPartitionStrategy(PolicyFactory factory, Time interval = 256);
+
+  void attach(const SimConfig& config, std::size_t num_cores,
+              const RequestSet* requests) override;
+  [[nodiscard]] std::string name() const override { return "dP[fairness]_A"; }
+
+ protected:
+  [[nodiscard]] Partition decide_sizes(Time now) override;
+  void observe_hit(const AccessContext& ctx) override { ++window_hits_[ctx.core]; }
+  void observe_fault(const AccessContext& ctx) override {
+    ++window_faults_[ctx.core];
+  }
+
+ private:
+  Time interval_;
+  Time tau_ = 0;
+  Time next_update_ = 0;
+  std::vector<Count> window_hits_;
+  std::vector<Count> window_faults_;
+};
+
+}  // namespace mcp

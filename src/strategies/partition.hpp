@@ -1,0 +1,43 @@
+// Cache partitions: the paper's Pi(K, p) space.
+//
+// A partition assigns k_j cells of the K-cell cache to core j with
+// sum_j k_j = K; the paper restricts attention to partitions giving at
+// least one cell to every active core.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// sizes[j] = number of cells assigned to core j.
+using Partition = std::vector<std::size_t>;
+
+/// Throws ModelError unless `sizes` is a valid partition of `cache_size`
+/// over `num_cores` cores with each part >= `min_per_core`.
+void validate_partition(const Partition& sizes, std::size_t cache_size,
+                        std::size_t num_cores, std::size_t min_per_core = 1);
+
+/// K split as evenly as possible: floor(K/p) each, the first K mod p cores
+/// get one extra cell.
+[[nodiscard]] Partition even_partition(std::size_t cache_size, std::size_t num_cores);
+
+/// All partitions of `cache_size` into `num_cores` parts, each part at
+/// least `min_per_core` (the paper's Pi(K,p) with the >=1 restriction).
+/// Ordered lexicographically.  Size is C(K - p(m-1) ... ) — use only for
+/// small K, p; see count_partitions.
+[[nodiscard]] std::vector<Partition> enumerate_partitions(
+    std::size_t cache_size, std::size_t num_cores, std::size_t min_per_core = 1);
+
+/// |Pi(K,p)| with the min_per_core restriction = C(K - p*min + p - 1, p - 1).
+[[nodiscard]] std::size_t count_partitions(std::size_t cache_size,
+                                           std::size_t num_cores,
+                                           std::size_t min_per_core = 1);
+
+/// "[4,2,2]" — used in strategy display names.
+[[nodiscard]] std::string partition_to_string(const Partition& sizes);
+
+}  // namespace mcp

@@ -1,0 +1,129 @@
+#include "strategies/partition_search.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "strategies/static_partition.hpp"
+
+namespace mcp {
+
+FaultCurves belady_fault_curves(const RequestSet& requests,
+                                std::size_t cache_size) {
+  FaultCurves curves(requests.num_cores());
+  for (CoreId j = 0; j < requests.num_cores(); ++j) {
+    curves[j].resize(cache_size + 1);
+    for (std::size_t k = 0; k <= cache_size; ++k) {
+      curves[j][k] = belady_faults(requests.sequence(j), k);
+    }
+  }
+  return curves;
+}
+
+FaultCurves policy_fault_curves(const RequestSet& requests,
+                                std::size_t cache_size,
+                                const PolicyFactory& factory) {
+  FaultCurves curves(requests.num_cores());
+  for (CoreId j = 0; j < requests.num_cores(); ++j) {
+    curves[j].resize(cache_size + 1);
+    for (std::size_t k = 0; k <= cache_size; ++k) {
+      curves[j][k] = single_core_policy_faults(requests.sequence(j), k, factory);
+    }
+  }
+  return curves;
+}
+
+PartitionSearchResult optimal_partition_from_curves(const FaultCurves& curves,
+                                                    std::size_t cache_size,
+                                                    std::size_t min_per_core) {
+  const std::size_t p = curves.size();
+  MCP_REQUIRE(p > 0, "optimal_partition_from_curves: no cores");
+  MCP_REQUIRE(cache_size >= p * min_per_core,
+              "cache too small for the per-core minimum");
+  for (const auto& curve : curves) {
+    MCP_REQUIRE(curve.size() == cache_size + 1,
+                "fault curve must cover k = 0..K");
+  }
+
+  constexpr Count kInf = std::numeric_limits<Count>::max();
+  // best[c] = min faults assigning exactly c cells to the cores handled so
+  // far; choice[j][c] = k_j realizing it (for reconstruction).
+  std::vector<Count> best(cache_size + 1, kInf);
+  std::vector<std::vector<std::size_t>> choice(
+      p, std::vector<std::size_t>(cache_size + 1, 0));
+  best[0] = 0;
+  for (std::size_t j = 0; j < p; ++j) {
+    std::vector<Count> next(cache_size + 1, kInf);
+    for (std::size_t used = 0; used <= cache_size; ++used) {
+      if (best[used] == kInf) continue;
+      for (std::size_t k = min_per_core; used + k <= cache_size; ++k) {
+        const Count total = best[used] + curves[j][k];
+        if (total < next[used + k]) {
+          next[used + k] = total;
+          choice[j][used + k] = k;
+        }
+      }
+    }
+    best = std::move(next);
+  }
+  MCP_REQUIRE(best[cache_size] != kInf, "no feasible partition");
+
+  PartitionSearchResult result;
+  result.faults = best[cache_size];
+  result.partition.assign(p, 0);
+  std::size_t cells = cache_size;
+  for (std::size_t j = p; j-- > 0;) {
+    result.partition[j] = choice[j][cells];
+    cells -= choice[j][cells];
+  }
+  MCP_ASSERT(cells == 0);
+  return result;
+}
+
+PartitionSearchResult optimal_partition_opt(const RequestSet& requests,
+                                            std::size_t cache_size) {
+  MCP_REQUIRE(requests.is_disjoint(),
+              "optimal_partition_opt requires a disjoint request set "
+              "(use optimal_partition_by_simulation otherwise)");
+  return optimal_partition_from_curves(belady_fault_curves(requests, cache_size),
+                                       cache_size);
+}
+
+PartitionSearchResult optimal_partition_for_policy(const RequestSet& requests,
+                                                   std::size_t cache_size,
+                                                   const PolicyFactory& factory) {
+  MCP_REQUIRE(requests.is_disjoint(),
+              "optimal_partition_for_policy requires a disjoint request set "
+              "(use optimal_partition_by_simulation otherwise)");
+  return optimal_partition_from_curves(
+      policy_fault_curves(requests, cache_size, factory), cache_size);
+}
+
+PartitionSearchResult optimal_partition_by_simulation(
+    const SimConfig& config, const RequestSet& requests,
+    const PolicyFactory& factory, std::size_t min_per_core) {
+  const std::vector<Partition> candidates = enumerate_partitions(
+      config.cache_size, requests.num_cores(), min_per_core);
+  MCP_REQUIRE(!candidates.empty(), "no feasible partition");
+
+  // The candidate runs are independent: sweep them in parallel.
+  std::vector<Count> faults(candidates.size());
+  parallel_for(candidates.size(), [&](std::size_t i) {
+    StaticPartitionStrategy strategy(candidates[i], factory);
+    faults[i] = simulate(config, requests, strategy).total_faults();
+  });
+
+  PartitionSearchResult result;
+  result.faults = std::numeric_limits<Count>::max();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (faults[i] < result.faults) {
+      result.faults = faults[i];
+      result.partition = candidates[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace mcp

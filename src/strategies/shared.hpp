@@ -1,0 +1,47 @@
+// Shared cache strategy S_A: one eviction policy governs the whole cache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "policies/eviction_policy.hpp"
+#include "policies/future_oracle.hpp"
+
+namespace mcp {
+
+/// S_A — the entire cache is one region managed by policy A.  Evicts only
+/// when the cache is full (honest, in the paper's Theorem-4 sense).
+///
+/// Construct with a PolicyFactory for online policies; use
+/// SharedStrategy::fitf() for the offline shared FITF (S_FITF), which needs
+/// the request set at attach() time.
+class SharedStrategy final : public CacheStrategy {
+ public:
+  explicit SharedStrategy(PolicyFactory factory);
+
+  /// Offline S_FITF: victim = resident page whose next use (by any core) is
+  /// furthest in the future.
+  [[nodiscard]] static std::unique_ptr<SharedStrategy> fitf();
+
+  void attach(const SimConfig& config, std::size_t num_cores,
+              const RequestSet* requests) override;
+  void on_hit(const AccessContext& ctx) override;
+  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
+                                             const CacheState& cache,
+                                             bool needs_cell) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SharedStrategy() = default;  // fitf() uses this
+  void maybe_advance_oracle(const AccessContext& ctx);
+
+  PolicyFactory factory_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  FutureOracle oracle_;
+  bool offline_fitf_ = false;
+  std::size_t cache_size_ = 0;
+};
+
+}  // namespace mcp

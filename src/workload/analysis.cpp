@@ -1,0 +1,83 @@
+#include "workload/analysis.hpp"
+
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+
+/// Fenwick tree over access timestamps; counts "live" last-access marks.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+  void add(std::size_t i, int delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+  /// Sum of [0, i).
+  [[nodiscard]] int prefix(std::size_t i) const {
+    int sum = 0;
+    for (; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+ private:
+  std::vector<int> tree_;
+};
+
+}  // namespace
+
+StackDistanceHistogram::StackDistanceHistogram(const RequestSequence& seq) {
+  const std::size_t n = seq.size();
+  total_ = n;
+  Fenwick live(n);
+  std::unordered_map<PageId, std::size_t> last_access;
+  std::vector<Count> counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PageId page = seq[i];
+    const auto it = last_access.find(page);
+    if (it == last_access.end()) {
+      ++cold_;
+    } else {
+      // Distinct pages touched strictly after `page`'s previous access:
+      // live marks in (it->second, i).
+      const std::size_t d = static_cast<std::size_t>(
+          live.prefix(i) - live.prefix(it->second + 1));
+      if (d >= counts.size()) counts.resize(d + 1, 0);
+      ++counts[d];
+      live.add(it->second, -1);
+    }
+    live.add(i, +1);
+    last_access[page] = i;
+  }
+  // Pad to the number of distinct pages (distances can't exceed it, but a
+  // short run may not have realized the deeper ones).
+  if (counts.size() < last_access.size()) counts.resize(last_access.size(), 0);
+  counts_ = std::move(counts);
+  // Suffix sums: suffix_[d] = accesses at distance >= d.
+  suffix_.assign(counts_.size() + 1, 0);
+  for (std::size_t d = counts_.size(); d-- > 0;) {
+    suffix_[d] = suffix_[d + 1] + counts_[d];
+  }
+}
+
+Count StackDistanceHistogram::lru_faults(std::size_t k) const {
+  // An access at stack distance d hits iff k > d.
+  const std::size_t idx = std::min(k, suffix_.size() - 1);
+  return cold_ + suffix_[idx];
+}
+
+std::vector<Count> StackDistanceHistogram::lru_curve(std::size_t max_cache) const {
+  std::vector<Count> curve(max_cache + 1);
+  for (std::size_t k = 0; k <= max_cache; ++k) curve[k] = lru_faults(k);
+  return curve;
+}
+
+Count lru_faults_via_stack_distance(const RequestSequence& seq, std::size_t k) {
+  return StackDistanceHistogram(seq).lru_faults(k);
+}
+
+}  // namespace mcp

@@ -1,0 +1,58 @@
+// Trace analysis: reuse (LRU stack) distances and miss-ratio curves.
+//
+// Mattson's classic observation: LRU's fault count for *every* cache size
+// falls out of one pass over the trace — an access at stack distance d hits
+// iff the cache holds more than d pages.  The profiler computes the
+// stack-distance histogram in O(n log n) with a Fenwick tree; the resulting
+// curve is the exact LRU miss-ratio curve, used as the fast path for
+// per-core fault curves in partition search and by the utility controller's
+// offline counterpart.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Exact LRU stack-distance profile of one sequence.
+class StackDistanceHistogram {
+ public:
+  /// Builds the histogram in one pass (O(n log n)).
+  explicit StackDistanceHistogram(const RequestSequence& seq);
+
+  /// Accesses at stack distance exactly `d` (0 = re-reference with nothing
+  /// in between).
+  [[nodiscard]] Count at(std::size_t d) const {
+    return d < counts_.size() ? counts_[d] : 0;
+  }
+  /// First-touch (cold) accesses — infinite stack distance.
+  [[nodiscard]] Count cold() const noexcept { return cold_; }
+  /// Total accesses profiled.
+  [[nodiscard]] Count total() const noexcept { return total_; }
+  /// Distinct pages in the sequence.
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Exact LRU faults with a cache of `k` pages: cold misses plus accesses
+  /// at stack distance >= k.
+  [[nodiscard]] Count lru_faults(std::size_t k) const;
+
+  /// curve[k] = lru_faults(k) for k = 0..max_cache.
+  [[nodiscard]] std::vector<Count> lru_curve(std::size_t max_cache) const;
+
+ private:
+  std::vector<Count> counts_;  // index d = stack distance d
+  std::vector<Count> suffix_;  // suffix sums of counts_ for O(1) queries
+  Count cold_ = 0;
+  Count total_ = 0;
+};
+
+/// Exact LRU fault count for one sequence and one cache size (convenience
+/// wrapper; build the histogram once if you need several sizes).
+[[nodiscard]] Count lru_faults_via_stack_distance(const RequestSequence& seq,
+                                                  std::size_t k);
+
+}  // namespace mcp

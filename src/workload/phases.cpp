@@ -1,0 +1,61 @@
+#include "workload/phases.hpp"
+
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+std::vector<std::size_t> phase_starts(const RequestSequence& seq,
+                                      std::size_t k) {
+  MCP_REQUIRE(k > 0, "phase threshold must be positive");
+  std::vector<std::size_t> starts;
+  std::unordered_set<PageId> distinct;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (starts.empty()) {
+      starts.push_back(0);
+      distinct.insert(seq[i]);
+      continue;
+    }
+    if (!distinct.contains(seq[i])) {
+      if (distinct.size() == k) {  // the (k+1)-th distinct page: new phase
+        starts.push_back(i);
+        distinct.clear();
+      }
+      distinct.insert(seq[i]);
+    }
+  }
+  return starts;
+}
+
+std::size_t count_phases(const RequestSequence& seq, std::size_t k) {
+  return phase_starts(seq, k).size();
+}
+
+RequestSequence canonical_interleaving(const RequestSet& requests) {
+  RequestSequence merged;
+  const std::size_t rounds = requests.max_sequence_length();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    for (CoreId j = 0; j < requests.num_cores(); ++j) {
+      const RequestSequence& seq = requests.sequence(j);
+      if (i < seq.size()) merged.push_back(seq[i]);
+    }
+  }
+  return merged;
+}
+
+PhaseDecomposition decompose_phases(const RequestSet& requests,
+                                    std::size_t cache_size,
+                                    const std::vector<std::size_t>& per_core) {
+  MCP_REQUIRE(per_core.size() == requests.num_cores(),
+              "decompose_phases: one threshold per core required");
+  PhaseDecomposition result;
+  result.shared_phases =
+      count_phases(canonical_interleaving(requests), cache_size);
+  for (CoreId j = 0; j < requests.num_cores(); ++j) {
+    result.core_phases.push_back(count_phases(requests.sequence(j), per_core[j]));
+  }
+  return result;
+}
+
+}  // namespace mcp

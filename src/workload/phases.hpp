@@ -1,0 +1,59 @@
+// Phase decompositions — the combinatorial engine behind the paper's upper
+// bounds (Lemma 1's k-competitiveness and Theorem 1.2's S_LRU <= K *
+// sP^OPT_OPT).
+//
+// Per-core phases: sequence R_j splits into maximal segments containing at
+// most k_j distinct pages (a new phase begins at the (k_j+1)-th distinct
+// page).  Any algorithm with k_j cells faults at least once per phase; a
+// marking/conservative algorithm faults at most k_j times per phase.
+//
+// Shared phases: the same decomposition applied to an interleaving of the
+// whole request set with threshold K.  Theorem 1.2's key claim: a shared
+// phase cannot start and end without at least one per-core phase ending,
+// hence phi_shared <= sum_j phi_j.  Phases of the *interleaved* sequence
+// depend on execution timing; this module uses the canonical tau=0
+// round-robin interleaving, which is exactly the execution order when no
+// faults delay anyone — the claims proved here are combinatorial and the
+// tests verify them on this canonical order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Number of phases of `seq` with distinct-page threshold `k` (0 for an
+/// empty sequence; every nonempty sequence has at least 1).
+[[nodiscard]] std::size_t count_phases(const RequestSequence& seq,
+                                       std::size_t k);
+
+/// Start indices of each phase (first element 0 for nonempty sequences).
+[[nodiscard]] std::vector<std::size_t> phase_starts(const RequestSequence& seq,
+                                                    std::size_t k);
+
+/// The canonical tau=0 interleaving of a request set: round-robin over
+/// cores by request index (core order within a round), which is the service
+/// order when every request hits.
+[[nodiscard]] RequestSequence canonical_interleaving(const RequestSet& requests);
+
+struct PhaseDecomposition {
+  std::size_t shared_phases = 0;          ///< phi: threshold-K phases of the
+                                          ///< canonical interleaving
+  std::vector<std::size_t> core_phases;   ///< phi_j: threshold-k_j phases of R_j
+  [[nodiscard]] std::size_t core_phase_total() const {
+    std::size_t total = 0;
+    for (std::size_t phi : core_phases) total += phi;
+    return total;
+  }
+};
+
+/// Full decomposition: shared phases at threshold `cache_size`, per-core
+/// phases at thresholds `per_core[j]`.
+[[nodiscard]] PhaseDecomposition decompose_phases(
+    const RequestSet& requests, std::size_t cache_size,
+    const std::vector<std::size_t>& per_core);
+
+}  // namespace mcp

@@ -1,0 +1,157 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+std::string to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kUniform: return "uniform";
+    case AccessPattern::kZipf: return "zipf";
+    case AccessPattern::kWorkingSet: return "working-set";
+    case AccessPattern::kScan: return "scan";
+    case AccessPattern::kLoop: return "loop";
+    case AccessPattern::kMarkov: return "markov";
+  }
+  return "?";
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  MCP_REQUIRE(n > 0, "ZipfSampler: empty support");
+  MCP_REQUIRE(alpha >= 0.0, "ZipfSampler: negative exponent");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), alpha);
+    cdf_[rank - 1] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+RequestSequence generate_sequence(const CoreWorkload& workload,
+                                  PageId first_page, Rng& rng) {
+  MCP_REQUIRE(workload.num_pages > 0, "workload: empty page range");
+  RequestSequence seq;
+
+  switch (workload.pattern) {
+    case AccessPattern::kUniform: {
+      for (std::size_t i = 0; i < workload.length; ++i) {
+        seq.push_back(first_page +
+                      static_cast<PageId>(rng.below(workload.num_pages)));
+      }
+      break;
+    }
+    case AccessPattern::kZipf: {
+      const ZipfSampler zipf(workload.num_pages, workload.zipf_alpha);
+      // Random rank->page mapping so the hot pages aren't always the first
+      // ids (matters when cores share a universe).
+      std::vector<PageId> perm(workload.num_pages);
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        perm[i] = first_page + static_cast<PageId>(i);
+      }
+      for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+      }
+      for (std::size_t i = 0; i < workload.length; ++i) {
+        seq.push_back(perm[zipf.sample(rng)]);
+      }
+      break;
+    }
+    case AccessPattern::kWorkingSet: {
+      const std::size_t ws =
+          std::min(workload.working_set, workload.num_pages);
+      MCP_REQUIRE(ws > 0, "workload: empty working set");
+      std::vector<PageId> hot;
+      for (std::size_t i = 0; i < workload.length; ++i) {
+        if (i % std::max<std::size_t>(1, workload.phase_length) == 0) {
+          // New phase: draw a fresh hot set.
+          hot.clear();
+          while (hot.size() < ws) {
+            const PageId candidate =
+                first_page + static_cast<PageId>(rng.below(workload.num_pages));
+            if (std::find(hot.begin(), hot.end(), candidate) == hot.end()) {
+              hot.push_back(candidate);
+            }
+          }
+        }
+        seq.push_back(hot[rng.below(hot.size())]);
+      }
+      break;
+    }
+    case AccessPattern::kScan: {
+      for (std::size_t i = 0; i < workload.length; ++i) {
+        seq.push_back(first_page +
+                      static_cast<PageId>(i % workload.num_pages));
+      }
+      break;
+    }
+    case AccessPattern::kLoop: {
+      const std::size_t cycle =
+          std::min(std::max<std::size_t>(1, workload.loop_length),
+                   workload.num_pages);
+      for (std::size_t i = 0; i < workload.length; ++i) {
+        seq.push_back(first_page + static_cast<PageId>(i % cycle));
+      }
+      break;
+    }
+    case AccessPattern::kMarkov: {
+      MCP_REQUIRE(workload.markov_locality >= 0.0 &&
+                      workload.markov_locality <= 1.0,
+                  "workload: markov_locality must be in [0, 1]");
+      std::size_t cur = rng.below(workload.num_pages);
+      for (std::size_t i = 0; i < workload.length; ++i) {
+        seq.push_back(first_page + static_cast<PageId>(cur));
+        if (rng.chance(workload.markov_locality)) {
+          // Walk to a neighbour (wrapping), modelling spatial locality.
+          const std::size_t dir = rng.below(2);
+          cur = dir == 0 ? (cur + 1) % workload.num_pages
+                         : (cur + workload.num_pages - 1) % workload.num_pages;
+        } else {
+          cur = rng.below(workload.num_pages);  // restart
+        }
+      }
+      break;
+    }
+  }
+  return seq;
+}
+
+RequestSet make_workload(const WorkloadSpec& spec) {
+  MCP_REQUIRE(!spec.cores.empty(), "workload spec has no cores");
+  Rng root(spec.seed);
+  RequestSet rs;
+  PageId next_base = 0;
+  std::size_t shared_range = 0;
+  for (const CoreWorkload& core : spec.cores) {
+    shared_range = std::max(shared_range, core.num_pages);
+  }
+  for (std::size_t j = 0; j < spec.cores.size(); ++j) {
+    Rng rng = root.fork(j);
+    const PageId base = spec.disjoint ? next_base : 0;
+    rs.add_sequence(generate_sequence(spec.cores[j], base, rng));
+    next_base += static_cast<PageId>(spec.cores[j].num_pages);
+  }
+  (void)shared_range;
+  return rs;
+}
+
+WorkloadSpec homogeneous_spec(std::size_t num_cores, const CoreWorkload& core,
+                              bool disjoint, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.cores.assign(num_cores, core);
+  spec.disjoint = disjoint;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace mcp

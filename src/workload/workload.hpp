@@ -1,0 +1,78 @@
+// Synthetic multicore workload generators.
+//
+// The paper has no benchmark suite of its own (it is a theory paper), so
+// these generators provide the locality models a paging evaluation is
+// expected to exercise: uniform noise, Zipf popularity, working-set phases
+// (the classic program-behaviour model), sequential scans and tight loops.
+// Every generator is deterministic given the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/rng.hpp"
+
+namespace mcp {
+
+/// Locality model of one core's request sequence.
+enum class AccessPattern {
+  kUniform,     ///< uniform over the core's page range
+  kZipf,        ///< Zipf(alpha) popularity over the range
+  kWorkingSet,  ///< phases: a small hot set, re-drawn every phase_length
+  kScan,        ///< sequential sweep through the range, wrapping
+  kLoop,        ///< tight loop over the first loop_length pages
+  kMarkov,      ///< first-order random walk with restarts (spatial locality)
+};
+
+[[nodiscard]] std::string to_string(AccessPattern pattern);
+
+/// Per-core generation parameters.
+struct CoreWorkload {
+  AccessPattern pattern = AccessPattern::kUniform;
+  std::size_t num_pages = 64;      ///< size of this core's page range
+  std::size_t length = 1024;       ///< requests to generate
+  double zipf_alpha = 0.8;         ///< kZipf skew
+  std::size_t working_set = 8;     ///< kWorkingSet hot-set size
+  std::size_t phase_length = 128;  ///< kWorkingSet requests per phase
+  std::size_t loop_length = 8;     ///< kLoop cycle length
+  double markov_locality = 0.9;    ///< kMarkov: P(step to a neighbour); the
+                                   ///< rest restarts uniformly in the range
+};
+
+/// Whole-machine spec: one CoreWorkload per core.
+struct WorkloadSpec {
+  std::vector<CoreWorkload> cores;
+  /// true: each core draws from its own disjoint page range; false: all
+  /// cores share range [0, max num_pages).
+  bool disjoint = true;
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Generates the request set for `spec`.
+[[nodiscard]] RequestSet make_workload(const WorkloadSpec& spec);
+
+/// Convenience: p identical cores with the given per-core model.
+[[nodiscard]] WorkloadSpec homogeneous_spec(std::size_t num_cores,
+                                            const CoreWorkload& core,
+                                            bool disjoint = true,
+                                            std::uint64_t seed = 0x5EED);
+
+/// Samples one sequence directly (unit-test/back-door entry point).
+[[nodiscard]] RequestSequence generate_sequence(const CoreWorkload& workload,
+                                                PageId first_page, Rng& rng);
+
+/// Zipf sampler over {0..n-1} with exponent alpha (rank 1 most popular).
+/// Precomputes the CDF once; draws are O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mcp

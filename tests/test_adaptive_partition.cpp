@@ -1,0 +1,125 @@
+// Tests for the adaptive partition controllers
+// (strategies/adaptive_partition.hpp): utility-driven (UCP-lite) and
+// fairness-driven repartitioning.
+#include "strategies/adaptive_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::sim_config;
+
+/// Skewed demand: core 0 loops over 6 pages, core 1 over 2 — an even split
+/// (4/4) starves core 0; adaptive controllers should drift toward {6, 2}.
+RequestSet skewed_workload(std::size_t length) {
+  RequestSet rs;
+  RequestSequence heavy;
+  const std::vector<PageId> six = {0, 1, 2, 3, 4, 5};
+  heavy.append_repeated(six, length / 6);
+  rs.add_sequence(std::move(heavy));
+  RequestSequence light;
+  const std::vector<PageId> two = {10, 11};
+  light.append_repeated(two, length / 2);
+  rs.add_sequence(std::move(light));
+  return rs;
+}
+
+TEST(UtilityPartition, LearnsSkewedAllocation) {
+  const RequestSet rs = skewed_workload(3000);
+  UtilityPartitionStrategy ucp(make_policy_factory("lru"), /*interval=*/128);
+  const RunStats adaptive = simulate(sim_config(8, 2), rs, ucp);
+
+  StaticPartitionStrategy even({4, 4}, make_policy_factory("lru"));
+  const RunStats fixed = simulate(sim_config(8, 2), rs, even);
+
+  // The learned partition must give core 0 its six cells eventually...
+  EXPECT_GE(ucp.current_sizes()[0], 6u);
+  // ...and beat the even split decisively (even: core 0 thrashes forever).
+  EXPECT_LT(adaptive.total_faults() * 4, fixed.total_faults());
+  EXPECT_GE(ucp.repartitions(), 1u);
+}
+
+TEST(UtilityPartition, MatchesEvenSplitOnSymmetricLoad) {
+  Rng rng(99);
+  const RequestSet rs = testing::random_disjoint_workload(rng, 2, 6, 1500);
+  UtilityPartitionStrategy ucp(make_policy_factory("lru"), 128);
+  const RunStats adaptive = simulate(sim_config(8, 1), rs, ucp);
+  StaticPartitionStrategy even({4, 4}, make_policy_factory("lru"));
+  const RunStats fixed = simulate(sim_config(8, 1), rs, even);
+  // Symmetric load: adaptive shouldn't lose more than a repartition tax.
+  EXPECT_LE(adaptive.total_faults(),
+            fixed.total_faults() + fixed.total_faults() / 4 + 16);
+}
+
+TEST(UtilityPartition, RespectsMinimumOneCell) {
+  // Core 1 is idle after a single request; core 0 wants everything.  The
+  // allocator must still leave core 1 one cell.
+  RequestSet rs;
+  RequestSequence heavy;
+  const std::vector<PageId> pages = {0, 1, 2, 3, 4, 5, 6, 7};
+  heavy.append_repeated(pages, 200);
+  rs.add_sequence(std::move(heavy));
+  rs.add_sequence(RequestSequence{20});
+  UtilityPartitionStrategy ucp(make_policy_factory("lru"), 64);
+  (void)simulate(sim_config(8, 1), rs, ucp);
+  EXPECT_GE(ucp.current_sizes()[1], 1u);
+  EXPECT_EQ(ucp.current_sizes()[0] + ucp.current_sizes()[1], 8u);
+}
+
+TEST(UtilityPartition, ValidatesParameters) {
+  EXPECT_THROW(UtilityPartitionStrategy(make_policy_factory("lru"), 0),
+               ModelError);
+  EXPECT_THROW(UtilityPartitionStrategy(make_policy_factory("lru"), 10, 1.5),
+               ModelError);
+}
+
+TEST(FairnessPartition, HelpsTheSlowedCore) {
+  const RequestSet rs = skewed_workload(3000);
+  FairnessPartitionStrategy fair(make_policy_factory("lru"), /*interval=*/64);
+  const RunStats adaptive = simulate(sim_config(8, 4), rs, fair);
+
+  StaticPartitionStrategy even({4, 4}, make_policy_factory("lru"));
+  const RunStats fixed = simulate(sim_config(8, 4), rs, even);
+
+  // Cell migration flows toward the thrashing core.
+  EXPECT_GT(fair.current_sizes()[0], 4u);
+  EXPECT_GE(fair.repartitions(), 1u);
+  // Fairness improves (core 0's slowdown drops, core 1 stays fine).
+  EXPECT_GE(adaptive.jain_fairness(), fixed.jain_fairness());
+}
+
+TEST(FairnessPartition, StableWhenBalanced) {
+  // Two identical cores: after warmup neither should monopolize the cache.
+  Rng rng(123);
+  const RequestSet rs = testing::random_disjoint_workload(rng, 2, 6, 2000);
+  FairnessPartitionStrategy fair(make_policy_factory("lru"), 64);
+  (void)simulate(sim_config(8, 2), rs, fair);
+  EXPECT_GE(fair.current_sizes()[0], 2u);
+  EXPECT_GE(fair.current_sizes()[1], 2u);
+}
+
+TEST(FairnessPartition, ValidatesParameters) {
+  EXPECT_THROW(FairnessPartitionStrategy(make_policy_factory("lru"), 0),
+               ModelError);
+}
+
+TEST(BudgetedBase, RepartitionCountsOnlyRealChanges) {
+  // A schedule that "changes" to the same sizes must not count.
+  Rng rng(5);
+  const RequestSet rs = testing::random_disjoint_workload(rng, 2, 4, 500);
+  UtilityPartitionStrategy ucp(make_policy_factory("lru"), 100, /*decay=*/1.0);
+  (void)simulate(sim_config(4, 1), rs, ucp);
+  // With symmetric random cores and full memory, allocations stabilize; the
+  // count stays far below the number of intervals.
+  EXPECT_LT(ucp.repartitions(), 6u);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,234 @@
+// Tests for the adversarial constructions (adversary/adversary.hpp): each
+// lower-bound family must actually produce the bad behaviour its lemma
+// proves, at small scale.
+#include "adversary/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::sim_config;
+
+// ---------------------------------------------------------------------------
+// Lemma 1 (lower bound): the adaptive adversary makes any online policy on a
+// fixed static partition fault on ~every request of the big part, while the
+// per-part optimum faults ~1/k_max as often.
+// ---------------------------------------------------------------------------
+
+struct Lemma1Outcome {
+  Count online_faults = 0;
+  Count opt_faults = 0;
+  RequestSet trace;
+};
+
+Lemma1Outcome run_lemma1(const Partition& partition, const std::string& policy,
+                         std::size_t requests_per_core) {
+  const std::size_t p = partition.size();
+  const CoreId victim = static_cast<CoreId>(
+      std::max_element(partition.begin(), partition.end()) - partition.begin());
+  Lemma1AdversaryStream adversary(p, victim, partition[victim] + 1,
+                                  requests_per_core);
+  RecordingStream recorder(adversary);
+  StaticPartitionStrategy strategy(partition, make_policy_factory(policy));
+  std::size_t cache = 0;
+  for (std::size_t k : partition) cache += k;
+  Simulator sim(sim_config(cache, 1));
+  const RunStats stats = sim.run_stream(recorder, strategy, nullptr);
+
+  Lemma1Outcome outcome;
+  outcome.online_faults = stats.total_faults();
+  outcome.trace = recorder.recorded();
+  // sP^B_OPT on the recorded trace = per-part Belady.
+  for (CoreId j = 0; j < p; ++j) {
+    outcome.opt_faults += belady_faults(outcome.trace.sequence(j), partition[j]);
+  }
+  return outcome;
+}
+
+TEST(Lemma1Adversary, LruFaultsOnEveryAdversarialRequest) {
+  const Partition partition = {4, 2};
+  const Lemma1Outcome outcome = run_lemma1(partition, "lru", 200);
+  // Victim core: 200 faults; background core: 1 compulsory fault.
+  EXPECT_EQ(outcome.online_faults, 201u);
+  // Belady with 4 cells over 5 adversarial pages faults at most every
+  // (cache-size)-th request in steady state plus compulsory.
+  EXPECT_LE(outcome.opt_faults, 200u / 4 + 6);
+}
+
+TEST(Lemma1Adversary, RatioApproachesMaxPartSize) {
+  for (const char* policy : {"lru", "fifo", "clock", "mark"}) {
+    const Partition partition = {5, 3};
+    const Lemma1Outcome outcome = run_lemma1(partition, policy, 400);
+    const double ratio = static_cast<double>(outcome.online_faults) /
+                         static_cast<double>(outcome.opt_faults);
+    EXPECT_GE(ratio, 2.5) << policy;  // Theta(max k_j) with k_max = 5
+    // Lemma 1 upper bound: the ratio can never exceed max_j k_j for
+    // marking/conservative policies.
+    if (std::string(policy) == "lru" || std::string(policy) == "fifo") {
+      EXPECT_LE(ratio, 5.0 + 0.5) << policy;
+    }
+  }
+}
+
+TEST(Lemma1Adversary, RecordedTraceIsDisjointAndBounded) {
+  const Partition partition = {3, 2, 2};
+  const Lemma1Outcome outcome = run_lemma1(partition, "lru", 100);
+  EXPECT_TRUE(outcome.trace.is_disjoint());
+  EXPECT_EQ(outcome.trace.total_requests(), 300u);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2: any fixed online static partition loses Omega(n) against the
+// offline-optimal partition.
+// ---------------------------------------------------------------------------
+
+TEST(Lemma2Family, OnlinePartitionLosesLinearly) {
+  const Partition online = {2, 2};  // K = 4
+  double prev_ratio = 0.0;
+  for (std::size_t n : {400u, 1600u}) {
+    const RequestSet rs = lemma2_request_set(online, n);
+    StaticPartitionStrategy fixed(online, make_policy_factory("lru"));
+    const Count fixed_faults =
+        simulate(sim_config(4, 1), rs, fixed).total_faults();
+    // Offline-optimal partition for LRU on this input.
+    Count best = ~Count{0};
+    for (const Partition& candidate : enumerate_partitions(4, 2)) {
+      Count total = 0;
+      for (CoreId j = 0; j < 2; ++j) {
+        total += single_core_policy_faults(rs.sequence(j), candidate[j],
+                                           make_policy_factory("lru"));
+      }
+      best = std::min(best, total);
+    }
+    const double ratio =
+        static_cast<double>(fixed_faults) / static_cast<double>(best);
+    EXPECT_GT(ratio, prev_ratio) << "n=" << n;  // grows with n
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 50.0);  // clearly super-constant by n=1600
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1.1: shared LRU beats every static partition by Omega(n) on the
+// distinct-period family.
+// ---------------------------------------------------------------------------
+
+TEST(Theorem1Family, SharedLruFaultsOnlyCompulsory) {
+  const RequestSet rs = theorem1_distinct_period_set(2, 4, /*tau=*/1, /*x=*/10);
+  SharedStrategy lru(make_policy_factory("lru"));
+  const RunStats stats = simulate(sim_config(4, 1), rs, lru);
+  // The paper's count: K + p compulsory faults (universe = p(K/p + 1)).
+  EXPECT_EQ(stats.total_faults(), 6u);
+}
+
+TEST(Theorem1Family, BestStaticPartitionLosesLinearlyInX) {
+  double prev_ratio = 0.0;
+  for (std::size_t x : {8u, 32u}) {
+    const RequestSet rs = theorem1_distinct_period_set(2, 4, /*tau=*/1, x);
+    SharedStrategy lru(make_policy_factory("lru"));
+    const Count shared = simulate(sim_config(4, 1), rs, lru).total_faults();
+    // sP^OPT_OPT: optimal partition with per-part Belady.
+    Count part_opt = ~Count{0};
+    for (const Partition& candidate : enumerate_partitions(4, 2)) {
+      Count total = 0;
+      for (CoreId j = 0; j < 2; ++j) {
+        total += belady_faults(rs.sequence(j), candidate[j]);
+      }
+      part_opt = std::min(part_opt, total);
+    }
+    const double ratio =
+        static_cast<double>(part_opt) / static_cast<double>(shared);
+    EXPECT_GT(ratio, prev_ratio) << "x=" << x;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1.3: a rarely-changing dynamic partition loses unboundedly against
+// shared LRU on the staged adversary.
+// ---------------------------------------------------------------------------
+
+TEST(StagedAdversaryTest, StaticEvenPartitionLosesToSharedLru) {
+  const std::size_t p = 2;
+  const std::size_t K = 4;
+  StagedAdversaryStream adversary(p, /*pages_per_core=*/K / p + 1,
+                                  /*turn_length=*/50, /*laps=*/2);
+  RecordingStream recorder(adversary);
+  StaticPartitionStrategy even(even_partition(K, p), make_policy_factory("lru"));
+  Simulator sim(sim_config(K, 1));
+  const Count partition_faults =
+      sim.run_stream(recorder, even, nullptr).total_faults();
+
+  SharedStrategy lru(make_policy_factory("lru"));
+  const Count shared_faults =
+      simulate(sim_config(K, 1), recorder.recorded(), lru).total_faults();
+  EXPECT_GT(partition_faults, 3 * shared_faults);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4: S_LRU / S_OFF = Omega(p(tau+1)), and FITF is not optimal for
+// tau > K/p.
+// ---------------------------------------------------------------------------
+
+TEST(Lemma4Family, SharedLruThrashes) {
+  const RequestSet rs = lemma4_request_set(2, 4, 300);
+  SharedStrategy lru(make_policy_factory("lru"));
+  const RunStats stats = simulate(sim_config(4, 3), rs, lru);
+  // Universe = p(K/p + 1) = K + p > K and perfectly cyclic: LRU faults on
+  // every single request.
+  EXPECT_EQ(stats.total_faults(), stats.total_requests());
+}
+
+TEST(Lemma4Family, SacrificeStrategyServesOthersFromCache) {
+  const std::size_t p = 2;
+  const std::size_t K = 4;
+  const Time tau = 3;
+  const RequestSet rs = lemma4_request_set(p, K, 300);
+  SacrificeStrategy off(/*sacrifice=*/1);
+  const RunStats stats = simulate(sim_config(K, tau), rs, off);
+  // Core 0 keeps its K/p + 1 pages cached after warmup.
+  EXPECT_LE(stats.core(0).faults, 8u);
+  // The sacrifice core faults roughly every tau+1 steps while core 0 runs.
+  EXPECT_LT(stats.total_faults(), 150u);
+}
+
+TEST(Lemma4Family, RatioGrowsWithPandTau) {
+  const auto ratio_for = [](std::size_t p, std::size_t K, Time tau) {
+    const RequestSet rs = lemma4_request_set(p, K, 240);
+    SharedStrategy lru(make_policy_factory("lru"));
+    const Count shared = simulate(sim_config(K, tau), rs, lru).total_faults();
+    SacrificeStrategy off(static_cast<CoreId>(p - 1));
+    const Count sacrifice = simulate(sim_config(K, tau), rs, off).total_faults();
+    return static_cast<double>(shared) / static_cast<double>(sacrifice);
+  };
+  const double small = ratio_for(2, 4, 1);
+  const double bigger_tau = ratio_for(2, 4, 7);
+  EXPECT_GT(bigger_tau, small);
+  EXPECT_GE(bigger_tau, 4.0);  // Omega(p(tau+1)) with p=2, tau=7
+}
+
+TEST(Lemma4Family, FitfIsNotOptimalForLargeTau) {
+  // tau > K/p: shared FITF loses to the sacrifice strategy (the paper's
+  // counterexample to furthest-in-the-future optimality in multicore).
+  const std::size_t p = 2;
+  const std::size_t K = 4;
+  const Time tau = 5;  // > K/p = 2
+  const RequestSet rs = lemma4_request_set(p, K, 240);
+  auto fitf = SharedStrategy::fitf();
+  const Count fitf_faults = simulate(sim_config(K, tau), rs, *fitf).total_faults();
+  SacrificeStrategy off(1);
+  const Count off_faults = simulate(sim_config(K, tau), rs, off).total_faults();
+  EXPECT_GT(fitf_faults, off_faults);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,133 @@
+// Tests for trace analysis (workload/analysis.hpp): stack-distance
+// histograms and the Mattson one-pass LRU miss-ratio curve, cross-checked
+// against the direct LRU runner; plus the parallel_for helper.
+#include "workload/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "workload/workload.hpp"
+
+namespace mcp {
+namespace {
+
+TEST(StackDistance, HandComputedExample) {
+  // 1 2 1 3 2 1:
+  //   1@0 cold; 2@1 cold; 1@2 d=1 (saw 2); 3@3 cold; 2@4 d=2 (1,3);
+  //   1@5 d=2 (3,2).
+  const RequestSequence seq{1, 2, 1, 3, 2, 1};
+  const StackDistanceHistogram hist(seq);
+  EXPECT_EQ(hist.cold(), 3u);
+  EXPECT_EQ(hist.at(0), 0u);
+  EXPECT_EQ(hist.at(1), 1u);
+  EXPECT_EQ(hist.at(2), 2u);
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_EQ(hist.distinct(), 3u);
+}
+
+TEST(StackDistance, ImmediateRepeatIsDistanceZero) {
+  const RequestSequence seq{5, 5, 5};
+  const StackDistanceHistogram hist(seq);
+  EXPECT_EQ(hist.cold(), 1u);
+  EXPECT_EQ(hist.at(0), 2u);
+  EXPECT_EQ(hist.lru_faults(1), 1u);  // one cell suffices
+}
+
+TEST(StackDistance, EmptySequence) {
+  const StackDistanceHistogram hist(RequestSequence{});
+  EXPECT_EQ(hist.cold(), 0u);
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_EQ(hist.lru_faults(4), 0u);
+}
+
+TEST(StackDistance, CurveMonotoneAndBounded) {
+  Rng rng(42);
+  RequestSequence seq;
+  for (int i = 0; i < 500; ++i) seq.push_back(static_cast<PageId>(rng.below(20)));
+  const StackDistanceHistogram hist(seq);
+  const std::vector<Count> curve = hist.lru_curve(22);
+  EXPECT_EQ(curve[0], seq.size());  // zero cells: everything faults
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_LE(curve[k], curve[k - 1]) << "k=" << k;
+  }
+  // Beyond the distinct count only compulsory misses remain.
+  EXPECT_EQ(curve[20], hist.cold());
+  EXPECT_EQ(curve[22], hist.cold());
+}
+
+TEST(StackDistance, MatchesDirectLruRunner) {
+  // The headline property: Mattson's one-pass curve equals running LRU at
+  // every cache size, over randomized traces of several shapes.
+  Rng rng(7);
+  for (AccessPattern pattern :
+       {AccessPattern::kUniform, AccessPattern::kZipf,
+        AccessPattern::kWorkingSet, AccessPattern::kLoop,
+        AccessPattern::kScan}) {
+    CoreWorkload core;
+    core.pattern = pattern;
+    core.num_pages = 16;
+    core.length = 400;
+    core.working_set = 5;
+    core.loop_length = 7;
+    Rng gen = rng.fork(static_cast<std::uint64_t>(pattern));
+    const RequestSequence seq = generate_sequence(core, 0, gen);
+    const StackDistanceHistogram hist(seq);
+    for (std::size_t k = 0; k <= 18; ++k) {
+      EXPECT_EQ(hist.lru_faults(k),
+                single_core_policy_faults(seq, k, make_policy_factory("lru")))
+          << to_string(pattern) << " k=" << k;
+    }
+  }
+}
+
+TEST(StackDistance, DominatedByBelady) {
+  Rng rng(9);
+  RequestSequence seq;
+  for (int i = 0; i < 300; ++i) seq.push_back(static_cast<PageId>(rng.below(12)));
+  const StackDistanceHistogram hist(seq);
+  for (std::size_t k = 1; k <= 12; ++k) {
+    EXPECT_GE(hist.lru_faults(k), belady_faults(seq, k)) << "k=" << k;
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  parallel_for(kCount, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(2, [&](std::size_t) { ++calls; });  // serial fallback
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MaxThreadsOneIsSerial) {
+  std::vector<int> order;
+  parallel_for(
+      8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace mcp

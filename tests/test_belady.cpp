@@ -1,0 +1,139 @@
+// Tests for sequential Belady and the single-core policy runner
+// (policies/belady.hpp), including the property that Belady lower-bounds
+// every online policy.
+#include "policies/belady.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "policies/policy_registry.hpp"
+
+namespace mcp {
+namespace {
+
+TEST(Belady, TextbookExample) {
+  // 1 2 3 1 2 4 1 2 3 with k=3: faults on 1,2,3 then 4 (evict 3) then 3.
+  const RequestSequence seq{1, 2, 3, 1, 2, 4, 1, 2, 3};
+  EXPECT_EQ(belady_faults(seq, 3), 5u);
+}
+
+TEST(Belady, CacheLargerThanWorkingSet) {
+  const RequestSequence seq{1, 2, 3, 1, 2, 3, 1, 2, 3};
+  EXPECT_EQ(belady_faults(seq, 3), 3u);   // compulsory only
+  EXPECT_EQ(belady_faults(seq, 10), 3u);  // extra space doesn't help
+}
+
+TEST(Belady, SingleCell) {
+  const RequestSequence seq{1, 2, 1, 2};
+  EXPECT_EQ(belady_faults(seq, 1), 4u);
+  const RequestSequence repeats{5, 5, 5};
+  EXPECT_EQ(belady_faults(repeats, 1), 1u);
+}
+
+TEST(Belady, ZeroCellsFaultsEverything) {
+  const RequestSequence seq{1, 1, 1};
+  EXPECT_EQ(belady_faults(seq, 0), 3u);
+}
+
+TEST(Belady, EmptySequence) {
+  EXPECT_EQ(belady_faults(RequestSequence{}, 4), 0u);
+}
+
+TEST(Belady, CyclicScanSteadyStateRate) {
+  // (1..C)^x with cache k: after the C compulsory misses, the optimal
+  // steady-state fault rate on a cyclic scan is (C-k)/(C-1) — each fault
+  // buys k-1 hits.  C=5, k=4, 45 post-warmup requests: 5 + floor(45/4) = 16.
+  RequestSequence seq;
+  const std::vector<PageId> cycle = {1, 2, 3, 4, 5};
+  seq.append_repeated(cycle, 10);
+  EXPECT_EQ(belady_faults(seq, 4), 16u);
+  // k=5: everything fits.
+  EXPECT_EQ(belady_faults(seq, 5), 5u);
+}
+
+TEST(Belady, MonotoneInCacheSize) {
+  Rng rng(2024);
+  RequestSequence seq;
+  for (int i = 0; i < 400; ++i) {
+    seq.push_back(static_cast<PageId>(rng.below(12)));
+  }
+  Count prev = belady_faults(seq, 0);
+  for (std::size_t k = 1; k <= 13; ++k) {
+    const Count now = belady_faults(seq, k);
+    EXPECT_LE(now, prev) << "k=" << k;
+    prev = now;
+  }
+  // At k >= distinct pages, only compulsory misses remain.
+  EXPECT_EQ(belady_faults(seq, 12), static_cast<Count>(seq.distinct_pages()));
+}
+
+TEST(SingleCorePolicyFaults, LruOnTextbookExample) {
+  const RequestSequence seq{1, 2, 3, 1, 2, 4, 1, 2, 3};
+  // LRU with k=3: 1,2,3 faults; 1,2 hits; 4 evicts 3; 1,2 hits; 3 evicts 4.
+  EXPECT_EQ(single_core_policy_faults(seq, 3, make_policy_factory("lru")), 5u);
+}
+
+TEST(SingleCorePolicyFaults, LruThrashesOnCyclicScan) {
+  RequestSequence seq;
+  const std::vector<PageId> cycle = {1, 2, 3, 4};
+  seq.append_repeated(cycle, 5);
+  // Sequence of k+1 distinct pages cycled with cache k: LRU faults always.
+  EXPECT_EQ(single_core_policy_faults(seq, 3, make_policy_factory("lru")), 20u);
+  // MRU handles the scan far better.
+  EXPECT_LT(single_core_policy_faults(seq, 3, make_policy_factory("mru")), 20u);
+}
+
+TEST(SingleCorePolicyFaults, ZeroCells) {
+  const RequestSequence seq{1, 1};
+  EXPECT_EQ(single_core_policy_faults(seq, 0, make_policy_factory("lru")), 2u);
+}
+
+// Property: Belady <= every online policy, and every policy's fault count
+// lies between compulsory misses and sequence length.
+class BeladyDominance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BeladyDominance, BeladyLowerBoundsPolicy) {
+  const PolicyFactory factory = make_policy_factory(GetParam(), /*seed=*/7);
+  Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    RequestSequence seq;
+    const std::size_t universe = 4 + rng.below(12);
+    const std::size_t length = 50 + rng.below(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(universe)));
+    }
+    for (std::size_t k = 1; k <= universe + 1; k += 3) {
+      const Count opt = belady_faults(seq, k);
+      const Count online = single_core_policy_faults(seq, k, factory);
+      EXPECT_LE(opt, online) << GetParam() << " trial=" << trial << " k=" << k;
+      EXPECT_GE(opt, static_cast<Count>(
+                         k >= universe ? seq.distinct_pages() : 1));
+      EXPECT_LE(online, seq.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BeladyDominance,
+                         ::testing::Values("lru", "lru-scan", "slru", "fifo",
+                                           "clock", "lfu", "mru", "random",
+                                           "mark", "mark-random"));
+
+// Property: LRU never faults more than k times the optimum plus compulsory
+// slack (the classic k-competitiveness, checked loosely on random traces).
+TEST(SingleCorePolicyFaults, LruIsKCompetitiveOnRandomTraces) {
+  Rng rng(999);
+  for (int trial = 0; trial < 10; ++trial) {
+    RequestSequence seq;
+    for (int i = 0; i < 300; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(10)));
+    }
+    for (std::size_t k = 2; k <= 8; k += 2) {
+      const Count opt = belady_faults(seq, k);
+      const Count lru = single_core_policy_faults(seq, k, make_policy_factory("lru"));
+      EXPECT_LE(lru, static_cast<Count>(k) * opt + static_cast<Count>(k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,123 @@
+// Unit tests for the cache state machine (core/cache_state.hpp),
+// particularly the paper's reserved-cell convention: evicted-on-fault cells
+// are unusable and unevictable until the fetch completes.
+#include "core/cache_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace mcp {
+namespace {
+
+TEST(CacheState, StartsEmpty) {
+  CacheState cache(4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.occupied(), 0u);
+  EXPECT_EQ(cache.free_cells(), 4u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(CacheState, RejectsZeroCapacity) {
+  EXPECT_THROW(CacheState cache(0), ModelError);
+}
+
+TEST(CacheState, FetchLifecycle) {
+  CacheState cache(2);
+  cache.begin_fetch(/*page=*/7, /*core=*/0, /*ready_at=*/5);
+  EXPECT_EQ(cache.occupied(), 1u);
+  EXPECT_TRUE(cache.is_fetching(7));
+  EXPECT_FALSE(cache.contains(7));  // not usable during fetch
+  EXPECT_EQ(cache.fetching_count(), 1u);
+  EXPECT_EQ(cache.present_count(), 0u);
+
+  // Too early: nothing completes.
+  EXPECT_TRUE(cache.complete_fetches(4).empty());
+  EXPECT_TRUE(cache.is_fetching(7));
+
+  const auto done = cache.complete_fetches(5);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 7u);
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_FALSE(cache.is_fetching(7));
+}
+
+TEST(CacheState, ReservedCellCannotBeEvicted) {
+  CacheState cache(2);
+  cache.begin_fetch(7, 0, 5);
+  EXPECT_THROW(cache.evict(7), ModelError);
+  cache.complete_fetches(5);
+  EXPECT_NO_THROW(cache.evict(7));
+  EXPECT_EQ(cache.occupied(), 0u);
+}
+
+TEST(CacheState, EvictAbsentPageThrows) {
+  CacheState cache(2);
+  EXPECT_THROW(cache.evict(3), ModelError);
+}
+
+TEST(CacheState, BeginFetchOnFullCacheThrows) {
+  CacheState cache(1);
+  cache.begin_fetch(1, 0, 1);
+  EXPECT_THROW(cache.begin_fetch(2, 0, 1), ModelError);
+}
+
+TEST(CacheState, DoubleFetchSamePageThrows) {
+  CacheState cache(2);
+  cache.begin_fetch(1, 0, 1);
+  EXPECT_THROW(cache.begin_fetch(1, 1, 2), ModelError);
+}
+
+TEST(CacheState, CompleteFetchesBatches) {
+  CacheState cache(3);
+  cache.begin_fetch(3, 0, 2);
+  cache.begin_fetch(1, 1, 2);
+  cache.begin_fetch(2, 2, 9);
+  const auto done = cache.complete_fetches(2);
+  const std::vector<PageId> expected = {1, 3};  // sorted
+  EXPECT_EQ(done, expected);
+  EXPECT_EQ(cache.fetching_count(), 1u);
+}
+
+TEST(CacheState, FindReportsMetadata) {
+  CacheState cache(2);
+  cache.begin_fetch(9, 3, 11);
+  const CellInfo* info = cache.find(9);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->status, CellStatus::kFetching);
+  EXPECT_EQ(info->ready_at, 11u);
+  EXPECT_EQ(info->fetched_by, 3u);
+  EXPECT_EQ(cache.find(8), nullptr);
+}
+
+TEST(CacheState, InsertPresent) {
+  CacheState cache(2);
+  cache.insert_present(4, 1);
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.present_count(), 1u);
+  EXPECT_THROW(cache.insert_present(4, 1), ModelError);
+}
+
+TEST(CacheState, SnapshotsAreSorted) {
+  CacheState cache(4);
+  cache.insert_present(9, 0);
+  cache.insert_present(2, 0);
+  cache.begin_fetch(5, 1, 10);
+  const std::vector<PageId> present = {2, 9};
+  const std::vector<PageId> resident = {2, 5, 9};
+  EXPECT_EQ(cache.present_pages(), present);
+  EXPECT_EQ(cache.resident_pages(), resident);
+}
+
+TEST(CacheState, ClearResetsEverything) {
+  CacheState cache(2);
+  cache.insert_present(1, 0);
+  cache.begin_fetch(2, 0, 3);
+  cache.clear();
+  EXPECT_EQ(cache.occupied(), 0u);
+  EXPECT_EQ(cache.fetching_count(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,89 @@
+// Tests for the empirical competitive-ratio harness
+// (offline/competitive.hpp).
+#include "offline/competitive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+OfflineInstance tiny_instance(std::size_t trial, std::size_t cores = 1) {
+  Rng rng(900 + trial);
+  OfflineInstance inst;
+  for (std::size_t j = 0; j < cores; ++j) {
+    RequestSequence seq;
+    const PageId base = static_cast<PageId>(j * 4);
+    for (int i = 0; i < 6; ++i) {
+      seq.push_back(base + static_cast<PageId>(rng.below(3)));
+    }
+    inst.requests.add_sequence(std::move(seq));
+  }
+  inst.cache_size = 2;
+  inst.tau = 1;
+  return inst;
+}
+
+TEST(Competitive, SingleCoreFitfIsAlwaysOptimal) {
+  // p=1: shared FITF == Belady == the optimum; every ratio must be 1.
+  const CompetitiveReport report = measure_competitive_ratio(
+      [] { return SharedStrategy::fitf(); },
+      [](std::size_t trial) { return tiny_instance(trial, 1); }, 15);
+  EXPECT_EQ(report.samples, 15u);
+  EXPECT_DOUBLE_EQ(report.max_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_ratio, 1.0);
+  EXPECT_EQ(report.optimal_hits, 15u);
+}
+
+TEST(Competitive, RatiosAreAtLeastOne) {
+  for (const char* name : {"lru", "fifo", "mru"}) {
+    const CompetitiveReport report = measure_competitive_ratio(
+        [name] {
+          return std::make_unique<SharedStrategy>(make_policy_factory(name));
+        },
+        [](std::size_t trial) { return tiny_instance(trial, 2); }, 12);
+    EXPECT_GE(report.max_ratio, 1.0) << name;
+    EXPECT_GE(report.mean_ratio, 1.0) << name;
+    EXPECT_GE(report.max_ratio, report.mean_ratio) << name;
+    EXPECT_LE(report.optimal_hits, report.samples) << name;
+  }
+}
+
+TEST(Competitive, WorstTrialIsReproducible) {
+  const auto gen = [](std::size_t trial) { return tiny_instance(trial, 2); };
+  const auto strat = [] {
+    return std::make_unique<SharedStrategy>(make_policy_factory("mru"));
+  };
+  const CompetitiveReport a = measure_competitive_ratio(strat, gen, 12);
+  const CompetitiveReport b = measure_competitive_ratio(strat, gen, 12);
+  EXPECT_EQ(a.worst_trial, b.worst_trial);
+  EXPECT_DOUBLE_EQ(a.max_ratio, b.max_ratio);
+}
+
+TEST(Competitive, RejectsZeroTrials) {
+  EXPECT_THROW(
+      (void)measure_competitive_ratio(
+          [] { return SharedStrategy::fitf(); },
+          [](std::size_t trial) { return tiny_instance(trial); }, 0),
+      ModelError);
+}
+
+TEST(Competitive, AllEmptyInstancesThrow) {
+  EXPECT_THROW((void)measure_competitive_ratio(
+                   [] { return SharedStrategy::fitf(); },
+                   [](std::size_t) {
+                     OfflineInstance inst;
+                     inst.requests.add_sequence(RequestSequence{});
+                     inst.cache_size = 2;
+                     return inst;
+                   },
+                   3),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace mcp

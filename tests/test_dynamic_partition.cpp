@@ -1,0 +1,179 @@
+// Tests for dynamic partition strategies (strategies/dynamic_partition.hpp):
+// the Lemma-3 controller's exact equivalence with shared LRU, and the staged
+// (piecewise-constant) partition schedule.
+#include "strategies/dynamic_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::sim_config;
+
+// ---------------------------------------------------------------------------
+// Lemma 3: exists dynamic partition D with dP^D_LRU(R) = S_LRU(R) for all
+// disjoint R.  We check fault-for-fault equality (counts, per-core fault
+// times, completion times) over a randomized grid.
+// ---------------------------------------------------------------------------
+
+struct Lemma3Case {
+  std::size_t cores;
+  std::size_t cache;
+  Time tau;
+};
+
+class Lemma3Equivalence : public ::testing::TestWithParam<Lemma3Case> {};
+
+TEST_P(Lemma3Equivalence, MatchesSharedLruExactly) {
+  const auto& param = GetParam();
+  Rng rng(9000 + param.cores * 100 + param.cache + param.tau);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs =
+        random_disjoint_workload(rng, param.cores, 5, 120);
+    SharedStrategy shared(make_policy_factory("lru"));
+    Lemma3DynamicPartition dynamic;
+    const SimConfig cfg = sim_config(param.cache, param.tau);
+    const RunStats shared_stats = simulate(cfg, rs, shared);
+    const RunStats dynamic_stats = simulate(cfg, rs, dynamic);
+
+    EXPECT_EQ(dynamic_stats.total_faults(), shared_stats.total_faults())
+        << "trial=" << trial;
+    for (CoreId j = 0; j < param.cores; ++j) {
+      EXPECT_EQ(dynamic_stats.core(j).fault_times,
+                shared_stats.core(j).fault_times)
+          << "trial=" << trial << " core=" << j;
+      EXPECT_EQ(dynamic_stats.core(j).completion_time,
+                shared_stats.core(j).completion_time)
+          << "trial=" << trial << " core=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma3Equivalence,
+    ::testing::Values(Lemma3Case{2, 4, 0}, Lemma3Case{2, 4, 3},
+                      Lemma3Case{2, 8, 1}, Lemma3Case{3, 6, 0},
+                      Lemma3Case{3, 6, 2}, Lemma3Case{4, 8, 1},
+                      Lemma3Case{4, 12, 4}));
+
+TEST(Lemma3Dynamic, TracksPartitionSizes) {
+  // Core 0 needs 3 pages, core 1 only 1: the partition drifts toward core 0.
+  RequestSet rs;
+  RequestSequence heavy;
+  const std::vector<PageId> tri = {1, 2, 3};
+  heavy.append_repeated(tri, 10);
+  rs.add_sequence(std::move(heavy));
+  RequestSequence light;
+  const std::vector<PageId> solo = {9};
+  light.append_repeated(solo, 30);
+  rs.add_sequence(std::move(light));
+
+  Lemma3DynamicPartition dynamic;
+  const RunStats stats = simulate(sim_config(4, 1), rs, dynamic);
+  EXPECT_EQ(stats.total_faults(), 4u);  // compulsory only: K covers both
+  EXPECT_EQ(dynamic.sizes()[0], 3u);
+  EXPECT_EQ(dynamic.sizes()[1], 1u);
+  EXPECT_GE(dynamic.partition_changes(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Staged partitions.
+// ---------------------------------------------------------------------------
+
+TEST(StagedPartition, SingleStageBehavesLikeStaticPartition) {
+  Rng rng(17);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 4, 60);
+  StagedPartitionStrategy staged({{0, {3, 3}}}, make_policy_factory("lru"));
+  const RunStats staged_stats = simulate(sim_config(6, 2), rs, staged);
+  // With one stage the strategy is a static partition, so the single-core
+  // decomposition gives the exact expected fault counts.
+  Count expected = 0;
+  for (CoreId j = 0; j < 2; ++j) {
+    expected += single_core_policy_faults(rs.sequence(j), 3,
+                                          make_policy_factory("lru"));
+  }
+  EXPECT_EQ(staged_stats.total_faults(), expected);
+}
+
+TEST(StagedPartition, ShrinkEvictsVoluntarily) {
+  // Stage 1 gives core 0 three cells; stage 2 (from t=50) shrinks it to 1.
+  RequestSet rs;
+  RequestSequence warm;
+  const std::vector<PageId> tri = {1, 2, 3};
+  warm.append_repeated(tri, 40);  // working set 3: hits after warmup
+  rs.add_sequence(std::move(warm));
+  RequestSequence other;
+  const std::vector<PageId> solo = {9};
+  other.append_repeated(solo, 120);
+  rs.add_sequence(std::move(other));
+
+  class VoluntaryCounter : public SimObserver {
+   public:
+    void on_evict(PageId, CoreId, Time, EvictionCause cause) override {
+      if (cause == EvictionCause::kVoluntary) ++voluntary;
+    }
+    int voluntary = 0;
+  } counter;
+
+  StagedPartitionStrategy staged(
+      {{0, {3, 1}}, {50, {1, 3}}}, make_policy_factory("lru"));
+  Simulator sim(sim_config(4, 0));
+  sim.add_observer(&counter);
+  const RunStats stats = sim.run(rs, staged);
+  EXPECT_EQ(counter.voluntary, 2);  // part shrank 3 -> 1
+  // After the shrink, core 0 cycles 3 pages through 1 cell: faults resume.
+  EXPECT_GT(stats.core(0).faults, 3u);
+}
+
+TEST(StagedPartition, ScheduleValidation) {
+  EXPECT_THROW(StagedPartitionStrategy({}, make_policy_factory("lru")),
+               ModelError);
+  EXPECT_THROW(StagedPartitionStrategy({{5, {2, 2}}},
+                                       make_policy_factory("lru")),
+               ModelError);  // first stage must start at 0
+  EXPECT_THROW(StagedPartitionStrategy({{0, {2, 2}}, {0, {1, 3}}},
+                                       make_policy_factory("lru")),
+               ModelError);  // strictly ascending starts
+}
+
+TEST(StagedPartition, StageSizesValidatedAtAttach) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  rs.add_sequence(RequestSequence{2});
+  StagedPartitionStrategy bad({{0, {2, 1}}}, make_policy_factory("lru"));
+  EXPECT_THROW((void)simulate(sim_config(4, 0), rs, bad), ModelError);
+}
+
+TEST(StagedPartition, GrowthDuringPendingShrinkEvictsOverBudgetPart) {
+  // Core 0 holds 3 resident pages; at t=10 the schedule flips the partition.
+  // Core 1's next fault must find room by evicting core 0's excess.
+  RequestSet rs;
+  RequestSequence warm;
+  const std::vector<PageId> tri = {1, 2, 3};
+  warm.append_repeated(tri, 4);  // 12 requests, resident by t<10
+  rs.add_sequence(std::move(warm));
+  RequestSequence burst;
+  const std::vector<PageId> duo = {8, 9};
+  burst.append_repeated(duo, 10);
+  rs.add_sequence(std::move(burst));
+
+  StagedPartitionStrategy staged(
+      {{0, {3, 1}}, {10, {1, 3}}}, make_policy_factory("lru"));
+  const RunStats stats = simulate(sim_config(4, 0), rs, staged);
+  // Before the flip core 1 thrashes its single cell; after it, both pages
+  // stay resident, so its faults are far below its 20 requests.
+  EXPECT_GE(stats.core(1).faults, 2u);
+  EXPECT_LE(stats.core(1).faults, 14u);
+  EXPECT_EQ(staged.current_stage(), 1u);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,79 @@
+// Tests for the honesty checker (offline/honesty.hpp) and the honesty
+// status of the built-in strategies (Theorem 4 vocabulary).
+#include "offline/honesty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::sim_config;
+
+TEST(Honesty, SharedStrategiesAreHonest) {
+  Rng rng(8080);
+  const RequestSet rs = random_disjoint_workload(rng, 3, 5, 80);
+  for (const char* name : {"lru", "fifo", "mark"}) {
+    SharedStrategy strategy(make_policy_factory(name));
+    HonestyChecker checker;
+    Simulator sim(sim_config(6, 1));
+    sim.add_observer(&checker);
+    (void)sim.run(rs, strategy);
+    EXPECT_TRUE(checker.honest()) << name;
+  }
+}
+
+TEST(Honesty, StaticPartitionIsHonest) {
+  Rng rng(8081);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 5, 80);
+  StaticPartitionStrategy strategy({3, 3}, make_policy_factory("lru"));
+  HonestyChecker checker;
+  Simulator sim(sim_config(6, 2));
+  sim.add_observer(&checker);
+  (void)sim.run(rs, strategy);
+  EXPECT_TRUE(checker.honest());
+}
+
+TEST(Honesty, Lemma3DynamicPartitionIsHonest) {
+  Rng rng(8082);
+  const RequestSet rs = random_disjoint_workload(rng, 3, 5, 80);
+  Lemma3DynamicPartition strategy;
+  HonestyChecker checker;
+  Simulator sim(sim_config(6, 1));
+  sim.add_observer(&checker);
+  (void)sim.run(rs, strategy);
+  EXPECT_TRUE(checker.honest());
+}
+
+TEST(Honesty, StagedShrinkIsDetectedAsDishonest) {
+  // A shrinking stage boundary forces voluntary evictions.
+  RequestSet rs;
+  RequestSequence warm;
+  const std::vector<PageId> tri = {1, 2, 3};
+  warm.append_repeated(tri, 30);
+  rs.add_sequence(std::move(warm));
+  RequestSequence solo;
+  const std::vector<PageId> one = {9};
+  solo.append_repeated(one, 90);
+  rs.add_sequence(std::move(solo));
+
+  StagedPartitionStrategy staged({{0, {3, 1}}, {40, {1, 3}}},
+                                 make_policy_factory("lru"));
+  HonestyChecker checker;
+  Simulator sim(sim_config(4, 0));
+  sim.add_observer(&checker);
+  (void)sim.run(rs, staged);
+  EXPECT_FALSE(checker.honest());
+  ASSERT_FALSE(checker.violations().empty());
+  EXPECT_NE(checker.violations()[0].find("voluntary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcp

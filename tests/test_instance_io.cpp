@@ -1,0 +1,84 @@
+// Tests for PIF instance serialization (offline/instance_io.hpp).
+#include "offline/instance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "hardness/reduction.hpp"
+
+namespace mcp {
+namespace {
+
+PifInstance sample() {
+  PifInstance inst;
+  inst.base.requests.add_sequence(RequestSequence{1, 2, 1});
+  inst.base.requests.add_sequence(RequestSequence{5, 6});
+  inst.base.cache_size = 3;
+  inst.base.tau = 2;
+  inst.deadline = 17;
+  inst.bounds = {2, 1};
+  return inst;
+}
+
+TEST(InstanceIo, RoundTrip) {
+  const PifInstance original = sample();
+  std::stringstream ss;
+  write_pif_instance(ss, original);
+  const PifInstance loaded = read_pif_instance(ss);
+  EXPECT_EQ(loaded.base.requests, original.base.requests);
+  EXPECT_EQ(loaded.base.cache_size, original.base.cache_size);
+  EXPECT_EQ(loaded.base.tau, original.base.tau);
+  EXPECT_EQ(loaded.deadline, original.deadline);
+  EXPECT_EQ(loaded.bounds, original.bounds);
+}
+
+TEST(InstanceIo, ReductionInstanceRoundTrips) {
+  KPartitionInstance source;
+  source.values = {4, 4, 4};
+  source.target = 12;
+  source.group_size = 3;
+  const PifReduction red = reduce_kpartition_to_pif(source, 1);
+  std::stringstream ss;
+  write_pif_instance(ss, red.pif);
+  const PifInstance loaded = read_pif_instance(ss);
+  EXPECT_EQ(loaded.bounds, red.pif.bounds);
+  EXPECT_EQ(loaded.deadline, red.pif.deadline);
+  EXPECT_EQ(loaded.base.requests.total_requests(),
+            red.pif.base.requests.total_requests());
+}
+
+TEST(InstanceIo, RejectsMissingHeader) {
+  std::stringstream ss("cache 3\n");
+  EXPECT_THROW((void)read_pif_instance(ss), InputError);
+}
+
+TEST(InstanceIo, RejectsIncompleteHeader) {
+  std::stringstream ss(
+      "mcppif 1\ncache 3\nmcptrace 1\ncores 1\nseq 0 1 7\n");
+  EXPECT_THROW((void)read_pif_instance(ss), InputError);
+}
+
+TEST(InstanceIo, RejectsMissingTrace) {
+  std::stringstream ss(
+      "mcppif 1\ncache 3\ntau 1\ndeadline 5\nbounds 1\n");
+  EXPECT_THROW((void)read_pif_instance(ss), InputError);
+}
+
+TEST(InstanceIo, RejectsBoundsMismatch) {
+  std::stringstream ss(
+      "mcppif 1\ncache 3\ntau 1\ndeadline 5\nbounds 1\n"
+      "mcptrace 1\ncores 2\nseq 0 1 7\nseq 1 1 8\n");
+  EXPECT_THROW((void)read_pif_instance(ss), ModelError);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/mcp_pif_test.txt";
+  save_pif_instance(path, sample());
+  const PifInstance loaded = load_pif_instance(path);
+  EXPECT_EQ(loaded.deadline, 17u);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,115 @@
+// Tests for the min-makespan solver (offline/makespan_solver.hpp).
+#include "offline/makespan_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "offline/ftf_solver.hpp"
+#include "offline/replay.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+
+OfflineInstance make_instance(RequestSet rs, std::size_t k, Time tau) {
+  OfflineInstance inst;
+  inst.requests = std::move(rs);
+  inst.cache_size = k;
+  inst.tau = tau;
+  return inst;
+}
+
+TEST(MakespanSolver, SingleCoreEqualsBeladyFormula) {
+  // p=1: makespan = n + tau*faults - 1, minimized by minimizing faults.
+  Rng rng(314);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 1, 4, 10);
+    for (std::size_t k : {2u, 3u}) {
+      for (Time tau : {Time{0}, Time{2}}) {
+        const auto result = solve_min_makespan(make_instance(rs, k, tau));
+        const Count faults = belady_faults(rs.sequence(0), k);
+        EXPECT_EQ(result.min_makespan,
+                  rs.sequence(0).size() + tau * faults - 1)
+            << "trial=" << trial << " k=" << k << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST(MakespanSolver, EmptyInstanceIsZero) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{});
+  rs.add_sequence(RequestSequence{});
+  EXPECT_EQ(solve_min_makespan(make_instance(std::move(rs), 2, 3)).min_makespan,
+            0u);
+}
+
+TEST(MakespanSolver, LowerBoundsEveryStrategyRun) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 3, 5);
+    const OfflineInstance inst = make_instance(rs, 2, 2);
+    const Time opt = solve_min_makespan(inst).min_makespan;
+
+    SharedStrategy lru(make_policy_factory("lru"));
+    EXPECT_GE(simulate(inst.sim_config(), rs, lru).makespan(), opt)
+        << "trial=" << trial;
+    auto fitf = SharedStrategy::fitf();
+    EXPECT_GE(simulate(inst.sim_config(), rs, *fitf).makespan(), opt)
+        << "trial=" << trial;
+
+    // Trivial floor: even an all-hit run of the longest sequence takes
+    // n_max - 1... plus the first request always faults (cold cache).
+    EXPECT_GE(opt, rs.max_sequence_length() - 1) << "trial=" << trial;
+  }
+}
+
+TEST(MakespanSolver, FtfOptimalScheduleIsNotAlwaysMakespanOptimal) {
+  // The objectives coincide often but not always; at minimum the replayed
+  // FTF schedule's makespan can never beat the makespan optimum.
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 3, 5);
+    const OfflineInstance inst = make_instance(rs, 2, 2);
+    FtfOptions options;
+    options.build_schedule = true;
+    const FtfResult ftf = solve_ftf(inst, options);
+    const RunStats replay = replay_schedule(inst, ftf.schedule);
+    EXPECT_GE(replay.makespan(), solve_min_makespan(inst).min_makespan)
+        << "trial=" << trial;
+  }
+}
+
+TEST(MakespanSolver, TauZeroMakespanTracksRequests) {
+  // With tau=0, every request takes one step: makespan depends only on the
+  // longest per-core request count, not on eviction choices.
+  Rng rng(55);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 4, 6);
+  const auto result = solve_min_makespan(make_instance(rs, 2, 0));
+  EXPECT_EQ(result.min_makespan, rs.max_sequence_length() - 1);
+}
+
+TEST(MakespanSolver, WidthLimitThrows) {
+  Rng rng(7);
+  const RequestSet rs = random_disjoint_workload(rng, 3, 4, 10);
+  MakespanOptions options;
+  options.max_layer_width = 2;
+  EXPECT_THROW(
+      (void)solve_min_makespan(make_instance(rs, 3, 2), options), ModelError);
+}
+
+TEST(MakespanSolver, RejectsNonDisjoint) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  rs.add_sequence(RequestSequence{1});
+  EXPECT_THROW((void)solve_min_makespan(make_instance(std::move(rs), 2, 0)),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace mcp

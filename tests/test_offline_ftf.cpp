@@ -1,0 +1,222 @@
+// Tests for the optimal FTF solver (offline/ftf_solver.hpp): agreement with
+// the independent simulator-driven exhaustive search, Theorem 5's restricted
+// search, schedule replay through the simulator, and dominance over online
+// strategies.
+#include "offline/ftf_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "offline/exhaustive.hpp"
+#include "offline/replay.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+
+OfflineInstance make_instance(RequestSet rs, std::size_t k, Time tau) {
+  OfflineInstance inst;
+  inst.requests = std::move(rs);
+  inst.cache_size = k;
+  inst.tau = tau;
+  return inst;
+}
+
+TEST(FtfSolver, HandComputedTinyInstance) {
+  // One core, K=1, tau=0: a b a — every request faults (b evicts a).
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 1});
+  const FtfResult result = solve_ftf(make_instance(std::move(rs), 1, 0));
+  EXPECT_EQ(result.min_faults, 3u);
+}
+
+TEST(FtfSolver, SingleCoreEqualsBelady) {
+  Rng rng(42);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 1, 5, 12);
+    for (std::size_t k : {2u, 3u}) {
+      for (Time tau : {Time{0}, Time{2}}) {
+        const FtfResult result =
+            solve_ftf(make_instance(rs, k, tau));
+        EXPECT_EQ(result.min_faults, belady_faults(rs.sequence(0), k))
+            << "trial=" << trial << " k=" << k << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST(FtfSolver, AgreesWithExhaustiveSimulatorSearch) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 12; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 3, 5);
+    const std::size_t k = 2 + rng.below(2);     // 2..3
+    const Time tau = rng.below(3);              // 0..2
+    const OfflineInstance inst = make_instance(rs, k, tau);
+    const FtfResult dp = solve_ftf(inst);
+    const ExhaustiveFtfResult brute = exhaustive_ftf(inst);
+    EXPECT_EQ(dp.min_faults, brute.min_faults)
+        << "trial=" << trial << " k=" << k << " tau=" << tau << " "
+        << rs.describe();
+  }
+}
+
+TEST(FtfSolver, Theorem5RestrictionPreservesOptimum) {
+  // Evicting only FITF-within-some-sequence pages must not cost anything
+  // on disjoint inputs (Theorem 5).
+  Rng rng(777);
+  for (int trial = 0; trial < 12; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 3, 6);
+    const std::size_t k = 2 + rng.below(2);
+    const Time tau = rng.below(3);
+    const OfflineInstance inst = make_instance(rs, k, tau);
+    FtfOptions unrestricted;
+    FtfOptions restricted;
+    restricted.victim_rule = VictimRule::kFitfPerSequence;
+    EXPECT_EQ(solve_ftf(inst, restricted).min_faults,
+              solve_ftf(inst, unrestricted).min_faults)
+        << "trial=" << trial << " k=" << k << " tau=" << tau;
+  }
+}
+
+TEST(FtfSolver, StatesAtEqualPositionsHaveEqualCacheSizes) {
+  // The structural fact that makes cache-superset dominance pruning vacuous
+  // for the honest search (see the design note in ftf_solver.hpp): the
+  // fault distance of a state equals its cache fill level until saturation,
+  // so states sharing a position vector and distance carry equal-sized
+  // caches.  Verified by exploring a small instance exhaustively.
+  Rng rng(60606);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 3, 5);
+  const OfflineInstance inst = make_instance(rs, 2, 1);
+  const TransitionSystem system(inst, VictimRule::kAllPages);
+  std::vector<OfflineState> frontier = {system.initial()};
+  for (int depth = 0; depth < 6; ++depth) {
+    std::vector<OfflineState> next;
+    for (const OfflineState& state : frontier) {
+      system.expand(state, [&next](StepOutcome&& outcome) {
+        next.push_back(std::move(outcome.next));
+      });
+    }
+    for (const OfflineState& a : next) {
+      for (const OfflineState& b : next) {
+        if (a.pos == b.pos && a.fetch == b.fetch) {
+          EXPECT_EQ(a.cache.size(), b.cache.size());
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.size() > 200) break;  // enough evidence
+  }
+}
+
+TEST(FtfSolver, ScheduleReplaysToTheSameFaultCount) {
+  Rng rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 3, 6);
+    const OfflineInstance inst = make_instance(rs, 3, 1);
+    FtfOptions options;
+    options.build_schedule = true;
+    const FtfResult result = solve_ftf(inst, options);
+    ASSERT_EQ(result.schedule.size(), result.min_faults);
+    const RunStats stats = replay_schedule(inst, result.schedule);
+    EXPECT_EQ(stats.total_faults(), result.min_faults) << "trial=" << trial;
+  }
+}
+
+TEST(FtfSolver, OptimumDominatesOnlineStrategies) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 3, 7);
+    const OfflineInstance inst = make_instance(rs, 3, 1);
+    const Count opt = solve_ftf(inst).min_faults;
+
+    SharedStrategy lru(make_policy_factory("lru"));
+    EXPECT_GE(simulate(inst.sim_config(), rs, lru).total_faults(), opt);
+
+    auto shared_fitf = SharedStrategy::fitf();
+    EXPECT_GE(simulate(inst.sim_config(), rs, *shared_fitf).total_faults(), opt);
+
+    StaticPartitionStrategy part({2, 1}, make_policy_factory("lru"));
+    EXPECT_GE(simulate(inst.sim_config(), rs, part).total_faults(), opt);
+  }
+}
+
+TEST(FtfSolver, TauChangesNothingForNonInterferingCores) {
+  // If both working sets fit in the cache, faults are compulsory regardless
+  // of tau.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 1, 2});
+  rs.add_sequence(RequestSequence{5, 6, 5, 6});
+  for (Time tau : {Time{0}, Time{1}, Time{4}}) {
+    const FtfResult result = solve_ftf(make_instance(rs, 4, tau));
+    EXPECT_EQ(result.min_faults, 4u) << "tau=" << tau;
+  }
+}
+
+TEST(FtfSolver, StateLimitThrows) {
+  Rng rng(2);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 4, 10);
+  FtfOptions options;
+  options.max_states = 5;
+  EXPECT_THROW((void)solve_ftf(make_instance(rs, 3, 1), options), ModelError);
+}
+
+TEST(FtfSolver, RejectsNonDisjointInstances) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  rs.add_sequence(RequestSequence{1});
+  EXPECT_THROW((void)solve_ftf(make_instance(std::move(rs), 2, 0)), ModelError);
+}
+
+TEST(TransitionSystem, InitialAndTerminal) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2});
+  const OfflineInstance inst = make_instance(std::move(rs), 2, 1);
+  const TransitionSystem system(inst, VictimRule::kAllPages);
+  const OfflineState start = system.initial();
+  EXPECT_FALSE(system.is_terminal(start));
+  OfflineState done = start;
+  done.pos[0] = 2;
+  EXPECT_TRUE(system.is_terminal(done));
+}
+
+TEST(TransitionSystem, ExpandBranchesOverVictims) {
+  // Cache full with two evictable pages: the fault must offer two branches.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  const OfflineInstance inst = make_instance(std::move(rs), 2, 0);
+  const TransitionSystem system(inst, VictimRule::kAllPages);
+  OfflineState state = system.initial();
+  state.cache = {1, 2};
+  state.pos[0] = 2;  // about to request page 3
+  int branches = 0;
+  system.expand(state, [&](StepOutcome&& outcome) {
+    ++branches;
+    EXPECT_EQ(outcome.fault_count(), 1u);
+    EXPECT_EQ(outcome.next.cache.size(), 2u);
+  });
+  EXPECT_EQ(branches, 2);
+}
+
+TEST(TransitionSystem, OwnerAndNextOccurrence) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 1});
+  rs.add_sequence(RequestSequence{7});
+  const OfflineInstance inst = make_instance(std::move(rs), 2, 0);
+  const TransitionSystem system(inst, VictimRule::kAllPages);
+  EXPECT_EQ(system.owner_of(1), 0u);
+  EXPECT_EQ(system.owner_of(7), 1u);
+  EXPECT_EQ(system.next_occurrence(1, 0), 0u);
+  EXPECT_EQ(system.next_occurrence(1, 1), 2u);
+  EXPECT_EQ(system.next_occurrence(2, 2),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+}  // namespace
+}  // namespace mcp

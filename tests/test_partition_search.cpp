@@ -1,0 +1,151 @@
+// Tests for the offline optimal static partition search
+// (strategies/partition_search.hpp): the curve-based DP against the
+// exhaustive simulate-everything reference.
+#include "strategies/partition_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::sim_config;
+
+TEST(PartitionSearch, CurveDpMatchesBruteForceOverCurves) {
+  // Hand-built curves with a known optimum.
+  FaultCurves curves = {
+      {100, 50, 10, 5, 5, 5},   // core 0: wants 2-3 cells
+      {100, 80, 70, 20, 10, 5}, // core 1: wants many cells
+  };
+  const auto result = optimal_partition_from_curves(curves, 5);
+  // Enumerate by hand: {1,4}=50+10=60, {2,3}=10+20=30, {3,2}=5+70=75,
+  // {4,1}=5+80=85.  Best is {2,3}.
+  const Partition expected = {2, 3};
+  EXPECT_EQ(result.partition, expected);
+  EXPECT_EQ(result.faults, 30u);
+}
+
+TEST(PartitionSearch, CurveDpAgreesWithEnumeration) {
+  Rng rng(808);
+  for (int trial = 0; trial < 6; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 3, 5, 80);
+    const std::size_t K = 7;
+    const FaultCurves curves = belady_fault_curves(rs, K);
+    const auto dp = optimal_partition_from_curves(curves, K);
+    // Reference: scan Pi(K,p) directly.
+    Count best = ~Count{0};
+    for (const Partition& part : enumerate_partitions(K, 3)) {
+      Count total = 0;
+      for (CoreId j = 0; j < 3; ++j) total += curves[j][part[j]];
+      best = std::min(best, total);
+    }
+    EXPECT_EQ(dp.faults, best) << "trial=" << trial;
+    // The DP's partition must realize its claimed value.
+    Count realized = 0;
+    for (CoreId j = 0; j < 3; ++j) realized += curves[j][dp.partition[j]];
+    EXPECT_EQ(realized, dp.faults);
+  }
+}
+
+TEST(PartitionSearch, OptimalPartitionOptMatchesSimulatedFitf) {
+  // The decomposition claim end-to-end: the curve-based sP^OPT_OPT value
+  // equals the full multicore simulation of sP^B_FITF at the chosen B.
+  Rng rng(909);
+  for (int trial = 0; trial < 5; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 5, 100);
+    const std::size_t K = 6;
+    const auto result = optimal_partition_opt(rs, K);
+    auto strategy = StaticPartitionStrategy::fitf(result.partition);
+    const RunStats stats = simulate(sim_config(K, 2), rs, *strategy);
+    EXPECT_EQ(stats.total_faults(), result.faults) << "trial=" << trial;
+  }
+}
+
+TEST(PartitionSearch, SimulationSearchAgreesWithCurvesForLru) {
+  Rng rng(333);
+  for (int trial = 0; trial < 4; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 4, 60);
+    const std::size_t K = 5;
+    const PolicyFactory lru = make_policy_factory("lru");
+    const auto by_curves = optimal_partition_for_policy(rs, K, lru);
+    const auto by_sim =
+        optimal_partition_by_simulation(sim_config(K, 1), rs, lru);
+    EXPECT_EQ(by_sim.faults, by_curves.faults) << "trial=" << trial;
+  }
+}
+
+TEST(PartitionSearch, OptimalIsNoWorseThanEvenSplit) {
+  Rng rng(111);
+  for (int trial = 0; trial < 6; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 3, 6, 90);
+    const std::size_t K = 9;
+    const auto result = optimal_partition_opt(rs, K);
+    Count even_total = 0;
+    const Partition even = even_partition(K, 3);
+    for (CoreId j = 0; j < 3; ++j) {
+      even_total += belady_faults(rs.sequence(j), even[j]);
+    }
+    EXPECT_LE(result.faults, even_total) << "trial=" << trial;
+  }
+}
+
+TEST(PartitionSearch, SkewedDemandGetsSkewedPartition) {
+  // Core 0 cycles 5 pages, core 1 uses 1: the optimum gives core 0 the bulk.
+  RequestSet rs;
+  RequestSequence big;
+  const std::vector<PageId> cyc = {1, 2, 3, 4, 5};
+  big.append_repeated(cyc, 20);
+  rs.add_sequence(std::move(big));
+  RequestSequence small;
+  const std::vector<PageId> solo = {9};
+  small.append_repeated(solo, 100);
+  rs.add_sequence(std::move(small));
+
+  const auto result = optimal_partition_opt(rs, 6);
+  const Partition expected = {5, 1};
+  EXPECT_EQ(result.partition, expected);
+  EXPECT_EQ(result.faults, 6u);  // compulsory only
+}
+
+TEST(PartitionSearch, RejectsNonDisjointForCurveMethods) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  rs.add_sequence(RequestSequence{1});
+  EXPECT_THROW((void)optimal_partition_opt(rs, 4), ModelError);
+  EXPECT_THROW((void)optimal_partition_for_policy(rs, 4,
+                                                  make_policy_factory("lru")),
+               ModelError);
+}
+
+TEST(PartitionSearch, RejectsTooSmallCache) {
+  FaultCurves curves = {{5, 1}, {5, 1}, {5, 1}};
+  EXPECT_THROW((void)optimal_partition_from_curves(curves, 1), ModelError);
+}
+
+TEST(PartitionSearch, PolicyCurvesDominateBeladyCurves) {
+  Rng rng(121);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 6, 120);
+  const std::size_t K = 6;
+  const FaultCurves opt = belady_fault_curves(rs, K);
+  for (const char* name : {"lru", "fifo", "mark"}) {
+    const FaultCurves online =
+        policy_fault_curves(rs, K, make_policy_factory(name));
+    for (CoreId j = 0; j < 2; ++j) {
+      for (std::size_t k = 0; k <= K; ++k) {
+        EXPECT_GE(online[j][k], opt[j][k]) << name << " j=" << j << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,121 @@
+// Tests for the phase decompositions (workload/phases.hpp) — the
+// combinatorial claims inside the proofs of Lemma 1 (upper bound) and
+// Theorem 1.2, checked structurally and against simulations.
+#include "workload/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/partition.hpp"
+#include "strategies/shared.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::sim_config;
+
+TEST(Phases, HandComputedStarts) {
+  // k=2: [1 2 1 | 3 1 | 2 3] — new phase at each 3rd distinct page.
+  const RequestSequence seq{1, 2, 1, 3, 1, 2, 3};
+  const std::vector<std::size_t> expected = {0, 3, 5};
+  EXPECT_EQ(phase_starts(seq, 2), expected);
+  EXPECT_EQ(count_phases(seq, 2), 3u);
+}
+
+TEST(Phases, WholeSequenceFitsInOnePhase) {
+  const RequestSequence seq{1, 2, 1, 2, 1};
+  EXPECT_EQ(count_phases(seq, 2), 1u);
+  EXPECT_EQ(count_phases(seq, 5), 1u);
+  EXPECT_EQ(count_phases(RequestSequence{}, 3), 0u);
+}
+
+TEST(Phases, ThresholdOneSplitsAtEveryPageChange) {
+  const RequestSequence seq{1, 1, 2, 2, 2, 1};
+  EXPECT_EQ(count_phases(seq, 1), 3u);
+}
+
+TEST(Phases, CanonicalInterleavingRoundRobins) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  rs.add_sequence(RequestSequence{7, 8});
+  const RequestSequence expected{1, 7, 2, 8, 3};
+  EXPECT_EQ(canonical_interleaving(rs), expected);
+}
+
+TEST(Phases, SharedPhasesBoundedByCorePhaseSum) {
+  // Theorem 1.2's claim: phi <= sum_j phi_j, for any partition thresholds
+  // summing to K.  Checked over random workloads and partitions.
+  Rng rng(606);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 3, 6, 150);
+    const std::size_t K = 9;
+    for (const Partition& part :
+         {Partition{3, 3, 3}, Partition{1, 4, 4}, Partition{5, 2, 2}}) {
+      const PhaseDecomposition dec = decompose_phases(rs, K, part);
+      EXPECT_LE(dec.shared_phases, dec.core_phase_total())
+          << "trial=" << trial << " part=" << partition_to_string(part);
+      EXPECT_GE(dec.shared_phases, 1u);
+    }
+  }
+}
+
+TEST(Phases, EveryAlgorithmFaultsOncePerCorePhase) {
+  // Any algorithm with k_j cells faults at least once per phase of R_j —
+  // in particular Belady: belady_faults(R_j, k_j) >= phi_j.
+  Rng rng(707);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 2, 6, 120);
+    for (std::size_t k : {2u, 3u, 5u}) {
+      for (CoreId j = 0; j < 2; ++j) {
+        EXPECT_GE(belady_faults(rs.sequence(j), k),
+                  count_phases(rs.sequence(j), k))
+            << "trial=" << trial << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Phases, MarkingFaultsAtMostKPerCorePhase) {
+  // Conservative/marking upper bound: faults <= k * phases.
+  Rng rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 1, 7, 200);
+    for (std::size_t k : {2u, 4u}) {
+      for (const char* policy : {"lru", "fifo", "mark"}) {
+        const Count faults =
+            single_core_policy_faults(rs.sequence(0), k, make_policy_factory(policy));
+        EXPECT_LE(faults, k * count_phases(rs.sequence(0), k))
+            << policy << " trial=" << trial << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Phases, SharedLruFaultsAtMostKPerSharedPhase) {
+  // The Theorem 1.2 mechanism end-to-end at tau=0, where the canonical
+  // interleaving is the actual service order: S_LRU(R) <= K * phi.
+  Rng rng(909);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 3, 6, 120);
+    const std::size_t K = 6;
+    const std::size_t phi =
+        count_phases(canonical_interleaving(rs), K);
+    SharedStrategy lru(make_policy_factory("lru"));
+    const Count faults = simulate(sim_config(K, 0), rs, lru).total_faults();
+    EXPECT_LE(faults, K * phi) << "trial=" << trial;
+  }
+}
+
+TEST(Phases, RejectsBadArguments) {
+  EXPECT_THROW((void)count_phases(RequestSequence{1}, 0), ModelError);
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  EXPECT_THROW((void)decompose_phases(rs, 4, {1, 1}), ModelError);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,429 @@
+// Unit tests for the eviction policies (policies/policies.hpp), driven
+// directly through the EvictionPolicy interface.
+#include "policies/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+
+namespace mcp {
+namespace {
+
+AccessContext at(Time now, PageId page = kInvalidPage, CoreId core = 0) {
+  return AccessContext{core, page, now, static_cast<std::size_t>(now)};
+}
+
+const EvictablePredicate kAll = [](PageId) { return true; };
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.on_insert(1, at(0, 1));
+  lru.on_insert(2, at(1, 2));
+  lru.on_insert(3, at(2, 3));
+  lru.on_hit(1, at(3, 1));
+  EXPECT_EQ(lru.victim(at(4), kAll), 2u);
+}
+
+TEST(LruPolicy, VictimRespectsEvictablePredicate) {
+  LruPolicy lru;
+  lru.on_insert(1, at(0, 1));
+  lru.on_insert(2, at(1, 2));
+  const EvictablePredicate not_one = [](PageId p) { return p != 1; };
+  EXPECT_EQ(lru.victim(at(2), not_one), 2u);
+  const EvictablePredicate none = [](PageId) { return false; };
+  EXPECT_EQ(lru.victim(at(2), none), kInvalidPage);
+}
+
+TEST(LruPolicy, RemoveUntrackedThrows) {
+  LruPolicy lru;
+  EXPECT_THROW(lru.on_remove(9), ModelError);
+}
+
+TEST(LruPolicy, DoubleInsertThrows) {
+  LruPolicy lru;
+  lru.on_insert(1, at(0, 1));
+  EXPECT_THROW(lru.on_insert(1, at(1, 1)), ModelError);
+}
+
+TEST(LruPolicy, LastUseAndLeastRecent) {
+  LruPolicy lru;
+  lru.on_insert(1, at(0, 1));
+  lru.on_insert(2, at(5, 2));
+  EXPECT_EQ(lru.last_use(1), 0u);
+  EXPECT_EQ(lru.last_use(2), 5u);
+  EXPECT_EQ(lru.last_use(3), kTimeNever);
+  EXPECT_EQ(lru.least_recent(), 1u);
+  lru.on_hit(1, at(9, 1));
+  EXPECT_EQ(lru.least_recent(), 2u);
+}
+
+TEST(FifoPolicy, EvictsOldestArrivalRegardlessOfHits) {
+  FifoPolicy fifo;
+  fifo.on_insert(1, at(0, 1));
+  fifo.on_insert(2, at(1, 2));
+  fifo.on_hit(1, at(2, 1));  // no effect on FIFO order
+  EXPECT_EQ(fifo.victim(at(3), kAll), 1u);
+}
+
+TEST(FifoPolicy, RemoveReordersNothing) {
+  FifoPolicy fifo;
+  fifo.on_insert(1, at(0, 1));
+  fifo.on_insert(2, at(1, 2));
+  fifo.on_insert(3, at(2, 3));
+  fifo.on_remove(1);
+  EXPECT_EQ(fifo.victim(at(3), kAll), 2u);
+}
+
+TEST(MruPolicy, EvictsMostRecentlyUsed) {
+  MruPolicy mru;
+  mru.on_insert(1, at(0, 1));
+  mru.on_insert(2, at(1, 2));
+  mru.on_hit(1, at(2, 1));
+  EXPECT_EQ(mru.victim(at(3), kAll), 1u);
+}
+
+TEST(LfuPolicy, EvictsLeastFrequentlyUsed) {
+  LfuPolicy lfu;
+  lfu.on_insert(1, at(0, 1));
+  lfu.on_insert(2, at(1, 2));
+  lfu.on_insert(3, at(2, 3));
+  lfu.on_hit(1, at(3, 1));
+  lfu.on_hit(1, at(4, 1));
+  lfu.on_hit(2, at(5, 2));
+  EXPECT_EQ(lfu.victim(at(6), kAll), 3u);  // only one use
+}
+
+TEST(LfuPolicy, TieBreaksByLeastRecentUse) {
+  LfuPolicy lfu;
+  lfu.on_insert(1, at(0, 1));
+  lfu.on_insert(2, at(1, 2));  // both have 1 use; page 1 used earlier
+  EXPECT_EQ(lfu.victim(at(2), kAll), 1u);
+}
+
+TEST(ClockPolicy, GivesSecondChanceToReferencedPages) {
+  ClockPolicy clock;
+  clock.on_insert(1, at(0, 1));
+  clock.on_insert(2, at(1, 2));
+  // Pages arrive referenced; one sweep clears both bits.
+  (void)clock.victim(at(2), kAll);
+  clock.on_hit(1, at(3, 1));  // re-reference 1
+  EXPECT_EQ(clock.victim(at(4), kAll), 2u);  // 1 earned a second chance
+}
+
+TEST(ClockPolicy, SweepClearsBitsAndTerminates) {
+  ClockPolicy clock;
+  clock.on_insert(1, at(0, 1));
+  clock.on_insert(2, at(1, 2));
+  clock.on_hit(1, at(2, 1));
+  clock.on_hit(2, at(3, 2));
+  // All referenced: first sweep clears, second finds a victim.
+  const PageId victim = clock.victim(at(4), kAll);
+  EXPECT_NE(victim, kInvalidPage);
+}
+
+TEST(ClockPolicy, RespectsEvictablePredicate) {
+  ClockPolicy clock;
+  clock.on_insert(1, at(0, 1));
+  clock.on_insert(2, at(1, 2));
+  const EvictablePredicate not_two = [](PageId p) { return p != 2; };
+  EXPECT_EQ(clock.victim(at(2), not_two), 1u);
+  const EvictablePredicate none = [](PageId) { return false; };
+  EXPECT_EQ(clock.victim(at(2), none), kInvalidPage);
+}
+
+TEST(ClockPolicy, RemoveKeepsRingConsistent) {
+  ClockPolicy clock;
+  for (PageId p = 1; p <= 5; ++p) clock.on_insert(p, at(p, p));
+  clock.on_remove(3);
+  clock.on_remove(1);
+  EXPECT_EQ(clock.size(), 3u);
+  std::set<PageId> evicted;
+  for (int i = 0; i < 3; ++i) {
+    const PageId v = clock.victim(at(10), kAll);
+    ASSERT_NE(v, kInvalidPage);
+    evicted.insert(v);
+    clock.on_remove(v);
+  }
+  const std::set<PageId> expected = {2, 4, 5};
+  EXPECT_EQ(evicted, expected);
+}
+
+TEST(RandomPolicy, OnlyReturnsTrackedEvictablePages) {
+  RandomPolicy random(42);
+  random.on_insert(1, at(0, 1));
+  random.on_insert(2, at(1, 2));
+  random.on_insert(3, at(2, 3));
+  const EvictablePredicate odd = [](PageId p) { return p % 2 == 1; };
+  for (int i = 0; i < 50; ++i) {
+    const PageId v = random.victim(at(3), odd);
+    EXPECT_TRUE(v == 1 || v == 3);
+  }
+}
+
+TEST(RandomPolicy, SameSeedSameChoices) {
+  RandomPolicy a(7);
+  RandomPolicy b(7);
+  for (PageId p = 1; p <= 8; ++p) {
+    a.on_insert(p, at(p, p));
+    b.on_insert(p, at(p, p));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.victim(at(9), kAll), b.victim(at(9), kAll));
+  }
+}
+
+TEST(MarkingPolicy, NewPhaseWhenAllMarked) {
+  MarkingPolicy mark;
+  mark.on_insert(1, at(0, 1));  // insert marks
+  mark.on_insert(2, at(1, 2));
+  EXPECT_EQ(mark.phases(), 0u);
+  // All marked: requesting a victim starts a new phase and evicts the LRU
+  // (now unmarked) page.
+  EXPECT_EQ(mark.victim(at(2), kAll), 1u);
+  EXPECT_EQ(mark.phases(), 1u);
+}
+
+TEST(MarkingPolicy, PrefersUnmarkedPages) {
+  MarkingPolicy mark;
+  mark.on_insert(1, at(0, 1));
+  mark.on_insert(2, at(1, 2));
+  (void)mark.victim(at(2), kAll);  // phase reset: both unmarked
+  mark.on_hit(2, at(3, 2));        // marks 2
+  EXPECT_EQ(mark.victim(at(4), kAll), 1u);
+}
+
+TEST(SlruPolicy, HitPromotesToProtected) {
+  SlruPolicy slru;
+  slru.set_capacity(4);  // protected cap 2
+  slru.on_insert(1, at(0, 1));
+  slru.on_insert(2, at(1, 2));
+  EXPECT_EQ(slru.protected_size(), 0u);
+  slru.on_hit(1, at(2, 1));
+  EXPECT_EQ(slru.protected_size(), 1u);
+  // Victim comes from probation: 2 is the only page there.
+  EXPECT_EQ(slru.victim(at(3), kAll), 2u);
+}
+
+TEST(SlruPolicy, ProtectedOverflowDemotes) {
+  SlruPolicy slru;
+  slru.set_capacity(4);  // protected cap 2
+  for (PageId p = 1; p <= 3; ++p) slru.on_insert(p, at(p, p));
+  slru.on_hit(1, at(4, 1));
+  slru.on_hit(2, at(5, 2));
+  EXPECT_EQ(slru.protected_size(), 2u);
+  slru.on_hit(3, at(6, 3));  // promotes 3, demotes LRU-protected (1)
+  EXPECT_EQ(slru.protected_size(), 2u);
+  // Demoted 1 sits at probation front; victim is still probation LRU = 1
+  // (only probation page).
+  EXPECT_EQ(slru.victim(at(7), kAll), 1u);
+}
+
+TEST(SlruPolicy, ScanResistance) {
+  // Hot pair {1,2} gets hit; a one-shot scan of pages 10..15 must not evict
+  // the protected hot pages under SLRU (while plain LRU would).
+  const auto run = [](const char* policy) {
+    RequestSequence seq{1, 2, 1, 2, 1, 2};
+    for (PageId p = 10; p <= 15; ++p) seq.push_back(p);
+    seq.push_back(1);
+    seq.push_back(2);
+    return single_core_policy_faults(seq, 4, make_policy_factory(policy));
+  };
+  const Count slru = run("slru");
+  const Count lru = run("lru");
+  EXPECT_LT(slru, lru);  // SLRU keeps 1 and 2 through the scan
+}
+
+TEST(SlruPolicy, FallsBackToProtectedWhenProbationEmpty) {
+  SlruPolicy slru;
+  slru.set_capacity(2);
+  slru.on_insert(1, at(0, 1));
+  slru.on_hit(1, at(1, 1));  // 1 protected, probation empty
+  EXPECT_EQ(slru.victim(at(2), kAll), 1u);
+}
+
+TEST(SlruPolicy, RemoveFromEitherSegment) {
+  SlruPolicy slru;
+  slru.set_capacity(4);
+  slru.on_insert(1, at(0, 1));
+  slru.on_insert(2, at(1, 2));
+  slru.on_hit(1, at(2, 1));
+  slru.on_remove(1);  // from protected
+  slru.on_remove(2);  // from probation
+  EXPECT_EQ(slru.size(), 0u);
+  EXPECT_EQ(slru.protected_size(), 0u);
+  EXPECT_THROW(slru.on_remove(1), ModelError);
+}
+
+TEST(RandomizedMarking, PicksUniformlyAmongUnmarked) {
+  MarkingPolicy mark(MarkingPolicy::TieBreak::kRandom, 99);
+  mark.on_insert(1, at(0, 1));
+  mark.on_insert(2, at(1, 2));
+  mark.on_insert(3, at(2, 3));
+  (void)mark.victim(at(3), kAll);  // phase reset: all unmarked
+  mark.on_hit(2, at(4, 2));        // 2 is marked again
+  std::set<PageId> seen;
+  for (int i = 0; i < 60; ++i) {
+    const PageId v = mark.victim(at(5), kAll);
+    EXPECT_TRUE(v == 1 || v == 3) << v;  // never the marked page
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 2u);  // both unmarked pages get picked eventually
+}
+
+TEST(RandomizedMarking, SameSeedSameChoices) {
+  MarkingPolicy a(MarkingPolicy::TieBreak::kRandom, 7);
+  MarkingPolicy b(MarkingPolicy::TieBreak::kRandom, 7);
+  for (PageId p = 1; p <= 6; ++p) {
+    a.on_insert(p, at(p, p));
+    b.on_insert(p, at(p, p));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.victim(at(9), kAll), b.victim(at(9), kAll));
+  }
+}
+
+TEST(RandomizedMarking, PhaseBoundStillHolds) {
+  // Any marking algorithm faults at most k times per phase: on a cyclic
+  // scan of k+1 pages with k cells, phases advance once per lap.
+  MarkingPolicy mark(MarkingPolicy::TieBreak::kRandom, 3);
+  // Simulate k=3 cells over pages {1,2,3,4} cyclically, 5 laps.
+  std::set<PageId> resident;
+  Time now = 0;
+  Count faults = 0;
+  for (int lap = 0; lap < 5; ++lap) {
+    for (PageId page = 1; page <= 4; ++page) {
+      ++now;
+      if (resident.contains(page)) {
+        mark.on_hit(page, at(now, page));
+        continue;
+      }
+      ++faults;
+      if (resident.size() == 3) {
+        const PageId victim = mark.victim(at(now), kAll);
+        ASSERT_NE(victim, kInvalidPage);
+        mark.on_remove(victim);
+        resident.erase(victim);
+      }
+      mark.on_insert(page, at(now, page));
+      resident.insert(page);
+    }
+  }
+  // Phase length is k distinct pages => at least ~4 laps' worth of phases,
+  // and faults <= k per phase + compulsory.
+  EXPECT_GE(mark.phases(), 4u);
+  EXPECT_LE(faults, 3u * (mark.phases() + 1) + 4u);
+}
+
+TEST(FitfPolicy, EvictsFurthestInFuture) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3, 1, 2});
+  FutureOracle oracle;
+  oracle.attach(rs);
+  FitfPolicy fitf(&oracle);
+  fitf.on_insert(1, at(0, 1));
+  fitf.on_insert(2, at(1, 2));
+  oracle.advance(0, 2);  // about to serve index 2 (page 3)
+  // next use: page 1 at index 3 (distance 1), page 2 at index 4 (distance 2).
+  EXPECT_EQ(fitf.victim(at(2), kAll), 2u);
+}
+
+TEST(FitfPolicy, NeverUsedAgainRanksFurthest) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3, 1, 3});
+  FutureOracle oracle;
+  oracle.attach(rs);
+  FitfPolicy fitf(&oracle);
+  fitf.on_insert(1, at(0, 1));
+  fitf.on_insert(2, at(1, 2));
+  oracle.advance(0, 2);
+  EXPECT_EQ(fitf.victim(at(2), kAll), 2u);  // page 2 never requested again
+}
+
+TEST(FutureOracle, PerCoreAndAnyCoreDistances) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 1});
+  rs.add_sequence(RequestSequence{2, 3});
+  FutureOracle oracle;
+  oracle.attach(rs);
+  EXPECT_EQ(oracle.next_use_in(0, 1), 0u);
+  EXPECT_EQ(oracle.next_use_in(0, 2), 1u);
+  EXPECT_EQ(oracle.next_use_in(1, 2), 0u);
+  EXPECT_EQ(oracle.next_use_in(1, 1), kNeverAgain);
+  EXPECT_EQ(oracle.next_use_any(2), 0u);
+  oracle.advance(0, 1);
+  oracle.advance(1, 1);
+  EXPECT_EQ(oracle.next_use_in(0, 1), 1u);   // index 2, pos 1
+  EXPECT_EQ(oracle.next_use_in(1, 2), kNeverAgain);
+  EXPECT_EQ(oracle.next_use_any(2), 0u);     // core 0's index-1 occurrence
+}
+
+TEST(FutureOracle, PositionsMustAdvance) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  FutureOracle oracle;
+  oracle.attach(rs);
+  oracle.advance(0, 1);
+  EXPECT_THROW(oracle.advance(0, 0), ModelError);
+}
+
+TEST(LruScanPolicy, MatchesListLruWithUniqueTimestamps) {
+  // Differential: both LRU implementations must agree decision-for-decision
+  // when timestamps are unique (single driver, strictly increasing time).
+  LruPolicy list_lru;
+  LruScanPolicy scan_lru;
+  Rng rng(314159);
+  std::set<PageId> tracked;
+  Time now = 0;
+  for (int step = 0; step < 4000; ++step) {
+    ++now;
+    const std::uint64_t op = tracked.empty() ? 0 : rng.below(4);
+    if (op == 0) {
+      PageId page = static_cast<PageId>(rng.below(500));
+      while (tracked.contains(page)) ++page;
+      list_lru.on_insert(page, at(now, page));
+      scan_lru.on_insert(page, at(now, page));
+      tracked.insert(page);
+    } else if (op == 1) {
+      auto it = tracked.begin();
+      std::advance(it, static_cast<long>(rng.below(tracked.size())));
+      list_lru.on_hit(*it, at(now, *it));
+      scan_lru.on_hit(*it, at(now, *it));
+    } else if (op == 2) {
+      auto it = tracked.begin();
+      std::advance(it, static_cast<long>(rng.below(tracked.size())));
+      list_lru.on_remove(*it);
+      scan_lru.on_remove(*it);
+      tracked.erase(it);
+    } else {
+      ASSERT_EQ(list_lru.victim(at(now), kAll), scan_lru.victim(at(now), kAll))
+          << "step=" << step;
+    }
+    ASSERT_EQ(list_lru.size(), scan_lru.size());
+  }
+}
+
+TEST(PolicyRegistry, BuildsEveryAdvertisedPolicy) {
+  for (const std::string& name : online_policy_names()) {
+    const PolicyFactory factory = make_policy_factory(name);
+    const auto policy = factory();
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->size(), 0u);
+  }
+}
+
+TEST(PolicyRegistry, CaseInsensitive) {
+  EXPECT_EQ(make_policy_factory("LRU")()->name(), "LRU");
+}
+
+TEST(PolicyRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_policy_factory("belady2000"), InputError);
+  EXPECT_THROW((void)make_policy_factory("fitf"), InputError);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,250 @@
+// Model-based differential tests: each production policy is driven through
+// long random operation sequences in lockstep with a deliberately naive
+// reference implementation; victims must match decision-for-decision
+// (deterministic policies) or remain within the tracked set (randomized).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "policies/policies.hpp"
+
+namespace mcp {
+namespace {
+
+AccessContext at(Time now, PageId page) {
+  return AccessContext{0, page, now, static_cast<std::size_t>(now)};
+}
+
+const EvictablePredicate kAll = [](PageId) { return true; };
+
+/// Naive LRU: vector ordered most-recent-first, linear operations.
+class NaiveLru {
+ public:
+  void insert(PageId page) { order_.insert(order_.begin(), page); }
+  void hit(PageId page) {
+    order_.erase(std::find(order_.begin(), order_.end(), page));
+    order_.insert(order_.begin(), page);
+  }
+  void remove(PageId page) {
+    order_.erase(std::find(order_.begin(), order_.end(), page));
+  }
+  [[nodiscard]] PageId victim() const {
+    return order_.empty() ? kInvalidPage : order_.back();
+  }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+ private:
+  std::vector<PageId> order_;
+};
+
+/// Naive FIFO: arrival order only.
+class NaiveFifo {
+ public:
+  void insert(PageId page) { order_.push_back(page); }
+  void remove(PageId page) {
+    order_.erase(std::find(order_.begin(), order_.end(), page));
+  }
+  [[nodiscard]] PageId victim() const {
+    return order_.empty() ? kInvalidPage : order_.front();
+  }
+
+ private:
+  std::vector<PageId> order_;
+};
+
+/// Drives random op sequences against tracked state.
+struct OpDriver {
+  Rng rng;
+  std::set<PageId> tracked;
+  Time now = 0;
+
+  explicit OpDriver(std::uint64_t seed) : rng(seed) {}
+
+  /// Returns the page for the next op: 0=insert new, 1=hit tracked,
+  /// 2=remove tracked, 3=victim query.
+  int next_op() {
+    if (tracked.empty()) return 0;
+    if (tracked.size() > 12) return static_cast<int>(1 + rng.below(3));
+    return static_cast<int>(rng.below(4));
+  }
+  PageId random_tracked() {
+    auto it = tracked.begin();
+    std::advance(it, static_cast<long>(rng.below(tracked.size())));
+    return *it;
+  }
+  PageId fresh_page() {
+    PageId page = static_cast<PageId>(rng.below(1000));
+    while (tracked.contains(page)) ++page;
+    return page;
+  }
+};
+
+TEST(PolicyModels, LruMatchesNaiveReference) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    LruPolicy lru;
+    NaiveLru naive;
+    OpDriver driver(seed);
+    for (int step = 0; step < 3000; ++step) {
+      ++driver.now;
+      switch (driver.next_op()) {
+        case 0: {
+          const PageId page = driver.fresh_page();
+          lru.on_insert(page, at(driver.now, page));
+          naive.insert(page);
+          driver.tracked.insert(page);
+          break;
+        }
+        case 1: {
+          const PageId page = driver.random_tracked();
+          lru.on_hit(page, at(driver.now, page));
+          naive.hit(page);
+          break;
+        }
+        case 2: {
+          const PageId page = driver.random_tracked();
+          lru.on_remove(page);
+          naive.remove(page);
+          driver.tracked.erase(page);
+          break;
+        }
+        default:
+          ASSERT_EQ(lru.victim(at(driver.now, kInvalidPage), kAll),
+                    naive.victim())
+              << "seed=" << seed << " step=" << step;
+      }
+      ASSERT_EQ(lru.size(), driver.tracked.size());
+    }
+  }
+}
+
+TEST(PolicyModels, FifoMatchesNaiveReference) {
+  for (std::uint64_t seed : {7u, 8u}) {
+    FifoPolicy fifo;
+    NaiveFifo naive;
+    OpDriver driver(seed);
+    for (int step = 0; step < 3000; ++step) {
+      ++driver.now;
+      switch (driver.next_op()) {
+        case 0: {
+          const PageId page = driver.fresh_page();
+          fifo.on_insert(page, at(driver.now, page));
+          naive.insert(page);
+          driver.tracked.insert(page);
+          break;
+        }
+        case 1: {
+          const PageId page = driver.random_tracked();
+          fifo.on_hit(page, at(driver.now, page));  // no-op for FIFO
+          break;
+        }
+        case 2: {
+          const PageId page = driver.random_tracked();
+          fifo.on_remove(page);
+          naive.remove(page);
+          driver.tracked.erase(page);
+          break;
+        }
+        default:
+          ASSERT_EQ(fifo.victim(at(driver.now, kInvalidPage), kAll),
+                    naive.victim())
+              << "seed=" << seed << " step=" << step;
+      }
+    }
+  }
+}
+
+/// Structural stress for the policies without a deterministic reference:
+/// victims must always be tracked, evictable, and removal must keep sizes
+/// consistent — across thousands of random ops.
+class PolicyStress : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyStress, VictimsAlwaysTrackedAndEvictable) {
+  FutureOracle oracle;  // for FITF
+  RequestSet oracle_rs;
+  {
+    RequestSequence seq;
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(1000)));
+    }
+    oracle_rs.add_sequence(std::move(seq));
+    oracle.attach(oracle_rs);
+  }
+
+  std::unique_ptr<EvictionPolicy> policy;
+  const std::string name = GetParam();
+  if (name == "fitf") {
+    policy = std::make_unique<FitfPolicy>(&oracle);
+  } else if (name == "clock") {
+    policy = std::make_unique<ClockPolicy>();
+  } else if (name == "lfu") {
+    policy = std::make_unique<LfuPolicy>();
+  } else if (name == "mru") {
+    policy = std::make_unique<MruPolicy>();
+  } else if (name == "random") {
+    policy = std::make_unique<RandomPolicy>(3);
+  } else {
+    policy = std::make_unique<MarkingPolicy>(MarkingPolicy::TieBreak::kRandom, 4);
+  }
+
+  OpDriver driver(42);
+  for (int step = 0; step < 3000; ++step) {
+    ++driver.now;
+    switch (driver.next_op()) {
+      case 0: {
+        const PageId page = driver.fresh_page();
+        policy->on_insert(page, at(driver.now, page));
+        driver.tracked.insert(page);
+        break;
+      }
+      case 1: {
+        const PageId page = driver.random_tracked();
+        policy->on_hit(page, at(driver.now, page));
+        break;
+      }
+      case 2: {
+        const PageId page = driver.random_tracked();
+        policy->on_remove(page);
+        driver.tracked.erase(page);
+        break;
+      }
+      default: {
+        // Randomly restrict evictability to a subset.
+        std::set<PageId> blocked;
+        for (PageId page : driver.tracked) {
+          if (driver.rng.chance(0.3)) blocked.insert(page);
+        }
+        const EvictablePredicate evictable = [&blocked](PageId page) {
+          return !blocked.contains(page);
+        };
+        const PageId victim =
+            policy->victim(at(driver.now, kInvalidPage), evictable);
+        if (blocked.size() == driver.tracked.size()) {
+          EXPECT_EQ(victim, kInvalidPage) << name << " step=" << step;
+        } else {
+          ASSERT_NE(victim, kInvalidPage) << name << " step=" << step;
+          EXPECT_TRUE(driver.tracked.contains(victim))
+              << name << " step=" << step;
+          EXPECT_FALSE(blocked.contains(victim)) << name << " step=" << step;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(policy->size(), driver.tracked.size()) << name;
+    for (PageId page : driver.tracked) {
+      ASSERT_TRUE(policy->contains(page)) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructural, PolicyStress,
+                         ::testing::Values("clock", "lfu", "mru", "random",
+                                           "mark-random", "fitf"));
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,147 @@
+// Tests for the Theorem 2 / Theorem 3 reductions and the certificate player
+// (hardness/reduction.hpp).  The headline check: a k-PARTITION solution,
+// played through the simulator as the proof's eviction schedule, meets every
+// per-sequence fault bound — with equality, as the proof computes.
+#include "hardness/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "offline/pif_solver.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+
+namespace mcp {
+namespace {
+
+KPartitionInstance tiny_yes_3partition() {
+  KPartitionInstance inst;
+  inst.values = {4, 4, 4};
+  inst.target = 12;
+  inst.group_size = 3;
+  return inst;
+}
+
+TEST(Reduction, InstanceShapeMatchesTheorem2) {
+  const KPartitionInstance source = tiny_yes_3partition();
+  const PifReduction red = reduce_kpartition_to_pif(source, /*tau=*/1);
+  EXPECT_EQ(red.pif.base.requests.num_cores(), 3u);
+  EXPECT_EQ(red.pif.base.cache_size, 4u);             // (4/3) * 3
+  EXPECT_EQ(red.pif.deadline, 12u * 2 + 4 + 5);       // B(tau+1)+4tau+5 = 33
+  for (CoreId i = 0; i < 3; ++i) {
+    EXPECT_EQ(red.pif.bounds[i], 12u - 4 + 4);        // B - s_i + 4
+    EXPECT_EQ(red.required_hits(i), 4u * 2 + 1);      // s_i(tau+1)+1
+    // Alternating two private pages.
+    const RequestSequence& seq = red.pif.base.requests.sequence(i);
+    EXPECT_EQ(seq[0], PifReduction::alpha(i));
+    EXPECT_EQ(seq[1], PifReduction::beta(i));
+    EXPECT_EQ(seq[2], PifReduction::alpha(i));
+  }
+  EXPECT_TRUE(red.pif.base.requests.is_disjoint());
+}
+
+class CertificateGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Time>> {};
+
+TEST_P(CertificateGrid, SolutionMeetsEveryBoundWithEquality) {
+  const auto [group_size, tau] = GetParam();
+  Rng rng(1000 + group_size * 10 + tau);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::uint32_t target = group_size == 3 ? 30 : 40;
+    const KPartitionInstance source = random_yes_instance(
+        rng, /*num_groups=*/2 + rng.below(2), group_size, target);
+    const auto solution = solve_kpartition(source);
+    ASSERT_TRUE(solution.has_value());
+
+    const PifReduction red = reduce_kpartition_to_pif(source, tau);
+    const RunStats stats = play_certificate(red, *solution);
+    for (CoreId i = 0; i < source.values.size(); ++i) {
+      EXPECT_EQ(stats.faults_before(i, red.pif.deadline), red.pif.bounds[i])
+          << "k=" << group_size << " tau=" << tau << " trial=" << trial
+          << " core=" << i;
+    }
+    EXPECT_TRUE(stats.within_bounds_at(red.pif.deadline, red.pif.bounds));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroupSizeTauGrid, CertificateGrid,
+    ::testing::Values(std::make_tuple(std::size_t{3}, Time{0}),
+                      std::make_tuple(std::size_t{3}, Time{1}),
+                      std::make_tuple(std::size_t{3}, Time{3}),
+                      std::make_tuple(std::size_t{3}, Time{7}),
+                      std::make_tuple(std::size_t{4}, Time{0}),
+                      std::make_tuple(std::size_t{4}, Time{1}),
+                      std::make_tuple(std::size_t{4}, Time{2}),
+                      std::make_tuple(std::size_t{4}, Time{5})));
+
+TEST(Reduction, CertificateRejectsNonSolutions) {
+  KPartitionInstance source;
+  source.values = {4, 4, 5, 4, 4, 5};
+  source.target = 13;
+  source.group_size = 3;
+  const PifReduction red = reduce_kpartition_to_pif(source, 1);
+  // {0,1,3} sums to 12, not 13: not a solution.
+  EXPECT_THROW((void)play_certificate(red, {{0, 1, 3}, {2, 4, 5}}), ModelError);
+}
+
+TEST(Reduction, WrongGroupingBlowsABound) {
+  // Playing the certificate mechanics on a grouping whose sums are off-B
+  // must violate at least one bound: the over-B group runs out of time.
+  // Build a yes-instance but group it wrongly (swap two unequal elements).
+  Rng rng(424242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const KPartitionInstance source =
+        random_yes_instance(rng, 2, 3, /*target=*/30);
+    const auto solution = solve_kpartition(source);
+    ASSERT_TRUE(solution.has_value());
+    auto groups = *solution;
+    // Find two groups with a pair of unequal elements and swap them.
+    std::size_t a = 0;
+    std::size_t b = 1;
+    bool found = false;
+    for (std::size_t i = 0; i < 3 && !found; ++i) {
+      for (std::size_t j = 0; j < 3 && !found; ++j) {
+        if (source.values[groups[0][i]] != source.values[groups[1][j]]) {
+          a = i;
+          b = j;
+          found = true;
+        }
+      }
+    }
+    if (!found) continue;  // all elements equal; wrong grouping impossible
+    std::swap(groups[0][a], groups[1][b]);
+
+    const PifReduction red = reduce_kpartition_to_pif(source, 1);
+    CertificateStrategy strategy(red, groups);
+    Simulator sim(red.pif.base.sim_config());
+    const RunStats stats = sim.run(red.pif.base.requests, strategy);
+    EXPECT_FALSE(stats.within_bounds_at(red.pif.deadline, red.pif.bounds))
+        << "trial=" << trial;
+  }
+}
+
+TEST(Reduction, SharedLruDoesNotMeetTheBounds) {
+  // The reduction is tight: an oblivious policy (shared LRU) burns the
+  // extra cells on whoever faults and misses the bounds.
+  const KPartitionInstance source = tiny_yes_3partition();
+  const PifReduction red = reduce_kpartition_to_pif(source, 1);
+  SharedStrategy lru(make_policy_factory("lru"));
+  Simulator sim(red.pif.base.sim_config());
+  const RunStats stats = sim.run(red.pif.base.requests, lru);
+  EXPECT_FALSE(stats.within_bounds_at(red.pif.deadline, red.pif.bounds));
+}
+
+TEST(Reduction, PifSolverAcceptsTinyYesInstance) {
+  // n=3 (a single triple) keeps Algorithm 2 within reach: B=12, tau=0.
+  const KPartitionInstance source = tiny_yes_3partition();
+  const PifReduction red = reduce_kpartition_to_pif(source, /*tau=*/0);
+  PifOptions options;
+  options.victim_rule = VictimRule::kAllPages;
+  const PifResult result = solve_pif(red.pif, options);
+  EXPECT_TRUE(result.feasible);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,117 @@
+// Unit tests for RequestSequence / RequestSet (core/request.hpp).
+#include "core/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace mcp {
+namespace {
+
+TEST(RequestSequence, BasicAccess) {
+  RequestSequence seq{1, 2, 3, 2};
+  EXPECT_EQ(seq.size(), 4u);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq[0], 1u);
+  EXPECT_EQ(seq[3], 2u);
+  EXPECT_EQ(seq.distinct_pages(), 3u);
+}
+
+TEST(RequestSequence, AppendRepeated) {
+  RequestSequence seq;
+  const std::vector<PageId> block = {5, 6};
+  seq.append_repeated(block, 3);
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(seq[0], 5u);
+  EXPECT_EQ(seq[1], 6u);
+  EXPECT_EQ(seq[4], 5u);
+  EXPECT_EQ(seq[5], 6u);
+}
+
+TEST(RequestSequence, AppendRepeatedZeroTimes) {
+  RequestSequence seq{1};
+  const std::vector<PageId> block = {5, 6};
+  seq.append_repeated(block, 0);
+  EXPECT_EQ(seq.size(), 1u);
+}
+
+TEST(RequestSet, Totals) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  rs.add_sequence(RequestSequence{4, 5});
+  EXPECT_EQ(rs.num_cores(), 2u);
+  EXPECT_EQ(rs.total_requests(), 5u);
+  EXPECT_EQ(rs.max_sequence_length(), 3u);
+  EXPECT_EQ(rs.page_bound(), 6u);
+}
+
+TEST(RequestSet, UniverseSortedUnique) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{3, 1, 3});
+  rs.add_sequence(RequestSequence{2, 1});
+  const std::vector<PageId> expected = {1, 2, 3};
+  EXPECT_EQ(rs.universe(), expected);
+}
+
+TEST(RequestSet, DisjointDetection) {
+  RequestSet disjoint;
+  disjoint.add_sequence(RequestSequence{1, 2, 1});
+  disjoint.add_sequence(RequestSequence{3, 4});
+  EXPECT_TRUE(disjoint.is_disjoint());
+
+  RequestSet shared;
+  shared.add_sequence(RequestSequence{1, 2});
+  shared.add_sequence(RequestSequence{2, 3});
+  EXPECT_FALSE(shared.is_disjoint());
+}
+
+TEST(RequestSet, RepeatsWithinOneSequenceStayDisjoint) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 1, 1, 1});
+  rs.add_sequence(RequestSequence{2});
+  EXPECT_TRUE(rs.is_disjoint());
+}
+
+TEST(RequestSet, OwnerMap) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{0, 2});
+  rs.add_sequence(RequestSequence{1});
+  const std::vector<CoreId> owners = rs.owner_map(4);
+  EXPECT_EQ(owners[0], 0u);
+  EXPECT_EQ(owners[1], 1u);
+  EXPECT_EQ(owners[2], 0u);
+  EXPECT_EQ(owners[3], kInvalidCore);
+}
+
+TEST(RequestSet, OwnerMapRejectsNonDisjoint) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{0});
+  rs.add_sequence(RequestSequence{0});
+  EXPECT_THROW((void)rs.owner_map(1), ModelError);
+}
+
+TEST(RequestSet, OwnerMapRejectsOutOfRangePage) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{9});
+  EXPECT_THROW((void)rs.owner_map(5), ModelError);
+}
+
+TEST(RequestSet, Describe) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2});
+  rs.add_sequence(RequestSequence{3});
+  EXPECT_EQ(rs.describe(), "p=2 n=3 (2/1)");
+}
+
+TEST(PageBlock, ProducesConsecutiveIds) {
+  const std::vector<PageId> block = page_block(10, 3);
+  const std::vector<PageId> expected = {10, 11, 12};
+  EXPECT_EQ(block, expected);
+}
+
+TEST(PageBlock, EmptyBlock) {
+  EXPECT_TRUE(page_block(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace mcp

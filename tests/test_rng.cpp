@@ -1,0 +1,117 @@
+// Unit tests for the deterministic RNG (core/rng.hpp).
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mcp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.below(0), ModelError);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.08);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.between(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(123);
+  Rng childA = parent.fork(1);
+  Rng childB = parent.fork(2);
+  Rng childA2 = Rng(123).fork(1);
+  EXPECT_NE(childA(), childB());
+  // Same parent seed + same salt => same child stream.
+  Rng childA_again = Rng(123).fork(1);
+  (void)childA2;
+  Rng childA_ref = Rng(123).fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(childA_again(), childA_ref());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Splitmix, KnownGoldenValues) {
+  // Reference values from the public-domain SplitMix64 implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t v1 = splitmix64(state);
+  const std::uint64_t v2 = splitmix64(state);
+  EXPECT_EQ(v1, 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(v2, 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace
+}  // namespace mcp

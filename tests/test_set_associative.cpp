@@ -1,0 +1,96 @@
+// Tests for the set-associative geometry strategy
+// (strategies/set_associative.hpp).
+#include "strategies/set_associative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::sim_config;
+
+TEST(SetAssociative, OneSetEqualsFullyAssociativeShared) {
+  // S = 1 is the fully associative shared cache: fault-for-fault identical
+  // to SharedStrategy with the same policy.
+  Rng rng(404040);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet rs = random_disjoint_workload(rng, 3, 6, 150);
+    const SimConfig cfg = sim_config(8, 1 + rng.below(3));
+    SetAssociativeStrategy sa(1, make_policy_factory("lru"));
+    SharedStrategy shared(make_policy_factory("lru"));
+    const RunStats a = simulate(cfg, rs, sa);
+    const RunStats b = simulate(cfg, rs, shared);
+    EXPECT_EQ(a.total_faults(), b.total_faults()) << "trial=" << trial;
+    for (CoreId j = 0; j < 3; ++j) {
+      EXPECT_EQ(a.core(j).fault_times, b.core(j).fault_times)
+          << "trial=" << trial << " core=" << j;
+    }
+  }
+}
+
+TEST(SetAssociative, DirectMappedConflictMisses) {
+  // Ways = 1: two pages with the same index bits thrash one cell even
+  // though the rest of the cache is idle.
+  RequestSet rs;
+  RequestSequence seq;
+  const std::vector<PageId> conflicting = {0, 8};  // 0 mod 8 == 8 mod 8
+  seq.append_repeated(conflicting, 40);
+  rs.add_sequence(std::move(seq));
+  SetAssociativeStrategy direct(8, make_policy_factory("lru"));
+  const RunStats stats = simulate(sim_config(8, 1), rs, direct);
+  EXPECT_EQ(stats.total_faults(), 80u);  // every request conflicts
+
+  // The fully associative cache holds both pages after warmup.
+  SharedStrategy shared(make_policy_factory("lru"));
+  EXPECT_EQ(simulate(sim_config(8, 1), rs, shared).total_faults(), 2u);
+}
+
+TEST(SetAssociative, AssociativityCurveShape) {
+  // Associativity curves are famously not strictly monotone (more ways can
+  // lose a hair to fewer on particular traces), so the test asserts the
+  // robust shape: near-monotone within 2% step to step, and the fully
+  // associative endpoint strictly no worse than direct-mapped.
+  Rng rng(515151);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 16, 800);
+  const SimConfig cfg = sim_config(16, 2);
+  Count direct = 0;
+  Count prev = ~Count{0};
+  Count full = 0;
+  for (std::size_t sets : {16u, 8u, 4u, 1u}) {  // ways 1, 2, 4, 16
+    SetAssociativeStrategy sa(sets, make_policy_factory("lru"));
+    const Count faults = simulate(cfg, rs, sa).total_faults();
+    if (sets == 16) direct = faults;
+    if (sets == 1) full = faults;
+    EXPECT_LE(faults, prev + prev / 50) << "sets=" << sets;  // within 2%
+    prev = faults;
+  }
+  EXPECT_LE(full, direct);
+}
+
+TEST(SetAssociative, ValidatesGeometry) {
+  EXPECT_THROW(SetAssociativeStrategy(0, make_policy_factory("lru")),
+               ModelError);
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  SetAssociativeStrategy bad(3, make_policy_factory("lru"));  // 8 % 3 != 0
+  EXPECT_THROW((void)simulate(sim_config(8, 0), rs, bad), ModelError);
+}
+
+TEST(SetAssociative, NameReportsGeometry) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1});
+  SetAssociativeStrategy sa(4, make_policy_factory("fifo"));
+  (void)simulate(sim_config(8, 0), rs, sa);
+  EXPECT_EQ(sa.name(), "SA[4x2]_FIFO");
+  EXPECT_EQ(sa.ways(), 2u);
+  EXPECT_EQ(sa.set_of(7), 3u);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,230 @@
+// Integration tests pinning down the simulator's model semantics
+// (core/simulator.hpp): tau delays, reserved cells, logical service order,
+// shared-fetch modes and observer event ordering.
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/shared.hpp"
+
+namespace mcp {
+namespace {
+
+SimConfig config(std::size_t k, Time tau) {
+  SimConfig cfg;
+  cfg.cache_size = k;
+  cfg.fault_penalty = tau;
+  return cfg;
+}
+
+SharedStrategy lru_strategy() {
+  return SharedStrategy(make_policy_factory("lru"));
+}
+
+TEST(Simulator, SingleCoreTimingWithTau) {
+  // K=2, tau=2, R = a b a c: faults at t=0,3,7 (hit at t=6), completion 9.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 1, 3});
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(2, 2), rs, strategy);
+
+  EXPECT_EQ(stats.core(0).faults, 3u);
+  EXPECT_EQ(stats.core(0).hits, 1u);
+  const std::vector<Time> expected_fault_times = {0, 3, 7};
+  EXPECT_EQ(stats.core(0).fault_times, expected_fault_times);
+  EXPECT_EQ(stats.core(0).completion_time, 9u);
+  EXPECT_EQ(stats.makespan(), 9u);
+}
+
+TEST(Simulator, TauZeroStillCostsOneStepPerRequest) {
+  // With tau=0 a fault still occupies its own step; page usable next step.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 1, 1});
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(1, 0), rs, strategy);
+  EXPECT_EQ(stats.core(0).faults, 1u);
+  EXPECT_EQ(stats.core(0).hits, 2u);
+  EXPECT_EQ(stats.core(0).completion_time, 2u);  // t=0 fault, t=1,2 hits
+}
+
+TEST(Simulator, AllHitsAfterWarmup) {
+  RequestSet rs;
+  RequestSequence seq;
+  const std::vector<PageId> block = {1, 2, 3};
+  seq.append_repeated(block, 10);
+  rs.add_sequence(std::move(seq));
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(3, 5), rs, strategy);
+  EXPECT_EQ(stats.core(0).faults, 3u);  // compulsory misses only
+  EXPECT_EQ(stats.core(0).hits, 27u);
+}
+
+TEST(Simulator, CoresProceedInParallel) {
+  // Two disjoint cores, each all-distinct: both finish as if alone.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  rs.add_sequence(RequestSequence{11, 12, 13});
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(8, 4), rs, strategy);
+  EXPECT_EQ(stats.core(0).faults, 3u);
+  EXPECT_EQ(stats.core(1).faults, 3u);
+  // Each fault takes tau+1 = 5 steps: issue times 0,5,10, finish 14.
+  EXPECT_EQ(stats.core(0).completion_time, 14u);
+  EXPECT_EQ(stats.core(1).completion_time, 14u);
+}
+
+TEST(Simulator, FaultDelaysOnlyTheFaultingCore) {
+  // Core 0 faults everything; core 1 hits after a single warm fault.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3, 4});        // all distinct
+  rs.add_sequence(RequestSequence{9, 9, 9, 9, 9, 9});  // one page
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(8, 3), rs, strategy);
+  EXPECT_EQ(stats.core(0).faults, 4u);
+  EXPECT_EQ(stats.core(1).faults, 1u);
+  EXPECT_EQ(stats.core(1).hits, 5u);
+  // Core 1: fault at 0 finishing at 3, then 5 hits at 4..8.
+  EXPECT_EQ(stats.core(1).completion_time, 8u);
+  // Core 0: faults at 0,4,8,12, finishing at 15.
+  EXPECT_EQ(stats.core(0).completion_time, 15u);
+}
+
+TEST(Simulator, LogicalOrderLowerCoreActsFirst) {
+  // K=2, tau=0.  At t=1 core 0 faults on page 3 and (LRU) evicts page 1,
+  // *then* core 1 requests page 2 — still present, so it hits.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 3});
+  rs.add_sequence(RequestSequence{2, 2});
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(2, 0), rs, strategy);
+  EXPECT_EQ(stats.core(0).faults, 2u);
+  EXPECT_EQ(stats.core(1).faults, 1u);
+  EXPECT_EQ(stats.core(1).hits, 1u);
+}
+
+TEST(Simulator, SharedFetchCountsAsFaultByDefault) {
+  // Both cores request the same page at t=0; second core joins the fetch
+  // but is charged a fault and the full tau delay.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{5});
+  rs.add_sequence(RequestSequence{5});
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(4, 7), rs, strategy);
+  EXPECT_EQ(stats.total_faults(), 2u);
+  EXPECT_EQ(stats.core(1).completion_time, 7u);
+}
+
+TEST(Simulator, SharedFetchJoinsFetchModeScoresHit) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{5});
+  rs.add_sequence(RequestSequence{5});
+  SimConfig cfg = config(4, 7);
+  cfg.shared_fetch = SharedFetchMode::kJoinsFetch;
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(cfg, rs, strategy);
+  EXPECT_EQ(stats.total_faults(), 1u);
+  EXPECT_EQ(stats.core(1).hits, 1u);
+  // Fetch lands at t=8; core 1 hits it that step.
+  EXPECT_EQ(stats.core(1).completion_time, 8u);
+}
+
+TEST(Simulator, EmptySequencesFinishImmediately) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{});
+  rs.add_sequence(RequestSequence{1});
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(config(2, 1), rs, strategy);
+  EXPECT_EQ(stats.core(0).requests, 0u);
+  EXPECT_EQ(stats.core(0).completion_time, 0u);
+  EXPECT_EQ(stats.core(1).faults, 1u);
+}
+
+TEST(Simulator, MaxStepsGuardFires) {
+  RequestSet rs;
+  RequestSequence seq;
+  const std::vector<PageId> block = {1, 2};
+  seq.append_repeated(block, 1000);
+  rs.add_sequence(std::move(seq));
+  SimConfig cfg = config(1, 0);
+  cfg.max_steps = 10;
+  SharedStrategy strategy = lru_strategy();
+  Simulator sim(cfg);
+  EXPECT_THROW((void)sim.run(rs, strategy), ModelError);
+}
+
+TEST(Simulator, FaultTimelineDisabledSkipsRecording) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  SimConfig cfg = config(2, 1);
+  cfg.record_fault_timeline = false;
+  SharedStrategy strategy = lru_strategy();
+  const RunStats stats = simulate(cfg, rs, strategy);
+  EXPECT_EQ(stats.core(0).faults, 3u);
+  EXPECT_TRUE(stats.core(0).fault_times.empty());
+}
+
+// Observer that records the order of events it sees.
+class EventLog : public SimObserver {
+ public:
+  void on_hit(const AccessContext& ctx) override {
+    log.push_back("hit c" + std::to_string(ctx.core) + " p" +
+                  std::to_string(ctx.page) + " t" + std::to_string(ctx.now));
+  }
+  void on_fault(const AccessContext& ctx) override {
+    log.push_back("fault c" + std::to_string(ctx.core) + " p" +
+                  std::to_string(ctx.page) + " t" + std::to_string(ctx.now));
+  }
+  void on_evict(PageId page, CoreId core, Time now, EvictionCause) override {
+    log.push_back("evict p" + std::to_string(page) + " by c" +
+                  std::to_string(core) + " t" + std::to_string(now));
+  }
+  std::vector<std::string> log;
+};
+
+TEST(Simulator, ObserverSeesEventsInModelOrder) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});  // K=2: third request evicts
+  SharedStrategy strategy = lru_strategy();
+  EventLog events;
+  Simulator sim(config(2, 0));
+  sim.add_observer(&events);
+  (void)sim.run(rs, strategy);
+  const std::vector<std::string> expected = {
+      "fault c0 p1 t0",
+      "fault c0 p2 t1",
+      "fault c0 p3 t2",
+      "evict p1 by c0 t2",
+  };
+  EXPECT_EQ(events.log, expected);
+}
+
+TEST(Simulator, DeterministicReplay) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 1, 3, 2, 1});
+  rs.add_sequence(RequestSequence{7, 8, 7, 9, 8, 7});
+  SharedStrategy s1 = lru_strategy();
+  SharedStrategy s2 = lru_strategy();
+  const RunStats a = simulate(config(3, 2), rs, s1);
+  const RunStats b = simulate(config(3, 2), rs, s2);
+  EXPECT_EQ(a.total_faults(), b.total_faults());
+  for (CoreId j = 0; j < 2; ++j) {
+    EXPECT_EQ(a.core(j).fault_times, b.core(j).fault_times);
+    EXPECT_EQ(a.core(j).completion_time, b.core(j).completion_time);
+  }
+}
+
+TEST(Simulator, RecordingStreamCapturesTrace) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  FixedStream inner(rs);
+  RecordingStream recorder(inner);
+  SharedStrategy strategy = lru_strategy();
+  Simulator sim(config(2, 1));
+  (void)sim.run_stream(recorder, strategy);
+  EXPECT_EQ(recorder.recorded(), rs);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,298 @@
+// Contract and invariant tests for the simulator: misbehaving strategies
+// must be rejected loudly, and bookkeeping invariants must hold across
+// randomized runs of every built-in strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/simulator.hpp"
+#include "offline/replay.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/adaptive_partition.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::sim_config;
+
+// ---------------------------------------------------------------------------
+// Misbehaving strategies are rejected.
+// ---------------------------------------------------------------------------
+
+/// Configurable bad actor for contract tests.
+class MisbehavingStrategy final : public CacheStrategy {
+ public:
+  enum class Mode {
+    kEvictAbsent,     ///< evicts a page that is not resident
+    kEvictIncoming,   ///< evicts the very page that is faulting in
+    kEvictTwice,      ///< returns the same victim twice
+    kNeverEvict,      ///< returns no victim even when the cache is full
+    kEvictFetching,   ///< evicts a page whose cell is still reserved
+  };
+  explicit MisbehavingStrategy(Mode mode) : mode_(mode) {}
+
+  void attach(const SimConfig& config, std::size_t /*num_cores*/,
+              const RequestSet* /*requests*/) override {
+    cache_size_ = config.cache_size;
+    lru_ = std::make_unique<LruPolicy>();
+    lru_->reset();
+  }
+  void on_hit(const AccessContext& ctx) override { lru_->on_hit(ctx.page, ctx); }
+  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
+                                             const CacheState& cache,
+                                             bool needs_cell) override {
+    if (!needs_cell) return {};
+    std::vector<PageId> evictions;
+    if (cache.occupied() == cache_size_) {
+      switch (mode_) {
+        case Mode::kEvictAbsent:
+          evictions.push_back(99999);
+          break;
+        case Mode::kEvictIncoming:
+          evictions.push_back(ctx.page);
+          break;
+        case Mode::kEvictTwice: {
+          const PageId victim = lru_->victim(
+              ctx, [&cache](PageId page) { return cache.contains(page); });
+          evictions = {victim, victim};
+          break;
+        }
+        case Mode::kNeverEvict:
+          break;
+        case Mode::kEvictFetching: {
+          // Pick a resident-but-not-present page (reserved cell) if any.
+          for (PageId page : cache.resident_pages()) {
+            if (!cache.contains(page)) {
+              evictions.push_back(page);
+              break;
+            }
+          }
+          if (evictions.empty()) {  // fall back to a legal victim
+            const PageId victim = lru_->victim(
+                ctx, [&cache](PageId page) { return cache.contains(page); });
+            lru_->on_remove(victim);
+            evictions.push_back(victim);
+          }
+          break;
+        }
+      }
+    }
+    if (lru_->contains(ctx.page)) lru_->on_remove(ctx.page);
+    lru_->on_insert(ctx.page, ctx);
+    return evictions;
+  }
+  [[nodiscard]] std::string name() const override { return "misbehaving"; }
+
+ private:
+  Mode mode_;
+  std::size_t cache_size_ = 0;
+  std::unique_ptr<LruPolicy> lru_;
+};
+
+class MisbehaviorRejected
+    : public ::testing::TestWithParam<MisbehavingStrategy::Mode> {};
+
+TEST_P(MisbehaviorRejected, SimulatorThrowsModelError) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3, 4, 1, 2});  // forces evictions
+  rs.add_sequence(RequestSequence{11, 12, 13, 14});
+  MisbehavingStrategy strategy(GetParam());
+  Simulator sim(sim_config(3, 2));
+  EXPECT_THROW((void)sim.run(rs, strategy), ModelError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, MisbehaviorRejected,
+    ::testing::Values(MisbehavingStrategy::Mode::kEvictAbsent,
+                      MisbehavingStrategy::Mode::kEvictIncoming,
+                      MisbehavingStrategy::Mode::kEvictTwice,
+                      MisbehavingStrategy::Mode::kNeverEvict));
+
+TEST(MisbehaviorFetching, EvictingReservedCellThrows) {
+  // Two cores so that a fault of core 1 can try to evict core 0's
+  // still-fetching page.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2});
+  rs.add_sequence(RequestSequence{11, 12, 13, 14});
+  MisbehavingStrategy strategy(MisbehavingStrategy::Mode::kEvictFetching);
+  Simulator sim(sim_config(2, 5));
+  EXPECT_THROW((void)sim.run(rs, strategy), ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// Replay error paths.
+// ---------------------------------------------------------------------------
+
+TEST(ReplayErrors, ScheduleTooShortThrows) {
+  OfflineInstance inst;
+  inst.requests.add_sequence(RequestSequence{1, 2, 3});
+  inst.cache_size = 1;
+  inst.tau = 0;
+  EXPECT_THROW((void)replay_schedule(inst, {kInvalidPage}), ModelError);
+}
+
+TEST(ReplayErrors, SkippingRequiredEvictionThrows) {
+  OfflineInstance inst;
+  inst.requests.add_sequence(RequestSequence{1, 2});
+  inst.cache_size = 1;
+  inst.tau = 0;
+  // Second fault requires an eviction; the schedule claims none needed.
+  EXPECT_THROW((void)replay_schedule(inst, {kInvalidPage, kInvalidPage}),
+               ModelError);
+}
+
+TEST(ReplayErrors, EvictingAbsentPageThrows) {
+  OfflineInstance inst;
+  inst.requests.add_sequence(RequestSequence{1, 2});
+  inst.cache_size = 1;
+  inst.tau = 0;
+  EXPECT_THROW((void)replay_schedule(inst, {kInvalidPage, 42}), ModelError);
+}
+
+TEST(ReplayErrors, ValidScheduleWorks) {
+  OfflineInstance inst;
+  inst.requests.add_sequence(RequestSequence{1, 2});
+  inst.cache_size = 1;
+  inst.tau = 0;
+  const RunStats stats = replay_schedule(inst, {kInvalidPage, 1});
+  EXPECT_EQ(stats.total_faults(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping invariants across strategies and workloads.
+// ---------------------------------------------------------------------------
+
+/// Observer checking event-level conservation laws during the run.
+class InvariantObserver final : public SimObserver {
+ public:
+  void on_hit(const AccessContext& ctx) override { ++events_; last_time_ok(ctx.now); }
+  void on_fault(const AccessContext& ctx) override {
+    ++events_;
+    ++faults_;
+    last_time_ok(ctx.now);
+  }
+  void on_evict(PageId, CoreId, Time now, EvictionCause) override {
+    ++evictions_;
+    last_time_ok(now);
+  }
+  void on_fetch_complete(PageId, CoreId, Time now) override {
+    ++completions_;
+    last_time_ok(now);
+  }
+  void last_time_ok(Time now) {
+    EXPECT_GE(now, last_seen_);
+    last_seen_ = now;
+  }
+
+  Count events_ = 0;
+  Count faults_ = 0;
+  Count evictions_ = 0;
+  Count completions_ = 0;
+  Time last_seen_ = 0;
+};
+
+enum class StrategyKind { kSharedLru, kSharedMark, kEvenPartition, kLemma3,
+                          kUtility, kFairness };
+
+std::unique_ptr<CacheStrategy> build(StrategyKind kind, std::size_t cache,
+                                     std::size_t cores) {
+  switch (kind) {
+    case StrategyKind::kSharedLru:
+      return std::make_unique<SharedStrategy>(make_policy_factory("lru"));
+    case StrategyKind::kSharedMark:
+      return std::make_unique<SharedStrategy>(make_policy_factory("mark"));
+    case StrategyKind::kEvenPartition:
+      return std::make_unique<StaticPartitionStrategy>(
+          even_partition(cache, cores), make_policy_factory("lru"));
+    case StrategyKind::kLemma3:
+      return std::make_unique<Lemma3DynamicPartition>();
+    case StrategyKind::kUtility:
+      return std::make_unique<UtilityPartitionStrategy>(
+          make_policy_factory("lru"), 64);
+    case StrategyKind::kFairness:
+      return std::make_unique<FairnessPartitionStrategy>(
+          make_policy_factory("lru"), 64);
+  }
+  return nullptr;
+}
+
+class ConservationLaws : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(ConservationLaws, HoldOnRandomWorkloads) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t cores = 2 + rng.below(3);
+    const std::size_t cache = 4 * cores;
+    const RequestSet rs = random_disjoint_workload(rng, cores, 6, 300);
+    const auto strategy = build(GetParam(), cache, cores);
+    InvariantObserver observer;
+    Simulator sim(sim_config(cache, 1 + rng.below(4)));
+    sim.add_observer(&observer);
+    const RunStats stats = sim.run(rs, *strategy);
+
+    // Every request accounted, exactly once.
+    EXPECT_EQ(stats.total_requests(), rs.total_requests());
+    EXPECT_EQ(stats.total_hits() + stats.total_faults(), stats.total_requests());
+    EXPECT_EQ(observer.events_, stats.total_requests());
+    EXPECT_EQ(observer.faults_, stats.total_faults());
+    // Disjoint input: every fault starts a fetch that completes.
+    EXPECT_EQ(observer.completions_, stats.total_faults());
+    // Cells: evictions never exceed faults plus voluntary repartitions...
+    // at minimum they can't exceed insertions.
+    EXPECT_LE(observer.evictions_, observer.faults_ + 64);
+
+    for (CoreId j = 0; j < cores; ++j) {
+      const CoreStats& c = stats.core(j);
+      EXPECT_EQ(c.fault_times.size(), c.faults);
+      EXPECT_TRUE(std::is_sorted(c.fault_times.begin(), c.fault_times.end()));
+      EXPECT_LE(c.completion_time, stats.makespan());
+      EXPECT_EQ(c.requests, rs.sequence(j).size());
+    }
+    EXPECT_GE(stats.end_time, stats.makespan());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ConservationLaws,
+    ::testing::Values(StrategyKind::kSharedLru, StrategyKind::kSharedMark,
+                      StrategyKind::kEvenPartition, StrategyKind::kLemma3,
+                      StrategyKind::kUtility, StrategyKind::kFairness));
+
+// ---------------------------------------------------------------------------
+// Fast-forward exactness with huge tau.
+// ---------------------------------------------------------------------------
+
+TEST(FastForward, HugeTauTimingIsExact) {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  SharedStrategy lru(make_policy_factory("lru"));
+  const RunStats stats = simulate(sim_config(4, 1000), rs, lru);
+  const std::vector<Time> expected = {0, 1001, 2002};
+  EXPECT_EQ(stats.core(0).fault_times, expected);
+  EXPECT_EQ(stats.core(0).completion_time, 3002u);
+}
+
+TEST(FastForward, MixedTauCoresInterleaveCorrectly) {
+  // Core 1's single page hits from t=1001 even while core 0 crawls.
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2});
+  RequestSequence ones;
+  const std::vector<PageId> solo = {9};
+  ones.append_repeated(solo, 5);
+  rs.add_sequence(std::move(ones));
+  SharedStrategy lru(make_policy_factory("lru"));
+  const RunStats stats = simulate(sim_config(4, 1000), rs, lru);
+  EXPECT_EQ(stats.core(1).faults, 1u);
+  EXPECT_EQ(stats.core(1).completion_time, 1004u);  // fault 0..1000, hits 1001..1004
+  EXPECT_EQ(stats.core(0).completion_time, 2001u);  // faults at 0 and 1001
+}
+
+}  // namespace
+}  // namespace mcp

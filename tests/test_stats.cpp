@@ -1,0 +1,109 @@
+// Unit tests for RunStats (core/stats.hpp): totals, PIF-style fault-vector
+// queries and fairness.
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace mcp {
+namespace {
+
+RunStats sample() {
+  RunStats stats(2);
+  CoreStats& c0 = stats.core(0);
+  c0.hits = 3;
+  c0.faults = 2;
+  c0.requests = 5;
+  c0.completion_time = 10;
+  c0.fault_times = {0, 6};
+  CoreStats& c1 = stats.core(1);
+  c1.hits = 1;
+  c1.faults = 1;
+  c1.requests = 2;
+  c1.completion_time = 4;
+  c1.fault_times = {0};
+  return stats;
+}
+
+TEST(RunStats, Totals) {
+  const RunStats stats = sample();
+  EXPECT_EQ(stats.total_faults(), 3u);
+  EXPECT_EQ(stats.total_hits(), 4u);
+  EXPECT_EQ(stats.total_requests(), 7u);
+  EXPECT_EQ(stats.makespan(), 10u);
+  EXPECT_DOUBLE_EQ(stats.overall_fault_rate(), 3.0 / 7.0);
+}
+
+TEST(RunStats, FaultsBeforeCountsStrictlyEarlierIssues) {
+  const RunStats stats = sample();
+  EXPECT_EQ(stats.faults_before(0, 0), 0u);
+  EXPECT_EQ(stats.faults_before(0, 1), 1u);
+  EXPECT_EQ(stats.faults_before(0, 6), 1u);
+  EXPECT_EQ(stats.faults_before(0, 7), 2u);
+  EXPECT_EQ(stats.faults_before(0, 1000), 2u);
+}
+
+TEST(RunStats, FaultVectorAt) {
+  const RunStats stats = sample();
+  const std::vector<Count> at1 = {1, 1};
+  const std::vector<Count> at7 = {2, 1};
+  EXPECT_EQ(stats.fault_vector_at(1), at1);
+  EXPECT_EQ(stats.fault_vector_at(7), at7);
+}
+
+TEST(RunStats, WithinBounds) {
+  const RunStats stats = sample();
+  EXPECT_TRUE(stats.within_bounds_at(7, {2, 1}));
+  EXPECT_FALSE(stats.within_bounds_at(7, {1, 1}));
+  EXPECT_TRUE(stats.within_bounds_at(7, {5, 5}));
+}
+
+TEST(RunStats, WithinBoundsRejectsWrongSize) {
+  const RunStats stats = sample();
+  EXPECT_THROW((void)stats.within_bounds_at(7, {1}), ModelError);
+}
+
+TEST(RunStats, FaultsBeforeRequiresTimeline) {
+  RunStats stats(1);
+  stats.core(0).faults = 2;  // but no fault_times recorded
+  EXPECT_THROW((void)stats.faults_before(0, 1), ModelError);
+}
+
+TEST(RunStats, JainFairnessPerfectlyFair) {
+  RunStats stats(2);
+  for (CoreId j = 0; j < 2; ++j) {
+    stats.core(j).requests = 10;
+    stats.core(j).completion_time = 9;  // all hits: ideal
+  }
+  EXPECT_NEAR(stats.jain_fairness(), 1.0, 1e-12);
+}
+
+TEST(RunStats, JainFairnessUnfairRun) {
+  RunStats stats(2);
+  stats.core(0).requests = 10;
+  stats.core(0).completion_time = 9;   // slowdown 1
+  stats.core(1).requests = 10;
+  stats.core(1).completion_time = 90;  // slowdown 10
+  const double jain = stats.jain_fairness();
+  EXPECT_LT(jain, 0.65);
+  EXPECT_GE(jain, 0.5);  // floor is 1/p = 0.5
+}
+
+TEST(RunStats, ReportMentionsCounts) {
+  const std::string report = sample().report("label");
+  EXPECT_NE(report.find("label"), std::string::npos);
+  EXPECT_NE(report.find("faults=3"), std::string::npos);
+  EXPECT_NE(report.find("core 1"), std::string::npos);
+}
+
+TEST(RunStats, EmptyStatsAreSane) {
+  RunStats stats(0);
+  EXPECT_EQ(stats.total_faults(), 0u);
+  EXPECT_EQ(stats.makespan(), 0u);
+  EXPECT_DOUBLE_EQ(stats.overall_fault_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.jain_fairness(), 1.0);
+}
+
+}  // namespace
+}  // namespace mcp

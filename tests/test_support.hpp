@@ -1,0 +1,53 @@
+// Shared helpers for mcpaging tests: small random workload builders used by
+// property tests (the workload library proper lives in src/workload; these
+// are deliberately tiny and independent so core tests don't depend on it).
+#pragma once
+
+#include "core/request.hpp"
+#include "core/rng.hpp"
+#include "core/strategy.hpp"
+
+namespace mcp::testing {
+
+/// Random disjoint request set: core j draws uniformly from its own block of
+/// `pages_per_core` page ids.
+inline RequestSet random_disjoint_workload(Rng& rng, std::size_t num_cores,
+                                           std::size_t pages_per_core,
+                                           std::size_t requests_per_core) {
+  RequestSet rs;
+  for (std::size_t j = 0; j < num_cores; ++j) {
+    RequestSequence seq;
+    const PageId base = static_cast<PageId>(j * pages_per_core);
+    for (std::size_t i = 0; i < requests_per_core; ++i) {
+      seq.push_back(base + static_cast<PageId>(rng.below(pages_per_core)));
+    }
+    rs.add_sequence(std::move(seq));
+  }
+  return rs;
+}
+
+/// Random request set where all cores share one page universe (non-disjoint
+/// with high probability).
+inline RequestSet random_shared_workload(Rng& rng, std::size_t num_cores,
+                                         std::size_t universe,
+                                         std::size_t requests_per_core) {
+  RequestSet rs;
+  for (std::size_t j = 0; j < num_cores; ++j) {
+    RequestSequence seq;
+    for (std::size_t i = 0; i < requests_per_core; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(universe)));
+    }
+    rs.add_sequence(std::move(seq));
+  }
+  return rs;
+}
+
+/// SimConfig shorthand.
+inline SimConfig sim_config(std::size_t cache_size, Time tau) {
+  SimConfig cfg;
+  cfg.cache_size = cache_size;
+  cfg.fault_penalty = tau;
+  return cfg;
+}
+
+}  // namespace mcp::testing

@@ -1,0 +1,151 @@
+// Unit tests for mcptrace text serialization (core/trace_io.hpp).
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mcp {
+namespace {
+
+RequestSet sample() {
+  RequestSet rs;
+  rs.add_sequence(RequestSequence{1, 2, 3});
+  rs.add_sequence(RequestSequence{});
+  rs.add_sequence(RequestSequence{7, 7});
+  return rs;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const RequestSet original = sample();
+  std::stringstream ss;
+  write_trace(ss, original);
+  const RequestSet loaded = read_trace(ss);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceIo, WrittenFormatIsStable) {
+  std::stringstream ss;
+  write_trace(ss, sample());
+  EXPECT_EQ(ss.str(),
+            "mcptrace 1\n"
+            "cores 3\n"
+            "seq 0 3 1 2 3\n"
+            "seq 1 0\n"
+            "seq 2 2 7 7\n");
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# a comment\n"
+      "\n"
+      "mcptrace 1\n"
+      "# another\n"
+      "cores 1\n"
+      "seq 0 2 4 5\n");
+  const RequestSet rs = read_trace(ss);
+  EXPECT_EQ(rs.num_cores(), 1u);
+  EXPECT_EQ(rs.sequence(0).size(), 2u);
+}
+
+TEST(TraceIo, SequencesInAnyOrder) {
+  std::stringstream ss(
+      "mcptrace 1\ncores 2\nseq 1 1 9\nseq 0 1 8\n");
+  const RequestSet rs = read_trace(ss);
+  EXPECT_EQ(rs.sequence(0)[0], 8u);
+  EXPECT_EQ(rs.sequence(1)[0], 9u);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss("cores 1\nseq 0 0\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream ss("mcptrace 2\ncores 1\nseq 0 0\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsMissingSequence) {
+  std::stringstream ss("mcptrace 1\ncores 2\nseq 0 0\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsDuplicateSequence) {
+  std::stringstream ss("mcptrace 1\ncores 1\nseq 0 0\nseq 0 0\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsCoreOutOfRange) {
+  std::stringstream ss("mcptrace 1\ncores 1\nseq 1 0\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsShortSequence) {
+  std::stringstream ss("mcptrace 1\ncores 1\nseq 0 3 1 2\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsLongSequence) {
+  std::stringstream ss("mcptrace 1\ncores 1\nseq 0 1 1 2\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIo, RejectsUnknownKeyword) {
+  std::stringstream ss("mcptrace 1\ncores 1\nbogus\n");
+  EXPECT_THROW((void)read_trace(ss), InputError);
+}
+
+TEST(TraceIoPairs, ParsesInterleavedPairs) {
+  std::stringstream ss(
+      "# core page\n"
+      "0 10\n"
+      "1 20\n"
+      "0 11\n"
+      "\n"
+      "1 21\n"
+      "0 10\n");
+  const RequestSet rs = read_trace_pairs(ss);
+  ASSERT_EQ(rs.num_cores(), 2u);
+  EXPECT_EQ(rs.sequence(0), (RequestSequence{10, 11, 10}));
+  EXPECT_EQ(rs.sequence(1), (RequestSequence{20, 21}));
+}
+
+TEST(TraceIoPairs, UnmentionedCoresGetEmptySequences) {
+  std::stringstream ss("2 5\n");
+  const RequestSet rs = read_trace_pairs(ss);
+  ASSERT_EQ(rs.num_cores(), 3u);
+  EXPECT_TRUE(rs.sequence(0).empty());
+  EXPECT_TRUE(rs.sequence(1).empty());
+  EXPECT_EQ(rs.sequence(2).size(), 1u);
+}
+
+TEST(TraceIoPairs, RejectsMalformedLines) {
+  {
+    std::stringstream ss("0\n");
+    EXPECT_THROW((void)read_trace_pairs(ss), InputError);
+  }
+  {
+    std::stringstream ss("0 1 2\n");
+    EXPECT_THROW((void)read_trace_pairs(ss), InputError);
+  }
+  {
+    std::stringstream ss("");
+    EXPECT_THROW((void)read_trace_pairs(ss), InputError);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/mcp_trace_test.txt";
+  save_trace(path, sample());
+  EXPECT_EQ(load_trace(path), sample());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/definitely/missing.txt"), InputError);
+}
+
+}  // namespace
+}  // namespace mcp

@@ -1,0 +1,182 @@
+// Tests for the synthetic workload generators (workload/workload.hpp).
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace mcp {
+namespace {
+
+CoreWorkload basic(AccessPattern pattern, std::size_t pages = 16,
+                   std::size_t length = 500) {
+  CoreWorkload core;
+  core.pattern = pattern;
+  core.num_pages = pages;
+  core.length = length;
+  return core;
+}
+
+TEST(Workload, DeterministicBySeed) {
+  const WorkloadSpec spec =
+      homogeneous_spec(3, basic(AccessPattern::kZipf), true, 99);
+  EXPECT_EQ(make_workload(spec), make_workload(spec));
+  WorkloadSpec other = spec;
+  other.seed = 100;
+  EXPECT_NE(make_workload(spec), make_workload(other));
+}
+
+TEST(Workload, CoresGetIndependentStreams) {
+  const WorkloadSpec spec =
+      homogeneous_spec(2, basic(AccessPattern::kUniform), false, 7);
+  const RequestSet rs = make_workload(spec);
+  EXPECT_NE(rs.sequence(0), rs.sequence(1));
+}
+
+TEST(Workload, LengthsAndRanges) {
+  for (AccessPattern pattern :
+       {AccessPattern::kUniform, AccessPattern::kZipf,
+        AccessPattern::kWorkingSet, AccessPattern::kScan, AccessPattern::kLoop}) {
+    const WorkloadSpec spec = homogeneous_spec(2, basic(pattern, 16, 300), true);
+    const RequestSet rs = make_workload(spec);
+    ASSERT_EQ(rs.num_cores(), 2u);
+    for (CoreId j = 0; j < 2; ++j) {
+      EXPECT_EQ(rs.sequence(j).size(), 300u) << to_string(pattern);
+      for (PageId page : rs.sequence(j)) {
+        EXPECT_GE(page, j * 16u) << to_string(pattern);
+        EXPECT_LT(page, (j + 1) * 16u) << to_string(pattern);
+      }
+    }
+    EXPECT_TRUE(rs.is_disjoint()) << to_string(pattern);
+  }
+}
+
+TEST(Workload, SharedUniverseOverlaps) {
+  const WorkloadSpec spec =
+      homogeneous_spec(3, basic(AccessPattern::kUniform, 8, 200), false);
+  const RequestSet rs = make_workload(spec);
+  EXPECT_FALSE(rs.is_disjoint());
+  EXPECT_LE(rs.page_bound(), 8u);
+}
+
+TEST(Workload, ZipfIsSkewed) {
+  Rng rng(5);
+  const CoreWorkload core = basic(AccessPattern::kZipf, 32, 5000);
+  const RequestSequence seq = generate_sequence(core, 0, rng);
+  std::map<PageId, int> counts;
+  for (PageId page : seq) ++counts[page];
+  int top = 0;
+  for (const auto& [page, count] : counts) top = std::max(top, count);
+  // Zipf(0.8) over 32 pages: the most popular page takes a large share,
+  // far above the uniform 5000/32 ~ 156.
+  EXPECT_GT(top, 400);
+}
+
+TEST(Workload, ZipfAlphaZeroIsUniform) {
+  Rng rng(6);
+  CoreWorkload core = basic(AccessPattern::kZipf, 8, 8000);
+  core.zipf_alpha = 0.0;
+  const RequestSequence seq = generate_sequence(core, 0, rng);
+  std::map<PageId, int> counts;
+  for (PageId page : seq) ++counts[page];
+  for (const auto& [page, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150);
+  }
+}
+
+TEST(Workload, WorkingSetPhasesAreSmall) {
+  Rng rng(8);
+  CoreWorkload core = basic(AccessPattern::kWorkingSet, 64, 512);
+  core.working_set = 4;
+  core.phase_length = 64;
+  const RequestSequence seq = generate_sequence(core, 0, rng);
+  for (std::size_t phase = 0; phase < 8; ++phase) {
+    std::set<PageId> distinct;
+    for (std::size_t i = phase * 64; i < (phase + 1) * 64; ++i) {
+      distinct.insert(seq[i]);
+    }
+    EXPECT_LE(distinct.size(), 4u) << "phase " << phase;
+  }
+}
+
+TEST(Workload, ScanSweepsSequentially) {
+  Rng rng(9);
+  const RequestSequence seq =
+      generate_sequence(basic(AccessPattern::kScan, 5, 12), 10, rng);
+  const RequestSequence expected{10, 11, 12, 13, 14, 10, 11, 12, 13, 14, 10, 11};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(Workload, LoopCycles) {
+  Rng rng(10);
+  CoreWorkload core = basic(AccessPattern::kLoop, 16, 9);
+  core.loop_length = 3;
+  const RequestSequence seq = generate_sequence(core, 0, rng);
+  const RequestSequence expected{0, 1, 2, 0, 1, 2, 0, 1, 2};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(Workload, MarkovWalkStaysInRangeAndIsLocal) {
+  Rng rng(21);
+  CoreWorkload core = basic(AccessPattern::kMarkov, 64, 2000);
+  core.markov_locality = 0.95;
+  const RequestSequence seq = generate_sequence(core, 100, rng);
+  ASSERT_EQ(seq.size(), 2000u);
+  std::size_t neighbour_steps = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_GE(seq[i], 100u);
+    EXPECT_LT(seq[i], 164u);
+    if (i > 0) {
+      const auto delta = seq[i] > seq[i - 1] ? seq[i] - seq[i - 1]
+                                             : seq[i - 1] - seq[i];
+      if (delta == 1 || delta == 63) ++neighbour_steps;  // wrap counts
+    }
+  }
+  // ~95% of transitions should be single-page steps.
+  EXPECT_GT(neighbour_steps, 1700u);
+}
+
+TEST(Workload, MarkovLocalityZeroIsUniformish) {
+  Rng rng(22);
+  CoreWorkload core = basic(AccessPattern::kMarkov, 8, 4000);
+  core.markov_locality = 0.0;
+  const RequestSequence seq = generate_sequence(core, 0, rng);
+  std::map<PageId, int> counts;
+  for (PageId page : seq) ++counts[page];
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [page, count] : counts) EXPECT_NEAR(count, 500, 120);
+}
+
+TEST(Workload, MarkovRejectsBadLocality) {
+  Rng rng(23);
+  CoreWorkload core = basic(AccessPattern::kMarkov, 8, 10);
+  core.markov_locality = 1.5;
+  EXPECT_THROW((void)generate_sequence(core, 0, rng), ModelError);
+}
+
+TEST(Workload, ZipfSamplerBounds) {
+  ZipfSampler zipf(10, 1.2);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 10u);
+  EXPECT_THROW(ZipfSampler(0, 1.0), ModelError);
+}
+
+TEST(Workload, RejectsEmptySpecs) {
+  WorkloadSpec empty;
+  EXPECT_THROW((void)make_workload(empty), ModelError);
+  Rng rng(1);
+  CoreWorkload zero;
+  zero.num_pages = 0;
+  EXPECT_THROW((void)generate_sequence(zero, 0, rng), ModelError);
+}
+
+TEST(Workload, PatternNames) {
+  EXPECT_EQ(to_string(AccessPattern::kUniform), "uniform");
+  EXPECT_EQ(to_string(AccessPattern::kWorkingSet), "working-set");
+}
+
+}  // namespace
+}  // namespace mcp
