@@ -55,18 +55,27 @@ int main() {
   double fitf_max = 0.0;
   double best_online_mean = 1e9;
   bool all_sane = true;
-  for (const char* name : {"lru", "fifo", "clock", "lfu", "mark",
-                           "mark-random"}) {
-    const CompetitiveReport report =
-        measure_competitive_ratio(shared_policy(name), random_tiny, kTrials);
+  // The policy grid rides the sweep engine too: each cell is a full
+  // measure_competitive_ratio batch (itself a nested sweep of its trials).
+  const std::vector<std::string> policies = {"lru",  "fifo", "clock",
+                                             "lfu",  "mark", "mark-random"};
+  SweepRunner sweep;
+  const std::vector<CompetitiveReport> reports =
+      sweep.run(policies.size(), [&](std::size_t i, Rng& /*rng*/) {
+        return measure_competitive_ratio(shared_policy(policies[i].c_str()),
+                                         random_tiny, kTrials);
+      });
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const CompetitiveReport& report = reports[i];
     all_sane = all_sane && report.max_ratio >= 1.0 - 1e-9;
     best_online_mean = std::min(best_online_mean, report.mean_ratio);
-    bench::cell(std::string("S_") + name);
+    bench::cell("S_" + policies[i]);
     bench::cell(report.mean_ratio);
     bench::cell(report.max_ratio);
     bench::cell(static_cast<std::uint64_t>(report.optimal_hits));
     bench::end_row();
   }
+  bench::sweep_json("E16.policy_grid", sweep.last_timing());
   {
     const CompetitiveReport report = measure_competitive_ratio(
         [] { return SharedStrategy::fitf(); }, random_tiny, kTrials);

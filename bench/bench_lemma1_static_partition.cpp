@@ -21,28 +21,6 @@ namespace {
 
 using namespace mcp;
 
-double adversarial_ratio(const Partition& partition, const std::string& policy,
-                         std::size_t requests_per_core) {
-  const CoreId victim = static_cast<CoreId>(
-      std::max_element(partition.begin(), partition.end()) - partition.begin());
-  Lemma1AdversaryStream adversary(partition.size(), victim,
-                                  partition[victim] + 1, requests_per_core);
-  RecordingStream recorder(adversary);
-  StaticPartitionStrategy strategy(partition, make_policy_factory(policy));
-  std::size_t cache = 0;
-  for (std::size_t k : partition) cache += k;
-  SimConfig cfg;
-  cfg.cache_size = cache;
-  cfg.fault_penalty = 1;
-  Simulator sim(cfg);
-  const Count online = sim.run_stream(recorder, strategy, nullptr).total_faults();
-  Count opt = 0;
-  for (CoreId j = 0; j < partition.size(); ++j) {
-    opt += belady_faults(recorder.recorded().sequence(j), partition[j]);
-  }
-  return static_cast<double>(online) / static_cast<double>(opt);
-}
-
 double random_workload_ratio(const Partition& partition,
                              const std::string& policy, std::uint64_t seed) {
   CoreWorkload core;
@@ -71,14 +49,20 @@ int main() {
 
   std::printf("Lower bound (adaptive adversary, p=2, n/core=600):\n");
   bench::columns({"max_k", "LRU", "FIFO", "CLOCK", "MARK"});
+  // The adversarial fault curves are constructed by the parallel sweep in
+  // lemma1_fault_curve (one independent simulation per k_max cell).
+  const std::vector<std::size_t> k_values = {2, 4, 8, 12, 16};
+  std::vector<std::vector<AdversaryCurvePoint>> curves;
+  for (const char* policy : {"lru", "fifo", "clock", "mark"}) {
+    curves.push_back(lemma1_fault_curve(k_values, policy, 600));
+  }
   std::vector<double> lru_series;
-  for (std::size_t kmax : {2u, 4u, 8u, 12u, 16u}) {
-    const Partition partition = {kmax, 2};
-    bench::cell(static_cast<std::uint64_t>(kmax));
-    for (const char* policy : {"lru", "fifo", "clock", "mark"}) {
-      const double ratio = adversarial_ratio(partition, policy, 600);
+  for (std::size_t row = 0; row < k_values.size(); ++row) {
+    bench::cell(static_cast<std::uint64_t>(k_values[row]));
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      const double ratio = curves[c][row].ratio();
       bench::cell(ratio);
-      if (std::string(policy) == "lru") lru_series.push_back(ratio);
+      if (c == 0) lru_series.push_back(ratio);
     }
     bench::end_row();
   }

@@ -70,33 +70,56 @@ int main() {
                 "lower-bounds the online policies per strategy");
 
   bool fitf_wins = true;
+  const std::vector<std::string> policies = {"lru",  "slru",   "fifo",
+                                             "clock", "lfu",   "mru",
+                                             "random", "mark", "mark-random"};
+  // One row of the policy grid: every strategy family run on one policy.
+  struct ShootoutRow {
+    double shared_rate = 0.0;
+    double shared_jain = 0.0;
+    double even_rate = 0.0;
+    double dynamic_rate = -1.0;  ///< < 0: not measured for this policy
+  };
   for (const char* wl : {"zipf", "phases", "scan", "mixed"}) {
     const RequestSet rs = workload_named(wl, p, 1234);
     std::printf("workload: %s  (n=%zu)\n", wl, rs.total_requests());
     bench::columns({"policy", "S_A rate", "S_A jain", "sP_even", "dP_lemma3"});
     double fitf_shared = 1.0;
     double best_online_shared = 1.0;
-    for (const char* policy : {"lru", "slru", "fifo", "clock", "lfu", "mru",
-                               "random", "mark", "mark-random"}) {
-      SharedStrategy shared(make_policy_factory(policy, 99));
-      const RunStats s = simulate(cfg, rs, shared);
-      StaticPartitionStrategy even(even_partition(K, p),
-                                   make_policy_factory(policy, 99));
-      const RunStats e = simulate(cfg, rs, even);
-      bench::cell(std::string(policy));
-      bench::cell(s.overall_fault_rate());
-      bench::cell(s.jain_fairness());
-      bench::cell(e.overall_fault_rate());
-      if (std::string(policy) == "lru") {
-        Lemma3DynamicPartition dynamic;
-        const RunStats d = simulate(cfg, rs, dynamic);
-        bench::cell(d.overall_fault_rate());
+    // The policy x strategy grid cells are independent simulations: sweep
+    // them on the shared pool and print the rows in policy order.
+    SweepRunner sweep;
+    const std::vector<ShootoutRow> rows =
+        sweep.run(policies.size(), [&](std::size_t i, Rng& /*rng*/) {
+          const std::string& policy = policies[i];
+          ShootoutRow row;
+          SharedStrategy shared(make_policy_factory(policy, 99));
+          const RunStats s = simulate(cfg, rs, shared);
+          row.shared_rate = s.overall_fault_rate();
+          row.shared_jain = s.jain_fairness();
+          StaticPartitionStrategy even(even_partition(K, p),
+                                       make_policy_factory(policy, 99));
+          row.even_rate = simulate(cfg, rs, even).overall_fault_rate();
+          if (policy == "lru") {
+            Lemma3DynamicPartition dynamic;
+            row.dynamic_rate = simulate(cfg, rs, dynamic).overall_fault_rate();
+          }
+          return row;
+        });
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      bench::cell(policies[i]);
+      bench::cell(rows[i].shared_rate);
+      bench::cell(rows[i].shared_jain);
+      bench::cell(rows[i].even_rate);
+      if (rows[i].dynamic_rate >= 0.0) {
+        bench::cell(rows[i].dynamic_rate);
       } else {
         bench::cell(std::string("-"));
       }
       bench::end_row();
-      best_online_shared = std::min(best_online_shared, s.overall_fault_rate());
+      best_online_shared = std::min(best_online_shared, rows[i].shared_rate);
     }
+    bench::sweep_json(std::string("E12.") + wl, sweep.last_timing());
     auto fitf = SharedStrategy::fitf();
     const RunStats f = simulate(cfg, rs, *fitf);
     fitf_shared = f.overall_fault_rate();

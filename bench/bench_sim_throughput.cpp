@@ -1,13 +1,17 @@
 // Experiment E13 — engine microbenchmarks (google-benchmark): simulator
 // request throughput across core counts, cache sizes, eviction policies and
 // strategy families, plus the victim-selection ablation (list-backed LRU vs
-// scan-based LFU) and the offline solver's cost per state.
+// scan-based LFU), the offline solver's cost per state, and the parallel
+// sweep engine's cells/sec across worker counts (the repo's perf baseline;
+// pass --benchmark_format=json to capture the counters machine-readably).
 #include <benchmark/benchmark.h>
 
 #include "core/simulator.hpp"
+#include "core/sweep.hpp"
 #include "offline/ftf_solver.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/dynamic_partition.hpp"
+#include "strategies/partition.hpp"
 #include "strategies/shared.hpp"
 #include "strategies/static_partition.hpp"
 #include "workload/workload.hpp"
@@ -122,6 +126,39 @@ void BM_BigFleetThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(rs.total_requests()));
 }
 
+void BM_PartitionSweep(benchmark::State& state) {
+  // The sweep engine's perf baseline: simulate every static partition of
+  // K=16 over p=3 cores (105 cells) on the pool, at the worker cap given by
+  // the benchmark argument (0 = all hardware workers).  The cells/sec and
+  // wall-clock counters come straight from the SweepRunner timing that the
+  // table benches also emit, so the JSON output doubles as the baseline.
+  const std::size_t max_threads = static_cast<std::size_t>(state.range(0));
+  const RequestSet rs = zipf_workload(3, 48, 1500, 11);
+  SimConfig cfg;
+  cfg.cache_size = 16;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  const PolicyFactory lru = make_policy_factory("lru");
+  const std::vector<Partition> grid = enumerate_partitions(16, 3, 1);
+  std::size_t cells = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    SweepRunner sweep(SweepOptions{/*master_seed=*/13, max_threads});
+    const std::vector<Count> faults =
+        sweep.run(grid.size(), [&](std::size_t i, Rng& /*rng*/) {
+          StaticPartitionStrategy strategy(grid[i], lru);
+          return simulate(cfg, rs, strategy).total_faults();
+        });
+    benchmark::DoNotOptimize(faults.data());
+    cells += sweep.last_timing().cells;
+    wall += sweep.last_timing().wall_seconds;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["cells_per_sec"] =
+      benchmark::Counter(static_cast<double>(cells), benchmark::Counter::kIsRate);
+  state.counters["sweep_wall_s"] = wall;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SharedPolicy, lru, "lru")->Arg(2)->Arg(4)->Arg(8);
@@ -135,5 +172,7 @@ BENCHMARK(BM_Lemma3Dynamic)->Arg(4);
 BENCHMARK(BM_SharedFitf);
 BENCHMARK(BM_FtfSolver)->Arg(8)->Arg(16)->Arg(32);
 BENCHMARK(BM_BigFleetThroughput);
+// Arg = sweep worker cap: serial, two workers, all hardware workers (0).
+BENCHMARK(BM_PartitionSweep)->Arg(1)->Arg(2)->Arg(0);
 
 BENCHMARK_MAIN();

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep.hpp"
+
 namespace mcp::bench {
 
 inline void header(const std::string& experiment, const std::string& claim) {
@@ -32,6 +34,14 @@ inline void cell(std::uint64_t value) {
 }
 inline void cell(const std::string& value) { std::printf("%14s", value.c_str()); }
 inline void end_row() { std::printf("\n"); }
+
+/// Emits a sweep's wall-clock and cells/sec as a one-line JSON record.  The
+/// records are the repo's perf-baseline channel: scripts/run_experiments.sh
+/// captures bench output, so a trajectory of cells/sec per sweep can be
+/// grepped out of bench_output.txt across commits.
+inline void sweep_json(const std::string& name, const SweepTiming& timing) {
+  std::printf("%s\n", timing.json(name).c_str());
+}
 
 /// Prints the verdict and returns the process exit code (0 pass, 1 fail) so
 /// a CI loop over bench binaries notices broken claims.

@@ -3,8 +3,44 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/static_partition.hpp"
 
 namespace mcp {
+
+// ---------------------------------------------------------------------------
+// Lemma 1 fault-curve construction (parallel sweep over k_max).
+// ---------------------------------------------------------------------------
+
+std::vector<AdversaryCurvePoint> lemma1_fault_curve(
+    const std::vector<std::size_t>& k_values, const std::string& policy,
+    std::size_t requests_per_core, std::size_t background_part) {
+  MCP_REQUIRE(background_part >= 1, "lemma1 curve: background part empty");
+  SweepRunner sweep;
+  return sweep.run(k_values.size(), [&](std::size_t cell, Rng& /*rng*/) {
+    const std::size_t k_max = k_values[cell];
+    const Partition partition = {k_max, background_part};
+    // The adversary keeps the victim core one page ahead of its part.
+    Lemma1AdversaryStream adversary(partition.size(), /*victim_core=*/0,
+                                    k_max + 1, requests_per_core);
+    RecordingStream recorder(adversary);
+    StaticPartitionStrategy strategy(partition, make_policy_factory(policy));
+    SimConfig config;
+    config.cache_size = k_max + background_part;
+    config.fault_penalty = 1;
+    Simulator sim(config);
+    AdversaryCurvePoint point;
+    point.k_max = k_max;
+    point.online = sim.run_stream(recorder, strategy, nullptr).total_faults();
+    for (CoreId j = 0; j < partition.size(); ++j) {
+      point.opt += belady_faults(recorder.recorded().sequence(j), partition[j]);
+    }
+    return point;
+  });
+}
 
 // ---------------------------------------------------------------------------
 // Lemma1AdversaryStream

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/request.hpp"
@@ -61,6 +62,28 @@ class Lemma1AdversaryStream final : public RequestStream, public SimObserver {
   std::vector<std::size_t> issued_;
   std::vector<bool> resident_;  // victim core's pages believed in cache
 };
+
+/// One point of the Lemma-1 adversarial fault curve.
+struct AdversaryCurvePoint {
+  std::size_t k_max = 0;  ///< size of the victim core's (largest) part
+  Count online = 0;       ///< online policy faults on the adaptive stream
+  Count opt = 0;          ///< sum of per-part Belady optima on that stream
+  [[nodiscard]] double ratio() const noexcept {
+    return opt == 0 ? 0.0
+                    : static_cast<double>(online) / static_cast<double>(opt);
+  }
+};
+
+/// Constructs the Lemma-1 lower-bound fault curve: for each k_max in
+/// `k_values`, runs the adaptive adversary against the two-part partition
+/// {k_max, background_part} under the named eviction policy, records the
+/// stream it produced, and scores the online run against the per-part
+/// offline optimum (sP^B_OPT).  The cells are independent simulations and
+/// are swept on the shared thread pool; the adversary is adaptive but
+/// seed-free, so the curve is bit-identical for any worker count.
+[[nodiscard]] std::vector<AdversaryCurvePoint> lemma1_fault_curve(
+    const std::vector<std::size_t>& k_values, const std::string& policy,
+    std::size_t requests_per_core, std::size_t background_part = 2);
 
 // ---------------------------------------------------------------------------
 // Fixed request families.

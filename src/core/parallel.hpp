@@ -1,24 +1,28 @@
 // Minimal data-parallel helper for embarrassingly parallel sweeps
 // (partition enumeration, fault-curve construction, bench grids).
 //
-// Deliberately tiny: a blocking parallel_for over an index range with
-// static chunking.  Tasks must be independent and must not throw across
-// threads uncaught — exceptions are captured and rethrown on the caller.
+// Compatibility shim: parallel_for keeps its original blocking signature but
+// now dispatches onto the persistent shared ThreadPool (thread_pool.hpp)
+// instead of spawning fresh threads per call.  Tasks must be independent;
+// the first exception thrown by any task is rethrown on the caller.  New
+// code that needs per-cell RNG streams or timing should use the SweepRunner
+// layer (sweep.hpp) directly.
 #pragma once
 
-#include <atomic>
+#include <algorithm>
 #include <cstddef>
-#include <exception>
 #include <functional>
 #include <thread>
-#include <vector>
+
+#include "core/thread_pool.hpp"
 
 namespace mcp {
 
-/// Runs fn(i) for i in [0, count), using up to `max_threads` hardware
-/// threads (0 = hardware_concurrency).  Falls back to a plain loop when the
-/// range is small or only one thread is available.  The first exception
-/// thrown by any task is rethrown after all threads join.
+/// Runs fn(i) for i in [0, count), using up to `max_threads` concurrent
+/// runners from the shared pool (0 = hardware_concurrency).  Falls back to a
+/// plain in-order loop on the caller's thread when the range is small or
+/// only one runner is allowed.  The first exception thrown by any task is
+/// rethrown after all tasks settle.
 inline void parallel_for(std::size_t count,
                          const std::function<void(std::size_t)>& fn,
                          std::size_t max_threads = 0) {
@@ -26,33 +30,11 @@ inline void parallel_for(std::size_t count,
   std::size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   if (max_threads != 0) hw = std::min(hw, max_threads);
-  const std::size_t workers = std::min(hw, count);
-  if (workers <= 1 || count < 4) {
+  if (std::min(hw, count) <= 1 || count < 4) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-  const auto body = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count || failed.load(std::memory_order_relaxed)) return;
-      try {
-        fn(i);
-      } catch (...) {
-        if (!failed.exchange(true)) error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(body);
-  body();
-  for (std::thread& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  ThreadPool::global().run_indexed(count, fn, hw);
 }
 
 }  // namespace mcp

@@ -1,0 +1,32 @@
+#include "core/sweep.hpp"
+
+#include <cstdio>
+
+namespace mcp {
+
+double SweepTiming::cells_per_second() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(cells) / wall_seconds;
+}
+
+std::string SweepTiming::json(const std::string& sweep_name) const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"sweep\":\"%s\",\"cells\":%zu,\"wall_seconds\":%.6f,"
+                "\"cells_per_second\":%.1f,\"max_threads\":%zu}",
+                sweep_name.c_str(), cells, wall_seconds, cells_per_second(),
+                max_threads);
+  return std::string(buffer);
+}
+
+Rng sweep_cell_rng(std::uint64_t master_seed, std::size_t cell_index) noexcept {
+  // Same SplitMix64 mixing as Rng::fork: the cell seed is a hash of the
+  // master seed and the index, so streams are independent and a sweep's
+  // randomness depends on nothing but (master_seed, cell_index).
+  std::uint64_t sm =
+      master_seed ^
+      (static_cast<std::uint64_t>(cell_index) * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace mcp

@@ -1,0 +1,142 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  MCP_REQUIRE(static_cast<bool>(task), "ThreadPool::enqueue: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-then-exit: a worker only leaves once the queue is empty, so
+      // tasks enqueued by still-running tasks are always served.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t max_workers) {
+  if (count == 0) return;
+
+  // Shared between the caller and the helper tasks.  Held by shared_ptr
+  // because a queued helper may only get scheduled after this call returned
+  // (it then claims an exhausted index and exits immediately).
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;        // cells finished or skipped (guarded)
+    std::exception_ptr error;         // first failure (guarded)
+  };
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->count = count;
+
+  const auto runner = [job] {
+    for (;;) {
+      const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->count) return;
+      if (!job->failed.load(std::memory_order_relaxed)) {
+        try {
+          job->fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job->mutex);
+          if (!job->error) job->error = std::current_exception();
+          job->failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      bool all_done = false;
+      {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        all_done = ++job->completed == job->count;
+      }
+      if (all_done) job->done_cv.notify_all();
+    }
+  };
+
+  std::size_t limit = max_workers == 0 ? num_workers() + 1 : max_workers;
+  // The caller is one runner; at most num_workers() helpers are useful.
+  const std::size_t helpers =
+      std::min({count, limit, num_workers() + 1}) - 1;
+  for (std::size_t h = 0; h < helpers; ++h) enqueue(runner);
+  runner();
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&job] { return job->completed == job->count; });
+  if (job->error) {
+    std::exception_ptr error = std::exchange(job->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mcp

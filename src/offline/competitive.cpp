@@ -2,32 +2,58 @@
 
 #include "core/error.hpp"
 #include "core/simulator.hpp"
+#include "core/sweep.hpp"
 #include "offline/ftf_solver.hpp"
 
 namespace mcp {
+
+namespace {
+
+/// One trial's measurement (a sweep cell).
+struct TrialOutcome {
+  double ratio = 0.0;
+  bool optimal = false;
+  bool nonempty = false;
+};
+
+}  // namespace
 
 CompetitiveReport measure_competitive_ratio(const StrategyFactory& strategy,
                                             const InstanceGenerator& generator,
                                             std::size_t trials) {
   MCP_REQUIRE(trials > 0, "measure_competitive_ratio: no trials");
+  // Each trial solves its own instance exactly and simulates the strategy on
+  // it — fully independent, so the trials are swept on the shared pool.  The
+  // reduction below walks the results in trial order, so the report (mean
+  // included: fixed summation order) is bit-identical for any worker count.
+  SweepRunner sweep;
+  const std::vector<TrialOutcome> outcomes =
+      sweep.run(trials, [&](std::size_t trial, Rng& /*rng*/) {
+        TrialOutcome outcome;
+        const OfflineInstance instance = generator(trial);
+        if (instance.requests.total_requests() == 0) return outcome;
+        const Count opt = solve_ftf(instance).min_faults;
+        MCP_ASSERT_MSG(opt > 0, "nonempty instance must have compulsory misses");
+        const auto online = strategy();
+        const Count faults =
+            simulate(instance.sim_config(), instance.requests, *online)
+                .total_faults();
+        outcome.nonempty = true;
+        outcome.ratio = static_cast<double>(faults) / static_cast<double>(opt);
+        outcome.optimal = faults == opt;
+        return outcome;
+      });
+
   CompetitiveReport report;
   double ratio_sum = 0.0;
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    const OfflineInstance instance = generator(trial);
-    if (instance.requests.total_requests() == 0) continue;
-    const Count opt = solve_ftf(instance).min_faults;
-    MCP_ASSERT_MSG(opt > 0, "nonempty instance must have compulsory misses");
-    const auto online = strategy();
-    const Count faults =
-        simulate(instance.sim_config(), instance.requests, *online)
-            .total_faults();
-    const double ratio =
-        static_cast<double>(faults) / static_cast<double>(opt);
+    const TrialOutcome& outcome = outcomes[trial];
+    if (!outcome.nonempty) continue;
     ++report.samples;
-    ratio_sum += ratio;
-    if (faults == opt) ++report.optimal_hits;
-    if (ratio > report.max_ratio) {
-      report.max_ratio = ratio;
+    ratio_sum += outcome.ratio;
+    if (outcome.optimal) ++report.optimal_hits;
+    if (outcome.ratio > report.max_ratio) {
+      report.max_ratio = outcome.ratio;
       report.worst_trial = trial;
     }
   }

@@ -36,7 +36,10 @@ struct CompetitiveReport {
 
 /// Runs `trials` instances, solving each exactly with Algorithm 1 and
 /// simulating `strategy` on it.  Instances must stay tiny (the exact solver
-/// is exponential in K and p).
+/// is exponential in K and p).  The trials are independent cells swept on
+/// the shared thread pool, so both callables may be invoked concurrently:
+/// they must be pure functions of their arguments (no shared mutable
+/// state).  The report is bit-identical for any worker count.
 [[nodiscard]] CompetitiveReport measure_competitive_ratio(
     const StrategyFactory& strategy, const InstanceGenerator& generator,
     std::size_t trials);

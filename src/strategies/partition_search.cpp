@@ -5,34 +5,51 @@
 #include "core/error.hpp"
 #include "core/parallel.hpp"
 #include "core/simulator.hpp"
+#include "core/sweep.hpp"
 #include "policies/belady.hpp"
 #include "strategies/static_partition.hpp"
 
 namespace mcp {
 
+namespace {
+
+// Fault-curve construction is a (core, k) grid of independent single-core
+// runs: flatten it into cells and sweep the cells on the shared pool.  Each
+// cell writes only its own curve slot, so the curves are bit-identical for
+// any worker count.
+FaultCurves fault_curve_sweep(
+    const RequestSet& requests, std::size_t cache_size,
+    const std::function<Count(const RequestSequence&, std::size_t)>& faults) {
+  FaultCurves curves(requests.num_cores());
+  const std::size_t width = cache_size + 1;
+  for (auto& curve : curves) curve.resize(width);
+  parallel_for(requests.num_cores() * width, [&](std::size_t cell) {
+    const CoreId j = static_cast<CoreId>(cell / width);
+    const std::size_t k = cell % width;
+    curves[j][k] = faults(requests.sequence(j), k);
+  });
+  return curves;
+}
+
+}  // namespace
+
 FaultCurves belady_fault_curves(const RequestSet& requests,
                                 std::size_t cache_size) {
-  FaultCurves curves(requests.num_cores());
-  for (CoreId j = 0; j < requests.num_cores(); ++j) {
-    curves[j].resize(cache_size + 1);
-    for (std::size_t k = 0; k <= cache_size; ++k) {
-      curves[j][k] = belady_faults(requests.sequence(j), k);
-    }
-  }
-  return curves;
+  return fault_curve_sweep(
+      requests, cache_size,
+      [](const RequestSequence& seq, std::size_t k) {
+        return belady_faults(seq, k);
+      });
 }
 
 FaultCurves policy_fault_curves(const RequestSet& requests,
                                 std::size_t cache_size,
                                 const PolicyFactory& factory) {
-  FaultCurves curves(requests.num_cores());
-  for (CoreId j = 0; j < requests.num_cores(); ++j) {
-    curves[j].resize(cache_size + 1);
-    for (std::size_t k = 0; k <= cache_size; ++k) {
-      curves[j][k] = single_core_policy_faults(requests.sequence(j), k, factory);
-    }
-  }
-  return curves;
+  return fault_curve_sweep(
+      requests, cache_size,
+      [&factory](const RequestSequence& seq, std::size_t k) {
+        return single_core_policy_faults(seq, k, factory);
+      });
 }
 
 PartitionSearchResult optimal_partition_from_curves(const FaultCurves& curves,
@@ -108,12 +125,15 @@ PartitionSearchResult optimal_partition_by_simulation(
       config.cache_size, requests.num_cores(), min_per_core);
   MCP_REQUIRE(!candidates.empty(), "no feasible partition");
 
-  // The candidate runs are independent: sweep them in parallel.
-  std::vector<Count> faults(candidates.size());
-  parallel_for(candidates.size(), [&](std::size_t i) {
-    StaticPartitionStrategy strategy(candidates[i], factory);
-    faults[i] = simulate(config, requests, strategy).total_faults();
-  });
+  // The candidate runs are independent: sweep them on the shared pool.  The
+  // cells are seed-free (the simulation is deterministic), so the sweep is
+  // reproducible for any worker count by construction.
+  SweepRunner sweep;
+  const std::vector<Count> faults =
+      sweep.run(candidates.size(), [&](std::size_t i, Rng& /*rng*/) {
+        StaticPartitionStrategy strategy(candidates[i], factory);
+        return simulate(config, requests, strategy).total_faults();
+      });
 
   PartitionSearchResult result;
   result.faults = std::numeric_limits<Count>::max();

@@ -8,6 +8,7 @@
 
 #include "core/simulator.hpp"
 #include "offline/replay.hpp"
+#include "policies/belady.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/adaptive_partition.hpp"
 #include "strategies/dynamic_partition.hpp"
@@ -264,6 +265,58 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(StrategyKind::kSharedLru, StrategyKind::kSharedMark,
                       StrategyKind::kEvenPartition, StrategyKind::kLemma3,
                       StrategyKind::kUtility, StrategyKind::kFairness));
+
+// ---------------------------------------------------------------------------
+// Differential check against the textbook single-core baseline.
+// ---------------------------------------------------------------------------
+
+// With p = 1 the paper's model (Section 3) reduces to classic sequential
+// paging: tau only stretches time, it cannot change which requests fault.
+// So SharedStrategy+LRU on one core must produce exactly the classic LRU
+// fault count, for every cache size and any tau — cross-validating the full
+// multicore simulator against the independent single-core runner.
+TEST(SingleCoreDifferential, SharedLruMatchesClassicLru) {
+  Rng rng(0xD1FF);
+  const PolicyFactory lru = make_policy_factory("lru");
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t universe = 4 + rng.below(10);
+    RequestSet rs;
+    {
+      RequestSequence seq;
+      for (int i = 0; i < 400; ++i) {
+        seq.push_back(static_cast<PageId>(rng.below(universe)));
+      }
+      rs.add_sequence(std::move(seq));
+    }
+    const Time tau = rng.below(6);
+    for (std::size_t k = 1; k <= universe + 2; ++k) {
+      const Count expected = single_core_policy_faults(rs.sequence(0), k, lru);
+      SharedStrategy strategy(lru);
+      const Count simulated =
+          simulate(sim_config(k, tau), rs, strategy).total_faults();
+      EXPECT_EQ(simulated, expected)
+          << "trial=" << trial << " k=" << k << " tau=" << tau;
+    }
+  }
+}
+
+TEST(SingleCoreDifferential, SharedLruNeverBeatsBelady) {
+  Rng rng(0xB31A);
+  const PolicyFactory lru = make_policy_factory("lru");
+  RequestSet rs;
+  {
+    RequestSequence seq;
+    for (int i = 0; i < 300; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(9)));
+    }
+    rs.add_sequence(std::move(seq));
+  }
+  for (std::size_t k = 1; k <= 10; ++k) {
+    SharedStrategy strategy(lru);
+    const Count online = simulate(sim_config(k, 2), rs, strategy).total_faults();
+    EXPECT_GE(online, belady_faults(rs.sequence(0), k)) << "k=" << k;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Fast-forward exactness with huge tau.

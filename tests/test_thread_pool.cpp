@@ -1,0 +1,143 @@
+// ThreadPool contract tests: exception propagation to the caller, zero- and
+// single-task edge cases, graceful shutdown with queued work, and absence
+// of deadlock when tasks enqueue tasks or nest indexed dispatches.
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mcp {
+namespace {
+
+TEST(ThreadPool, ZeroTasksIsIdle) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.wait_idle());
+  int calls = 0;
+  pool.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleTaskRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.enqueue([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+
+  ran.store(0);
+  pool.run_indexed(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWaiter) {
+  ThreadPool pool(2);
+  pool.enqueue([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool is reusable afterwards.
+  std::atomic<int> ran{0};
+  pool.enqueue([&] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, RunIndexedPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_indexed(100,
+                                [](std::size_t i) {
+                                  if (i == 57) throw std::runtime_error("cell");
+                                }),
+               std::runtime_error);
+  // A failed dispatch leaves the pool healthy.
+  std::atomic<int> count{0};
+  pool.run_indexed(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.enqueue([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor must complete every queued task before joining.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, TasksCanEnqueueTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  // Each root task fans out children, which fan out grandchildren.
+  for (int root = 0; root < 4; ++root) {
+    pool.enqueue([&pool, &ran] {
+      ran.fetch_add(1);
+      for (int child = 0; child < 4; ++child) {
+        pool.enqueue([&pool, &ran] {
+          ran.fetch_add(1);
+          pool.enqueue([&ran] { ran.fetch_add(1); });
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 4 + 16 + 16);
+}
+
+TEST(ThreadPool, NestedRunIndexedDoesNotDeadlock) {
+  // Every worker can be busy in the outer dispatch; the inner dispatches
+  // must still finish because the calling runner executes cells inline.
+  ThreadPool pool(2);
+  std::atomic<int> cells{0};
+  pool.run_indexed(8, [&](std::size_t) {
+    pool.run_indexed(8, [&](std::size_t) { cells.fetch_add(1); });
+  });
+  EXPECT_EQ(cells.load(), 64);
+}
+
+TEST(ThreadPool, RunIndexedCoversEveryIndexOnceAtAnyWidth) {
+  ThreadPool pool(4);
+  for (std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> touched(kCount);
+    pool.run_indexed(
+        kCount, [&](std::size_t i) { touched[i].fetch_add(1); }, width);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(touched[i].load(), 1) << "width=" << width << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, SingleRunnerIsInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // no lock needed: one runner (the caller)
+  pool.run_indexed(
+      8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, GlobalPoolIsSharedAndAlive) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+  std::atomic<int> ran{0};
+  a.run_indexed(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+}  // namespace
+}  // namespace mcp
