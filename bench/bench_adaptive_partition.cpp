@@ -2,10 +2,8 @@
 // future-work direction made concrete.  Utility-driven (UCP-lite) and
 // fairness-driven repartitioning vs the paper's static/shared/Lemma-3
 // strategies on workloads with skewed and phase-shifting demand.
-#include <cstdio>
-
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/adaptive_partition.hpp"
 #include "strategies/dynamic_partition.hpp"
@@ -38,88 +36,100 @@ RequestSet phase_shift_workload(std::size_t p, std::size_t half) {
   return rs;
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
   const std::size_t p = 4;
   const std::size_t K = 32;
   SimConfig cfg;
   cfg.cache_size = K;
   cfg.fault_penalty = 4;
 
-  bench::header("E14  Adaptive partitions (extension): utility & fairness "
-                "controllers",
-                "on shifting demand, adaptive repartitioning beats every "
-                "static partition (incl. the offline-tuned one) and "
-                "approaches shared LRU");
-
   const RequestSet rs = phase_shift_workload(p, 3000);
-  std::printf("workload: per-core hot set flips 12<->2 pages mid-run (%s)\n\n",
-              rs.describe().c_str());
+  b.notef("workload: per-core hot set flips 12<->2 pages mid-run (%s)",
+          rs.describe().c_str());
 
-  bench::columns({"strategy", "faults", "rate", "jain", "repart"});
-  const auto row = [&](const std::string& name, CacheStrategy& strategy,
-                       Count reparts) {
+  auto& table = b.series("strategy_comparison", "",
+                         {"strategy", "faults", "rate", "jain", "repart"});
+  const auto add_row = [&](const std::string& name, CacheStrategy& strategy,
+                           Count reparts) {
     const RunStats stats = simulate(cfg, rs, strategy);
-    bench::cell(name);
-    bench::cell(stats.total_faults());
-    bench::cell(stats.overall_fault_rate());
-    bench::cell(stats.jain_fairness());
-    bench::cell(reparts);
-    bench::end_row();
-    return stats.total_faults();
+    table.row(name, stats.total_faults(), stats.overall_fault_rate(),
+              stats.jain_fairness(), reparts);
+    return stats;
   };
 
   SharedStrategy shared(make_policy_factory("lru"));
-  const Count shared_faults = row("S_LRU", shared, 0);
+  const Count shared_faults = add_row("S_LRU", shared, 0).total_faults();
 
-  StaticPartitionStrategy even(even_partition(K, p), make_policy_factory("lru"));
-  const Count even_faults = row("sP_even_LRU", even, 0);
+  StaticPartitionStrategy even(even_partition(K, p),
+                               make_policy_factory("lru"));
+  const Count even_faults = add_row("sP_even_LRU", even, 0).total_faults();
 
   const auto tuned =
       optimal_partition_for_policy(rs, K, make_policy_factory("lru"));
   StaticPartitionStrategy best_static(tuned.partition,
                                       make_policy_factory("lru"));
   const Count tuned_faults =
-      row("sP^OPT_LRU " + partition_to_string(tuned.partition), best_static, 0);
+      add_row("sP^OPT_LRU " + partition_to_string(tuned.partition),
+              best_static, 0)
+          .total_faults();
 
   UtilityPartitionStrategy ucp(make_policy_factory("lru"), /*interval=*/128);
-  const Count ucp_faults = row("dP[utility]", ucp, 0);
-  std::printf("%14s repartitions: %llu\n", "",
-              static_cast<unsigned long long>(ucp.repartitions()));
+  const RunStats ucp_stats = simulate(cfg, rs, ucp);
+  table.row("dP[utility]", ucp_stats.total_faults(),
+            ucp_stats.overall_fault_rate(), ucp_stats.jain_fairness(),
+            ucp.repartitions());
+  const Count ucp_faults = ucp_stats.total_faults();
+  b.stats("dP[utility] run_stats", ucp_stats.to_json());
 
   FairnessPartitionStrategy fair(make_policy_factory("lru"), 128);
-  const Count fair_faults = row("dP[fairness]", fair, 0);
-  std::printf("%14s repartitions: %llu\n", "",
-              static_cast<unsigned long long>(fair.repartitions()));
+  const RunStats fair_stats = simulate(cfg, rs, fair);
+  table.row("dP[fairness]", fair_stats.total_faults(),
+            fair_stats.overall_fault_rate(), fair_stats.jain_fairness(),
+            fair.repartitions());
 
   Lemma3DynamicPartition lemma3;
-  const Count lemma3_faults = row("dP[lemma3]", lemma3, 0);
+  const Count lemma3_faults = add_row("dP[lemma3]", lemma3, 0).total_faults();
 
   // Ablation: repartition cadence (temporal granularity).  Too coarse and
   // the controller misses the demand flip; too fine costs churn with no
   // further gain.
-  std::printf("\nUtility controller repartition-interval ablation:\n");
-  bench::columns({"interval", "faults", "repartitions"});
+  auto& cadence =
+      b.series("repartition_interval_ablation",
+               "Utility controller repartition-interval ablation:",
+               {"interval", "faults", "repartitions"});
   for (Time interval : {Time{32}, Time{128}, Time{512}, Time{2048}}) {
     UtilityPartitionStrategy sweep(make_policy_factory("lru"), interval);
     const RunStats stats = simulate(cfg, rs, sweep);
-    bench::cell(static_cast<std::uint64_t>(interval));
-    bench::cell(stats.total_faults());
-    bench::cell(sweep.repartitions());
-    bench::end_row();
+    cadence.row(static_cast<std::uint64_t>(interval), stats.total_faults(),
+                sweep.repartitions());
   }
 
   // Decisive wins over static (even the offline-tuned one), and within a
   // small constant of shared LRU, which sits at the compulsory floor here.
-  const bool ucp_beats_static = 4 * ucp_faults < even_faults &&
-                                2 * ucp_faults < tuned_faults;
+  const bool ucp_beats_static =
+      4 * ucp_faults < even_faults && 2 * ucp_faults < tuned_faults;
   const bool near_shared = ucp_faults < 8 * shared_faults;
   const bool lemma3_equals_shared = lemma3_faults == shared_faults;
-  (void)fair_faults;
-  return bench::verdict(
+  return std::move(b).finish(
       ucp_beats_static && near_shared && lemma3_equals_shared,
       "utility controller beats every static partition on shifting demand; "
       "Lemma-3 controller stays identical to S_LRU");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e14(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E14",
+      "Adaptive partitions (extension): utility & fairness controllers",
+      "on shifting demand, adaptive repartitioning beats every static "
+      "partition (incl. the offline-tuned one) and approaches shared LRU",
+      "EXPERIMENTS.md §E14; paper §4 future work",
+      {"extension", "adaptive", "partition"},
+      "p=4, K=32, tau=4; hot set flips 12<->2 mid-run; interval ablation "
+      "{32,128,512,2048}",
+      run,
+  });
 }

@@ -3,10 +3,9 @@
 // in K and p.  We measure states stored and wall time on both axes, and
 // re-verify exactness against the simulator-driven exhaustive search.
 #include <chrono>
-#include <cstdio>
 
-#include "bench_util.hpp"
 #include "core/rng.hpp"
+#include "experiments.hpp"
 #include "offline/exhaustive.hpp"
 #include "offline/ftf_solver.hpp"
 #include "workload/workload.hpp"
@@ -36,16 +35,12 @@ double solve_ms(const OfflineInstance& inst, FtfResult* out) {
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E8  Theorem 6 / Algorithm 1 — optimal FTF solver scaling",
-                "polynomial in n for fixed K,p; exponential in K and p; "
-                "always exact (== exhaustive search)");
-
-  std::printf("Scaling in n (p=2, K=2, tau=1, 3 pages/core):\n");
-  bench::columns({"n/core", "faults", "states", "ms", "states/n^2"});
+  auto& n_table = b.series(
+      "states_vs_n", "Scaling in n (p=2, K=2, tau=1, 3 pages/core):",
+      {"n/core", "faults", "states", "ms", "states/n^2"});
   std::vector<double> per_n2;
   for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
     const OfflineInstance inst = random_instance(2, 3, n, 2, 1, 77);
@@ -53,30 +48,25 @@ int main() {
     const double ms = solve_ms(inst, &result);
     const double nn = static_cast<double>(n);
     per_n2.push_back(static_cast<double>(result.states_stored) / (nn * nn));
-    bench::cell(static_cast<std::uint64_t>(n));
-    bench::cell(result.min_faults);
-    bench::cell(result.states_stored);
-    bench::cell(ms);
-    bench::cell(per_n2.back());
-    bench::end_row();
+    n_table.row(static_cast<std::uint64_t>(n), result.min_faults,
+                static_cast<std::uint64_t>(result.states_stored), ms,
+                per_n2.back());
   }
 
-  std::printf("\nScaling in K (p=2, n/core=16, 5 pages/core, tau=1):\n");
-  bench::columns({"K", "faults", "states", "ms"});
+  auto& k_table = b.series(
+      "states_vs_k", "Scaling in K (p=2, n/core=16, 5 pages/core, tau=1):",
+      {"K", "faults", "states", "ms"});
   std::vector<std::size_t> states_by_k;
   for (std::size_t K : {2u, 3u, 4u, 5u}) {
     const OfflineInstance inst = random_instance(2, 5, 16, K, 1, 78);
     FtfResult result;
     const double ms = solve_ms(inst, &result);
     states_by_k.push_back(result.states_stored);
-    bench::cell(static_cast<std::uint64_t>(K));
-    bench::cell(result.min_faults);
-    bench::cell(result.states_stored);
-    bench::cell(ms);
-    bench::end_row();
+    k_table.row(static_cast<std::uint64_t>(K), result.min_faults,
+                static_cast<std::uint64_t>(result.states_stored), ms);
   }
 
-  std::printf("\nExactness spot-check vs exhaustive search (10 instances):\n");
+  b.note("Exactness spot-check vs exhaustive search (10 instances):");
   Rng rng(99);
   bool exact = true;
   for (int trial = 0; trial < 10; ++trial) {
@@ -86,17 +76,33 @@ int main() {
     const Count brute = exhaustive_ftf(inst).min_faults;
     if (dp != brute) {
       exact = false;
-      std::printf("  MISMATCH trial %d: dp=%llu brute=%llu\n", trial,
-                  static_cast<unsigned long long>(dp),
-                  static_cast<unsigned long long>(brute));
+      b.notef("  MISMATCH trial %d: dp=%llu brute=%llu", trial,
+              static_cast<unsigned long long>(dp),
+              static_cast<unsigned long long>(brute));
     }
   }
-  std::printf("  %s\n", exact ? "all exact" : "MISMATCH FOUND");
+  b.notef("  %s", exact ? "all exact" : "MISMATCH FOUND");
 
   // Polynomial in n: states/n^2 must not explode (allow slack for small-n
   // noise).  Exponential-ish in K: strictly increasing states.
   const bool poly_n = per_n2.back() < 4.0 * per_n2.front();
   const bool grows_k = states_by_k.back() > 4 * states_by_k.front();
-  return bench::verdict(poly_n && grows_k && exact,
-                        "poly-in-n, exponential-in-K scaling; exact optimum");
+  return std::move(b).finish(poly_n && grows_k && exact,
+                             "poly-in-n, exponential-in-K scaling; exact "
+                             "optimum");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e8(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E8",
+      "Theorem 6 / Algorithm 1 — optimal FTF solver scaling",
+      "polynomial in n for fixed K,p; exponential in K and p; always exact "
+      "(== exhaustive search)",
+      "EXPERIMENTS.md §E8; paper Theorem 6 / Algorithm 1",
+      {"theorem", "offline", "solver", "scaling"},
+      "n in {8..128} at K=2; K in {2..5} at n=16; 10 exactness trials",
+      run,
+  });
 }

@@ -2,10 +2,9 @@
 // in time polynomial in the sequence length (layer width stays bounded by
 // the Pareto frontier), and agrees with the exhaustive search.
 #include <chrono>
-#include <cstdio>
 
-#include "bench_util.hpp"
 #include "core/rng.hpp"
+#include "experiments.hpp"
 #include "offline/exhaustive.hpp"
 #include "offline/pif_solver.hpp"
 #include "workload/workload.hpp"
@@ -29,16 +28,13 @@ PifInstance random_pif(std::size_t per_core, Time deadline, Count bound,
   return inst;
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E9  Theorem 7 / Algorithm 2 — PIF decision solver scaling",
-                "layered search is polynomial in n for fixed K,p; decisions "
-                "match the exhaustive search");
-
-  std::printf("Scaling in the deadline (p=2, K=2, tau=1, generous bounds):\n");
-  bench::columns({"deadline", "feasible", "peak_width", "expanded", "ms"});
+  auto& deadline_table = b.series(
+      "width_vs_deadline",
+      "Scaling in the deadline (p=2, K=2, tau=1, generous bounds):",
+      {"deadline", "feasible", "peak_width", "expanded", "ms"});
   std::vector<std::size_t> widths;
   for (Time deadline : {Time{8}, Time{16}, Time{32}, Time{64}, Time{128}}) {
     const PifInstance inst =
@@ -47,27 +43,25 @@ int main() {
     const PifResult result = solve_pif(inst);
     const auto stop = std::chrono::steady_clock::now();
     widths.push_back(result.peak_layer_width);
-    bench::cell(static_cast<std::uint64_t>(deadline));
-    bench::cell(std::string(result.feasible ? "yes" : "no"));
-    bench::cell(result.peak_layer_width);
-    bench::cell(result.states_expanded);
-    bench::cell(std::chrono::duration<double, std::milli>(stop - start).count());
-    bench::end_row();
+    deadline_table.row(
+        static_cast<std::uint64_t>(deadline), result.feasible ? "yes" : "no",
+        static_cast<std::uint64_t>(result.peak_layer_width),
+        static_cast<std::uint64_t>(result.states_expanded),
+        std::chrono::duration<double, std::milli>(stop - start).count());
   }
 
-  std::printf("\nTightening bounds (deadline=24, n/core=24):\n");
-  bench::columns({"bound", "feasible", "peak_width", "decided_at"});
+  auto& bounds_table =
+      b.series("tightening_bounds", "Tightening bounds (deadline=24, n/core=24):",
+               {"bound", "feasible", "peak_width", "decided_at"});
   for (Count bound : {Count{24}, Count{12}, Count{8}, Count{6}, Count{4}, Count{2}}) {
     const PifInstance inst = random_pif(24, 24, bound, 32);
     const PifResult result = solve_pif(inst);
-    bench::cell(bound);
-    bench::cell(std::string(result.feasible ? "yes" : "no"));
-    bench::cell(result.peak_layer_width);
-    bench::cell(static_cast<std::uint64_t>(result.decided_at));
-    bench::end_row();
+    bounds_table.row(bound, result.feasible ? "yes" : "no",
+                     static_cast<std::uint64_t>(result.peak_layer_width),
+                     static_cast<std::uint64_t>(result.decided_at));
   }
 
-  std::printf("\nAgreement with exhaustive search (20 random instances):\n");
+  b.note("Agreement with exhaustive search (20 random instances):");
   Rng rng(404);
   std::size_t agreements = 0;
   std::size_t total = 0;
@@ -79,12 +73,28 @@ int main() {
     agreements += dp == brute ? 1 : 0;
     ++total;
   }
-  std::printf("  %zu/%zu agree\n", agreements, total);
+  b.notef("  %zu/%zu agree", agreements, total);
 
   // Peak width growing sub-quadratically in deadline indicates Pareto
   // pruning is doing its job (worst case is much larger).
   const double growth = static_cast<double>(widths.back()) /
                         static_cast<double>(widths.front());
-  return bench::verdict(agreements == total && growth < 256.0,
-                        "decisions exact; layer width stays polynomial");
+  return std::move(b).finish(agreements == total && growth < 256.0,
+                             "decisions exact; layer width stays polynomial");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e9(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E9",
+      "Theorem 7 / Algorithm 2 — PIF decision solver scaling",
+      "layered search is polynomial in n for fixed K,p; decisions match the "
+      "exhaustive search",
+      "EXPERIMENTS.md §E9; paper Theorem 7 / Algorithm 2",
+      {"theorem", "offline", "solver", "scaling"},
+      "deadline in {8..128}; bounds in {24..2} at deadline=24; 20 agreement "
+      "trials",
+      run,
+  });
 }

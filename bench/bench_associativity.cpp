@@ -2,25 +2,27 @@
 // The paper's model is fully associative; this sweep measures what W-way
 // set-associativity costs on locality workloads, per eviction policy —
 // the classic conflict-miss curve, regenerated on our simulator.
-#include <cstdio>
+#include <string>
+#include <utility>
 
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/set_associative.hpp"
 #include "workload/workload.hpp"
 
-int main() {
-  using namespace mcp;
+namespace {
+
+using namespace mcp;
+
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
+
   const std::size_t p = 4;
   const std::size_t K = 64;
   SimConfig cfg;
   cfg.cache_size = K;
   cfg.fault_penalty = 4;
-
-  bench::header("E17  Associativity sweep (extension; p=4, K=64, tau=4)",
-                "fault rate falls from direct-mapped toward fully "
-                "associative; most of the win arrives by ~4-8 ways");
 
   CoreWorkload core;
   core.pattern = AccessPattern::kZipf;
@@ -38,29 +40,46 @@ int main() {
   for (const auto& [label, rs] :
        {std::pair<const char*, const RequestSet*>{"zipf", &zipf},
         std::pair<const char*, const RequestSet*>{"markov", &markov}}) {
-    std::printf("workload: %s\n", label);
-    bench::columns({"ways", "LRU rate", "FIFO rate", "CLOCK rate"});
+    auto& table = b.series(std::string("associativity_") + label,
+                           "workload: " + std::string(label),
+                           {"ways", "LRU rate", "FIFO rate", "CLOCK rate"});
     double direct_lru = 0.0;
     double full_lru = 0.0;
     for (std::size_t ways : {1u, 2u, 4u, 8u, 16u, 64u}) {
       const std::size_t sets = K / ways;
-      bench::cell(static_cast<std::uint64_t>(ways));
+      lab::Row row;
+      row.emplace_back(static_cast<std::uint64_t>(ways));
       for (const char* policy : {"lru", "fifo", "clock"}) {
         SetAssociativeStrategy sa(sets, make_policy_factory(policy));
         const RunStats stats = simulate(cfg, *rs, sa);
         const double rate = stats.overall_fault_rate();
-        bench::cell(rate);
+        row.emplace_back(rate);
         if (std::string(policy) == "lru") {
           if (ways == 1) direct_lru = rate;
           if (ways == 64) full_lru = rate;
         }
       }
-      bench::end_row();
+      table.add_row(std::move(row));
     }
     shape_ok = shape_ok && full_lru <= direct_lru;
-    std::printf("\n");
   }
 
-  return bench::verdict(shape_ok,
-                        "full associativity never loses to direct-mapped");
+  return std::move(b).finish(shape_ok,
+                             "full associativity never loses to direct-mapped");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e17(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E17",
+      "Associativity sweep (extension; p=4, K=64, tau=4)",
+      "fault rate falls from direct-mapped toward fully associative; most "
+      "of the win arrives by ~4-8 ways",
+      "EXPERIMENTS.md §E17",
+      {"extension", "geometry", "associativity"},
+      "ways in {1,2,4,8,16,64} x {LRU,FIFO,CLOCK} on zipf and markov "
+      "workloads",
+      run,
+  });
 }

@@ -3,12 +3,12 @@
 // Lemma-4 adversarial family for contrast.  Quantifies the paper's
 // qualitative picture: shared FITF sits near (but not at) 1; online
 // policies trail it; adversarial inputs blow the random-input ratios away.
-#include <cstdio>
+#include <algorithm>
 
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "offline/competitive.hpp"
 #include "offline/ftf_solver.hpp"
 #include "policies/policy_registry.hpp"
@@ -39,18 +39,15 @@ StrategyFactory shared_policy(const char* name) {
   };
 }
 
-}  // namespace
-
-int main() {
-  using namespace mcp;
-  bench::header("E16  Empirical competitive ratios vs the exact optimum",
-                "on random tiny instances: FITF ~1 but not always 1 "
-                "(Lemma 4); online policies trail; every ratio >= 1");
+lab::ExperimentResult run(const lab::RunContext& ctx) {
+  lab::ResultBuilder b;
 
   const std::size_t kTrials = 60;
-  std::printf("Random instances (p=2, K in {2,3}, tau in 0..3, %zu trials):\n",
-              kTrials);
-  bench::columns({"strategy", "mean", "max", "opt_hits"});
+  auto& ratio_table = b.series(
+      "random_instance_ratios",
+      "Random instances (p=2, K in {2,3}, tau in 0..3, " +
+          std::to_string(kTrials) + " trials):",
+      {"strategy", "mean", "max", "opt_hits"});
   double fitf_mean = 0.0;
   double fitf_max = 0.0;
   double best_online_mean = 1e9;
@@ -59,7 +56,10 @@ int main() {
   // measure_competitive_ratio batch (itself a nested sweep of its trials).
   const std::vector<std::string> policies = {"lru",  "fifo", "clock",
                                              "lfu",  "mark", "mark-random"};
-  SweepRunner sweep;
+  SweepOptions sweep_opts;
+  sweep_opts.master_seed = ctx.master_seed;
+  sweep_opts.max_threads = ctx.workers;
+  SweepRunner sweep(sweep_opts);
   const std::vector<CompetitiveReport> reports =
       sweep.run(policies.size(), [&](std::size_t i, Rng& /*rng*/) {
         return measure_competitive_ratio(shared_policy(policies[i].c_str()),
@@ -69,27 +69,23 @@ int main() {
     const CompetitiveReport& report = reports[i];
     all_sane = all_sane && report.max_ratio >= 1.0 - 1e-9;
     best_online_mean = std::min(best_online_mean, report.mean_ratio);
-    bench::cell("S_" + policies[i]);
-    bench::cell(report.mean_ratio);
-    bench::cell(report.max_ratio);
-    bench::cell(static_cast<std::uint64_t>(report.optimal_hits));
-    bench::end_row();
+    ratio_table.row("S_" + policies[i], report.mean_ratio, report.max_ratio,
+                    static_cast<std::uint64_t>(report.optimal_hits));
   }
-  bench::sweep_json("E16.policy_grid", sweep.last_timing());
+  b.sweep("E16.policy_grid", sweep.last_timing());
   {
     const CompetitiveReport report = measure_competitive_ratio(
         [] { return SharedStrategy::fitf(); }, random_tiny, kTrials);
     fitf_mean = report.mean_ratio;
     fitf_max = report.max_ratio;
-    bench::cell(std::string("S_FITF"));
-    bench::cell(report.mean_ratio);
-    bench::cell(report.max_ratio);
-    bench::cell(static_cast<std::uint64_t>(report.optimal_hits));
-    bench::end_row();
+    ratio_table.row("S_FITF", report.mean_ratio, report.max_ratio,
+                    static_cast<std::uint64_t>(report.optimal_hits));
   }
 
-  std::printf("\nLemma-4 adversarial family (p=2, K=4) for contrast:\n");
-  bench::columns({"tau", "S_LRU/OPT-proxy"});
+  auto& adversarial = b.series(
+      "adversarial_contrast",
+      "Lemma-4 adversarial family (p=2, K=4) for contrast:",
+      {"tau", "S_LRU/OPT-proxy"});
   // The exact solver cannot handle the full family; use S_OFF as the upper
   // bound on OPT (any strategy's faults upper-bound the optimum's).
   double adversarial_ratio = 0.0;
@@ -105,17 +101,30 @@ int main() {
     const double ratio =
         static_cast<double>(lru_faults) / static_cast<double>(off_faults);
     adversarial_ratio = std::max(adversarial_ratio, ratio);
-    bench::cell(static_cast<std::uint64_t>(tau));
-    bench::cell(ratio);
-    bench::end_row();
+    adversarial.row(static_cast<std::uint64_t>(tau), ratio);
   }
 
   const bool fitf_leads = fitf_mean <= best_online_mean + 1e-9;
   const bool fitf_not_optimal = fitf_max > 1.0;  // Lemma 4 in the wild
   const bool adversaries_dominate = adversarial_ratio > 3.0 * fitf_max;
-  return bench::verdict(all_sane && fitf_leads && fitf_not_optimal &&
-                            adversaries_dominate,
-                        "FITF leads online policies but is provably and "
-                        "measurably non-optimal; adversarial ratios dwarf "
-                        "random-input ratios");
+  return std::move(b).finish(
+      all_sane && fitf_leads && fitf_not_optimal && adversaries_dominate,
+      "FITF leads online policies but is provably and measurably "
+      "non-optimal; adversarial ratios dwarf random-input ratios");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e16(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E16",
+      "Empirical competitive ratios vs the exact optimum",
+      "on random tiny instances: FITF ~1 but not always 1 (Lemma 4); online "
+      "policies trail; every ratio >= 1",
+      "EXPERIMENTS.md §E16; paper Lemma 4 context",
+      {"extension", "competitive", "sweep"},
+      "60 random tiny instances x 6 policies + FITF; Lemma-4 family at tau "
+      "in {1,7}",
+      run,
+  });
 }

@@ -7,11 +7,10 @@
 //   * cost: reduction + certificate run time as instances grow.
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <functional>
 
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "hardness/reduction.hpp"
 #include "offline/max_pif_solver.hpp"
 #include "policies/policy_registry.hpp"
@@ -64,16 +63,12 @@ void for_each_grouping(
   rec();
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E10  Theorems 2 & 3 — hardness reductions, executed",
-                "certificates from k-PARTITION solutions meet every bound "
-                "with equality; wrong groupings and oblivious policies miss");
-
-  std::printf("Forward direction (random YES instances):\n");
-  bench::columns({"k", "tau", "p", "deadline", "bounds_ok", "exact", "ms"});
+  auto& forward = b.series(
+      "forward_reduction", "Forward direction (random YES instances):",
+      {"k", "tau", "p", "deadline", "bounds_ok", "exact", "ms"});
   Rng rng(2026);
   bool all_exact = true;
   for (std::size_t k : {3u, 4u}) {
@@ -95,21 +90,19 @@ int main() {
                 stats.faults_before(i, red.pif.deadline) == red.pif.bounds[i];
       }
       all_exact = all_exact && exact;
-      bench::cell(static_cast<std::uint64_t>(k));
-      bench::cell(static_cast<std::uint64_t>(tau));
-      bench::cell(static_cast<std::uint64_t>(source.values.size()));
-      bench::cell(static_cast<std::uint64_t>(red.pif.deadline));
-      bench::cell(std::string(
+      forward.row(
+          static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(tau),
+          static_cast<std::uint64_t>(source.values.size()),
+          static_cast<std::uint64_t>(red.pif.deadline),
           stats.within_bounds_at(red.pif.deadline, red.pif.bounds) ? "yes"
-                                                                   : "NO"));
-      bench::cell(std::string(exact ? "==b_i" : "NO"));
-      bench::cell(std::chrono::duration<double, std::milli>(stop - start).count());
-      bench::end_row();
+                                                                   : "NO",
+          exact ? "==b_i" : "NO",
+          std::chrono::duration<double, std::milli>(stop - start).count());
     }
   }
 
-  std::printf("\nNO instance {4,4,4,4,4,6}, B=13: certificate mechanics over "
-              "ALL groupings (none may satisfy the bounds):\n");
+  b.note("NO instance {4,4,4,4,4,6}, B=13: certificate mechanics over "
+         "ALL groupings (none may satisfy the bounds):");
   const KPartitionInstance no_inst = smallest_no_instance_3partition();
   const PifReduction no_red = reduce_kpartition_to_pif(no_inst, /*tau=*/1);
   std::size_t groupings = 0;
@@ -123,27 +116,27 @@ int main() {
       ++satisfied;
     }
   });
-  std::printf("  groupings tried: %zu, bounds satisfied: %zu\n", groupings,
-              satisfied);
+  b.notef("  groupings tried: %zu, bounds satisfied: %zu", groupings,
+          satisfied);
 
-  std::printf("\nMAX-PIF (Theorem 3's objective) on the single-triple "
-              "instance, exact subset search:\n");
+  b.note("MAX-PIF (Theorem 3's objective) on the single-triple instance, "
+         "exact subset search:");
   KPartitionInstance tiny;
   tiny.values = {4, 4, 4};
   tiny.target = 12;
   tiny.group_size = 3;
   const PifReduction tiny_red = reduce_kpartition_to_pif(tiny, /*tau=*/0);
   const MaxPifResult full = solve_max_pif(tiny_red.pif);
-  std::printf("  intact bounds: max satisfied = %zu/3 (expect 3)\n",
-              full.max_satisfied);
+  b.notef("  intact bounds: max satisfied = %zu/3 (expect 3)",
+          full.max_satisfied);
   PifInstance broken = tiny_red.pif;
   broken.bounds[0] = 0;  // sequence 0 can never stay within 0 faults
   const MaxPifResult partial = solve_max_pif(broken);
-  std::printf("  bound[0] broken to 0: max satisfied = %zu/3 (expect 2)\n",
-              partial.max_satisfied);
+  b.notef("  bound[0] broken to 0: max satisfied = %zu/3 (expect 2)",
+          partial.max_satisfied);
   const bool maxpif_ok = full.max_satisfied == 3 && partial.max_satisfied == 2;
 
-  std::printf("\nOblivious baseline on a YES instance (shared LRU):\n");
+  b.note("Oblivious baseline on a YES instance (shared LRU):");
   KPartitionInstance yes3;
   yes3.values = {4, 4, 4};
   yes3.target = 12;
@@ -154,11 +147,27 @@ int main() {
   const RunStats lru_stats = sim.run(yes_red.pif.base.requests, lru);
   const bool lru_misses =
       !lru_stats.within_bounds_at(yes_red.pif.deadline, yes_red.pif.bounds);
-  std::printf("  shared LRU within bounds: %s (expected: no)\n",
-              lru_misses ? "no" : "yes");
+  b.notef("  shared LRU within bounds: %s (expected: no)",
+          lru_misses ? "no" : "yes");
 
-  return bench::verdict(all_exact && satisfied == 0 && lru_misses && maxpif_ok,
-                        "yes-certificates hit b_i exactly; no-instance "
-                        "groupings and oblivious LRU all miss; exact MAX-PIF "
-                        "counts partial satisfaction correctly");
+  return std::move(b).finish(
+      all_exact && satisfied == 0 && lru_misses && maxpif_ok,
+      "yes-certificates hit b_i exactly; no-instance groupings and oblivious "
+      "LRU all miss; exact MAX-PIF counts partial satisfaction correctly");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e10(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E10",
+      "Theorems 2 & 3 — hardness reductions, executed",
+      "certificates from k-PARTITION solutions meet every bound with "
+      "equality; wrong groupings and oblivious policies miss",
+      "EXPERIMENTS.md §E10; paper Theorems 2 & 3",
+      {"theorem", "hardness", "reduction"},
+      "3- and 4-PARTITION (3 groups, tau in {1,4}); NO instance "
+      "{4,4,4,4,4,6} B=13; MAX-PIF on the single-triple instance",
+      run,
+  });
 }

@@ -7,11 +7,10 @@
 // Upper bound: on random locality workloads the ratio never exceeds
 // max_j k_j for marking/conservative policies (LRU, FIFO).
 #include <algorithm>
-#include <cstdio>
 
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/belady.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/static_partition.hpp"
@@ -39,16 +38,13 @@ double random_workload_ratio(const Partition& partition,
   return static_cast<double>(online) / static_cast<double>(opt);
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E1  Lemma 1 — online policy vs sP^B_OPT on a fixed partition",
-                "adversarial ratio grows ~linearly with max_j k_j; on any "
-                "input the ratio stays <= max_j k_j (upper bound)");
-
-  std::printf("Lower bound (adaptive adversary, p=2, n/core=600):\n");
-  bench::columns({"max_k", "LRU", "FIFO", "CLOCK", "MARK"});
+  auto& lower = b.series(
+      "adversarial_ratio_vs_k",
+      "Lower bound (adaptive adversary, p=2, n/core=600):",
+      {"max_k", "LRU", "FIFO", "CLOCK", "MARK"});
   // The adversarial fault curves are constructed by the parallel sweep in
   // lemma1_fault_curve (one independent simulation per k_max cell).
   const std::vector<std::size_t> k_values = {2, 4, 8, 12, 16};
@@ -58,35 +54,55 @@ int main() {
   }
   std::vector<double> lru_series;
   for (std::size_t row = 0; row < k_values.size(); ++row) {
-    bench::cell(static_cast<std::uint64_t>(k_values[row]));
+    lab::Row cells;
+    cells.emplace_back(static_cast<std::uint64_t>(k_values[row]));
     for (std::size_t c = 0; c < curves.size(); ++c) {
       const double ratio = curves[c][row].ratio();
-      bench::cell(ratio);
+      cells.emplace_back(ratio);
       if (c == 0) lru_series.push_back(ratio);
     }
-    bench::end_row();
+    lower.add_row(std::move(cells));
   }
 
-  std::printf("\nUpper bound (Zipf workloads, ratio must stay <= max_j k_j):\n");
-  bench::columns({"partition", "LRU", "FIFO", "bound"});
+  auto& upper = b.series(
+      "zipf_upper_bound",
+      "Upper bound (Zipf workloads, ratio must stay <= max_j k_j):",
+      {"partition", "LRU", "FIFO", "bound"});
   bool upper_ok = true;
   for (const Partition& partition :
        {Partition{4, 4}, Partition{8, 4}, Partition{12, 2}}) {
-    bench::cell(partition_to_string(partition));
     const double bound =
         static_cast<double>(*std::max_element(partition.begin(), partition.end()));
+    lab::Row cells;
+    cells.emplace_back(partition_to_string(partition));
     for (const char* policy : {"lru", "fifo"}) {
       const double ratio = random_workload_ratio(partition, policy, 42);
-      bench::cell(ratio);
+      cells.emplace_back(ratio);
       upper_ok = upper_ok && ratio <= bound + 1e-9;
     }
-    bench::cell(bound);
-    bench::end_row();
+    cells.emplace_back(bound);
+    upper.add_row(std::move(cells));
   }
 
   const bool lower_ok = lru_series.back() > 3.0 * lru_series.front() &&
                         lru_series.back() > 10.0;
-  return bench::verdict(lower_ok && upper_ok,
-                        "adversarial ratio scales with max k_j and random-"
-                        "workload ratios respect the k_max upper bound");
+  return std::move(b).finish(lower_ok && upper_ok,
+                             "adversarial ratio scales with max k_j and random-"
+                             "workload ratios respect the k_max upper bound");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e1(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E1",
+      "Lemma 1 — online policy vs sP^B_OPT on a fixed partition",
+      "adversarial ratio grows ~linearly with max_j k_j; on any input the "
+      "ratio stays <= max_j k_j (upper bound)",
+      "EXPERIMENTS.md §E1; paper Lemma 1",
+      {"lemma", "online", "partition", "adversary"},
+      "p=2, n/core=600, max_k in {2,4,8,12,16}; Zipf partitions [4,4] [8,4] "
+      "[12,2]",
+      run,
+  });
 }

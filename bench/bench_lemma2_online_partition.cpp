@@ -1,20 +1,19 @@
 // Experiment E2 — Lemma 2: no online static partition is competitive once
 // the offline partition may depend on the input: on the lemma's family, the
 // ratio sP^B_LRU / sP^OPT_LRU grows linearly with n.
-#include <cstdio>
-
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/partition_search.hpp"
 #include "strategies/static_partition.hpp"
 
-int main() {
-  using namespace mcp;
-  bench::header(
-      "E2  Lemma 2 — online static partition vs offline-optimal partition",
-      "sP^B_LRU / sP^OPT_LRU = Omega(n) on the lemma's request family");
+namespace {
+
+using namespace mcp;
+
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
   const Partition online = {2, 2, 2};  // K = 6, p = 3
   const std::size_t K = 6;
@@ -22,7 +21,8 @@ int main() {
   cfg.cache_size = K;
   cfg.fault_penalty = 1;
 
-  bench::columns({"n", "sP^B_LRU", "sP^OPT_LRU", "ratio", "ratio/n"});
+  auto& table = b.series("ratio_vs_n", "",
+                         {"n", "sP^B_LRU", "sP^OPT_LRU", "ratio", "ratio/n"});
   std::vector<double> ratios;
   std::vector<double> normalized;
   for (std::size_t n : {600u, 1200u, 2400u, 4800u, 9600u}) {
@@ -34,17 +34,27 @@ int main() {
         static_cast<double>(fixed_faults) / static_cast<double>(opt.faults);
     ratios.push_back(ratio);
     normalized.push_back(ratio / static_cast<double>(n));
-    bench::cell(static_cast<std::uint64_t>(n));
-    bench::cell(fixed_faults);
-    bench::cell(opt.faults);
-    bench::cell(ratio);
-    bench::cell(ratio / static_cast<double>(n));
-    bench::end_row();
+    table.row(static_cast<std::uint64_t>(n), fixed_faults, opt.faults, ratio,
+              ratio / static_cast<double>(n));
   }
 
   // Linear growth: ratio roughly doubles when n doubles (ratio/n flat).
   const bool grows = ratios.back() > 6.0 * ratios.front();
   const bool linear = normalized.back() > 0.4 * normalized.front();
-  return bench::verdict(grows && linear,
-                        "ratio grows ~linearly in n (ratio/n stays flat)");
+  return std::move(b).finish(grows && linear,
+                             "ratio grows ~linearly in n (ratio/n stays flat)");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e2(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E2",
+      "Lemma 2 — online static partition vs offline-optimal partition",
+      "sP^B_LRU / sP^OPT_LRU = Omega(n) on the lemma's request family",
+      "EXPERIMENTS.md §E2; paper Lemma 2",
+      {"lemma", "online", "partition"},
+      "p=3, K=6, n in {600,1200,2400,4800,9600}",
+      run,
+  });
 }

@@ -2,22 +2,23 @@
 // dP^D_LRU indistinguishable from shared LRU on disjoint inputs: identical
 // fault counts, per-core fault timelines and completion times, across a
 // randomized workload grid.
-#include <cstdio>
-
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/shared.hpp"
 #include "workload/workload.hpp"
 
-int main() {
-  using namespace mcp;
-  bench::header("E6  Lemma 3 — dP^D_LRU == S_LRU fault-for-fault (disjoint R)",
-                "0 mismatches over the whole randomized grid; the partition "
-                "changes often (that is the point)");
+namespace {
 
-  bench::columns({"p", "K", "tau", "pattern", "faults", "mismatch", "changes"});
+using namespace mcp;
+
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
+
+  auto& grid = b.series(
+      "equivalence_grid", "",
+      {"p", "K", "tau", "pattern", "faults", "mismatch", "changes"});
   std::size_t mismatches = 0;
   std::size_t runs = 0;
   for (std::size_t p : {2u, 4u}) {
@@ -41,28 +42,39 @@ int main() {
           SharedStrategy shared(make_policy_factory("lru"));
           Lemma3DynamicPartition dynamic;
           const RunStats a = simulate(cfg, rs, shared);
-          const RunStats b = simulate(cfg, rs, dynamic);
-          bool equal = a.total_faults() == b.total_faults();
+          const RunStats c = simulate(cfg, rs, dynamic);
+          bool equal = a.total_faults() == c.total_faults();
           for (CoreId j = 0; j < p && equal; ++j) {
-            equal = a.core(j).fault_times == b.core(j).fault_times &&
-                    a.core(j).completion_time == b.core(j).completion_time;
+            equal = a.core(j).fault_times == c.core(j).fault_times &&
+                    a.core(j).completion_time == c.core(j).completion_time;
           }
           if (!equal) ++mismatches;
           ++runs;
-          bench::cell(static_cast<std::uint64_t>(p));
-          bench::cell(static_cast<std::uint64_t>(K));
-          bench::cell(static_cast<std::uint64_t>(tau));
-          bench::cell(to_string(pattern));
-          bench::cell(b.total_faults());
-          bench::cell(std::string(equal ? "no" : "YES"));
-          bench::cell(dynamic.partition_changes());
-          bench::end_row();
+          grid.row(static_cast<std::uint64_t>(p), static_cast<std::uint64_t>(K),
+                   static_cast<std::uint64_t>(tau), to_string(pattern),
+                   c.total_faults(), equal ? "no" : "YES",
+                   dynamic.partition_changes());
         }
       }
     }
   }
 
-  std::printf("\n%zu runs, %zu mismatches\n", runs, mismatches);
-  return bench::verdict(mismatches == 0,
-                        "dynamic partition replays shared LRU exactly");
+  b.notef("%zu runs, %zu mismatches", runs, mismatches);
+  return std::move(b).finish(mismatches == 0,
+                             "dynamic partition replays shared LRU exactly");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e6(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E6",
+      "Lemma 3 — dP^D_LRU == S_LRU fault-for-fault (disjoint R)",
+      "0 mismatches over the whole randomized grid; the partition changes "
+      "often (that is the point)",
+      "EXPERIMENTS.md §E6; paper Lemma 3",
+      {"lemma", "dynamic-partition", "shared"},
+      "p in {2,4}, K in {8,16}, tau in {0,3}, 4 access patterns (32 runs)",
+      run,
+  });
 }

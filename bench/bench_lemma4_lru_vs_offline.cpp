@@ -2,11 +2,9 @@
 // Omega(p(tau+1)) — the offline strategy sacrifices one core and serves the
 // rest from cache.  Side claim: shared FITF is *not* optimal once
 // tau > K/p (it loses to S_OFF).
-#include <cstdio>
-
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/shared.hpp"
 
@@ -14,18 +12,19 @@ namespace {
 
 using namespace mcp;
 
-struct Row {
+struct FamilyRow {
   Count lru = 0;
   Count fitf = 0;
   Count off = 0;
 };
 
-Row run_family(std::size_t p, std::size_t K, Time tau, std::size_t per_core) {
+FamilyRow run_family(std::size_t p, std::size_t K, Time tau,
+                     std::size_t per_core) {
   const RequestSet rs = lemma4_request_set(p, K, per_core);
   SimConfig cfg;
   cfg.cache_size = K;
   cfg.fault_penalty = tau;
-  Row row;
+  FamilyRow row;
   SharedStrategy lru(make_policy_factory("lru"));
   row.lru = simulate(cfg, rs, lru).total_faults();
   auto fitf = SharedStrategy::fitf();
@@ -35,55 +34,55 @@ Row run_family(std::size_t p, std::size_t K, Time tau, std::size_t per_core) {
   return row;
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E7  Lemma 4 — S_LRU vs the sacrificing offline strategy",
-                "S_LRU/S_OFF = Omega(p(tau+1)); S_FITF > S_OFF when tau > K/p");
-
-  std::printf("Sweep over tau (p=2, K=4, n/core=600; K/p = 2):\n");
-  bench::columns({"tau", "S_LRU", "S_FITF", "S_OFF", "LRU/OFF", "p(tau+1)"});
+  auto& tau_table = b.series(
+      "ratio_vs_tau", "Sweep over tau (p=2, K=4, n/core=600; K/p = 2):",
+      {"tau", "S_LRU", "S_FITF", "S_OFF", "LRU/OFF", "p(tau+1)"});
   std::vector<double> ratio_by_tau;
   bool fitf_suboptimal_seen = false;
-  bool fitf_optimal_small_tau = true;
   for (Time tau : {Time{0}, Time{1}, Time{3}, Time{7}, Time{15}}) {
-    const Row row = run_family(2, 4, tau, 600);
+    const FamilyRow row = run_family(2, 4, tau, 600);
     const double ratio =
         static_cast<double>(row.lru) / static_cast<double>(row.off);
     ratio_by_tau.push_back(ratio);
     if (tau > 2 && row.fitf > row.off) fitf_suboptimal_seen = true;
-    bench::cell(static_cast<std::uint64_t>(tau));
-    bench::cell(row.lru);
-    bench::cell(row.fitf);
-    bench::cell(row.off);
-    bench::cell(ratio);
-    bench::cell(static_cast<std::uint64_t>(2 * (tau + 1)));
-    bench::end_row();
+    tau_table.row(static_cast<std::uint64_t>(tau), row.lru, row.fitf, row.off,
+                  ratio, static_cast<std::uint64_t>(2 * (tau + 1)));
   }
 
-  std::printf("\nSweep over p (K=p^2, tau=3, n/core=600):\n");
-  bench::columns({"p", "K", "S_LRU", "S_OFF", "LRU/OFF", "p(tau+1)"});
+  auto& p_table = b.series(
+      "ratio_vs_p", "Sweep over p (K=p^2, tau=3, n/core=600):",
+      {"p", "K", "S_LRU", "S_OFF", "LRU/OFF", "p(tau+1)"});
   std::vector<double> ratio_by_p;
   for (std::size_t p : {2u, 3u, 4u, 6u}) {
     const std::size_t K = p * p;
-    const Row row = run_family(p, K, 3, 600);
+    const FamilyRow row = run_family(p, K, 3, 600);
     const double ratio =
         static_cast<double>(row.lru) / static_cast<double>(row.off);
     ratio_by_p.push_back(ratio);
-    bench::cell(static_cast<std::uint64_t>(p));
-    bench::cell(static_cast<std::uint64_t>(K));
-    bench::cell(row.lru);
-    bench::cell(row.off);
-    bench::cell(ratio);
-    bench::cell(static_cast<std::uint64_t>(p * 4));
-    bench::end_row();
+    p_table.row(static_cast<std::uint64_t>(p), static_cast<std::uint64_t>(K),
+                row.lru, row.off, ratio, static_cast<std::uint64_t>(p * 4));
   }
 
   const bool tau_growth = ratio_by_tau.back() > 2.5 * ratio_by_tau.front();
   const bool p_growth = ratio_by_p.back() > 1.5 * ratio_by_p.front();
-  (void)fitf_optimal_small_tau;
-  return bench::verdict(tau_growth && p_growth && fitf_suboptimal_seen,
-                        "ratio grows with tau and with p; FITF beaten by "
-                        "S_OFF once tau > K/p");
+  return std::move(b).finish(tau_growth && p_growth && fitf_suboptimal_seen,
+                             "ratio grows with tau and with p; FITF beaten by "
+                             "S_OFF once tau > K/p");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e7(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E7",
+      "Lemma 4 — S_LRU vs the sacrificing offline strategy",
+      "S_LRU/S_OFF = Omega(p(tau+1)); S_FITF > S_OFF when tau > K/p",
+      "EXPERIMENTS.md §E7; paper Lemma 4",
+      {"lemma", "offline", "shared", "adversary"},
+      "tau sweep at p=2, K=4; p sweep at K=p^2, tau=3; n/core=600",
+      run,
+  });
 }

@@ -4,11 +4,9 @@
 // relations (optimal-FTF schedules are makespan-feasible but not always
 // makespan-optimal; with tau=0 makespan is schedule-independent) and
 // reports how often the two optima diverge.
-#include <cstdio>
-
-#include "bench_util.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "offline/ftf_solver.hpp"
 #include "offline/makespan_solver.hpp"
 #include "offline/replay.hpp"
@@ -31,24 +29,20 @@ OfflineInstance random_instance(std::size_t per_core, Time tau,
   return inst;
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E15  FTF vs makespan objectives (cross-model, extension)",
-                "optimal-FTF schedules are never better than the makespan "
-                "optimum; the two optima coincide on some instances and "
-                "diverge on others");
-
-  bench::columns({"trial", "tau", "ftf_opt", "ms_opt", "ftf_sched_ms", "gap"});
+  auto& table =
+      b.series("objective_gap", "",
+               {"trial", "tau", "ftf_opt", "ms_opt", "ftf_sched_ms", "gap"});
   Rng rng(1618);
   std::size_t divergences = 0;
   std::size_t violations = 0;
   const int trials = 16;
   for (int trial = 0; trial < trials; ++trial) {
     const Time tau = 1 + rng.below(3);
-    const OfflineInstance inst =
-        random_instance(4 + rng.below(3), tau, 3000 + static_cast<std::uint64_t>(trial));
+    const OfflineInstance inst = random_instance(
+        4 + rng.below(3), tau, 3000 + static_cast<std::uint64_t>(trial));
     FtfOptions options;
     options.build_schedule = true;
     const FtfResult ftf = solve_ftf(inst, options);
@@ -57,17 +51,15 @@ int main() {
     const Time gap = replay.makespan() - ms.min_makespan;
     if (gap > 0) ++divergences;
     if (replay.makespan() < ms.min_makespan) ++violations;
-    bench::cell(static_cast<std::uint64_t>(trial));
-    bench::cell(static_cast<std::uint64_t>(tau));
-    bench::cell(ftf.min_faults);
-    bench::cell(static_cast<std::uint64_t>(ms.min_makespan));
-    bench::cell(static_cast<std::uint64_t>(replay.makespan()));
-    bench::cell(static_cast<std::uint64_t>(gap));
-    bench::end_row();
+    table.row(static_cast<std::uint64_t>(trial),
+              static_cast<std::uint64_t>(tau), ftf.min_faults,
+              static_cast<std::uint64_t>(ms.min_makespan),
+              static_cast<std::uint64_t>(replay.makespan()),
+              static_cast<std::uint64_t>(gap));
   }
-  std::printf("\n%zu/%d instances: the FTF-optimal schedule is strictly "
-              "slower than the makespan optimum\n",
-              divergences, trials);
+  b.notef("%zu/%d instances: the FTF-optimal schedule is strictly slower "
+          "than the makespan optimum",
+          divergences, trials);
 
   // tau = 0 sanity: makespan is eviction-independent (every request takes
   // one step), so ms_opt == longest sequence - 1 always.
@@ -76,13 +68,29 @@ int main() {
     const OfflineInstance inst =
         random_instance(6, 0, 4000 + static_cast<std::uint64_t>(trial));
     const MakespanResult ms = solve_min_makespan(inst);
-    tau0_ok = tau0_ok &&
-              ms.min_makespan == inst.requests.max_sequence_length() - 1;
+    tau0_ok =
+        tau0_ok && ms.min_makespan == inst.requests.max_sequence_length() - 1;
   }
-  std::printf("tau=0 check: makespan == n_max - 1 on all instances: %s\n",
-              tau0_ok ? "yes" : "NO");
+  b.notef("tau=0 check: makespan == n_max - 1 on all instances: %s",
+          tau0_ok ? "yes" : "NO");
 
-  return bench::verdict(violations == 0 && tau0_ok,
-                        "makespan optimum lower-bounds every FTF-optimal "
-                        "schedule; tau=0 degenerates as predicted");
+  return std::move(b).finish(violations == 0 && tau0_ok,
+                             "makespan optimum lower-bounds every FTF-optimal "
+                             "schedule; tau=0 degenerates as predicted");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e15(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E15",
+      "FTF vs makespan objectives (cross-model, extension)",
+      "optimal-FTF schedules are never better than the makespan optimum; "
+      "the two optima coincide on some instances and diverge on others",
+      "EXPERIMENTS.md §E15; Hassidim SPAA'10 cross-model",
+      {"extension", "offline", "objective"},
+      "16 random instances (p=2, K=2, tau in {1,2,3}); 6 tau=0 sanity "
+      "instances",
+      run,
+  });
 }

@@ -2,11 +2,11 @@
 // motivates: eviction policies x cache-management strategies on locality
 // workloads, reporting fault rates and Jain fairness.  Also the ablation of
 // SharedFetchMode on a non-disjoint workload.
-#include <cstdio>
+#include <algorithm>
 #include <memory>
 
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/shared.hpp"
@@ -54,20 +54,15 @@ RequestSet workload_named(const std::string& name, std::size_t p,
   return make_workload(homogeneous_spec(p, core, true, seed));
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& ctx) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
   const std::size_t p = 4;
   const std::size_t K = 32;
   const Time tau = 4;
   SimConfig cfg;
   cfg.cache_size = K;
   cfg.fault_penalty = tau;
-
-  bench::header("E12  Policy x strategy shootout (p=4, K=32, tau=4)",
-                "fault rate by eviction policy and strategy family; FITF "
-                "lower-bounds the online policies per strategy");
 
   bool fitf_wins = true;
   const std::vector<std::string> policies = {"lru",  "slru",   "fifo",
@@ -82,13 +77,19 @@ int main() {
   };
   for (const char* wl : {"zipf", "phases", "scan", "mixed"}) {
     const RequestSet rs = workload_named(wl, p, 1234);
-    std::printf("workload: %s  (n=%zu)\n", wl, rs.total_requests());
-    bench::columns({"policy", "S_A rate", "S_A jain", "sP_even", "dP_lemma3"});
+    auto& table =
+        b.series(std::string("shootout_") + wl,
+                 "workload: " + std::string(wl) +
+                     "  (n=" + std::to_string(rs.total_requests()) + ")",
+                 {"policy", "S_A rate", "S_A jain", "sP_even", "dP_lemma3"});
     double fitf_shared = 1.0;
     double best_online_shared = 1.0;
     // The policy x strategy grid cells are independent simulations: sweep
     // them on the shared pool and print the rows in policy order.
-    SweepRunner sweep;
+    SweepOptions sweep_opts;
+    sweep_opts.master_seed = ctx.master_seed;
+    sweep_opts.max_threads = ctx.workers;
+    SweepRunner sweep(sweep_opts);
     const std::vector<ShootoutRow> rows =
         sweep.run(policies.size(), [&](std::size_t i, Rng& /*rng*/) {
           const std::string& policy = policies[i];
@@ -107,58 +108,65 @@ int main() {
           return row;
         });
     for (std::size_t i = 0; i < policies.size(); ++i) {
-      bench::cell(policies[i]);
-      bench::cell(rows[i].shared_rate);
-      bench::cell(rows[i].shared_jain);
-      bench::cell(rows[i].even_rate);
       if (rows[i].dynamic_rate >= 0.0) {
-        bench::cell(rows[i].dynamic_rate);
+        table.row(policies[i], rows[i].shared_rate, rows[i].shared_jain,
+                  rows[i].even_rate, rows[i].dynamic_rate);
       } else {
-        bench::cell(std::string("-"));
+        table.row(policies[i], rows[i].shared_rate, rows[i].shared_jain,
+                  rows[i].even_rate, "-");
       }
-      bench::end_row();
       best_online_shared = std::min(best_online_shared, rows[i].shared_rate);
     }
-    bench::sweep_json(std::string("E12.") + wl, sweep.last_timing());
+    b.sweep(std::string("E12.") + wl, sweep.last_timing());
     auto fitf = SharedStrategy::fitf();
     const RunStats f = simulate(cfg, rs, *fitf);
     fitf_shared = f.overall_fault_rate();
-    bench::cell(std::string("FITF"));
-    bench::cell(fitf_shared);
-    bench::cell(f.jain_fairness());
     auto fitf_part = StaticPartitionStrategy::fitf(even_partition(K, p));
-    bench::cell(simulate(cfg, rs, *fitf_part).overall_fault_rate());
-    bench::cell(std::string("-"));
-    bench::end_row();
+    table.row("FITF", fitf_shared, f.jain_fairness(),
+              simulate(cfg, rs, *fitf_part).overall_fault_rate(), "-");
     // FITF is a strong heuristic here, not the optimum (Lemma 4): allow a
     // whisker of slack but expect it to lead the shared column.
     fitf_wins = fitf_wins && fitf_shared <= best_online_shared * 1.05;
-    std::printf("\n");
   }
 
-  std::printf("Ablation: SharedFetchMode on a non-disjoint Zipf workload:\n");
+  auto& ablation = b.series(
+      "shared_fetch_ablation",
+      "Ablation: SharedFetchMode on a non-disjoint Zipf workload:",
+      {"mode", "faults", "rate", "makespan"});
   CoreWorkload shared_core;
   shared_core.pattern = AccessPattern::kZipf;
   shared_core.num_pages = 48;
   shared_core.length = 4000;
   const RequestSet overlap =
       make_workload(homogeneous_spec(p, shared_core, /*disjoint=*/false, 77));
-  bench::columns({"mode", "faults", "rate", "makespan"});
   for (SharedFetchMode mode :
        {SharedFetchMode::kCountsAsFault, SharedFetchMode::kJoinsFetch}) {
     SimConfig ablate = cfg;
     ablate.shared_fetch = mode;
     SharedStrategy lru(make_policy_factory("lru"));
     const RunStats stats = simulate(ablate, overlap, lru);
-    bench::cell(std::string(mode == SharedFetchMode::kCountsAsFault
-                                ? "counts-fault"
-                                : "joins-fetch"));
-    bench::cell(stats.total_faults());
-    bench::cell(stats.overall_fault_rate());
-    bench::cell(stats.makespan());
-    bench::end_row();
+    ablation.row(mode == SharedFetchMode::kCountsAsFault ? "counts-fault"
+                                                         : "joins-fetch",
+                 stats.total_faults(), stats.overall_fault_rate(),
+                 stats.makespan());
   }
 
-  return bench::verdict(fitf_wins,
-                        "offline FITF leads every online policy per workload");
+  return std::move(b).finish(
+      fitf_wins, "offline FITF leads every online policy per workload");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e12(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E12",
+      "Policy x strategy shootout (p=4, K=32, tau=4)",
+      "fault rate by eviction policy and strategy family; FITF lower-bounds "
+      "the online policies per strategy",
+      "EXPERIMENTS.md §E12; paper §1 motivation",
+      {"shootout", "policy", "strategy", "sweep"},
+      "4 workloads x 9 policies x {S_A, sP_even, dP_lemma3}; SharedFetchMode "
+      "ablation on non-disjoint Zipf",
+      run,
+  });
 }

@@ -7,11 +7,9 @@
 // makespan — and the fault-time tradeoff flips with tau: concurrency wins
 // the makespan when faults are cheap, scheduling wins both metrics once
 // faults are expensive.
-#include <cstdio>
-
 #include "adversary/scheduling.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/shared.hpp"
 
@@ -31,14 +29,8 @@ RequestSet overfull_cycles(std::size_t p, std::size_t cycle, std::size_t laps) {
   return rs;
 }
 
-}  // namespace
-
-int main() {
-  using namespace mcp;
-  bench::header(
-      "E18  Scheduling power (Hassidim's model vs this paper's), executed",
-      "time-multiplexing (illegal here, legal there) removes capacity "
-      "thrash; the makespan crossover moves with tau");
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
   // 4 cores, each cycling 3 private pages; K = 4 holds any one working set
   // but not two.
@@ -46,8 +38,9 @@ int main() {
   const std::size_t K = 4;
   const RequestSet rs = overfull_cycles(p, 3, 60);
 
-  bench::columns({"tau", "LRU_faults", "MUX_faults", "LRU_mksp", "MUX_mksp",
-                  "mksp_winner"});
+  auto& table = b.series("scheduling_crossover", "",
+                         {"tau", "LRU_faults", "MUX_faults", "LRU_mksp",
+                          "MUX_mksp", "mksp_winner"});
   bool fault_reduction_everywhere = true;
   bool crossover_seen_low = false;
   bool crossover_seen_high = false;
@@ -66,24 +59,39 @@ int main() {
     const bool mux_wins = muxed.makespan() < shared.makespan();
     if (tau == 0 && !mux_wins) crossover_seen_low = true;
     if (tau >= 8 && mux_wins) crossover_seen_high = true;
+    if (tau == 8) {
+      b.stats("S_LRU tau=8 run_stats", shared.to_json());
+      b.stats("MUX tau=8 run_stats", muxed.to_json());
+    }
 
-    bench::cell(static_cast<std::uint64_t>(tau));
-    bench::cell(shared.total_faults());
-    bench::cell(muxed.total_faults());
-    bench::cell(shared.makespan());
-    bench::cell(muxed.makespan());
-    bench::cell(std::string(mux_wins ? "scheduling" : "concurrency"));
-    bench::end_row();
+    table.row(static_cast<std::uint64_t>(tau), shared.total_faults(),
+              muxed.total_faults(), shared.makespan(), muxed.makespan(),
+              mux_wins ? "scheduling" : "concurrency");
   }
 
-  std::printf(
-      "\nReading: the scheduler pays serialization but never thrashes; the\n"
+  b.note(
+      "Reading: the scheduler pays serialization but never thrashes; the\n"
       "paper's model must serve everyone concurrently and eats the conflict\n"
       "faults.  This is why competitive ratios differ across the models\n"
-      "(paper Section 2) — the offline comparators have different powers.\n");
+      "(paper Section 2) — the offline comparators have different powers.");
 
-  return bench::verdict(
+  return std::move(b).finish(
       fault_reduction_everywhere && crossover_seen_low && crossover_seen_high,
       "scheduling cuts faults 10x+ at every tau; concurrency wins the "
       "makespan at tau=0, scheduling wins it at large tau");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e18(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E18",
+      "Scheduling power (Hassidim's model vs this paper's), executed",
+      "time-multiplexing (illegal here, legal there) removes capacity "
+      "thrash; the makespan crossover moves with tau",
+      "EXPERIMENTS.md §E18; paper §2; Hassidim SPAA'10",
+      {"extension", "scheduling", "cross-model"},
+      "p=4, K=4, 3-page cycles x 60 laps; tau in {0,1,2,4,8,16}",
+      run,
+  });
 }

@@ -3,11 +3,10 @@
 // workloads (including the adversarial families) and report the worst
 // observed ratio, which must stay below K.
 #include <algorithm>
-#include <cstdio>
 
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/partition_search.hpp"
 #include "strategies/shared.hpp"
@@ -27,25 +26,19 @@ double lru_vs_partition_opt(const RequestSet& rs, std::size_t K, Time tau) {
   return static_cast<double>(shared) / static_cast<double>(opt.faults);
 }
 
-}  // namespace
-
-int main() {
-  using namespace mcp;
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
   const std::size_t K = 8;
   const std::size_t p = 4;
-  bench::header("E4  Theorem 1.2 — S_LRU <= K * sP^OPT_OPT on every input",
-                "the worst observed S_LRU / sP^OPT_OPT ratio stays below K");
 
-  bench::columns({"workload", "tau", "ratio", "bound_K"});
+  auto& table =
+      b.series("workload_tau_sweep", "", {"workload", "tau", "ratio", "bound_K"});
   double worst = 0.0;
   const auto row = [&](const std::string& name, const RequestSet& rs, Time tau) {
     const double ratio = lru_vs_partition_opt(rs, K, tau);
     worst = std::max(worst, ratio);
-    bench::cell(name);
-    bench::cell(static_cast<std::uint64_t>(tau));
-    bench::cell(ratio);
-    bench::cell(static_cast<std::uint64_t>(K));
-    bench::end_row();
+    table.row(name, static_cast<std::uint64_t>(tau), ratio,
+              static_cast<std::uint64_t>(K));
   };
 
   for (Time tau : {Time{0}, Time{2}, Time{8}}) {
@@ -74,7 +67,22 @@ int main() {
     row("thm1-adv", theorem1_distinct_period_set(p, K, tau, 16), tau);
   }
 
-  std::printf("\nworst observed ratio: %.3f (bound: %zu)\n", worst, K);
-  return bench::verdict(worst <= static_cast<double>(K),
-                        "S_LRU / sP^OPT_OPT <= K across the sweep");
+  b.notef("worst observed ratio: %.3f (bound: %zu)", worst, K);
+  return std::move(b).finish(worst <= static_cast<double>(K),
+                             "S_LRU / sP^OPT_OPT <= K across the sweep");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e4(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E4",
+      "Theorem 1.2 — S_LRU <= K * sP^OPT_OPT on every input",
+      "the worst observed S_LRU / sP^OPT_OPT ratio stays below K",
+      "EXPERIMENTS.md §E4; paper Theorem 1.2",
+      {"theorem", "shared", "partition", "workloads"},
+      "p=4, K=8, tau in {0,2,8}; zipf / working-set / loop / adversarial "
+      "families",
+      run,
+  });
 }

@@ -1,21 +1,19 @@
 // Experiment E3 — Theorem 1.1: on the distinct-period family even the best
 // static partition with the best per-part eviction (sP^OPT_OPT) loses
 // Omega(n) against plain shared LRU.
-#include <cstdio>
-
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/partition_search.hpp"
 #include "strategies/shared.hpp"
 
-int main() {
-  using namespace mcp;
-  bench::header(
-      "E3  Theorem 1.1 — sP^OPT_OPT vs S_LRU on the distinct-period family",
-      "sP^OPT_OPT(R) / S_LRU(R) = Omega(n): shared LRU pays only compulsory "
-      "misses (K+p) while every static partition thrashes somewhere");
+namespace {
+
+using namespace mcp;
+
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
   const std::size_t p = 4;
   const std::size_t K = 8;
@@ -24,7 +22,9 @@ int main() {
   cfg.cache_size = K;
   cfg.fault_penalty = tau;
 
-  bench::columns({"x", "n", "S_LRU", "sP^OPT_OPT", "ratio", "ratio/n"});
+  auto& table = b.series(
+      "partition_deficit_vs_x", "",
+      {"x", "n", "S_LRU", "sP^OPT_OPT", "ratio", "ratio/n"});
   std::vector<double> normalized;
   bool shared_compulsory_only = true;
   for (std::size_t x : {4u, 8u, 16u, 32u, 64u}) {
@@ -37,18 +37,29 @@ int main() {
     const auto n = static_cast<double>(rs.total_requests());
     normalized.push_back(ratio / n);
     shared_compulsory_only = shared_compulsory_only && shared == K + p;
-    bench::cell(static_cast<std::uint64_t>(x));
-    bench::cell(static_cast<std::uint64_t>(rs.total_requests()));
-    bench::cell(shared);
-    bench::cell(part_opt.faults);
-    bench::cell(ratio);
-    bench::cell(ratio / n);
-    bench::end_row();
+    table.row(static_cast<std::uint64_t>(x),
+              static_cast<std::uint64_t>(rs.total_requests()), shared,
+              part_opt.faults, ratio, ratio / n);
   }
 
   const bool linear = normalized.back() > 0.4 * normalized.front();
-  return bench::verdict(
+  return std::move(b).finish(
       shared_compulsory_only && linear,
       "shared LRU faults exactly K+p (compulsory); partition-OPT deficit "
       "grows ~linearly in n");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e3(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E3",
+      "Theorem 1.1 — sP^OPT_OPT vs S_LRU on the distinct-period family",
+      "sP^OPT_OPT(R) / S_LRU(R) = Omega(n): shared LRU pays only compulsory "
+      "misses (K+p) while every static partition thrashes somewhere",
+      "EXPERIMENTS.md §E3; paper Theorem 1.1",
+      {"theorem", "shared", "partition", "adversary"},
+      "p=4, K=8, tau=1, x in {4,8,16,32,64}",
+      run,
+  });
 }

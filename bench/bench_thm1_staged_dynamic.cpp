@@ -2,21 +2,19 @@
 // (o(n) stages; here: a single static stage, the worst case) loses
 // unboundedly against shared LRU on the staged adversary: the adversary's
 // loss ratio grows with the stage/turn length ell.
-#include <cstdio>
-
 #include "adversary/adversary.hpp"
-#include "bench_util.hpp"
 #include "core/simulator.hpp"
+#include "experiments.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/shared.hpp"
 
-int main() {
-  using namespace mcp;
-  bench::header(
-      "E5  Theorem 1.3 — rarely-changing dynamic partition vs shared LRU",
-      "dP^D_A(R)/S_LRU(R) = omega(1): grows with the stage length ell "
-      "(constant-stage partitions are Omega(n) behind)");
+namespace {
+
+using namespace mcp;
+
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
   const std::size_t p = 2;
   const std::size_t K = 4;
@@ -24,7 +22,8 @@ int main() {
   cfg.cache_size = K;
   cfg.fault_penalty = 1;
 
-  bench::columns({"turn_len", "n", "dP_even", "S_LRU", "ratio"});
+  auto& loss = b.series("loss_vs_turn_length", "",
+                        {"turn_len", "n", "dP_even", "S_LRU", "ratio"});
   std::vector<double> ratios;
   for (std::size_t turn : {25u, 50u, 100u, 200u, 400u}) {
     StagedAdversaryStream adversary(p, K / p + 1, turn, /*laps=*/2);
@@ -43,12 +42,9 @@ int main() {
     const double ratio = static_cast<double>(partition_faults) /
                          static_cast<double>(shared_faults);
     ratios.push_back(ratio);
-    bench::cell(static_cast<std::uint64_t>(turn));
-    bench::cell(static_cast<std::uint64_t>(recorder.recorded().total_requests()));
-    bench::cell(partition_faults);
-    bench::cell(shared_faults);
-    bench::cell(ratio);
-    bench::end_row();
+    loss.row(static_cast<std::uint64_t>(turn),
+             static_cast<std::uint64_t>(recorder.recorded().total_requests()),
+             partition_faults, shared_faults, ratio);
   }
 
   const bool grows = ratios.back() > 3.0 * ratios.front() && ratios.back() > 8.0;
@@ -56,8 +52,9 @@ int main() {
   // Flip side: more stages (partition changes) shrink the loss.  Re-run the
   // recorded worst trace against staged schedules that re-balance toward
   // the active core more and more often.
-  std::printf("\nMore stages help (same adversary, turn_len=200):\n");
-  bench::columns({"stages", "dP faults", "S_LRU", "ratio"});
+  auto& stages_table =
+      b.series("more_stages_help", "More stages help (same adversary, turn_len=200):",
+               {"stages", "dP faults", "S_LRU", "ratio"});
   StagedAdversaryStream adversary(p, K / p + 1, 200, /*laps=*/2);
   RecordingStream recorder(adversary);
   {
@@ -86,15 +83,27 @@ int main() {
     const double ratio =
         static_cast<double>(faults) / static_cast<double>(shared_ref_faults);
     staged_ratios.push_back(ratio);
-    bench::cell(static_cast<std::uint64_t>(stages));
-    bench::cell(faults);
-    bench::cell(shared_ref_faults);
-    bench::cell(ratio);
-    bench::end_row();
+    stages_table.row(static_cast<std::uint64_t>(stages), faults,
+                     shared_ref_faults, ratio);
   }
   const bool more_stages_help = staged_ratios.back() < staged_ratios.front();
 
-  return bench::verdict(grows && more_stages_help,
-                        "loss ratio grows with the stage length; more "
-                        "frequent repartitioning shrinks it");
+  return std::move(b).finish(grows && more_stages_help,
+                             "loss ratio grows with the stage length; more "
+                             "frequent repartitioning shrinks it");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e5(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E5",
+      "Theorem 1.3 — rarely-changing dynamic partition vs shared LRU",
+      "dP^D_A(R)/S_LRU(R) = omega(1): grows with the stage length ell "
+      "(constant-stage partitions are Omega(n) behind)",
+      "EXPERIMENTS.md §E5; paper Theorem 1.3",
+      {"theorem", "dynamic-partition", "adversary"},
+      "p=2, K=4, turn length in {25,50,100,200,400}; stage counts {1,4,16,64}",
+      run,
+  });
 }

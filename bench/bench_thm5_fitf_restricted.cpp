@@ -1,11 +1,8 @@
 // Experiment E11 — Theorem 5: restricting the optimal search to evict, for
 // some core c, the page of R_c requested furthest in R_c's future, never
 // costs optimality on disjoint inputs — and shrinks the search.
-#include <chrono>
-#include <cstdio>
-
-#include "bench_util.hpp"
 #include "core/rng.hpp"
+#include "experiments.hpp"
 #include "offline/ftf_solver.hpp"
 #include "workload/workload.hpp"
 
@@ -26,16 +23,12 @@ OfflineInstance random_instance(std::size_t per_core, std::size_t K, Time tau,
   return inst;
 }
 
-}  // namespace
+lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+  lab::ResultBuilder b;
 
-int main() {
-  using namespace mcp;
-  bench::header("E11  Theorem 5 — FITF-within-a-sequence victim restriction",
-                "restricted optimum == unrestricted optimum on every "
-                "instance; restricted search stores fewer states");
-
-  bench::columns({"n/core", "K", "tau", "opt_full", "opt_fitf", "st_full",
-                  "st_fitf"});
+  auto& table = b.series(
+      "restriction_grid", "",
+      {"n/core", "K", "tau", "opt_full", "opt_fitf", "st_full", "st_fitf"});
   Rng rng(11);
   std::size_t mismatches = 0;
   std::uint64_t full_states = 0;
@@ -44,31 +37,42 @@ int main() {
     const std::size_t n = 6 + rng.below(14);
     const std::size_t K = 2 + rng.below(2);
     const Time tau = rng.below(3);
-    const OfflineInstance inst = random_instance(n, K, tau, 900 + static_cast<std::uint64_t>(trial));
+    const OfflineInstance inst =
+        random_instance(n, K, tau, 900 + static_cast<std::uint64_t>(trial));
     FtfOptions full;
     FtfOptions fitf;
     fitf.victim_rule = VictimRule::kFitfPerSequence;
     const FtfResult a = solve_ftf(inst, full);
-    const FtfResult b = solve_ftf(inst, fitf);
-    if (a.min_faults != b.min_faults) ++mismatches;
+    const FtfResult r = solve_ftf(inst, fitf);
+    if (a.min_faults != r.min_faults) ++mismatches;
     full_states += a.states_stored;
-    fitf_states += b.states_stored;
-    bench::cell(static_cast<std::uint64_t>(n));
-    bench::cell(static_cast<std::uint64_t>(K));
-    bench::cell(static_cast<std::uint64_t>(tau));
-    bench::cell(a.min_faults);
-    bench::cell(b.min_faults);
-    bench::cell(static_cast<std::uint64_t>(a.states_stored));
-    bench::cell(static_cast<std::uint64_t>(b.states_stored));
-    bench::end_row();
+    fitf_states += r.states_stored;
+    table.row(static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(K),
+              static_cast<std::uint64_t>(tau), a.min_faults, r.min_faults,
+              static_cast<std::uint64_t>(a.states_stored),
+              static_cast<std::uint64_t>(r.states_stored));
   }
 
-  std::printf("\nstate totals: full=%llu fitf-restricted=%llu (%.2fx smaller)\n",
-              static_cast<unsigned long long>(full_states),
-              static_cast<unsigned long long>(fitf_states),
-              static_cast<double>(full_states) /
-                  static_cast<double>(fitf_states));
-  return bench::verdict(mismatches == 0 && fitf_states <= full_states,
-                        "Theorem-5 restriction preserves the optimum and "
-                        "prunes the search");
+  b.notef("state totals: full=%llu fitf-restricted=%llu (%.2fx smaller)",
+          static_cast<unsigned long long>(full_states),
+          static_cast<unsigned long long>(fitf_states),
+          static_cast<double>(full_states) / static_cast<double>(fitf_states));
+  return std::move(b).finish(mismatches == 0 && fitf_states <= full_states,
+                             "Theorem-5 restriction preserves the optimum and "
+                             "prunes the search");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e11(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E11",
+      "Theorem 5 — FITF-within-a-sequence victim restriction",
+      "restricted optimum == unrestricted optimum on every instance; "
+      "restricted search stores fewer states",
+      "EXPERIMENTS.md §E11; paper Theorem 5",
+      {"theorem", "offline", "solver"},
+      "14 random instances, n/core in [6,20), K in {2,3}, tau in {0,1,2}",
+      run,
+  });
 }

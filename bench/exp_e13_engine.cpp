@@ -1,0 +1,129 @@
+// Experiment E13 — engine throughput, lab edition.  The full
+// google-benchmark microbenchmark suite lives in bench_sim_throughput
+// (run it directly; pass --benchmark_format=json for machine-readable
+// counters).  This registration measures a compact single-pass version of
+// the same quantities so the lab driver can record them in the JSONL
+// trajectory: simulator requests/sec per strategy family, and the sweep
+// engine's cells/sec with a worker-count determinism check (results must be
+// bit-identical at 1, 2 and all hardware workers — the PR-1 contract).
+#include <chrono>
+
+#include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "experiments.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/dynamic_partition.hpp"
+#include "strategies/partition.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace mcp;
+
+RequestSet zipf_workload(std::size_t p, std::size_t pages, std::size_t length,
+                         std::uint64_t seed) {
+  CoreWorkload core;
+  core.pattern = AccessPattern::kZipf;
+  core.num_pages = pages;
+  core.length = length;
+  return make_workload(homogeneous_spec(p, core, true, seed));
+}
+
+lab::ExperimentResult run(const lab::RunContext& ctx) {
+  lab::ResultBuilder b;
+
+  auto& throughput = b.series(
+      "strategy_throughput",
+      "Simulator throughput (p=4, K=64, tau=4, zipf, single pass):",
+      {"strategy", "faults", "Mreq/s"});
+  const RequestSet rs = zipf_workload(4, 64, 4000, 5);
+  SimConfig cfg;
+  cfg.cache_size = 64;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  bool rates_positive = true;
+  const auto measure = [&](const std::string& name, CacheStrategy& strategy) {
+    const auto start = std::chrono::steady_clock::now();
+    const RunStats stats = simulate(cfg, rs, strategy);
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(stop - start).count();
+    const double mreq_s = secs > 0.0
+                              ? static_cast<double>(rs.total_requests()) /
+                                    secs / 1e6
+                              : 0.0;
+    rates_positive = rates_positive && mreq_s > 0.0;
+    throughput.row(name, stats.total_faults(), mreq_s);
+  };
+  SharedStrategy lru(make_policy_factory("lru", 7));
+  measure("S_LRU", lru);
+  StaticPartitionStrategy even(even_partition(64, 4),
+                               make_policy_factory("lru"));
+  measure("sP_even_LRU", even);
+  Lemma3DynamicPartition lemma3;
+  measure("dP_lemma3", lemma3);
+  auto fitf = SharedStrategy::fitf();
+  measure("S_FITF", *fitf);
+
+  // Sweep-engine determinism: the 105-cell partition sweep from the
+  // microbenchmark, run at worker caps 1 / 2 / all — the fault vectors must
+  // match bit-for-bit (PR-1 contract, tested again here from the driver's
+  // master seed).
+  auto& sweep_table = b.series(
+      "sweep_worker_scaling",
+      "Partition sweep (K=16, p=3, 105 cells) across worker caps:",
+      {"workers", "cells", "wall_s", "cells/s", "identical"});
+  const RequestSet sweep_rs = zipf_workload(3, 48, 1500, 11);
+  SimConfig sweep_cfg;
+  sweep_cfg.cache_size = 16;
+  sweep_cfg.fault_penalty = 4;
+  sweep_cfg.record_fault_timeline = false;
+  const PolicyFactory lru_factory = make_policy_factory("lru");
+  const std::vector<Partition> grid = enumerate_partitions(16, 3, 1);
+  std::vector<Count> baseline;
+  bool deterministic = true;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    SweepRunner sweep(SweepOptions{ctx.master_seed, workers});
+    const std::vector<Count> faults =
+        sweep.run(grid.size(), [&](std::size_t i, Rng& /*rng*/) {
+          StaticPartitionStrategy strategy(grid[i], lru_factory);
+          return simulate(sweep_cfg, sweep_rs, strategy).total_faults();
+        });
+    if (baseline.empty()) baseline = faults;
+    const bool identical = faults == baseline;
+    deterministic = deterministic && identical;
+    const SweepTiming& t = sweep.last_timing();
+    sweep_table.row(workers == 0 ? "all" : std::to_string(workers),
+                    static_cast<std::uint64_t>(t.cells), t.wall_seconds,
+                    t.cells_per_second(), identical ? "yes" : "NO");
+    b.sweep("E13.partition_sweep.w" +
+                (workers == 0 ? std::string("all") : std::to_string(workers)),
+            t);
+  }
+
+  b.note("Full microbenchmark suite: build target bench_sim_throughput "
+         "(google-benchmark; not driven by mcpaging-lab).");
+
+  return std::move(b).finish(
+      rates_positive && deterministic,
+      "simulator sustains positive throughput on every strategy family; "
+      "sweep results bit-identical across worker counts");
+}
+
+}  // namespace
+
+void mcp::experiments::register_e13(lab::ExperimentRegistry& registry) {
+  registry.add({
+      "E13",
+      "Engine throughput & sweep determinism (lab edition)",
+      "simulator throughput per strategy family; partition sweep "
+      "bit-identical at 1/2/all workers (see bench_sim_throughput for the "
+      "full google-benchmark suite)",
+      "EXPERIMENTS.md §E13; PR-1 sweep contract",
+      {"engine", "throughput", "sweep"},
+      "p=4, K=64 zipf single-pass; 105-cell partition sweep at worker caps "
+      "{1,2,all}",
+      run,
+  });
+}

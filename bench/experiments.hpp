@@ -1,0 +1,35 @@
+// Registration entry points for every experiment definition TU in bench/.
+//
+// Each bench_*.cpp defines one experiment (id, claim, tags, run function)
+// and exposes a register_* hook; register_all() wires them into a registry
+// in index order.  Explicit calls — not static initializers — so the set of
+// registered experiments is deterministic and independent of link order.
+#pragma once
+
+#include "lab/registry.hpp"
+
+namespace mcp::experiments {
+
+void register_e1(lab::ExperimentRegistry& registry);
+void register_e2(lab::ExperimentRegistry& registry);
+void register_e3(lab::ExperimentRegistry& registry);
+void register_e4(lab::ExperimentRegistry& registry);
+void register_e5(lab::ExperimentRegistry& registry);
+void register_e6(lab::ExperimentRegistry& registry);
+void register_e7(lab::ExperimentRegistry& registry);
+void register_e8(lab::ExperimentRegistry& registry);
+void register_e9(lab::ExperimentRegistry& registry);
+void register_e10(lab::ExperimentRegistry& registry);
+void register_e11(lab::ExperimentRegistry& registry);
+void register_e12(lab::ExperimentRegistry& registry);
+void register_e13(lab::ExperimentRegistry& registry);
+void register_e14(lab::ExperimentRegistry& registry);
+void register_e15(lab::ExperimentRegistry& registry);
+void register_e16(lab::ExperimentRegistry& registry);
+void register_e17(lab::ExperimentRegistry& registry);
+void register_e18(lab::ExperimentRegistry& registry);
+
+/// Registers the complete E-series (the index EXPERIMENTS.md documents).
+void register_all(lab::ExperimentRegistry& registry);
+
+}  // namespace mcp::experiments

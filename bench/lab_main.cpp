@@ -1,0 +1,175 @@
+// mcpaging-lab — the single driver for the E-series experiment suite.
+//
+//   mcpaging-lab --list                      enumerate registered experiments
+//   mcpaging-lab --run E1,E3 [--run E7]      run a selection
+//   mcpaging-lab --tag lemma                 run everything carrying a tag
+//   mcpaging-lab --all                       run the whole suite
+//   mcpaging-lab --seed N --workers W        sweep determinism knobs
+//   mcpaging-lab --json results.jsonl        one schema-versioned record per
+//                                            experiment (docs/LAB.md)
+//   mcpaging-lab --check reference.jsonl     shape-regression diff vs a
+//                                            committed reference run
+//
+// Exit status: 0 = every selected experiment PASSed (and --check matched);
+// 1 = at least one FAIL verdict or --check mismatch; 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments.hpp"
+#include "lab/runner.hpp"
+
+namespace {
+
+using namespace mcp;
+
+void usage(std::ostream& os) {
+  os << "usage: mcpaging-lab [--list] [--all] [--run E1,E2,...] [--tag TAG]\n"
+        "                    [--seed N] [--workers W] [--json PATH]\n"
+        "                    [--check REFERENCE.jsonl]\n"
+        "\n"
+        "  --list         list registered experiments (id, title, tags) and "
+        "exit\n"
+        "  --all          select every registered experiment\n"
+        "  --run IDS      comma-separated experiment ids (repeatable)\n"
+        "  --tag TAG      select every experiment carrying TAG (repeatable)\n"
+        "  --seed N       master seed for sweep RNG splitting (default "
+        "0x5EED)\n"
+        "  --workers W    sweep worker cap; 0 = all hardware workers "
+        "(default)\n"
+        "  --json PATH    write one JSONL record per experiment (schema: "
+        "docs/LAB.md)\n"
+        "  --check PATH   shape-diff this run against a reference JSONL "
+        "file\n"
+        "\n"
+        "exit status: 0 all PASS (and check clean), 1 FAIL or check "
+        "mismatch, 2 usage\n";
+}
+
+/// Splits "E1,E3,E10" into its ids, dropping empty fragments.
+std::vector<std::string> split_ids(const std::string& list) {
+  std::vector<std::string> ids;
+  std::string current;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!current.empty()) ids.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) ids.push_back(current);
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcp;
+
+  bool list = false;
+  bool all = false;
+  std::vector<std::string> ids;
+  std::vector<std::string> tags;
+  lab::RunContext context;
+  std::string json_path;
+  std::string check_path;
+
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "mcpaging-lab: " << flag << " requires a value\n";
+      usage(std::cerr);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--run") {
+      for (std::string& id : split_ids(need_value(i, "--run"))) {
+        ids.push_back(std::move(id));
+      }
+    } else if (arg == "--tag") {
+      tags.emplace_back(need_value(i, "--tag"));
+    } else if (arg == "--seed") {
+      context.master_seed =
+          std::strtoull(need_value(i, "--seed"), nullptr, 0);
+    } else if (arg == "--workers") {
+      context.workers = std::strtoull(need_value(i, "--workers"), nullptr, 10);
+    } else if (arg == "--json") {
+      json_path = need_value(i, "--json");
+    } else if (arg == "--check") {
+      check_path = need_value(i, "--check");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "mcpaging-lab: unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  lab::ExperimentRegistry& registry = lab::ExperimentRegistry::instance();
+  experiments::register_all(registry);
+
+  if (list) {
+    for (const lab::Experiment* e : registry.all()) {
+      std::printf("%-4s  %s\n", e->id.c_str(), e->title.c_str());
+      std::printf("      claim: %s\n", e->claim.c_str());
+      std::string tag_line;
+      for (const std::string& tag : e->tags) {
+        if (!tag_line.empty()) tag_line += ", ";
+        tag_line += tag;
+      }
+      std::printf("      tags: %s\n", tag_line.c_str());
+      std::printf("      grid: %s\n", e->default_grid.c_str());
+    }
+    std::printf("%zu experiments registered\n", registry.size());
+    return 0;
+  }
+
+  if (!all && ids.empty() && tags.empty()) {
+    std::cerr << "mcpaging-lab: nothing selected (use --all, --run or "
+                 "--tag; --list to enumerate)\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const auto selection = lab::select_experiments(registry, ids, tags, all);
+    const auto reports = lab::run_experiments(selection, context, std::cout);
+
+    if (!json_path.empty()) {
+      lab::write_records(json_path, reports, context);
+      std::printf("wrote %zu record(s) to %s\n", reports.size(),
+                  json_path.c_str());
+    }
+
+    std::size_t mismatches = 0;
+    if (!check_path.empty()) {
+      mismatches = lab::check_against_reference(reports, check_path, std::cout);
+    }
+
+    std::size_t failed = 0;
+    for (const lab::RunReport& report : reports) {
+      if (!report.result.verdict.pass) ++failed;
+    }
+    std::printf("suite: %zu/%zu PASS\n", reports.size() - failed,
+                reports.size());
+    return (failed > 0 || mismatches > 0) ? 1 : 0;
+  } catch (const InputError& e) {
+    std::cerr << "mcpaging-lab: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mcpaging-lab: internal error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,15 @@
+// Shared main() for the per-experiment standalone shim binaries.  Each shim
+// target compiles this TU with MCP_LAB_EXPERIMENT_ID set to its id; the
+// binary keeps the historical behavior (render the tables, exit 0 on PASS,
+// 1 on FAIL) while the actual experiment lives in the lab registry.
+#include "experiments.hpp"
+#include "lab/runner.hpp"
+
+#ifndef MCP_LAB_EXPERIMENT_ID
+#error "compile with -DMCP_LAB_EXPERIMENT_ID=\"En\""
+#endif
+
+int main() {
+  mcp::experiments::register_all(mcp::lab::ExperimentRegistry::instance());
+  return mcp::lab::standalone_main(MCP_LAB_EXPERIMENT_ID);
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds everything, runs the test suite and every experiment binary,
-# capturing outputs next to the repo root (the files EXPERIMENTS.md cites).
+# Builds everything, runs the test suite and the full experiment suite via
+# mcpaging-lab, capturing outputs next to the repo root (the files
+# EXPERIMENTS.md cites) plus the machine-readable JSONL record ledger.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,15 +9,12 @@ cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+status=${PIPESTATUS[0]}
 
-: > bench_output.txt
-status=0
-for b in build/bench/bench_*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "==> $b" | tee -a bench_output.txt
-  if ! "$b" >> bench_output.txt 2>&1; then
-    echo "FAILED: $b" | tee -a bench_output.txt
-    status=1
-  fi
-done
-exit $status
+# One driver runs E1..E18, renders every table, writes one JSONL record per
+# experiment, and exits nonzero if any claim's shape FAILs.
+if ! ./build/bench/mcpaging-lab --all --json lab_results.jsonl 2>&1 \
+    | tee bench_output.txt; then
+  status=1
+fi
+exit "$status"

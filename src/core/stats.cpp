@@ -1,6 +1,7 @@
 #include "core/stats.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -78,6 +79,28 @@ double RunStats::jain_fairness() const {
   if (sum_sq == 0.0) return 1.0;
   const auto p = static_cast<double>(cores_.size());
   return (sum * sum) / (p * sum_sq);
+}
+
+std::string RunStats::to_json() const {
+  std::ostringstream os;
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.6f", overall_fault_rate());
+  char jain[32];
+  std::snprintf(jain, sizeof(jain), "%.6f", jain_fairness());
+  os << "{\"total\":{\"requests\":" << total_requests()
+     << ",\"faults\":" << total_faults() << ",\"hits\":" << total_hits()
+     << ",\"fault_rate\":" << rate << "},\"makespan\":" << makespan()
+     << ",\"jain_fairness\":" << jain << ",\"end_time\":" << end_time
+     << ",\"cores\":[";
+  for (CoreId j = 0; j < cores_.size(); ++j) {
+    const CoreStats& c = cores_[j];
+    if (j > 0) os << ',';
+    os << "{\"requests\":" << c.requests << ",\"hits\":" << c.hits
+       << ",\"faults\":" << c.faults
+       << ",\"completion_time\":" << c.completion_time << '}';
+  }
+  os << "]}";
+  return os.str();
 }
 
 std::string RunStats::report(const std::string& label) const {

@@ -70,6 +70,14 @@ class RunStats {
   /// Multi-line human-readable report.
   [[nodiscard]] std::string report(const std::string& label = {}) const;
 
+  /// One-line JSON object with the run's summary shape: totals, makespan,
+  /// Jain fairness, and per-core hits/faults/completion times.  This is the
+  /// form mcp::lab embeds in its JSONL records (docs/LAB.md), so the field
+  /// set is stable: {"total":{...},"makespan":N,"jain_fairness":X,
+  /// "end_time":N,"cores":[{...}]}.  Fault timelines are intentionally
+  /// omitted (they can be arbitrarily long; record them via a Series).
+  [[nodiscard]] std::string to_json() const;
+
   Time end_time = 0;  ///< First timestep at which every core was finished.
 
  private:

@@ -1,0 +1,59 @@
+#include "lab/experiment.hpp"
+
+#include <cstdio>
+
+namespace mcp::lab {
+
+Series& ResultBuilder::series(std::string name, std::string caption,
+                              std::vector<std::string> columns) {
+  MCP_REQUIRE(!name.empty(), "series name must be non-empty");
+  MCP_REQUIRE(!columns.empty(), "series must have at least one column");
+  for (const auto& existing : series_) {
+    MCP_REQUIRE(existing.name != name, "duplicate series name '" + name + "'");
+  }
+  Series& s = series_.emplace_back();
+  s.name = std::move(name);
+  s.caption = std::move(caption);
+  s.columns = std::move(columns);
+  result_.order.emplace_back(ExperimentResult::BlockKind::kSeries,
+                             series_.size() - 1);
+  return s;
+}
+
+void ResultBuilder::note(std::string text) {
+  result_.order.emplace_back(ExperimentResult::BlockKind::kNote,
+                             result_.notes.size());
+  result_.notes.push_back(std::move(text));
+}
+
+void ResultBuilder::notef(const char* fmt, ...) {
+  char buffer[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  note(std::string(buffer));
+}
+
+void ResultBuilder::sweep(std::string name, const SweepTiming& timing) {
+  result_.order.emplace_back(ExperimentResult::BlockKind::kSweep,
+                             result_.sweeps.size());
+  result_.sweeps.push_back(SweepRecord{std::move(name), timing});
+}
+
+void ResultBuilder::stats(std::string label, std::string stats_json) {
+  result_.order.emplace_back(ExperimentResult::BlockKind::kStats,
+                             result_.run_stats.size());
+  result_.run_stats.push_back(StatsRecord{std::move(label), std::move(stats_json)});
+}
+
+ExperimentResult ResultBuilder::finish(bool pass, std::string criterion) && {
+  result_.series.assign(std::make_move_iterator(series_.begin()),
+                        std::make_move_iterator(series_.end()));
+  series_.clear();
+  result_.verdict.pass = pass;
+  result_.verdict.criterion = std::move(criterion);
+  return std::move(result_);
+}
+
+}  // namespace mcp::lab

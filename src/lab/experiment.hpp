@@ -1,0 +1,166 @@
+// The experiment model of the mcp::lab harness.
+//
+// An Experiment is a first-class descriptor of one reproducible claim: which
+// lemma/theorem it validates (EXPERIMENTS.md / DESIGN.md reference), the
+// default parameter grid, and a run function that returns *structured*
+// results — tables (Series), free-form notes, sweep timings and a Verdict —
+// instead of printing them.  The driver renders the same human tables from
+// the structure and serializes every run to a versioned JSONL record
+// (lab/record.hpp), so one artifact carries every theorem's measured shape.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/sweep.hpp"
+
+namespace mcp::lab {
+
+/// Parameters shared by every experiment run.  The defaults reproduce the
+/// committed reference numbers exactly; the sweeps' determinism contract
+/// (DESIGN.md §7) makes results independent of `workers`.
+struct RunContext {
+  /// Master seed for the experiment's top-level SweepRunner streams.
+  /// Experiments whose constructions are deterministic by design keep their
+  /// internal fixed seeds regardless (the claim families are not sampled).
+  std::uint64_t master_seed = 0x5EED;
+  /// Worker cap for the experiment's own sweeps (0 = all pool workers).
+  std::size_t workers = 0;
+};
+
+/// One table cell: an integer count, a real measurement, or a label.
+class Value {
+ public:
+  enum class Kind { kInt, kReal, kText };
+
+  Value() : v_(std::uint64_t{0}) {}
+  Value(std::uint64_t v) : v_(v) {}                       // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                              // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}              // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}            // NOLINT(runtime/explicit)
+
+  [[nodiscard]] Kind kind() const noexcept {
+    return static_cast<Kind>(v_.index());
+  }
+  [[nodiscard]] std::uint64_t as_int() const { return std::get<std::uint64_t>(v_); }
+  [[nodiscard]] double as_real() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_text() const { return std::get<std::string>(v_); }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::uint64_t, double, std::string> v_;
+};
+
+using Row = std::vector<Value>;
+
+/// One measured table: named for the JSONL record, captioned for humans.
+struct Series {
+  std::string name;                  ///< snake_case id, stable across runs.
+  std::string caption;               ///< Human line above the table ("" = none).
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Appends a row; the cell count must match the column count.
+  template <typename... Ts>
+  void row(Ts&&... cells) {
+    Row r;
+    r.reserve(sizeof...(cells));
+    (r.emplace_back(Value(std::forward<Ts>(cells))), ...);
+    add_row(std::move(r));
+  }
+
+  void add_row(Row r) {
+    MCP_REQUIRE(r.size() == columns.size(),
+                "series '" + name + "': row width != column count");
+    rows.push_back(std::move(r));
+  }
+};
+
+/// The PASS/FAIL judgement on the claim's *shape* (growth order, dominance,
+/// crossover) — absolute numbers are simulator-specific by design.
+struct Verdict {
+  bool pass = false;
+  std::string criterion;  ///< What was checked, e.g. "ratio grows ~linearly".
+};
+
+/// A sweep's wall-clock record — the repo's perf-baseline channel.
+struct SweepRecord {
+  std::string name;
+  SweepTiming timing;
+};
+
+/// A RunStats snapshot embedded in the record (core/stats.hpp to_json()).
+struct StatsRecord {
+  std::string label;
+  std::string json;  ///< RunStats::to_json() output, embedded verbatim.
+};
+
+/// Structured output of one experiment run.  `order` preserves the
+/// interleaving of tables, notes, sweeps and stats blocks so the renderer
+/// reproduces the experiment's narrative layout.
+struct ExperimentResult {
+  enum class BlockKind { kSeries, kNote, kSweep, kStats };
+
+  std::vector<Series> series;
+  std::vector<std::string> notes;
+  std::vector<SweepRecord> sweeps;
+  std::vector<StatsRecord> run_stats;
+  std::vector<std::pair<BlockKind, std::size_t>> order;
+  Verdict verdict;
+  double wall_seconds = 0.0;  ///< Filled by the runner, not the experiment.
+
+  [[nodiscard]] const Series* find_series(const std::string& name) const {
+    for (const auto& s : series) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Incremental builder used by experiment run functions.  Series handed out
+/// by series() stay valid until finish() (deque storage).
+class ResultBuilder {
+ public:
+  /// Starts a new table; returns a reference that remains valid across
+  /// subsequent builder calls.
+  Series& series(std::string name, std::string caption,
+                 std::vector<std::string> columns);
+
+  void note(std::string text);
+
+  /// printf-style note (measured summaries such as "worst ratio: %.3f").
+  [[gnu::format(printf, 2, 3)]] void notef(const char* fmt, ...);
+
+  void sweep(std::string name, const SweepTiming& timing);
+
+  /// Embeds a RunStats snapshot (serialized via RunStats::to_json).
+  void stats(std::string label, std::string stats_json);
+
+  /// Seals the result with its verdict.
+  [[nodiscard]] ExperimentResult finish(bool pass, std::string criterion) &&;
+
+ private:
+  std::deque<Series> series_;
+  ExperimentResult result_;
+};
+
+/// A registered experiment: everything the driver needs to list, run,
+/// render and serialize it.
+struct Experiment {
+  std::string id;           ///< "E1".."E18" — DESIGN.md's experiment index.
+  std::string title;        ///< e.g. "Lemma 2 — online static partition ...".
+  std::string claim;        ///< The paper claim under test, verbatim-ish.
+  std::string reference;    ///< Pointer into EXPERIMENTS.md / DESIGN.md.
+  std::vector<std::string> tags;
+  std::string default_grid; ///< Human summary of the default parameter grid.
+  std::function<ExperimentResult(const RunContext&)> run;
+};
+
+}  // namespace mcp::lab

@@ -1,0 +1,46 @@
+// Minimal JSON support for the lab harness: escaping for the record writer
+// and a small recursive-descent parser for `mcpaging-lab --check`, which
+// shape-diffs a fresh run against a committed reference JSONL.  Not a
+// general-purpose JSON library — it handles exactly the documents the lab
+// emits (no surrogate-pair escapes, numbers parsed as double).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcp::lab {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Formats a double the way the record writer does: fixed notation with
+/// enough digits to round-trip the measurements we emit, trailing zeros
+/// trimmed; integral values keep one decimal so the type survives re-parse.
+[[nodiscard]] std::string json_number(double value);
+
+/// Parsed JSON value.  Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* get(const std::string& key) const;
+
+  [[nodiscard]] bool is(Type t) const noexcept { return type == t; }
+};
+
+/// Parses one JSON document.  Throws InputError (core/error.hpp) with a
+/// byte-offset diagnostic on malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace mcp::lab

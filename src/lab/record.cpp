@@ -1,0 +1,136 @@
+#include "lab/record.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "lab/json.hpp"
+
+namespace mcp::lab {
+
+namespace {
+
+std::string quoted(const std::string& s) { return '"' + json_escape(s) + '"'; }
+
+void append_string_array(std::ostringstream& os,
+                         const std::vector<std::string>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ',';
+    os << quoted(items[i]);
+  }
+  os << ']';
+}
+
+void append_value(std::ostringstream& os, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kInt: os << v.as_int(); break;
+    case Value::Kind::kReal: os << json_number(v.as_real()); break;
+    case Value::Kind::kText: os << quoted(v.as_text()); break;
+  }
+}
+
+std::string run_command_line(const char* command) {
+  std::string out;
+  FILE* pipe = ::popen(command, "r");
+  if (pipe == nullptr) return out;
+  char buffer[256];
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out = buffer;
+  ::pclose(pipe);
+  while (!out.empty() &&
+         std::isspace(static_cast<unsigned char>(out.back())) != 0) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+Environment Environment::capture() {
+  Environment env;
+  char name[256] = {};
+  if (::gethostname(name, sizeof(name) - 1) == 0 && name[0] != '\0') {
+    env.hostname = name;
+  }
+  env.hardware_threads = std::thread::hardware_concurrency();
+  const std::string sha = run_command_line("git rev-parse HEAD 2>/dev/null");
+  if (sha.size() >= 7 &&
+      sha.find_first_not_of("0123456789abcdef") == std::string::npos) {
+    env.git_sha = sha;
+  }
+  return env;
+}
+
+std::string to_record(const Experiment& experiment,
+                      const ExperimentResult& result,
+                      const RunContext& context,
+                      const Environment& environment) {
+  std::ostringstream os;
+  os << "{\"schema\":" << quoted(kRecordSchema)
+     << ",\"version\":" << kRecordVersion
+     << ",\"experiment\":" << quoted(experiment.id)
+     << ",\"title\":" << quoted(experiment.title)
+     << ",\"claim\":" << quoted(experiment.claim)
+     << ",\"reference\":" << quoted(experiment.reference) << ",\"tags\":";
+  append_string_array(os, experiment.tags);
+  os << ",\"params\":{\"master_seed\":" << context.master_seed
+     << ",\"workers\":" << context.workers << '}';
+
+  os << ",\"series\":[";
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    const Series& s = result.series[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":" << quoted(s.name) << ",\"caption\":" << quoted(s.caption)
+       << ",\"columns\":";
+    append_string_array(os, s.columns);
+    os << ",\"rows\":[";
+    for (std::size_t r = 0; r < s.rows.size(); ++r) {
+      if (r > 0) os << ',';
+      os << '[';
+      for (std::size_t c = 0; c < s.rows[r].size(); ++c) {
+        if (c > 0) os << ',';
+        append_value(os, s.rows[r][c]);
+      }
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << ']';
+
+  os << ",\"notes\":";
+  append_string_array(os, result.notes);
+
+  os << ",\"sweeps\":[";
+  for (std::size_t i = 0; i < result.sweeps.size(); ++i) {
+    const SweepRecord& sweep = result.sweeps[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":" << quoted(sweep.name)
+       << ",\"cells\":" << sweep.timing.cells
+       << ",\"wall_seconds\":" << json_number(sweep.timing.wall_seconds)
+       << ",\"cells_per_second\":" << json_number(sweep.timing.cells_per_second())
+       << ",\"max_threads\":" << sweep.timing.max_threads << '}';
+  }
+  os << ']';
+
+  os << ",\"run_stats\":[";
+  for (std::size_t i = 0; i < result.run_stats.size(); ++i) {
+    if (i > 0) os << ',';
+    // StatsRecord.json is RunStats::to_json() output — already a JSON object.
+    os << "{\"label\":" << quoted(result.run_stats[i].label)
+       << ",\"stats\":" << result.run_stats[i].json << '}';
+  }
+  os << ']';
+
+  os << ",\"verdict\":{\"pass\":" << (result.verdict.pass ? "true" : "false")
+     << ",\"criterion\":" << quoted(result.verdict.criterion) << '}'
+     << ",\"wall_seconds\":" << json_number(result.wall_seconds)
+     << ",\"host\":{\"hostname\":" << quoted(environment.hostname)
+     << ",\"hardware_threads\":" << environment.hardware_threads << '}'
+     << ",\"git_sha\":" << quoted(environment.git_sha) << '}';
+  return os.str();
+}
+
+}  // namespace mcp::lab

@@ -1,0 +1,37 @@
+// The versioned JSONL record schema of the lab harness.
+//
+// Every experiment run serializes to exactly one line of JSON (see
+// docs/LAB.md for the field-by-field specification).  The record is the
+// repo's machine-readable claim ledger: experiment id + claim, the full
+// parameter set (master seed, worker cap), every measured series, sweep
+// throughput, the verdict, and the environment (host, hardware threads,
+// git SHA) needed to reproduce or attribute a regression.
+#pragma once
+
+#include <string>
+
+#include "lab/experiment.hpp"
+
+namespace mcp::lab {
+
+inline constexpr const char* kRecordSchema = "mcp.lab.result";
+inline constexpr int kRecordVersion = 1;
+
+/// Where and on what the record was produced.
+struct Environment {
+  std::string hostname = "unknown";
+  unsigned hardware_threads = 0;
+  std::string git_sha = "unknown";
+
+  /// Best-effort capture: gethostname(2), hardware_concurrency, and
+  /// `git rev-parse HEAD` (falls back to "unknown" outside a work tree).
+  static Environment capture();
+};
+
+/// Serializes one run as a single JSON line (no trailing newline).
+[[nodiscard]] std::string to_record(const Experiment& experiment,
+                                    const ExperimentResult& result,
+                                    const RunContext& context,
+                                    const Environment& environment);
+
+}  // namespace mcp::lab

@@ -1,0 +1,74 @@
+#include "lab/registry.hpp"
+
+#include <algorithm>
+
+namespace mcp::lab {
+
+namespace {
+
+/// Numeric sort key for ids shaped "E<number>"; other ids sort after the
+/// E-series, lexicographically.
+std::pair<int, std::string> sort_key(const std::string& id) {
+  if (id.size() > 1 && id[0] == 'E') {
+    int number = 0;
+    bool numeric = true;
+    for (std::size_t i = 1; i < id.size(); ++i) {
+      if (id[i] < '0' || id[i] > '9') {
+        numeric = false;
+        break;
+      }
+      number = number * 10 + (id[i] - '0');
+    }
+    if (numeric) return {number, {}};
+  }
+  return {1 << 20, id};
+}
+
+}  // namespace
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment experiment) {
+  MCP_REQUIRE(!experiment.id.empty(), "experiment id must be non-empty");
+  MCP_REQUIRE(!experiment.title.empty(),
+              "experiment '" + experiment.id + "' needs a title");
+  MCP_REQUIRE(static_cast<bool>(experiment.run),
+              "experiment '" + experiment.id + "' needs a run function");
+  MCP_REQUIRE(find(experiment.id) == nullptr,
+              "duplicate experiment id '" + experiment.id + "'");
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(const std::string& id) const {
+  for (const auto& e : experiments_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return sort_key(a->id) < sort_key(b->id);
+            });
+  return out;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::with_tag(
+    const std::string& tag) const {
+  std::vector<const Experiment*> out;
+  for (const Experiment* e : all()) {
+    if (std::find(e->tags.begin(), e->tags.end(), tag) != e->tags.end()) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcp::lab

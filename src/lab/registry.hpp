@@ -1,0 +1,42 @@
+// Process-wide registry of experiments.
+//
+// Experiment definition TUs (bench/) register descriptors through explicit
+// `register_*` functions collected by `mcp::experiments::register_all` — no
+// static-initializer magic, so registration order is deterministic and
+// static-library linking cannot silently drop an experiment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lab/experiment.hpp"
+
+namespace mcp::lab {
+
+class ExperimentRegistry {
+ public:
+  /// The process-wide registry used by the driver and the standalone shims.
+  static ExperimentRegistry& instance();
+
+  /// Registers an experiment.  Throws ModelError on a duplicate id or a
+  /// descriptor with a missing id/title/run function.
+  void add(Experiment experiment);
+
+  /// The experiment with the given id, or nullptr.
+  [[nodiscard]] const Experiment* find(const std::string& id) const;
+
+  /// All experiments ordered by numeric id (E1, E2, ..., E18).
+  [[nodiscard]] std::vector<const Experiment*> all() const;
+
+  /// All experiments carrying `tag`, in numeric id order.
+  [[nodiscard]] std::vector<const Experiment*> with_tag(
+      const std::string& tag) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return experiments_.size(); }
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace mcp::lab

@@ -1,0 +1,82 @@
+#include "lab/render.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace mcp::lab {
+
+namespace {
+
+constexpr const char* kThick =
+    "==============================================================\n";
+constexpr const char* kThin =
+    "--------------------------------------------------------------\n";
+
+void render_cell(std::ostream& os, const Value& v) {
+  char buf[64];
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%14llu",
+                    static_cast<unsigned long long>(v.as_int()));
+      os << buf;
+      break;
+    case Value::Kind::kReal:
+      std::snprintf(buf, sizeof(buf), "%14.3f", v.as_real());
+      os << buf;
+      break;
+    case Value::Kind::kText:
+      std::snprintf(buf, sizeof(buf), "%14s", v.as_text().c_str());
+      os << buf;
+      break;
+  }
+}
+
+void render_series(std::ostream& os, const Series& series) {
+  if (!series.caption.empty()) os << series.caption << '\n';
+  for (const auto& column : series.columns) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%14s", column.c_str());
+    os << buf;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < series.columns.size(); ++i) os << "  ------------";
+  os << '\n';
+  for (const Row& row : series.rows) {
+    for (const Value& v : row) render_cell(os, v);
+    os << '\n';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void render_header(std::ostream& os, const Experiment& experiment) {
+  os << kThick << experiment.id << "  " << experiment.title << '\n'
+     << "  claim: " << experiment.claim << '\n'
+     << kThick;
+}
+
+void render_result(std::ostream& os, const ExperimentResult& result) {
+  for (const auto& [kind, index] : result.order) {
+    switch (kind) {
+      case ExperimentResult::BlockKind::kSeries:
+        render_series(os, result.series[index]);
+        break;
+      case ExperimentResult::BlockKind::kNote:
+        os << result.notes[index] << '\n';
+        break;
+      case ExperimentResult::BlockKind::kSweep:
+        os << result.sweeps[index].timing.json(result.sweeps[index].name)
+           << '\n';
+        break;
+      case ExperimentResult::BlockKind::kStats:
+        os << result.run_stats[index].label << ": "
+           << result.run_stats[index].json << '\n';
+        break;
+    }
+  }
+  os << kThin << (result.verdict.pass ? "PASS" : "FAIL") << ": "
+     << result.verdict.criterion << "\n\n";
+}
+
+}  // namespace mcp::lab

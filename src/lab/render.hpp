@@ -1,0 +1,22 @@
+// Human rendering of structured experiment results.
+//
+// Reproduces the table layout the standalone benches used to printf (the
+// %14-wide cells, the claim header, the PASS/FAIL footer), so a driver run
+// keeps bench_output.txt reviewable while the JSONL record carries the same
+// data machine-readably.
+#pragma once
+
+#include <iosfwd>
+
+#include "lab/experiment.hpp"
+
+namespace mcp::lab {
+
+/// The "====" banner with the experiment's id, title and claim.
+void render_header(std::ostream& os, const Experiment& experiment);
+
+/// Tables, notes, sweep JSON lines and stats blocks in recorded order,
+/// followed by the PASS/FAIL verdict footer.
+void render_result(std::ostream& os, const ExperimentResult& result);
+
+}  // namespace mcp::lab

@@ -1,0 +1,252 @@
+// Unit tests for the mcp::lab harness: registry invariants, the result
+// builder, JSON escaping/parsing, the record schema round-trip, experiment
+// selection, and the --check shape diff.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "lab/json.hpp"
+#include "lab/record.hpp"
+#include "lab/registry.hpp"
+#include "lab/runner.hpp"
+
+namespace mcp::lab {
+namespace {
+
+Experiment tiny_experiment(const std::string& id) {
+  Experiment e;
+  e.id = id;
+  e.title = "tiny experiment " + id;
+  e.claim = "a claim with \"quotes\" and a \\ backslash";
+  e.reference = "tests";
+  e.tags = {"test", "tiny"};
+  e.default_grid = "n=1";
+  e.run = [](const RunContext& ctx) {
+    ResultBuilder b;
+    auto& t = b.series("counts", "Counts:", {"n", "ratio", "label"});
+    t.row(std::uint64_t{4}, 1.5, "up");
+    t.row(ctx.master_seed, 2.5, "seeded");
+    b.note("a note");
+    SweepTiming timing;
+    timing.cells = 3;
+    timing.wall_seconds = 0.25;
+    b.sweep("tiny.sweep", timing);
+    b.stats("stats", "{\"total\":{\"requests\":0}}");
+    return std::move(b).finish(true, "always passes");
+  };
+  return e;
+}
+
+TEST(LabRegistry, RejectsDuplicateIds) {
+  ExperimentRegistry registry;
+  registry.add(tiny_experiment("E1"));
+  EXPECT_THROW(registry.add(tiny_experiment("E1")), ModelError);
+}
+
+TEST(LabRegistry, RejectsIncompleteDescriptors) {
+  ExperimentRegistry registry;
+  Experiment no_id = tiny_experiment("E1");
+  no_id.id.clear();
+  EXPECT_THROW(registry.add(no_id), ModelError);
+  Experiment no_run = tiny_experiment("E2");
+  no_run.run = nullptr;
+  EXPECT_THROW(registry.add(no_run), ModelError);
+}
+
+TEST(LabRegistry, AllSortsNumerically) {
+  ExperimentRegistry registry;
+  registry.add(tiny_experiment("E10"));
+  registry.add(tiny_experiment("E2"));
+  registry.add(tiny_experiment("E1"));
+  const auto all = registry.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->id, "E1");
+  EXPECT_EQ(all[1]->id, "E2");
+  EXPECT_EQ(all[2]->id, "E10");
+}
+
+TEST(LabRegistry, WithTagFilters) {
+  ExperimentRegistry registry;
+  registry.add(tiny_experiment("E1"));
+  Experiment other = tiny_experiment("E2");
+  other.tags = {"other"};
+  registry.add(other);
+  EXPECT_EQ(registry.with_tag("tiny").size(), 1u);
+  EXPECT_EQ(registry.with_tag("other").size(), 1u);
+  EXPECT_TRUE(registry.with_tag("absent").empty());
+}
+
+TEST(LabBuilder, RowWidthMismatchThrows) {
+  ResultBuilder b;
+  auto& t = b.series("s", "", {"a", "b"});
+  EXPECT_THROW(t.row(std::uint64_t{1}), ModelError);
+}
+
+TEST(LabBuilder, OrderPreservesInterleaving) {
+  const Experiment e = tiny_experiment("E1");
+  const ExperimentResult result = e.run(RunContext{});
+  ASSERT_EQ(result.order.size(), 4u);
+  EXPECT_EQ(result.order[0].first, ExperimentResult::BlockKind::kSeries);
+  EXPECT_EQ(result.order[1].first, ExperimentResult::BlockKind::kNote);
+  EXPECT_EQ(result.order[2].first, ExperimentResult::BlockKind::kSweep);
+  EXPECT_EQ(result.order[3].first, ExperimentResult::BlockKind::kStats);
+  ASSERT_NE(result.find_series("counts"), nullptr);
+  EXPECT_EQ(result.find_series("counts")->rows.size(), 2u);
+  EXPECT_EQ(result.find_series("absent"), nullptr);
+}
+
+TEST(LabJson, EscapeCoversControlAndQuote) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+}
+
+TEST(LabJson, ParseRoundTripsTypicalDocument) {
+  const JsonValue v = json_parse(
+      "{\"a\":1.5,\"b\":[true,false,null],\"c\":{\"d\":\"x\\ny\"}}");
+  ASSERT_TRUE(v.is(JsonValue::Type::kObject));
+  EXPECT_DOUBLE_EQ(v.get("a")->number, 1.5);
+  ASSERT_TRUE(v.get("b")->is(JsonValue::Type::kArray));
+  EXPECT_EQ(v.get("b")->array.size(), 3u);
+  EXPECT_TRUE(v.get("b")->array[0].boolean);
+  EXPECT_EQ(v.get("c")->get("d")->string, "x\ny");
+  EXPECT_EQ(v.get("absent"), nullptr);
+}
+
+TEST(LabJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse("{\"a\":}"), InputError);
+  EXPECT_THROW((void)json_parse("[1,"), InputError);
+  EXPECT_THROW((void)json_parse("{\"a\":1} trailing"), InputError);
+}
+
+TEST(LabRecord, RoundTripsThroughTheParser) {
+  const Experiment e = tiny_experiment("E1");
+  ExperimentResult result = e.run(RunContext{});
+  result.wall_seconds = 0.125;
+  RunContext context;
+  context.master_seed = 42;
+  context.workers = 2;
+  Environment env;
+  env.hostname = "testhost";
+  env.hardware_threads = 8;
+  env.git_sha = "abc123def";
+
+  const std::string record = to_record(e, result, context, env);
+  EXPECT_EQ(record.find('\n'), std::string::npos) << "record must be one line";
+
+  const JsonValue v = json_parse(record);
+  EXPECT_EQ(v.get("schema")->string, kRecordSchema);
+  EXPECT_EQ(static_cast<int>(v.get("version")->number), kRecordVersion);
+  EXPECT_EQ(v.get("experiment")->string, "E1");
+  EXPECT_EQ(v.get("claim")->string, e.claim);
+  EXPECT_EQ(v.get("params")->get("master_seed")->number, 42.0);
+  EXPECT_EQ(v.get("params")->get("workers")->number, 2.0);
+  EXPECT_TRUE(v.get("verdict")->get("pass")->boolean);
+  EXPECT_EQ(v.get("verdict")->get("criterion")->string, "always passes");
+  EXPECT_EQ(v.get("host")->get("hostname")->string, "testhost");
+  EXPECT_EQ(v.get("git_sha")->string, "abc123def");
+
+  const JsonValue* series = v.get("series");
+  ASSERT_TRUE(series != nullptr && series->is(JsonValue::Type::kArray));
+  ASSERT_EQ(series->array.size(), 1u);
+  const JsonValue& counts = series->array[0];
+  EXPECT_EQ(counts.get("name")->string, "counts");
+  EXPECT_EQ(counts.get("columns")->array.size(), 3u);
+  ASSERT_EQ(counts.get("rows")->array.size(), 2u);
+  const JsonValue& row0 = counts.get("rows")->array[0];
+  EXPECT_DOUBLE_EQ(row0.array[0].number, 4.0);
+  EXPECT_DOUBLE_EQ(row0.array[1].number, 1.5);
+  EXPECT_EQ(row0.array[2].string, "up");
+
+  // Embedded sub-documents survive as structure, not strings.
+  EXPECT_EQ(v.get("sweeps")->array.size(), 1u);
+  EXPECT_EQ(v.get("run_stats")->array.size(), 1u);
+}
+
+TEST(LabRunner, SelectExperimentsUnionInCanonicalOrder) {
+  ExperimentRegistry registry;
+  registry.add(tiny_experiment("E1"));
+  registry.add(tiny_experiment("E2"));
+  Experiment tagged = tiny_experiment("E3");
+  tagged.tags = {"special"};
+  registry.add(tagged);
+
+  const auto sel =
+      select_experiments(registry, {"E2"}, {"special"}, /*all=*/false);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0]->id, "E2");
+  EXPECT_EQ(sel[1]->id, "E3");
+
+  const auto everything = select_experiments(registry, {}, {}, /*all=*/true);
+  EXPECT_EQ(everything.size(), 3u);
+
+  EXPECT_THROW((void)select_experiments(registry, {"E9"}, {}, false),
+               InputError);
+  EXPECT_THROW((void)select_experiments(registry, {}, {"absent"}, false),
+               InputError);
+}
+
+TEST(LabRunner, CheckAgainstReferenceFlagsShapeDrift) {
+  ExperimentRegistry registry;
+  registry.add(tiny_experiment("E1"));
+  const auto selection = select_experiments(registry, {}, {}, true);
+  std::ostringstream render;
+  const auto reports = run_experiments(selection, RunContext{}, render);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(any_failed(reports));
+
+  const std::string dir = testing::TempDir();
+  const std::string good = dir + "/lab_ref_good.jsonl";
+  write_records(good, reports, RunContext{});
+  std::ostringstream diag;
+  EXPECT_EQ(check_against_reference(reports, good, diag), 0u) << diag.str();
+
+  // A reference whose series grew a row must be flagged.
+  ExperimentRegistry drifted;
+  Experiment wide = tiny_experiment("E1");
+  auto original_run = wide.run;
+  wide.run = [original_run](const RunContext& ctx) {
+    ExperimentResult r = original_run(ctx);
+    r.series[0].row(std::uint64_t{9}, 9.0, "extra");
+    return r;
+  };
+  drifted.add(wide);
+  const auto drifted_reports = run_experiments(
+      select_experiments(drifted, {}, {}, true), RunContext{}, render);
+  const std::string bad = dir + "/lab_ref_bad.jsonl";
+  write_records(bad, drifted_reports, RunContext{});
+  std::ostringstream diag2;
+  EXPECT_GT(check_against_reference(reports, bad, diag2), 0u);
+  EXPECT_NE(diag2.str().find("row count changed"), std::string::npos)
+      << diag2.str();
+}
+
+TEST(LabRunner, CheckFlagsVerdictFlip) {
+  ExperimentRegistry registry;
+  Experiment failing = tiny_experiment("E1");
+  auto original_run = failing.run;
+  failing.run = [original_run](const RunContext& ctx) {
+    ExperimentResult r = original_run(ctx);
+    r.verdict.pass = false;
+    return r;
+  };
+  registry.add(failing);
+  std::ostringstream render;
+  const auto reports = run_experiments(
+      select_experiments(registry, {}, {}, true), RunContext{}, render);
+  EXPECT_TRUE(any_failed(reports));
+
+  ExperimentRegistry passing;
+  passing.add(tiny_experiment("E1"));
+  const auto pass_reports = run_experiments(
+      select_experiments(passing, {}, {}, true), RunContext{}, render);
+  const std::string ref = testing::TempDir() + "/lab_ref_verdict.jsonl";
+  write_records(ref, pass_reports, RunContext{});
+
+  std::ostringstream diag;
+  EXPECT_EQ(check_against_reference(reports, ref, diag), 1u);
+  EXPECT_NE(diag.str().find("verdict changed"), std::string::npos)
+      << diag.str();
+}
+
+}  // namespace
+}  // namespace mcp::lab

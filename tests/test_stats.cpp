@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/error.hpp"
 
 namespace mcp {
@@ -95,6 +97,34 @@ TEST(RunStats, ReportMentionsCounts) {
   EXPECT_NE(report.find("label"), std::string::npos);
   EXPECT_NE(report.find("faults=3"), std::string::npos);
   EXPECT_NE(report.find("core 1"), std::string::npos);
+}
+
+TEST(RunStats, ToJsonSerializedShape) {
+  RunStats stats = sample();
+  stats.end_time = 12;
+  const std::string json = stats.to_json();
+  // Exact serialization is the contract: lab JSONL records embed this string
+  // verbatim, so the field set and ordering must stay stable.
+  char jain[32];
+  std::snprintf(jain, sizeof(jain), "%.6f", stats.jain_fairness());
+  EXPECT_EQ(json,
+            "{\"total\":{\"requests\":7,\"faults\":3,\"hits\":4,"
+            "\"fault_rate\":0.428571},"
+            "\"makespan\":10,\"jain_fairness\":" +
+                std::string(jain) +
+                ",\"end_time\":12,\"cores\":["
+                "{\"requests\":5,\"hits\":3,\"faults\":2,"
+                "\"completion_time\":10},"
+                "{\"requests\":2,\"hits\":1,\"faults\":1,"
+                "\"completion_time\":4}]}");
+}
+
+TEST(RunStats, ToJsonEmptyRun) {
+  const RunStats stats(0);
+  EXPECT_EQ(stats.to_json(),
+            "{\"total\":{\"requests\":0,\"faults\":0,\"hits\":0,"
+            "\"fault_rate\":0.000000},\"makespan\":0,"
+            "\"jain_fairness\":1.000000,\"end_time\":0,\"cores\":[]}");
 }
 
 TEST(RunStats, EmptyStatsAreSane) {

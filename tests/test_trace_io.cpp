@@ -58,9 +58,25 @@ TEST(TraceIo, SequencesInAnyOrder) {
   EXPECT_EQ(rs.sequence(1)[0], 9u);
 }
 
+/// The InputError message produced by `fn`, or "" if nothing was thrown.
+/// Error-path tests assert on substrings: the messages are part of the
+/// trace format's user interface (they name the line and the defect).
+template <typename Fn>
+std::string input_error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const InputError& e) {
+    return e.what();
+  }
+  return "";
+}
+
 TEST(TraceIo, RejectsMissingHeader) {
   std::stringstream ss("cores 1\nseq 0 0\n");
-  EXPECT_THROW((void)read_trace(ss), InputError);
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("mcptrace 1"), std::string::npos) << message;
 }
 
 TEST(TraceIo, RejectsWrongVersion) {
@@ -75,17 +91,28 @@ TEST(TraceIo, RejectsMissingSequence) {
 
 TEST(TraceIo, RejectsDuplicateSequence) {
   std::stringstream ss("mcptrace 1\ncores 1\nseq 0 0\nseq 0 0\n");
-  EXPECT_THROW((void)read_trace(ss), InputError);
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("duplicate sequence for core 0"), std::string::npos)
+      << message;
 }
 
 TEST(TraceIo, RejectsCoreOutOfRange) {
   std::stringstream ss("mcptrace 1\ncores 1\nseq 1 0\n");
-  EXPECT_THROW((void)read_trace(ss), InputError);
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("core id out of range"), std::string::npos)
+      << message;
 }
 
 TEST(TraceIo, RejectsShortSequence) {
   std::stringstream ss("mcptrace 1\ncores 1\nseq 0 3 1 2\n");
-  EXPECT_THROW((void)read_trace(ss), InputError);
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("shorter than declared length"), std::string::npos)
+      << message;
 }
 
 TEST(TraceIo, RejectsLongSequence) {
@@ -125,16 +152,47 @@ TEST(TraceIoPairs, UnmentionedCoresGetEmptySequences) {
 TEST(TraceIoPairs, RejectsMalformedLines) {
   {
     std::stringstream ss("0\n");
-    EXPECT_THROW((void)read_trace_pairs(ss), InputError);
+    const std::string message =
+        input_error_message([&] { (void)read_trace_pairs(ss); });
+    EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("expected '<core> <page>'"), std::string::npos)
+        << message;
   }
   {
     std::stringstream ss("0 1 2\n");
-    EXPECT_THROW((void)read_trace_pairs(ss), InputError);
+    const std::string message =
+        input_error_message([&] { (void)read_trace_pairs(ss); });
+    EXPECT_NE(message.find("trailing tokens"), std::string::npos) << message;
   }
   {
     std::stringstream ss("");
-    EXPECT_THROW((void)read_trace_pairs(ss), InputError);
+    const std::string message =
+        input_error_message([&] { (void)read_trace_pairs(ss); });
+    EXPECT_NE(message.find("no requests"), std::string::npos) << message;
   }
+}
+
+TEST(TraceIoPairs, ErrorNamesTheOffendingLine) {
+  std::stringstream ss("0 1\n1 2\nbroken\n");
+  const std::string message =
+      input_error_message([&] { (void)read_trace_pairs(ss); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+}
+
+TEST(TraceIo, MissingCoresLineNamed) {
+  std::stringstream ss("mcptrace 1\n");
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("missing 'cores' line"), std::string::npos)
+      << message;
+}
+
+TEST(TraceIo, MissingSequenceNamesTheCore) {
+  std::stringstream ss("mcptrace 1\ncores 3\nseq 0 0\nseq 2 0\n");
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("missing sequence for core 1"), std::string::npos)
+      << message;
 }
 
 TEST(TraceIo, FileRoundTrip) {
