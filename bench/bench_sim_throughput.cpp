@@ -12,6 +12,7 @@
 #include "policies/policy_registry.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/partition.hpp"
+#include "strategies/partition_search.hpp"
 #include "strategies/shared.hpp"
 #include "strategies/static_partition.hpp"
 #include "workload/workload.hpp"
@@ -36,13 +37,21 @@ void BM_SharedPolicy(benchmark::State& state, const char* policy) {
   cfg.cache_size = 16 * p;
   cfg.fault_penalty = 4;
   cfg.record_fault_timeline = false;
+  Count steps = 0;
+  Count faults = 0;
   for (auto _ : state) {
     SharedStrategy strategy(make_policy_factory(policy, 7));
     const RunStats stats = simulate(cfg, rs, strategy);
     benchmark::DoNotOptimize(stats.total_faults());
+    steps += stats.sim_steps;
+    faults += stats.total_faults();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(rs.total_requests()));
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["faults_per_sec"] = benchmark::Counter(
+      static_cast<double>(faults), benchmark::Counter::kIsRate);
 }
 
 void BM_StaticPartition(benchmark::State& state) {
@@ -126,6 +135,24 @@ void BM_BigFleetThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(rs.total_requests()));
 }
 
+void BM_LruFaultCurve(benchmark::State& state) {
+  // Per-core LRU fault-curve construction, the kernel behind partition
+  // search (sP^OPT_LRU): p full curves f_j(k) for k = 0..K.  cells/sec is
+  // the perf-smoke gate for the fault-curve path.
+  const std::size_t K = static_cast<std::size_t>(state.range(0));
+  const RequestSet rs = zipf_workload(4, 96, 20000, 12);
+  const PolicyFactory lru = make_policy_factory("lru");
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const FaultCurves curves = policy_fault_curves(rs, K, lru);
+    benchmark::DoNotOptimize(curves.data());
+    cells += curves.size() * (K + 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["curve_cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+
 void BM_PartitionSweep(benchmark::State& state) {
   // The sweep engine's perf baseline: simulate every static partition of
   // K=16 over p=3 cores (105 cells) on the pool, at the worker cap given by
@@ -172,6 +199,7 @@ BENCHMARK(BM_Lemma3Dynamic)->Arg(4);
 BENCHMARK(BM_SharedFitf);
 BENCHMARK(BM_FtfSolver)->Arg(8)->Arg(16)->Arg(32);
 BENCHMARK(BM_BigFleetThroughput);
+BENCHMARK(BM_LruFaultCurve)->Arg(64);
 // Arg = sweep worker cap: serial, two workers, all hardware workers (0).
 BENCHMARK(BM_PartitionSweep)->Arg(1)->Arg(2)->Arg(0);
 

@@ -11,7 +11,9 @@
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
 #include "experiments.hpp"
+#include "policies/belady.hpp"
 #include "policies/policy_registry.hpp"
+#include "strategies/partition_search.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/partition.hpp"
 #include "strategies/shared.hpp"
@@ -37,7 +39,7 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
   auto& throughput = b.series(
       "strategy_throughput",
       "Simulator throughput (p=4, K=64, tau=4, zipf, single pass):",
-      {"strategy", "faults", "Mreq/s"});
+      {"strategy", "faults", "Mreq/s", "Msteps/s", "Mfaults/s"});
   const RequestSet rs = zipf_workload(4, 64, 4000, 5);
   SimConfig cfg;
   cfg.cache_size = 64;
@@ -49,12 +51,13 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
     const RunStats stats = simulate(cfg, rs, strategy);
     const auto stop = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(stop - start).count();
-    const double mreq_s = secs > 0.0
-                              ? static_cast<double>(rs.total_requests()) /
-                                    secs / 1e6
-                              : 0.0;
+    const auto rate = [secs](Count n) {
+      return secs > 0.0 ? static_cast<double>(n) / secs / 1e6 : 0.0;
+    };
+    const double mreq_s = rate(rs.total_requests());
     rates_positive = rates_positive && mreq_s > 0.0;
-    throughput.row(name, stats.total_faults(), mreq_s);
+    throughput.row(name, stats.total_faults(), mreq_s, rate(stats.sim_steps),
+                   rate(stats.total_faults()));
   };
   SharedStrategy lru(make_policy_factory("lru", 7));
   measure("S_LRU", lru);
@@ -102,13 +105,51 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
             t);
   }
 
+  // LRU fault-curve kernel: the single-pass Mattson path of
+  // policy_fault_curves against the per-k reference loop it replaced; the
+  // curves must agree cell-for-cell.
+  auto& curve_table = b.series(
+      "lru_fault_curve",
+      "LRU fault curves f_j(0..K), p=4, K=64, zipf n=4x20000:",
+      {"path", "cells", "wall_s", "cells/s"});
+  const RequestSet curve_rs = zipf_workload(4, 96, 20000, 12);
+  const std::size_t curve_k = 64;
+  const PolicyFactory curve_lru = make_policy_factory("lru");
+  const auto time_curves = [&](const char* label, auto&& build) {
+    const auto start = std::chrono::steady_clock::now();
+    FaultCurves curves = build();
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(stop - start).count();
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(curves.size()) * (curve_k + 1);
+    curve_table.row(label, cells, secs,
+                    secs > 0.0 ? static_cast<double>(cells) / secs : 0.0);
+    return curves;
+  };
+  const FaultCurves mattson = time_curves("mattson_single_pass", [&] {
+    return policy_fault_curves(curve_rs, curve_k, curve_lru);
+  });
+  const FaultCurves per_k = time_curves("per_k_reference", [&] {
+    FaultCurves curves(curve_rs.num_cores());
+    for (CoreId j = 0; j < curve_rs.num_cores(); ++j) {
+      curves[j].resize(curve_k + 1);
+      for (std::size_t k = 0; k <= curve_k; ++k) {
+        curves[j][k] =
+            single_core_policy_faults(curve_rs.sequence(j), k, curve_lru);
+      }
+    }
+    return curves;
+  });
+  const bool curves_agree = mattson == per_k;
+
   b.note("Full microbenchmark suite: build target bench_sim_throughput "
          "(google-benchmark; not driven by mcpaging-lab).");
 
   return std::move(b).finish(
-      rates_positive && deterministic,
+      rates_positive && deterministic && curves_agree,
       "simulator sustains positive throughput on every strategy family; "
-      "sweep results bit-identical across worker counts");
+      "sweep results bit-identical across worker counts; Mattson curve "
+      "matches the per-k reference");
 }
 
 }  // namespace
@@ -117,13 +158,14 @@ void mcp::experiments::register_e13(lab::ExperimentRegistry& registry) {
   registry.add({
       "E13",
       "Engine throughput & sweep determinism (lab edition)",
-      "simulator throughput per strategy family; partition sweep "
-      "bit-identical at 1/2/all workers (see bench_sim_throughput for the "
-      "full google-benchmark suite)",
+      "simulator steps/faults/requests per second per strategy family; "
+      "partition sweep bit-identical at 1/2/all workers; Mattson vs per-k "
+      "LRU fault-curve cells/sec (see bench_sim_throughput for the full "
+      "google-benchmark suite)",
       "EXPERIMENTS.md §E13; PR-1 sweep contract",
-      {"engine", "throughput", "sweep"},
+      {"engine", "throughput", "sweep", "fault-curve"},
       "p=4, K=64 zipf single-pass; 105-cell partition sweep at worker caps "
-      "{1,2,all}",
+      "{1,2,all}; K=64 LRU fault curves both paths",
       run,
   });
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Records the E13 engine perf baseline (bench/baseline/BENCH_E13.json).
+#
+# Builds the google-benchmark suite in Release and captures the benchmarks
+# that gate the perf-smoke CI job: shared-LRU simulator throughput
+# (steps/sec), the LRU fault-curve kernel (curve cells/sec), and the
+# partition sweep (cells/sec).  Usage:
+#
+#   scripts/bench_baseline.sh [output.json]
+#
+# Environment: BUILD_DIR overrides the build directory (default:
+# build-bench), BENCH_FILTER overrides the benchmark selection.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-bench/baseline/BENCH_E13.json}
+BUILD=${BUILD_DIR:-build-bench}
+FILTER=${BENCH_FILTER:-'BM_SharedPolicy/lru/4$|BM_LruFaultCurve/64$|BM_PartitionSweep/0$'}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DMCP_BUILD_TESTS=OFF -DMCP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD" --target bench_sim_throughput -j "$(nproc)" >/dev/null
+
+mkdir -p "$(dirname "$OUT")"
+"$BUILD"/bench/bench_sim_throughput \
+  --benchmark_filter="$FILTER" \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$OUT"
+echo "wrote $OUT"

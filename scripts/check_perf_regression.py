@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate the perf-smoke CI job on the committed E13 baseline.
+
+Compares a fresh google-benchmark JSON run (bench_baseline.sh output)
+against the committed baseline and fails when the simulator's steps/sec
+median regresses by more than the tolerance (default 25%).  Improvements
+and regressions within tolerance pass; other counters are reported for
+context but do not gate.
+
+Usage:
+  scripts/check_perf_regression.py CURRENT.json [BASELINE.json] [--tolerance 0.25]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+GATED_COUNTER = "steps_per_sec"
+GATED_BENCHMARK = "BM_SharedPolicy/lru/4"
+CONTEXT_COUNTERS = ("faults_per_sec", "curve_cells_per_sec", "cells_per_sec")
+
+
+def load_medians(path: str) -> dict[str, dict[str, float]]:
+    """Map benchmark name -> {counter: value} for median aggregates."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    medians: dict[str, dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench["name"].removesuffix("_median")
+        counters = {
+            key: value
+            for key, value in bench.items()
+            if key == GATED_COUNTER or key in CONTEXT_COUNTERS
+        }
+        if counters:
+            medians[name] = counters
+    return medians
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh bench_baseline.sh JSON output")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default="bench/baseline/BENCH_E13.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    current = load_medians(args.current)
+    baseline = load_medians(args.baseline)
+
+    failed = False
+    for name in sorted(baseline):
+        base_counters = baseline[name]
+        cur_counters = current.get(name)
+        if cur_counters is None:
+            print(f"MISSING  {name}: benchmark absent from current run")
+            failed = True
+            continue
+        for counter, base in sorted(base_counters.items()):
+            cur = cur_counters.get(counter)
+            if cur is None:
+                print(f"MISSING  {name}.{counter}: counter absent")
+                failed = True
+                continue
+            ratio = cur / base if base > 0 else float("inf")
+            gated = name == GATED_BENCHMARK and counter == GATED_COUNTER
+            regressed = ratio < 1.0 - args.tolerance
+            tag = "GATE" if gated else "info"
+            verdict = "FAIL" if (gated and regressed) else "ok"
+            print(
+                f"{verdict:4s} [{tag}] {name}.{counter}: "
+                f"{cur:,.0f} vs baseline {base:,.0f} ({ratio:.2f}x)"
+            )
+            if gated and regressed:
+                failed = True
+
+    if failed:
+        print(
+            f"\nperf regression: {GATED_BENCHMARK}.{GATED_COUNTER} fell more "
+            f"than {args.tolerance:.0%} below the committed baseline "
+            f"({args.baseline}).  If the slowdown is intentional, regenerate "
+            "the baseline with scripts/bench_baseline.sh and commit it.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

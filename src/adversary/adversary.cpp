@@ -254,12 +254,11 @@ void SacrificeStrategy::on_hit(const AccessContext& ctx) {
   oracle_.advance(ctx.core, ctx.seq_index + 1);
 }
 
-std::vector<PageId> SacrificeStrategy::on_fault(const AccessContext& ctx,
-                                                const CacheState& cache,
-                                                bool needs_cell) {
+void SacrificeStrategy::on_fault(const AccessContext& ctx,
+                                 const CacheState& cache, bool needs_cell,
+                                 std::vector<PageId>& evictions) {
   oracle_.advance(ctx.core, ctx.seq_index + 1);
-  if (!needs_cell) return {};
-  std::vector<PageId> evictions;
+  if (!needs_cell) return;
   if (cache.occupied() == cache_size_) {
     PageId victim = kInvalidPage;
     if (ctx.core != sacrifice_) {
@@ -319,7 +318,6 @@ std::vector<PageId> SacrificeStrategy::on_fault(const AccessContext& ctx,
   const auto it =
       std::lower_bound(resident_.begin(), resident_.end(), ctx.page);
   resident_.insert(it, ctx.page);
-  return evictions;
 }
 
 }  // namespace mcp

@@ -22,11 +22,10 @@ void TimeMultiplexStrategy::on_hit(const AccessContext& ctx) {
   lru_.on_hit(ctx.page, ctx);
 }
 
-std::vector<PageId> TimeMultiplexStrategy::on_fault(const AccessContext& ctx,
-                                                    const CacheState& cache,
-                                                    bool needs_cell) {
-  if (!needs_cell) return {};
-  std::vector<PageId> evictions;
+void TimeMultiplexStrategy::on_fault(const AccessContext& ctx,
+                                     const CacheState& cache, bool needs_cell,
+                                     std::vector<PageId>& evictions) {
+  if (!needs_cell) return;
   if (cache.occupied() == cache_size_) {
     const PageId victim = lru_.victim(
         ctx, [&cache](PageId page) { return cache.contains(page); });
@@ -35,7 +34,6 @@ std::vector<PageId> TimeMultiplexStrategy::on_fault(const AccessContext& ctx,
     evictions.push_back(victim);
   }
   lru_.on_insert(ctx.page, ctx);
-  return evictions;
 }
 
 void TimeMultiplexStrategy::on_core_done(CoreId core, Time /*now*/) {

@@ -32,9 +32,8 @@ class TimeMultiplexStrategy final : public CacheStrategy {
   [[nodiscard]] bool defer_request(const AccessContext& ctx,
                                    const CacheState& cache) override;
   void on_hit(const AccessContext& ctx) override;
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) override;
+  void on_fault(const AccessContext& ctx, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override;
   void on_core_done(CoreId core, Time now) override;
   [[nodiscard]] std::string name() const override { return "TIME-MUX_LRU"; }
 

@@ -1,6 +1,7 @@
 #include "core/cache_state.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "core/error.hpp"
 
@@ -8,83 +9,115 @@ namespace mcp {
 
 CacheState::CacheState(std::size_t capacity) : capacity_(capacity) {
   MCP_REQUIRE(capacity > 0, "cache capacity must be positive");
-  cells_.reserve(capacity);
+  slots_.resize(capacity_);
+  free_slots_.reserve(capacity_);
+  // Pop order is cosmetic (slot indices never affect observable behaviour),
+  // but allocate low slots first so arenas fill front-to-back.
+  for (std::size_t s = capacity_; s-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(s));
+  }
+  fetch_heap_.reserve(capacity_);
 }
 
-bool CacheState::contains(PageId page) const {
-  auto it = cells_.find(page);
-  return it != cells_.end() && it->second.status == CellStatus::kPresent;
+void CacheState::reserve_universe(PageId bound) {
+  if (bound > page_to_slot_.size()) page_to_slot_.resize(bound, kNoSlot);
 }
 
-bool CacheState::is_fetching(PageId page) const {
-  auto it = cells_.find(page);
-  return it != cells_.end() && it->second.status == CellStatus::kFetching;
+std::uint32_t& CacheState::index_entry(PageId page) {
+  if (page >= page_to_slot_.size()) {
+    // Amortized growth for adaptive streams whose universe is unknown at
+    // attach time; doubling keeps total growth work linear in the universe.
+    std::size_t next = page_to_slot_.empty() ? 64 : page_to_slot_.size() * 2;
+    page_to_slot_.resize(std::max<std::size_t>(next, std::size_t{page} + 1),
+                         kNoSlot);
+  }
+  return page_to_slot_[page];
 }
 
-const CellInfo* CacheState::find(PageId page) const {
-  auto it = cells_.find(page);
-  return it == cells_.end() ? nullptr : &it->second;
+std::uint32_t CacheState::allocate_slot(PageId page, const CellInfo& info) {
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot].page = page;
+  slots_[slot].info = info;
+  ++occupied_;
+  return slot;
 }
 
 void CacheState::begin_fetch(PageId page, CoreId core, Time ready_at) {
-  MCP_REQUIRE(cells_.size() < capacity_, "begin_fetch on a full cache");
-  auto [it, inserted] = cells_.try_emplace(
-      page, CellInfo{CellStatus::kFetching, ready_at, core});
-  MCP_REQUIRE(inserted, "begin_fetch: page already resident");
-  (void)it;
+  MCP_REQUIRE(occupied_ < capacity_, "begin_fetch on a full cache");
+  std::uint32_t& entry = index_entry(page);
+  MCP_REQUIRE(entry == kNoSlot, "begin_fetch: page already resident");
+  entry = allocate_slot(page, CellInfo{CellStatus::kFetching, ready_at, core});
   ++fetching_count_;
+  fetch_heap_.emplace_back(ready_at, page);
+  std::push_heap(fetch_heap_.begin(), fetch_heap_.end(),
+                 std::greater<>());
 }
 
-std::vector<PageId> CacheState::complete_fetches(Time now) {
-  std::vector<PageId> done;
-  if (fetching_count_ == 0) return done;
-  for (auto& [page, info] : cells_) {
-    if (info.status == CellStatus::kFetching && info.ready_at <= now) {
-      info.status = CellStatus::kPresent;
-      --fetching_count_;
-      done.push_back(page);
-    }
+const std::vector<PageId>& CacheState::complete_fetches(Time now) {
+  completed_.clear();
+  while (!fetch_heap_.empty() && fetch_heap_.front().first <= now) {
+    const PageId page = fetch_heap_.front().second;
+    std::pop_heap(fetch_heap_.begin(), fetch_heap_.end(), std::greater<>());
+    fetch_heap_.pop_back();
+    Slot& slot = slots_[page_to_slot_[page]];
+    slot.info.status = CellStatus::kPresent;
+    --fetching_count_;
+    completed_.push_back(page);
   }
-  std::sort(done.begin(), done.end());
-  return done;
+  // Multiple ready times can land at once after an idle fast-forward; the
+  // contract is ascending page id across the whole batch.
+  std::sort(completed_.begin(), completed_.end());
+  return completed_;
 }
 
 void CacheState::evict(PageId page) {
-  auto it = cells_.find(page);
-  MCP_REQUIRE(it != cells_.end(), "evict: page not resident");
-  MCP_REQUIRE(it->second.status == CellStatus::kPresent,
+  const std::uint32_t slot = slot_of(page);
+  MCP_REQUIRE(slot != kNoSlot, "evict: page not resident");
+  MCP_REQUIRE(slots_[slot].info.status == CellStatus::kPresent,
               "evict: page is still being fetched (reserved cell)");
-  cells_.erase(it);
+  slots_[slot].page = kInvalidPage;
+  page_to_slot_[page] = kNoSlot;
+  free_slots_.push_back(slot);
+  --occupied_;
 }
 
 void CacheState::insert_present(PageId page, CoreId core) {
-  MCP_REQUIRE(cells_.size() < capacity_, "insert_present on a full cache");
-  auto [it, inserted] =
-      cells_.try_emplace(page, CellInfo{CellStatus::kPresent, 0, core});
-  MCP_REQUIRE(inserted, "insert_present: page already resident");
-  (void)it;
+  MCP_REQUIRE(occupied_ < capacity_, "insert_present on a full cache");
+  std::uint32_t& entry = index_entry(page);
+  MCP_REQUIRE(entry == kNoSlot, "insert_present: page already resident");
+  entry = allocate_slot(page, CellInfo{CellStatus::kPresent, 0, core});
 }
 
 std::vector<PageId> CacheState::present_pages() const {
   std::vector<PageId> pages;
-  pages.reserve(cells_.size());
-  for (const auto& [page, info] : cells_) {
-    if (info.status == CellStatus::kPresent) pages.push_back(page);
-  }
+  pages.reserve(present_count());
+  for_each_present([&pages](PageId page) { pages.push_back(page); });
   std::sort(pages.begin(), pages.end());
   return pages;
 }
 
 std::vector<PageId> CacheState::resident_pages() const {
   std::vector<PageId> pages;
-  pages.reserve(cells_.size());
-  for (const auto& [page, info] : cells_) pages.push_back(page);
+  pages.reserve(occupied_);
+  for_each_resident([&pages](PageId page) { pages.push_back(page); });
   std::sort(pages.begin(), pages.end());
   return pages;
 }
 
 void CacheState::clear() {
-  cells_.clear();
+  for (Slot& slot : slots_) {
+    if (slot.page != kInvalidPage) {
+      page_to_slot_[slot.page] = kNoSlot;
+      slot.page = kInvalidPage;
+    }
+  }
+  free_slots_.clear();
+  for (std::size_t s = capacity_; s-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(s));
+  }
+  fetch_heap_.clear();
+  occupied_ = 0;
   fetching_count_ = 0;
 }
 

@@ -11,10 +11,18 @@
 // evictable) or FETCHING (occupies a cell, neither hit-able nor evictable).
 // Strategies never mutate CacheState directly; the Simulator applies their
 // eviction decisions after validating them against this state.
+//
+// Representation (DESIGN.md §8): a dense slot arena of `capacity` cells with
+// a direct-mapped page→slot index sized to the run's page universe, so
+// contains/find are two array loads with no hashing; in-flight fetches live
+// in a min-heap keyed on ready_at, so a step with no landing fetch costs one
+// comparison instead of a full scan.
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+#include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -40,15 +48,30 @@ class CacheState {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Cells in use (present + fetching).
-  [[nodiscard]] std::size_t occupied() const noexcept { return cells_.size(); }
-  [[nodiscard]] std::size_t free_cells() const noexcept { return capacity_ - cells_.size(); }
+  [[nodiscard]] std::size_t occupied() const noexcept { return occupied_; }
+  [[nodiscard]] std::size_t free_cells() const noexcept { return capacity_ - occupied_; }
 
   /// True iff the page is resident and usable (a request to it is a hit).
-  [[nodiscard]] bool contains(PageId page) const;
+  [[nodiscard]] bool contains(PageId page) const noexcept {
+    const std::uint32_t slot = slot_of(page);
+    return slot != kNoSlot && slots_[slot].info.status == CellStatus::kPresent;
+  }
   /// True iff the page occupies a cell but is still in flight.
-  [[nodiscard]] bool is_fetching(PageId page) const;
-  /// Metadata lookup; nullptr if the page holds no cell.
-  [[nodiscard]] const CellInfo* find(PageId page) const;
+  [[nodiscard]] bool is_fetching(PageId page) const noexcept {
+    const std::uint32_t slot = slot_of(page);
+    return slot != kNoSlot && slots_[slot].info.status == CellStatus::kFetching;
+  }
+  /// Metadata lookup; nullptr if the page holds no cell.  The pointer is
+  /// invalidated by the next mutating call.
+  [[nodiscard]] const CellInfo* find(PageId page) const noexcept {
+    const std::uint32_t slot = slot_of(page);
+    return slot == kNoSlot ? nullptr : &slots_[slot].info;
+  }
+
+  /// Pre-sizes the page→slot index for page ids in [0, bound).  Optional —
+  /// the index grows on demand — but a run that knows its universe (any
+  /// materialized RequestSet) avoids all growth reallocations.
+  void reserve_universe(PageId bound);
 
   /// Reserves a cell and starts fetching `page`; it becomes present at
   /// `ready_at`.  Throws ModelError if the cache is full or the page already
@@ -56,8 +79,10 @@ class CacheState {
   void begin_fetch(PageId page, CoreId core, Time ready_at);
 
   /// Promotes all fetches with ready_at <= now to PRESENT.  Returns the
-  /// promoted pages (ascending page id, for deterministic iteration).
-  std::vector<PageId> complete_fetches(Time now);
+  /// promoted pages (ascending page id, for deterministic iteration); the
+  /// returned buffer is owned by the CacheState and valid until the next
+  /// call.  O(1) when nothing lands this step.
+  const std::vector<PageId>& complete_fetches(Time now);
 
   /// Evicts a PRESENT page.  Throws ModelError if the page is absent or
   /// still fetching (reserved cells cannot be evicted, per the model).
@@ -71,9 +96,30 @@ class CacheState {
   [[nodiscard]] std::vector<PageId> present_pages() const;
   /// Snapshot of every resident page (present + fetching), ascending id.
   [[nodiscard]] std::vector<PageId> resident_pages() const;
+
+  /// Visits present pages in arbitrary (slot) order — no snapshot vector,
+  /// no sort.  For callers that only need iteration; determinism-sensitive
+  /// call sites should keep the sorted accessors above.
+  template <typename Fn>
+  void for_each_present(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.page != kInvalidPage &&
+          slot.info.status == CellStatus::kPresent) {
+        fn(slot.page);
+      }
+    }
+  }
+  /// Visits every resident page (present + fetching) in arbitrary order.
+  template <typename Fn>
+  void for_each_resident(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.page != kInvalidPage) fn(slot.page);
+    }
+  }
+
   /// Number of PRESENT pages.
   [[nodiscard]] std::size_t present_count() const noexcept {
-    return cells_.size() - fetching_count_;
+    return occupied_ - fetching_count_;
   }
   /// Number of FETCHING pages.
   [[nodiscard]] std::size_t fetching_count() const noexcept { return fetching_count_; }
@@ -81,9 +127,31 @@ class CacheState {
   void clear();
 
  private:
+  struct Slot {
+    PageId page = kInvalidPage;  ///< kInvalidPage marks a free slot.
+    CellInfo info;
+  };
+
+  static constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
+  [[nodiscard]] std::uint32_t slot_of(PageId page) const noexcept {
+    return page < page_to_slot_.size() ? page_to_slot_[page] : kNoSlot;
+  }
+  /// Grows the index so `page` is addressable, then returns its slot ref.
+  std::uint32_t& index_entry(PageId page);
+  std::uint32_t allocate_slot(PageId page, const CellInfo& info);
+
   std::size_t capacity_;
+  std::size_t occupied_ = 0;
   std::size_t fetching_count_ = 0;
-  std::unordered_map<PageId, CellInfo> cells_;
+  std::vector<Slot> slots_;                  ///< Arena of `capacity_` cells.
+  std::vector<std::uint32_t> free_slots_;    ///< Stack of free arena indices.
+  std::vector<std::uint32_t> page_to_slot_;  ///< page -> arena index / kNoSlot.
+  /// Min-heap of (ready_at, page) over in-flight fetches.  Entries leave
+  /// only via completion: reserved cells cannot be evicted, so no lazy
+  /// deletion is needed.
+  std::vector<std::pair<Time, PageId>> fetch_heap_;
+  std::vector<PageId> completed_;            ///< Scratch for complete_fetches.
 };
 
 }  // namespace mcp

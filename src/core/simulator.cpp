@@ -1,7 +1,6 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "core/error.hpp"
 
@@ -24,12 +23,20 @@ RunStats Simulator::run(const RequestSet& requests, CacheStrategy& strategy) {
 void Simulator::apply_evictions(const std::vector<PageId>& victims,
                                 PageId incoming, CoreId cause_core, Time now,
                                 CacheState& cache, EvictionCause cause) {
-  std::unordered_set<PageId> seen;
-  for (PageId victim : victims) {
+  // Duplicate detection by linear scan over the already-validated prefix:
+  // victims are almost always 0 or 1 pages, so this beats building a hash
+  // set per fault.
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const PageId victim = victims[i];
     MCP_REQUIRE(victim != incoming, "strategy evicted the incoming page");
-    MCP_REQUIRE(seen.insert(victim).second, "strategy evicted a page twice");
+    const auto begin = victims.begin();
+    MCP_REQUIRE(std::find(begin, begin + static_cast<std::ptrdiff_t>(i),
+                          victim) == begin + static_cast<std::ptrdiff_t>(i),
+                "strategy evicted a page twice");
     cache.evict(victim);  // validates: present, not a reserved (fetching) cell
-    notify([&](SimObserver& obs) { obs.on_evict(victim, cause_core, now, cause); });
+    if (!active_observers_.empty()) {
+      notify([&](SimObserver& obs) { obs.on_evict(victim, cause_core, now, cause); });
+    }
   }
 }
 
@@ -38,12 +45,13 @@ void Simulator::serve_request(CoreId core, PageId page, Time now,
                               RunStats& stats, CoreRuntime& runtime) {
   const AccessContext ctx{core, page, now, runtime.issued};
   CoreStats& cstats = stats.core(core);
+  const bool observed = !active_observers_.empty();
 
   if (cache.contains(page)) {  // hit: served within this step
     ++cstats.hits;
     ++cstats.requests;
     strategy.on_hit(ctx);
-    notify([&](SimObserver& obs) { obs.on_hit(ctx); });
+    if (observed) notify([&](SimObserver& obs) { obs.on_hit(ctx); });
     runtime.ready_at = now + 1;
     runtime.last_finish = now;
     ++runtime.issued;
@@ -68,9 +76,10 @@ void Simulator::serve_request(CoreId core, PageId page, Time now,
     ++cstats.faults;
     ++cstats.requests;
     if (config_.record_fault_timeline) cstats.fault_times.push_back(now);
-    notify([&](SimObserver& obs) { obs.on_fault(ctx); });
-    const std::vector<PageId> victims = strategy.on_fault(ctx, cache, /*needs_cell=*/false);
-    MCP_REQUIRE(victims.empty(),
+    if (observed) notify([&](SimObserver& obs) { obs.on_fault(ctx); });
+    fault_evictions_.clear();
+    strategy.on_fault(ctx, cache, /*needs_cell=*/false, fault_evictions_);
+    MCP_REQUIRE(fault_evictions_.empty(),
                 "on_fault(needs_cell=false) must not request evictions");
     runtime.ready_at = now + config_.fault_penalty + 1;
     runtime.last_finish = now + config_.fault_penalty;
@@ -83,9 +92,11 @@ void Simulator::serve_request(CoreId core, PageId page, Time now,
   ++cstats.faults;
   ++cstats.requests;
   if (config_.record_fault_timeline) cstats.fault_times.push_back(now);
-  notify([&](SimObserver& obs) { obs.on_fault(ctx); });
-  const std::vector<PageId> victims = strategy.on_fault(ctx, cache, /*needs_cell=*/true);
-  apply_evictions(victims, page, core, now, cache, EvictionCause::kFault);
+  if (observed) notify([&](SimObserver& obs) { obs.on_fault(ctx); });
+  fault_evictions_.clear();
+  strategy.on_fault(ctx, cache, /*needs_cell=*/true, fault_evictions_);
+  apply_evictions(fault_evictions_, page, core, now, cache,
+                  EvictionCause::kFault);
   MCP_REQUIRE(cache.free_cells() >= 1,
               "strategy left no free cell for a faulting request");
   cache.begin_fetch(page, core, now + config_.fault_penalty + 1);
@@ -106,11 +117,21 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
   }
   active_observers_.insert(active_observers_.end(), observers_.begin(),
                            observers_.end());
+  const bool observed = !active_observers_.empty();
 
   strategy.attach(config_, p, offline_info);
 
   CacheState cache(config_.cache_size);
   RunStats stats(p);
+  if (offline_info != nullptr) {
+    cache.reserve_universe(offline_info->page_bound());
+    if (config_.record_fault_timeline) {
+      // Worst case every request faults; one reserve beats per-fault growth.
+      for (CoreId j = 0; j < p; ++j) {
+        stats.core(j).fault_times.reserve(offline_info->sequence(j).size());
+      }
+    }
+  }
   std::vector<CoreRuntime> cores(p);
   std::size_t active = p;
   Time now = 0;
@@ -119,24 +140,28 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
   constexpr Time kMaxStalledSteps = 1 << 20;
 
   while (active > 0) {
-    if (config_.max_steps != 0 && ++steps > config_.max_steps) {
+    ++steps;
+    if (config_.max_steps != 0 && steps > config_.max_steps) {
       throw ModelError("simulation exceeded SimConfig.max_steps");
     }
 
-    notify([&](SimObserver& obs) { obs.on_step_begin(now); });
+    if (observed) notify([&](SimObserver& obs) { obs.on_step_begin(now); });
 
     // 1. Land fetches due now, before any request is served this step.
     for (PageId page : cache.complete_fetches(now)) {
       const CellInfo* info = cache.find(page);
       const CoreId by = info != nullptr ? info->fetched_by : kInvalidCore;
       strategy.on_fetch_complete(page, by, now);
-      notify([&](SimObserver& obs) { obs.on_fetch_complete(page, by, now); });
+      if (observed) {
+        notify([&](SimObserver& obs) { obs.on_fetch_complete(page, by, now); });
+      }
     }
 
     // 2. Voluntary evictions (dynamic-partition shrinks, dishonest moves).
-    const std::vector<PageId> voluntary = strategy.on_step_begin(now, cache);
-    apply_evictions(voluntary, kInvalidPage, kInvalidCore, now, cache,
-                    EvictionCause::kVoluntary);
+    voluntary_evictions_.clear();
+    strategy.on_step_begin(now, cache, voluntary_evictions_);
+    apply_evictions(voluntary_evictions_, kInvalidPage, kInvalidCore, now,
+                    cache, EvictionCause::kVoluntary);
 
     // 3. Serve ready cores in logical (increasing id) order.
     bool any_deferred = false;
@@ -150,7 +175,9 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
           rt.done = true;
           stats.core(core).completion_time = rt.last_finish;
           strategy.on_core_done(core, now);
-          notify([&](SimObserver& obs) { obs.on_core_done(core, rt.last_finish); });
+          if (observed) {
+            notify([&](SimObserver& obs) { obs.on_core_done(core, rt.last_finish); });
+          }
           --active;
           continue;
         }
@@ -166,7 +193,7 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
       serve_request(core, rt.pending, now, cache, strategy, stats, rt);
     }
 
-    notify([&](SimObserver& obs) { obs.on_step_end(now); });
+    if (observed) notify([&](SimObserver& obs) { obs.on_step_end(now); });
 
     if (active == 0) {
       stats.end_time = now;
@@ -195,6 +222,7 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
     now = any_deferred ? now + 1 : std::max(now + 1, next_time);
   }
 
+  stats.sim_steps = steps;
   active_observers_.clear();
   return stats;
 }

@@ -79,6 +79,11 @@ class Simulator {
   SimConfig config_;
   std::vector<SimObserver*> observers_;
   std::vector<SimObserver*> active_observers_;  // stream observer + observers_
+  // Reusable eviction scratch buffers (the allocation-free step-loop
+  // contract): cleared before every strategy call, never reallocated after
+  // the first few faults.
+  std::vector<PageId> fault_evictions_;
+  std::vector<PageId> voluntary_evictions_;
 };
 
 /// Convenience: one-shot run of `strategy` on `requests` under `config`.

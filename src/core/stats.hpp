@@ -79,6 +79,10 @@ class RunStats {
   [[nodiscard]] std::string to_json() const;
 
   Time end_time = 0;  ///< First timestep at which every core was finished.
+  /// Step-loop iterations the simulator executed (fast-forwarded idle spans
+  /// count once).  Engine throughput = sim_steps / wall time; not part of
+  /// to_json() so the lab record shape stays stable.
+  Count sim_steps = 0;
 
  private:
   std::vector<CoreStats> cores_;

@@ -46,13 +46,16 @@ class CacheStrategy {
   virtual void on_hit(const AccessContext& ctx) = 0;
 
   /// The request `ctx` faulted.  If `needs_cell` is true the strategy must
-  /// return the pages to evict so that at least one free cell exists; the
-  /// usual case is exactly one victim when its region is full and none
-  /// otherwise.  If `needs_cell` is false (shared-fetch join: the page is
-  /// already in flight) the strategy must return no evictions.
-  [[nodiscard]] virtual std::vector<PageId> on_fault(const AccessContext& ctx,
-                                                     const CacheState& cache,
-                                                     bool needs_cell) = 0;
+  /// append the pages to evict to `evictions` so that at least one free cell
+  /// exists; the usual case is exactly one victim when its region is full
+  /// and none otherwise.  If `needs_cell` is false (shared-fetch join: the
+  /// page is already in flight) the strategy must append nothing.
+  ///
+  /// `evictions` is a scratch buffer owned by the simulator, cleared before
+  /// the call (the allocation-free step-loop contract, DESIGN.md §8):
+  /// strategies only push_back and never keep a reference past the call.
+  virtual void on_fault(const AccessContext& ctx, const CacheState& cache,
+                        bool needs_cell, std::vector<PageId>& evictions) = 0;
 
   /// A fetch issued earlier completed; `page` is now present.
   virtual void on_fetch_complete(PageId page, CoreId core, Time now) {
@@ -60,14 +63,15 @@ class CacheStrategy {
   }
 
   /// Called at the start of every timestep, before any request is served.
-  /// May return *voluntary* evictions — pages evicted without a fault.  The
-  /// paper calls strategies that never do this "honest" (Theorem 4 shows
-  /// honesty is WLOG for disjoint inputs); dynamic partitions use it to
-  /// shrink parts, and Theorem-4 experiments use it to force faults.
-  [[nodiscard]] virtual std::vector<PageId> on_step_begin(Time now,
-                                                          const CacheState& cache) {
-    (void)now; (void)cache;
-    return {};
+  /// May append *voluntary* evictions — pages evicted without a fault — to
+  /// the simulator-owned scratch buffer `evictions` (cleared before the
+  /// call).  The paper calls strategies that never do this "honest"
+  /// (Theorem 4 shows honesty is WLOG for disjoint inputs); dynamic
+  /// partitions use it to shrink parts, and Theorem-4 experiments use it to
+  /// force faults.
+  virtual void on_step_begin(Time now, const CacheState& cache,
+                             std::vector<PageId>& evictions) {
+    (void)now; (void)cache; (void)evictions;
   }
 
   /// Core `core` issued its last request.

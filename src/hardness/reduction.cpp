@@ -92,15 +92,14 @@ void CertificateStrategy::on_hit(const AccessContext& ctx) {
   next_index_[ctx.core] = ctx.seq_index + 1;
 }
 
-std::vector<PageId> CertificateStrategy::on_fault(const AccessContext& ctx,
-                                                  const CacheState& cache,
-                                                  bool needs_cell) {
+void CertificateStrategy::on_fault(const AccessContext& ctx,
+                                   const CacheState& cache, bool needs_cell,
+                                   std::vector<PageId>& evictions) {
   MCP_REQUIRE(needs_cell, "certificate: reduction sequences are disjoint");
   const CoreId c = ctx.core;
   next_index_[c] = ctx.seq_index + 1;
   GroupState& group = groups_[group_of_[c]];
 
-  std::vector<PageId> evictions;
   if (group.occupancy == reduction_->group_size + 1) {
     const CoreId owner = group.members[group.owner_idx];
     // Hand the extra cell to the next member (ascending id) exactly when the
@@ -148,7 +147,6 @@ std::vector<PageId> CertificateStrategy::on_fault(const AccessContext& ctx,
 
   resident_[c].push_back(ctx.page);
   ++group.occupancy;
-  return evictions;
 }
 
 RunStats play_certificate(const PifReduction& reduction,

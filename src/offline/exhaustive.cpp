@@ -31,11 +31,13 @@ class ProbeStrategy final : public CacheStrategy {
     next_ = 0;
   }
   void on_hit(const AccessContext& /*ctx*/) override {}
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& /*ctx*/,
-                                             const CacheState& cache,
-                                             bool needs_cell) override {
-    if (!needs_cell || cache.occupied() < cache_size_) return {};
-    if (next_ < prefix_->size()) return {(*prefix_)[next_++]};
+  void on_fault(const AccessContext& /*ctx*/, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override {
+    if (!needs_cell || cache.occupied() < cache_size_) return;
+    if (next_ < prefix_->size()) {
+      evictions.push_back((*prefix_)[next_++]);
+      return;
+    }
     throw ProbeAbort{cache.present_pages()};
   }
   [[nodiscard]] std::string name() const override { return "PROBE"; }

@@ -16,11 +16,10 @@ void ReplayStrategy::on_hit(const AccessContext& ctx) {
   if (lru_.contains(ctx.page)) lru_.on_hit(ctx.page, ctx);
 }
 
-std::vector<PageId> ReplayStrategy::on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) {
-  if (!needs_cell) return {};
-  std::vector<PageId> evictions;
+void ReplayStrategy::on_fault(const AccessContext& ctx,
+                              const CacheState& cache, bool needs_cell,
+                              std::vector<PageId>& evictions) {
+  if (!needs_cell) return;
   if (next_ < schedule_.size()) {
     const PageId victim = schedule_[next_++];
     if (victim == kInvalidPage) {
@@ -44,7 +43,6 @@ std::vector<PageId> ReplayStrategy::on_fault(const AccessContext& ctx,
   }
   if (lru_.contains(ctx.page)) lru_.on_remove(ctx.page);
   lru_.on_insert(ctx.page, ctx);
-  return evictions;
 }
 
 RunStats replay_schedule(const OfflineInstance& instance,

@@ -61,7 +61,7 @@ Count single_core_policy_faults(const RequestSequence& seq, std::size_t k,
   policy->reset();
   policy->set_capacity(k);
   std::unordered_set<PageId> resident;
-  const EvictablePredicate always = [](PageId) { return true; };
+  const auto always = [](PageId) { return true; };
   Count faults = 0;
   for (std::size_t i = 0; i < seq.size(); ++i) {
     const PageId page = seq[i];

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "core/events.hpp"
 #include "core/types.hpp"
@@ -22,7 +23,31 @@
 namespace mcp {
 
 /// Returns true iff the page may be evicted right now.
-using EvictablePredicate = std::function<bool(PageId)>;
+///
+/// A non-owning, non-allocating reference to a `bool(PageId)` callable
+/// (function_ref): victim() runs on every fault, and a std::function here
+/// would pay type-erasure allocation/indirection per call.  The referenced
+/// callable must outlive the predicate — passing a lambda directly at a
+/// victim() call site is fine (temporaries live to the end of the full
+/// expression); storing a predicate built from a temporary is not.
+class EvictablePredicate {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EvictablePredicate> &&
+                std::is_invocable_r_v<bool, const F&, PageId>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  EvictablePredicate(const F& fn) noexcept
+      : obj_(&fn), call_([](const void* obj, PageId page) {
+          return static_cast<bool>((*static_cast<const F*>(obj))(page));
+        }) {}
+
+  bool operator()(PageId page) const { return call_(obj_, page); }
+
+ private:
+  const void* obj_;
+  bool (*call_)(const void*, PageId);
+};
 
 class EvictionPolicy {
  public:

@@ -1,0 +1,98 @@
+#include "policies/mattson.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+
+// Fenwick tree over 1-based access positions; tree[i] counts positions in
+// i's range that still hold some page's most recent access.
+class PositionTree {
+ public:
+  explicit PositionTree(std::size_t n) : tree_(n + 1, 0), n_(n) {}
+
+  void mark(std::size_t pos) {
+    for (; pos <= n_; pos += lowbit(pos)) ++tree_[pos];
+  }
+  void unmark(std::size_t pos) {
+    for (; pos <= n_; pos += lowbit(pos)) --tree_[pos];
+  }
+  /// Number of marked positions in [1, pos].
+  [[nodiscard]] std::size_t prefix(std::size_t pos) const {
+    std::size_t sum = 0;
+    for (; pos > 0; pos -= lowbit(pos)) sum += tree_[pos];
+    return sum;
+  }
+
+ private:
+  static std::size_t lowbit(std::size_t i) { return i & (~i + 1); }
+
+  std::vector<std::uint32_t> tree_;
+  std::size_t n_;
+};
+
+// Single pass over `seq`, calling on_cold() for first accesses and
+// on_reuse(d) with the stack distance d >= 1 for repeats.  O(n log n).
+template <typename OnCold, typename OnReuse>
+void scan_stack_distances(const RequestSequence& seq, OnCold on_cold,
+                          OnReuse on_reuse) {
+  const std::size_t n = seq.size();
+  PositionTree marks(n);
+  std::vector<std::size_t> last_pos;  // page -> 1-based position, 0 = unseen
+  for (std::size_t i = 1; i <= n; ++i) {
+    const PageId page = seq[i - 1];
+    if (page >= last_pos.size()) {
+      last_pos.resize(std::max<std::size_t>(page + 1, last_pos.size() * 2), 0);
+    }
+    const std::size_t prev = last_pos[page];
+    if (prev == 0) {
+      on_cold();
+    } else {
+      // Distinct pages since the previous access to `page`: the still-marked
+      // positions strictly between prev and i, plus `page` itself.
+      on_reuse(marks.prefix(i - 1) - marks.prefix(prev) + 1);
+      marks.unmark(prev);
+    }
+    marks.mark(i);
+    last_pos[page] = i;
+  }
+}
+
+}  // namespace
+
+std::vector<Count> lru_fault_curve(const RequestSequence& seq,
+                                   std::size_t max_k) {
+  const std::size_t n = seq.size();
+  // hist[d] = reuses at stack distance d, distances beyond max_k bucketed
+  // at max_k + 1 (they miss at every tracked capacity).
+  std::vector<Count> hist(max_k + 2, 0);
+  Count cold = 0;
+  scan_stack_distances(
+      seq, [&cold] { ++cold; },
+      [&hist, max_k](std::size_t d) { ++hist[std::min(d, max_k + 1)]; });
+
+  // f(k) = cold misses + reuses with distance > k; suffix-sum the histogram.
+  std::vector<Count> curve(max_k + 1, 0);
+  Count beyond = 0;
+  for (std::size_t k = max_k + 1; k-- > 0;) {
+    beyond += hist[k + 1];
+    curve[k] = cold + beyond;
+  }
+  // k = 0 limit: every request misses (cold + every reuse).
+  MCP_ASSERT(curve[0] == n);
+  return curve;
+}
+
+std::vector<std::size_t> stack_distances(const RequestSequence& seq) {
+  std::vector<std::size_t> out;
+  out.reserve(seq.size());
+  scan_stack_distances(
+      seq, [&out] { out.push_back(0); },
+      [&out](std::size_t d) { out.push_back(d); });
+  return out;
+}
+
+}  // namespace mcp

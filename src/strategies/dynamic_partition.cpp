@@ -31,12 +31,11 @@ void Lemma3DynamicPartition::on_hit(const AccessContext& ctx) {
   parts_[it->second]->on_hit(ctx.page, ctx);
 }
 
-std::vector<PageId> Lemma3DynamicPartition::on_fault(const AccessContext& ctx,
-                                                     const CacheState& cache,
-                                                     bool needs_cell) {
-  if (!needs_cell) return {};
+void Lemma3DynamicPartition::on_fault(const AccessContext& ctx,
+                                      const CacheState& cache, bool needs_cell,
+                                      std::vector<PageId>& evictions) {
+  if (!needs_cell) return;
   const CoreId j = ctx.core;
-  std::vector<PageId> evictions;
 
   if (occupancy_[j] >= sizes_[j]) {
     if (total_occupancy_ < cache_size_) {
@@ -92,7 +91,6 @@ std::vector<PageId> Lemma3DynamicPartition::on_fault(const AccessContext& ctx,
   owner_[ctx.page] = j;
   ++occupancy_[j];
   ++total_occupancy_;
-  return evictions;
 }
 
 // ---------------------------------------------------------------------------

@@ -35,9 +35,8 @@ class Lemma3DynamicPartition final : public CacheStrategy {
   void attach(const SimConfig& config, std::size_t num_cores,
               const RequestSet* requests) override;
   void on_hit(const AccessContext& ctx) override;
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) override;
+  void on_fault(const AccessContext& ctx, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override;
   [[nodiscard]] std::string name() const override { return "dP[lemma3]_LRU"; }
 
   /// Current part sizes (the partition k(.,t) the controller maintains).

@@ -7,6 +7,7 @@
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
 #include "policies/belady.hpp"
+#include "policies/mattson.hpp"
 #include "strategies/static_partition.hpp"
 
 namespace mcp {
@@ -45,6 +46,18 @@ FaultCurves belady_fault_curves(const RequestSet& requests,
 FaultCurves policy_fault_curves(const RequestSet& requests,
                                 std::size_t cache_size,
                                 const PolicyFactory& factory) {
+  // LRU has the stack property, so the whole column f_j(0..K) falls out of
+  // one Mattson pass per core instead of K + 1 independent runs.  The name
+  // check is deliberately exact: LRU-SCAN and the other variants do not
+  // keep the inclusion property.
+  if (factory()->name() == "LRU") {
+    FaultCurves curves(requests.num_cores());
+    parallel_for(requests.num_cores(), [&](std::size_t j) {
+      curves[j] = lru_fault_curve(requests.sequence(static_cast<CoreId>(j)),
+                                  cache_size);
+    });
+    return curves;
+  }
   return fault_curve_sweep(
       requests, cache_size,
       [&factory](const RequestSequence& seq, std::size_t k) {

@@ -64,10 +64,9 @@ PageId BudgetedPartitionStrategy::evict_from_part(CoreId part,
   return victim;
 }
 
-std::vector<PageId> BudgetedPartitionStrategy::on_step_begin(
-    Time now, const CacheState& cache) {
+void BudgetedPartitionStrategy::on_step_begin(Time now, const CacheState& cache,
+                                              std::vector<PageId>& evictions) {
   apply_sizes(decide_sizes(now));
-  std::vector<PageId> evictions;
   const AccessContext ctx{kInvalidCore, kInvalidPage, now, 0};
   for (CoreId j = 0; j < sizes_.size(); ++j) {
     while (occupancy_[j] > sizes_[j]) {
@@ -76,7 +75,6 @@ std::vector<PageId> BudgetedPartitionStrategy::on_step_begin(
       evictions.push_back(victim);
     }
   }
-  return evictions;
 }
 
 void BudgetedPartitionStrategy::on_hit(const AccessContext& ctx) {
@@ -86,12 +84,13 @@ void BudgetedPartitionStrategy::on_hit(const AccessContext& ctx) {
   observe_hit(ctx);
 }
 
-std::vector<PageId> BudgetedPartitionStrategy::on_fault(
-    const AccessContext& ctx, const CacheState& cache, bool needs_cell) {
+void BudgetedPartitionStrategy::on_fault(const AccessContext& ctx,
+                                         const CacheState& cache,
+                                         bool needs_cell,
+                                         std::vector<PageId>& evictions) {
   observe_fault(ctx);
-  if (!needs_cell) return {};
+  if (!needs_cell) return;
   const CoreId j = ctx.core;
-  std::vector<PageId> evictions;
 
   while (occupancy_[j] + 1 > sizes_[j]) {
     const PageId victim = evict_from_part(j, ctx, cache);
@@ -121,7 +120,6 @@ std::vector<PageId> BudgetedPartitionStrategy::on_fault(
   owner_[ctx.page] = j;
   ++occupancy_[j];
   ++total_occupancy_;
-  return evictions;
 }
 
 }  // namespace mcp

@@ -24,11 +24,10 @@ class BudgetedPartitionStrategy : public CacheStrategy {
   void attach(const SimConfig& config, std::size_t num_cores,
               const RequestSet* requests) override;
   void on_hit(const AccessContext& ctx) override;
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) override;
-  [[nodiscard]] std::vector<PageId> on_step_begin(Time now,
-                                                  const CacheState& cache) override;
+  void on_fault(const AccessContext& ctx, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override;
+  void on_step_begin(Time now, const CacheState& cache,
+                     std::vector<PageId>& evictions) override;
 
   [[nodiscard]] const Partition& current_sizes() const noexcept { return sizes_; }
   /// Times a cell moved between parts (repartition count).

@@ -30,11 +30,10 @@ void SetAssociativeStrategy::on_hit(const AccessContext& ctx) {
   sets_[set_of(ctx.page)]->on_hit(ctx.page, ctx);
 }
 
-std::vector<PageId> SetAssociativeStrategy::on_step_begin(
-    Time now, const CacheState& cache) {
+void SetAssociativeStrategy::on_step_begin(Time now, const CacheState& cache,
+                                           std::vector<PageId>& evictions) {
   // Drain overflow: sets holding more than `ways_` pages (possible only
   // when a fault hit a fully reserved set) shrink as soon as they can.
-  std::vector<PageId> evictions;
   const AccessContext ctx{kInvalidCore, kInvalidPage, now, 0};
   for (std::size_t s = 0; s < num_sets_; ++s) {
     while (occupancy_[s] > ways_) {
@@ -46,15 +45,13 @@ std::vector<PageId> SetAssociativeStrategy::on_step_begin(
       evictions.push_back(victim);
     }
   }
-  return evictions;
 }
 
-std::vector<PageId> SetAssociativeStrategy::on_fault(const AccessContext& ctx,
-                                                     const CacheState& cache,
-                                                     bool needs_cell) {
-  if (!needs_cell) return {};
+void SetAssociativeStrategy::on_fault(const AccessContext& ctx,
+                                      const CacheState& cache, bool needs_cell,
+                                      std::vector<PageId>& evictions) {
+  if (!needs_cell) return;
   const std::size_t s = set_of(ctx.page);
-  std::vector<PageId> evictions;
   if (occupancy_[s] >= ways_) {
     // Conflict: the victim must come from this set, regardless of free
     // cells elsewhere.  Evict down to ways_-1 so the insert lands within
@@ -98,7 +95,6 @@ std::vector<PageId> SetAssociativeStrategy::on_fault(const AccessContext& ctx,
   }
   sets_[s]->on_insert(ctx.page, ctx);
   ++occupancy_[s];
-  return evictions;
 }
 
 std::string SetAssociativeStrategy::name() const {

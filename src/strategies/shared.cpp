@@ -42,12 +42,11 @@ void SharedStrategy::on_hit(const AccessContext& ctx) {
   policy_->on_hit(ctx.page, ctx);
 }
 
-std::vector<PageId> SharedStrategy::on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) {
+void SharedStrategy::on_fault(const AccessContext& ctx,
+                              const CacheState& cache, bool needs_cell,
+                              std::vector<PageId>& evictions) {
   maybe_advance_oracle(ctx);
-  if (!needs_cell) return {};  // page already in flight; no cell required
-  std::vector<PageId> evictions;
+  if (!needs_cell) return;  // page already in flight; no cell required
   if (cache.occupied() == cache_size_) {
     const PageId victim = policy_->victim(
         ctx, [&cache](PageId page) { return cache.contains(page); });
@@ -57,7 +56,6 @@ std::vector<PageId> SharedStrategy::on_fault(const AccessContext& ctx,
     evictions.push_back(victim);
   }
   policy_->on_insert(ctx.page, ctx);
-  return evictions;
 }
 
 std::string SharedStrategy::name() const {

@@ -28,9 +28,8 @@ class SharedStrategy final : public CacheStrategy {
   void attach(const SimConfig& config, std::size_t num_cores,
               const RequestSet* requests) override;
   void on_hit(const AccessContext& ctx) override;
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) override;
+  void on_fault(const AccessContext& ctx, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override;
   [[nodiscard]] std::string name() const override;
 
  private:

@@ -58,13 +58,12 @@ void StaticPartitionStrategy::on_hit(const AccessContext& ctx) {
   parts_[it->second]->on_hit(ctx.page, ctx);
 }
 
-std::vector<PageId> StaticPartitionStrategy::on_fault(const AccessContext& ctx,
-                                                      const CacheState& cache,
-                                                      bool needs_cell) {
+void StaticPartitionStrategy::on_fault(const AccessContext& ctx,
+                                       const CacheState& cache, bool needs_cell,
+                                       std::vector<PageId>& evictions) {
   maybe_advance_oracle(ctx);
-  if (!needs_cell) return {};
+  if (!needs_cell) return;
   const CoreId j = ctx.core;
-  std::vector<PageId> evictions;
   if (occupancy_[j] == sizes_[j]) {
     const PageId victim = parts_[j]->victim(
         ctx, [&cache](PageId page) { return cache.contains(page); });
@@ -79,7 +78,6 @@ std::vector<PageId> StaticPartitionStrategy::on_fault(const AccessContext& ctx,
   parts_[j]->on_insert(ctx.page, ctx);
   owner_[ctx.page] = j;
   ++occupancy_[j];
-  return evictions;
 }
 
 std::string StaticPartitionStrategy::name() const {

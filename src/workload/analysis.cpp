@@ -1,61 +1,33 @@
 #include "workload/analysis.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <unordered_set>
 
 #include "core/error.hpp"
+#include "policies/mattson.hpp"
 
 namespace mcp {
 
-namespace {
-
-/// Fenwick tree over access timestamps; counts "live" last-access marks.
-class Fenwick {
- public:
-  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
-  void add(std::size_t i, int delta) {
-    for (++i; i < tree_.size(); i += i & (~i + 1)) {
-      tree_[i] += delta;
-    }
-  }
-  /// Sum of [0, i).
-  [[nodiscard]] int prefix(std::size_t i) const {
-    int sum = 0;
-    for (; i > 0; i -= i & (~i + 1)) sum += tree_[i];
-    return sum;
-  }
-
- private:
-  std::vector<int> tree_;
-};
-
-}  // namespace
-
 StackDistanceHistogram::StackDistanceHistogram(const RequestSequence& seq) {
-  const std::size_t n = seq.size();
-  total_ = n;
-  Fenwick live(n);
-  std::unordered_map<PageId, std::size_t> last_access;
+  total_ = seq.size();
+  // The single-pass Fenwick kernel lives in policies/mattson.hpp (it is
+  // also the LRU fast path of partition search); this class is the
+  // histogram view of its output.  Note the off-by-one between the two
+  // conventions: mattson's distance counts the re-referenced page itself
+  // (minimum 1), the histogram indexes by pages *in between* (minimum 0).
+  std::unordered_set<PageId> distinct(seq.begin(), seq.end());
   std::vector<Count> counts;
-  for (std::size_t i = 0; i < n; ++i) {
-    const PageId page = seq[i];
-    const auto it = last_access.find(page);
-    if (it == last_access.end()) {
+  for (const std::size_t d : stack_distances(seq)) {
+    if (d == 0) {
       ++cold_;
-    } else {
-      // Distinct pages touched strictly after `page`'s previous access:
-      // live marks in (it->second, i).
-      const std::size_t d = static_cast<std::size_t>(
-          live.prefix(i) - live.prefix(it->second + 1));
-      if (d >= counts.size()) counts.resize(d + 1, 0);
-      ++counts[d];
-      live.add(it->second, -1);
+      continue;
     }
-    live.add(i, +1);
-    last_access[page] = i;
+    if (d - 1 >= counts.size()) counts.resize(d, 0);
+    ++counts[d - 1];
   }
   // Pad to the number of distinct pages (distances can't exceed it, but a
   // short run may not have realized the deeper ones).
-  if (counts.size() < last_access.size()) counts.resize(last_access.size(), 0);
+  if (counts.size() < distinct.size()) counts.resize(distinct.size(), 0);
   counts_ = std::move(counts);
   // Suffix sums: suffix_[d] = accesses at distance >= d.
   suffix_.assign(counts_.size() + 1, 0);

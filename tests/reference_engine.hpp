@@ -1,0 +1,291 @@
+// Reference build of the simulator engine, kept for differential testing.
+//
+// This is a transliteration of the pre-optimization step loop (PR 3): the
+// cache state is a plain unordered_map scanned in full (and sorted) to land
+// fetches, eviction duplicates are checked with an unordered_set, and every
+// strategy callback gets a fresh vector.  It is deliberately naive — the
+// point is that test_engine_differential.cpp can replay the same run
+// through this engine and through mcp::Simulator and require *identical*
+// RunStats.
+//
+// Because strategies take `const CacheState&`, the reference engine drives
+// a real CacheState for the callbacks and mirrors every mutation into its
+// own map-based shadow; after each step the two are cross-checked
+// (residency, fetch status, completion batches), so a divergence inside the
+// optimized CacheState (slot arena, fetch heap) is caught at the step it
+// happens, not just in the final tallies.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cache_state.hpp"
+#include "core/error.hpp"
+#include "core/simulator.hpp"
+#include "core/stats.hpp"
+#include "core/strategy.hpp"
+#include "core/stream.hpp"
+
+namespace mcp::testing {
+
+/// Old map-based cache bookkeeping (shadow copy of the run's CacheState).
+class ShadowCacheState {
+ public:
+  explicit ShadowCacheState(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool contains(PageId page) const {
+    const auto it = cells_.find(page);
+    return it != cells_.end() && it->second.status == CellStatus::kPresent;
+  }
+  [[nodiscard]] bool is_fetching(PageId page) const {
+    const auto it = cells_.find(page);
+    return it != cells_.end() && it->second.status == CellStatus::kFetching;
+  }
+  [[nodiscard]] std::size_t occupied() const { return cells_.size(); }
+
+  void begin_fetch(PageId page, CoreId core, Time ready_at) {
+    MCP_REQUIRE(cells_.size() < capacity_, "shadow: begin_fetch on full cache");
+    const bool inserted =
+        cells_.try_emplace(page, CellInfo{CellStatus::kFetching, ready_at, core})
+            .second;
+    MCP_REQUIRE(inserted, "shadow: begin_fetch on resident page");
+  }
+
+  /// Full scan + sort, exactly like the old CacheState::complete_fetches.
+  [[nodiscard]] std::vector<PageId> complete_fetches(Time now) {
+    std::vector<PageId> done;
+    for (auto& [page, info] : cells_) {
+      if (info.status == CellStatus::kFetching && info.ready_at <= now) {
+        info.status = CellStatus::kPresent;
+        done.push_back(page);
+      }
+    }
+    std::sort(done.begin(), done.end());
+    return done;
+  }
+
+  void evict(PageId page) {
+    const auto it = cells_.find(page);
+    MCP_REQUIRE(it != cells_.end(), "shadow: evict of non-resident page");
+    MCP_REQUIRE(it->second.status == CellStatus::kPresent,
+                "shadow: evict of reserved cell");
+    cells_.erase(it);
+  }
+
+  [[nodiscard]] std::vector<PageId> present_pages() const {
+    std::vector<PageId> pages;
+    for (const auto& [page, info] : cells_) {
+      if (info.status == CellStatus::kPresent) pages.push_back(page);
+    }
+    std::sort(pages.begin(), pages.end());
+    return pages;
+  }
+  [[nodiscard]] std::vector<PageId> resident_pages() const {
+    std::vector<PageId> pages;
+    for (const auto& [page, info] : cells_) pages.push_back(page);
+    std::sort(pages.begin(), pages.end());
+    return pages;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<PageId, CellInfo> cells_;
+};
+
+namespace detail {
+
+struct RefCoreRuntime {
+  bool done = false;
+  bool has_pending = false;
+  PageId pending = kInvalidPage;
+  Time ready_at = 0;
+  Time last_finish = 0;
+  std::size_t issued = 0;
+};
+
+/// Cross-check: the optimized CacheState and the shadow must agree exactly.
+inline void expect_states_agree(const CacheState& cache,
+                                const ShadowCacheState& shadow) {
+  MCP_REQUIRE(cache.occupied() == shadow.occupied(),
+              "reference engine: occupancy diverged");
+  MCP_REQUIRE(cache.present_pages() == shadow.present_pages(),
+              "reference engine: present set diverged");
+  MCP_REQUIRE(cache.resident_pages() == shadow.resident_pages(),
+              "reference engine: resident set diverged");
+}
+
+inline void reference_apply_evictions(const std::vector<PageId>& victims,
+                                      PageId incoming, CacheState& cache,
+                                      ShadowCacheState& shadow) {
+  std::unordered_set<PageId> seen;
+  for (PageId victim : victims) {
+    MCP_REQUIRE(victim != incoming, "strategy evicted the incoming page");
+    MCP_REQUIRE(seen.insert(victim).second, "strategy evicted a page twice");
+    shadow.evict(victim);
+    cache.evict(victim);
+  }
+}
+
+}  // namespace detail
+
+/// Runs `requests` through the reference engine.  Identical observable
+/// semantics to Simulator::run (old build), including the step counter.
+inline RunStats reference_simulate(const SimConfig& config,
+                                   const RequestSet& requests,
+                                   CacheStrategy& strategy) {
+  using detail::RefCoreRuntime;
+  MCP_REQUIRE(config.cache_size > 0, "SimConfig.cache_size must be positive");
+  FixedStream stream(requests);
+  const std::size_t p = stream.num_cores();
+  MCP_REQUIRE(p > 0, "request stream has no cores");
+
+  strategy.attach(config, p, &requests);
+
+  CacheState cache(config.cache_size);
+  ShadowCacheState shadow(config.cache_size);
+  RunStats stats(p);
+  std::vector<RefCoreRuntime> cores(p);
+  std::size_t active = p;
+  Time now = 0;
+  Time steps = 0;
+  Time stalled_steps = 0;
+  constexpr Time kMaxStalledSteps = 1 << 20;
+
+  const auto serve = [&](CoreId core, PageId page, RefCoreRuntime& rt) {
+    const AccessContext ctx{core, page, now, rt.issued};
+    CoreStats& cstats = stats.core(core);
+
+    if (cache.contains(page)) {
+      MCP_REQUIRE(shadow.contains(page), "reference engine: hit diverged");
+      ++cstats.hits;
+      ++cstats.requests;
+      strategy.on_hit(ctx);
+      rt.ready_at = now + 1;
+      rt.last_finish = now;
+      ++rt.issued;
+      rt.has_pending = false;
+      return;
+    }
+    MCP_REQUIRE(!shadow.contains(page), "reference engine: fault diverged");
+
+    if (cache.is_fetching(page)) {
+      MCP_REQUIRE(shadow.is_fetching(page),
+                  "reference engine: fetch status diverged");
+      if (config.shared_fetch == SharedFetchMode::kJoinsFetch) {
+        const CellInfo* info = cache.find(page);
+        MCP_ASSERT(info != nullptr);
+        rt.ready_at = std::max(info->ready_at, now + 1);
+        rt.has_pending = true;
+        rt.pending = page;
+        return;
+      }
+      ++cstats.faults;
+      ++cstats.requests;
+      if (config.record_fault_timeline) cstats.fault_times.push_back(now);
+      std::vector<PageId> victims;
+      strategy.on_fault(ctx, cache, /*needs_cell=*/false, victims);
+      MCP_REQUIRE(victims.empty(),
+                  "on_fault(needs_cell=false) must not request evictions");
+      rt.ready_at = now + config.fault_penalty + 1;
+      rt.last_finish = now + config.fault_penalty;
+      ++rt.issued;
+      rt.has_pending = false;
+      return;
+    }
+
+    ++cstats.faults;
+    ++cstats.requests;
+    if (config.record_fault_timeline) cstats.fault_times.push_back(now);
+    std::vector<PageId> victims;
+    strategy.on_fault(ctx, cache, /*needs_cell=*/true, victims);
+    detail::reference_apply_evictions(victims, page, cache, shadow);
+    MCP_REQUIRE(cache.free_cells() >= 1,
+                "strategy left no free cell for a faulting request");
+    shadow.begin_fetch(page, core, now + config.fault_penalty + 1);
+    cache.begin_fetch(page, core, now + config.fault_penalty + 1);
+    rt.ready_at = now + config.fault_penalty + 1;
+    rt.last_finish = now + config.fault_penalty;
+    ++rt.issued;
+    rt.has_pending = false;
+  };
+
+  while (active > 0) {
+    ++steps;
+    if (config.max_steps != 0 && steps > config.max_steps) {
+      throw ModelError("simulation exceeded SimConfig.max_steps");
+    }
+
+    // 1. Land fetches — both engines must produce the identical batch.
+    const std::vector<PageId> done_shadow = shadow.complete_fetches(now);
+    const std::vector<PageId> done_new = cache.complete_fetches(now);
+    MCP_REQUIRE(done_shadow == done_new,
+                "reference engine: completion batch diverged");
+    for (PageId page : done_new) {
+      const CellInfo* info = cache.find(page);
+      const CoreId by = info != nullptr ? info->fetched_by : kInvalidCore;
+      strategy.on_fetch_complete(page, by, now);
+    }
+
+    // 2. Voluntary evictions.
+    std::vector<PageId> voluntary;
+    strategy.on_step_begin(now, cache, voluntary);
+    detail::reference_apply_evictions(voluntary, kInvalidPage, cache, shadow);
+
+    // 3. Serve ready cores in logical order.
+    bool any_deferred = false;
+    bool any_served = false;
+    for (CoreId core = 0; core < p; ++core) {
+      RefCoreRuntime& rt = cores[core];
+      if (rt.done || rt.ready_at > now) continue;
+      if (!rt.has_pending) {
+        const std::optional<PageId> next = stream.next(core);
+        if (!next.has_value()) {
+          rt.done = true;
+          stats.core(core).completion_time = rt.last_finish;
+          strategy.on_core_done(core, now);
+          --active;
+          continue;
+        }
+        rt.has_pending = true;
+        rt.pending = *next;
+      }
+      const AccessContext ctx{core, rt.pending, now, rt.issued};
+      if (strategy.defer_request(ctx, cache)) {
+        any_deferred = true;
+        continue;
+      }
+      any_served = true;
+      serve(core, rt.pending, rt);
+    }
+
+    detail::expect_states_agree(cache, shadow);
+
+    if (active == 0) {
+      stats.end_time = now;
+      break;
+    }
+
+    if (any_deferred && !any_served && cache.fetching_count() == 0) {
+      if (++stalled_steps > kMaxStalledSteps) {
+        throw ModelError("strategy deferred every serviceable request with "
+                         "nothing in flight for too long (livelock)");
+      }
+    } else {
+      stalled_steps = 0;
+    }
+
+    Time next_time = kTimeNever;
+    for (const RefCoreRuntime& rt : cores) {
+      if (!rt.done) next_time = std::min(next_time, rt.ready_at);
+    }
+    MCP_ASSERT(next_time != kTimeNever);
+    now = any_deferred ? now + 1 : std::max(now + 1, next_time);
+  }
+
+  stats.sim_steps = steps;
+  return stats;
+}
+
+}  // namespace mcp::testing

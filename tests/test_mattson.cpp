@@ -1,0 +1,156 @@
+// Differential tests for the single-pass Mattson LRU fault-curve kernel
+// (policies/mattson.hpp): every curve cell must equal the per-k
+// single-core LRU run it replaces, on random, skewed and adversarial
+// sequences, including capacities at and beyond the distinct-page count.
+#include "policies/mattson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "adversary/adversary.hpp"
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "policies/belady.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/partition_search.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+#include "workload/analysis.hpp"
+#include "workload/workload.hpp"
+
+namespace mcp {
+namespace {
+
+/// Checks curve[k] == single_core_policy_faults(seq, k, LRU) for k = 0..max_k.
+void expect_matches_per_k(const RequestSequence& seq, std::size_t max_k,
+                          const std::string& label) {
+  const PolicyFactory lru = make_policy_factory("lru");
+  const std::vector<Count> curve = lru_fault_curve(seq, max_k);
+  ASSERT_EQ(curve.size(), max_k + 1) << label;
+  for (std::size_t k = 0; k <= max_k; ++k) {
+    EXPECT_EQ(curve[k], single_core_policy_faults(seq, k, lru))
+        << label << " k=" << k;
+  }
+}
+
+std::size_t distinct_pages(const RequestSequence& seq) {
+  return std::unordered_set<PageId>(seq.begin(), seq.end()).size();
+}
+
+TEST(MattsonKernel, TinySequencesByHand) {
+  // a b a b: distances 0 0 2 2 -> f(0)=4, f(1)=4, f(2)=2, f(3)=2.
+  const RequestSequence seq = {1, 2, 1, 2};
+  const std::vector<Count> curve = lru_fault_curve(seq, 3);
+  EXPECT_EQ(curve, (std::vector<Count>{4, 4, 2, 2}));
+  // Immediate repeat has distance 1 (hits for any k >= 1).
+  const std::vector<Count> rep = lru_fault_curve({7, 7, 7}, 2);
+  EXPECT_EQ(rep, (std::vector<Count>{3, 1, 1}));
+  // Empty sequence: all-zero curve.
+  EXPECT_EQ(lru_fault_curve({}, 2), (std::vector<Count>{0, 0, 0}));
+}
+
+TEST(MattsonKernel, StackDistancesDefinition) {
+  // seq:      5 6 7 5 5 6
+  // distance: 0 0 0 3 1 3
+  EXPECT_EQ(stack_distances({5, 6, 7, 5, 5, 6}),
+            (std::vector<std::size_t>{0, 0, 0, 3, 1, 3}));
+}
+
+TEST(MattsonKernel, MatchesPerKOnRandomSequences) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t universe = 3 + rng.below(20);
+    RequestSequence seq;
+    for (std::size_t i = 0; i < 400; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(universe)));
+    }
+    // Cover k beyond the distinct-page count (curve must flatten at cold).
+    const std::size_t max_k = distinct_pages(seq) + 4;
+    expect_matches_per_k(seq, max_k, "trial=" + std::to_string(trial));
+    const std::vector<Count> curve = lru_fault_curve(seq, max_k);
+    EXPECT_EQ(curve[max_k], distinct_pages(seq));
+    EXPECT_EQ(curve[distinct_pages(seq)], distinct_pages(seq));
+  }
+}
+
+TEST(MattsonKernel, MatchesPerKOnZipfAndScanWorkloads) {
+  for (const AccessPattern pattern :
+       {AccessPattern::kZipf, AccessPattern::kScan, AccessPattern::kLoop,
+        AccessPattern::kWorkingSet}) {
+    CoreWorkload core;
+    core.pattern = pattern;
+    core.num_pages = 48;
+    core.length = 600;
+    Rng rng(99);
+    const RequestSequence seq = generate_sequence(core, 0, rng);
+    expect_matches_per_k(seq, 52, to_string(pattern));
+  }
+}
+
+TEST(MattsonKernel, MatchesPerKOnLemma2Sequences) {
+  const RequestSet rs = lemma2_request_set({3, 2, 2}, 240);
+  for (CoreId j = 0; j < rs.num_cores(); ++j) {
+    expect_matches_per_k(rs.sequence(j), 9, "lemma2 core " + std::to_string(j));
+  }
+}
+
+TEST(MattsonKernel, MatchesPerKOnRecordedLemma1AdversaryTrace) {
+  // The Lemma 1 adversary adapts to the running policy; replaying its
+  // recorded trace exercises the worst-case no-reuse pattern LRU can see.
+  const Partition partition = {4, 2};
+  Lemma1AdversaryStream adversary(partition.size(), /*victim_core=*/0,
+                                  partition[0] + 1, /*requests_per_core=*/160);
+  RecordingStream recorder(adversary);
+  StaticPartitionStrategy strategy(partition, make_policy_factory("lru"));
+  Simulator sim(testing::sim_config(6, 1));
+  (void)sim.run_stream(recorder, strategy, nullptr);
+  const RequestSet& trace = recorder.recorded();
+  for (CoreId j = 0; j < trace.num_cores(); ++j) {
+    expect_matches_per_k(trace.sequence(j), 8,
+                         "lemma1 trace core " + std::to_string(j));
+  }
+}
+
+TEST(MattsonKernel, PolicyFaultCurvesFastPathEqualsReferenceSweep) {
+  // policy_fault_curves takes the Mattson path for LRU; the per-k sweep it
+  // replaced must give the same curves (here reproduced via the oracle).
+  Rng rng(7);
+  const RequestSet rs = testing::random_disjoint_workload(rng, 3, 10, 500);
+  const std::size_t K = 12;
+  const PolicyFactory lru = make_policy_factory("lru");
+  const FaultCurves fast = policy_fault_curves(rs, K, lru);
+  ASSERT_EQ(fast.size(), rs.num_cores());
+  for (CoreId j = 0; j < rs.num_cores(); ++j) {
+    ASSERT_EQ(fast[j].size(), K + 1);
+    for (std::size_t k = 0; k <= K; ++k) {
+      EXPECT_EQ(fast[j][k],
+                single_core_policy_faults(rs.sequence(j), k, lru))
+          << "core=" << j << " k=" << k;
+    }
+  }
+  // And the partition search built on the curves stays consistent with the
+  // exhaustive simulate-every-partition reference.
+  const PartitionSearchResult via_curves =
+      optimal_partition_for_policy(rs, K, lru);
+  const PartitionSearchResult via_sim =
+      optimal_partition_by_simulation(testing::sim_config(K, 0), rs, lru);
+  EXPECT_EQ(via_curves.faults, via_sim.faults);
+}
+
+TEST(MattsonKernel, AgreesWithWorkloadHistogramView) {
+  Rng rng(41);
+  RequestSequence seq;
+  for (std::size_t i = 0; i < 300; ++i) {
+    seq.push_back(static_cast<PageId>(rng.below(17)));
+  }
+  const std::vector<Count> curve = lru_fault_curve(seq, 20);
+  // StackDistanceHistogram::lru_curve is the same kernel's histogram view.
+  const std::vector<Count> hist_curve =
+      StackDistanceHistogram(seq).lru_curve(20);
+  EXPECT_EQ(curve, hist_curve);
+}
+
+}  // namespace
+}  // namespace mcp

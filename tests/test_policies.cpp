@@ -18,7 +18,7 @@ AccessContext at(Time now, PageId page = kInvalidPage, CoreId core = 0) {
   return AccessContext{core, page, now, static_cast<std::size_t>(now)};
 }
 
-const EvictablePredicate kAll = [](PageId) { return true; };
+const auto kAll = [](PageId) { return true; };
 
 TEST(LruPolicy, EvictsLeastRecentlyUsed) {
   LruPolicy lru;
@@ -33,9 +33,9 @@ TEST(LruPolicy, VictimRespectsEvictablePredicate) {
   LruPolicy lru;
   lru.on_insert(1, at(0, 1));
   lru.on_insert(2, at(1, 2));
-  const EvictablePredicate not_one = [](PageId p) { return p != 1; };
+  const auto not_one = [](PageId p) { return p != 1; };
   EXPECT_EQ(lru.victim(at(2), not_one), 2u);
-  const EvictablePredicate none = [](PageId) { return false; };
+  const auto none = [](PageId) { return false; };
   EXPECT_EQ(lru.victim(at(2), none), kInvalidPage);
 }
 
@@ -130,9 +130,9 @@ TEST(ClockPolicy, RespectsEvictablePredicate) {
   ClockPolicy clock;
   clock.on_insert(1, at(0, 1));
   clock.on_insert(2, at(1, 2));
-  const EvictablePredicate not_two = [](PageId p) { return p != 2; };
+  const auto not_two = [](PageId p) { return p != 2; };
   EXPECT_EQ(clock.victim(at(2), not_two), 1u);
-  const EvictablePredicate none = [](PageId) { return false; };
+  const auto none = [](PageId) { return false; };
   EXPECT_EQ(clock.victim(at(2), none), kInvalidPage);
 }
 
@@ -158,7 +158,7 @@ TEST(RandomPolicy, OnlyReturnsTrackedEvictablePages) {
   random.on_insert(1, at(0, 1));
   random.on_insert(2, at(1, 2));
   random.on_insert(3, at(2, 3));
-  const EvictablePredicate odd = [](PageId p) { return p % 2 == 1; };
+  const auto odd = [](PageId p) { return p % 2 == 1; };
   for (int i = 0; i < 50; ++i) {
     const PageId v = random.victim(at(3), odd);
     EXPECT_TRUE(v == 1 || v == 3);

@@ -20,7 +20,7 @@ AccessContext at(Time now, PageId page) {
   return AccessContext{0, page, now, static_cast<std::size_t>(now)};
 }
 
-const EvictablePredicate kAll = [](PageId) { return true; };
+const auto kAll = [](PageId) { return true; };
 
 /// Naive LRU: vector ordered most-recent-first, linear operations.
 class NaiveLru {
@@ -219,7 +219,7 @@ TEST_P(PolicyStress, VictimsAlwaysTrackedAndEvictable) {
         for (PageId page : driver.tracked) {
           if (driver.rng.chance(0.3)) blocked.insert(page);
         }
-        const EvictablePredicate evictable = [&blocked](PageId page) {
+        const auto evictable = [&blocked](PageId page) {
           return !blocked.contains(page);
         };
         const PageId victim =

@@ -89,10 +89,8 @@ class StarveEverything final : public CacheStrategy {
     return true;
   }
   void on_hit(const AccessContext&) override {}
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext&,
-                                             const CacheState&, bool) override {
-    return {};
-  }
+  void on_fault(const AccessContext&, const CacheState&, bool,
+                std::vector<PageId>&) override {}
   [[nodiscard]] std::string name() const override { return "STARVE"; }
 };
 

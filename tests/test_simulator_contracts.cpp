@@ -46,11 +46,9 @@ class MisbehavingStrategy final : public CacheStrategy {
     lru_->reset();
   }
   void on_hit(const AccessContext& ctx) override { lru_->on_hit(ctx.page, ctx); }
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) override {
-    if (!needs_cell) return {};
-    std::vector<PageId> evictions;
+  void on_fault(const AccessContext& ctx, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override {
+    if (!needs_cell) return;
     if (cache.occupied() == cache_size_) {
       switch (mode_) {
         case Mode::kEvictAbsent:
@@ -62,19 +60,21 @@ class MisbehavingStrategy final : public CacheStrategy {
         case Mode::kEvictTwice: {
           const PageId victim = lru_->victim(
               ctx, [&cache](PageId page) { return cache.contains(page); });
-          evictions = {victim, victim};
+          evictions.push_back(victim);
+          evictions.push_back(victim);
           break;
         }
         case Mode::kNeverEvict:
           break;
         case Mode::kEvictFetching: {
           // Pick a resident-but-not-present page (reserved cell) if any.
-          for (PageId page : cache.resident_pages()) {
-            if (!cache.contains(page)) {
-              evictions.push_back(page);
-              break;
+          PageId reserved = kInvalidPage;
+          cache.for_each_resident([&](PageId page) {
+            if (reserved == kInvalidPage && cache.is_fetching(page)) {
+              reserved = page;
             }
-          }
+          });
+          if (reserved != kInvalidPage) evictions.push_back(reserved);
           if (evictions.empty()) {  // fall back to a legal victim
             const PageId victim = lru_->victim(
                 ctx, [&cache](PageId page) { return cache.contains(page); });
@@ -87,7 +87,6 @@ class MisbehavingStrategy final : public CacheStrategy {
     }
     if (lru_->contains(ctx.page)) lru_->on_remove(ctx.page);
     lru_->on_insert(ctx.page, ctx);
-    return evictions;
   }
   [[nodiscard]] std::string name() const override { return "misbehaving"; }
 

@@ -36,11 +36,9 @@ class SelfContainedDishonestLru final : public CacheStrategy {
     lru_->reset();
   }
   void on_hit(const AccessContext& ctx) override { lru_->on_hit(ctx.page, ctx); }
-  [[nodiscard]] std::vector<PageId> on_fault(const AccessContext& ctx,
-                                             const CacheState& cache,
-                                             bool needs_cell) override {
-    if (!needs_cell) return {};
-    std::vector<PageId> evictions;
+  void on_fault(const AccessContext& ctx, const CacheState& cache,
+                bool needs_cell, std::vector<PageId>& evictions) override {
+    if (!needs_cell) return;
     if (cache.occupied() == cache_size_) {
       const PageId victim = lru_->victim(
           ctx, [&cache](PageId page) { return cache.contains(page); });
@@ -49,16 +47,16 @@ class SelfContainedDishonestLru final : public CacheStrategy {
       evictions.push_back(victim);
     }
     lru_->on_insert(ctx.page, ctx);
-    return evictions;
   }
-  [[nodiscard]] std::vector<PageId> on_step_begin(
-      Time /*now*/, const CacheState& cache) override {
-    if (!rng_.chance(q_)) return {};
+  void on_step_begin(Time /*now*/, const CacheState& cache,
+                     std::vector<PageId>& evictions) override {
+    if (!rng_.chance(q_)) return;
+    // Sorted order keeps the random choice reproducible across engines.
     const std::vector<PageId> present = cache.present_pages();
-    if (present.empty()) return {};
+    if (present.empty()) return;
     const PageId victim = present[rng_.below(present.size())];
     lru_->on_remove(victim);
-    return {victim};
+    evictions.push_back(victim);
   }
   [[nodiscard]] std::string name() const override { return "dishonest-LRU"; }
 
