@@ -28,11 +28,19 @@ OfflineInstance random_instance(std::size_t p, std::size_t pages_per_core,
   return inst;
 }
 
-double solve_ms(const OfflineInstance& inst, FtfResult* out) {
+double solve_ms(const OfflineInstance& inst, OfflineEngine engine,
+                FtfResult* out) {
+  FtfOptions options;
+  options.engine = engine;
   const auto start = std::chrono::steady_clock::now();
-  *out = solve_ftf(inst);
+  *out = solve_ftf(inst, options);
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// States stored per second, in thousands (the perf-gate unit).
+double kstates_per_sec(std::size_t states, double ms) {
+  return ms <= 0.0 ? 0.0 : static_cast<double>(states) / ms;
 }
 
 lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
@@ -40,30 +48,54 @@ lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
 
   auto& n_table = b.series(
       "states_vs_n", "Scaling in n (p=2, K=2, tau=1, 3 pages/core):",
-      {"n/core", "faults", "states", "ms", "states/n^2"});
+      {"n/core", "faults", "states", "ms", "kstates/s", "states/n^2"});
   std::vector<double> per_n2;
   for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
     const OfflineInstance inst = random_instance(2, 3, n, 2, 1, 77);
     FtfResult result;
-    const double ms = solve_ms(inst, &result);
+    const double ms = solve_ms(inst, OfflineEngine::kPacked, &result);
     const double nn = static_cast<double>(n);
     per_n2.push_back(static_cast<double>(result.states_stored) / (nn * nn));
     n_table.row(static_cast<std::uint64_t>(n), result.min_faults,
                 static_cast<std::uint64_t>(result.states_stored), ms,
-                per_n2.back());
+                kstates_per_sec(result.states_stored, ms), per_n2.back());
   }
 
   auto& k_table = b.series(
       "states_vs_k", "Scaling in K (p=2, n/core=16, 5 pages/core, tau=1):",
-      {"K", "faults", "states", "ms"});
+      {"K", "faults", "states", "ms", "kstates/s"});
   std::vector<std::size_t> states_by_k;
   for (std::size_t K : {2u, 3u, 4u, 5u}) {
     const OfflineInstance inst = random_instance(2, 5, 16, K, 1, 78);
     FtfResult result;
-    const double ms = solve_ms(inst, &result);
+    const double ms = solve_ms(inst, OfflineEngine::kPacked, &result);
     states_by_k.push_back(result.states_stored);
     k_table.row(static_cast<std::uint64_t>(K), result.min_faults,
-                static_cast<std::uint64_t>(result.states_stored), ms);
+                static_cast<std::uint64_t>(result.states_stored), ms,
+                kstates_per_sec(result.states_stored, ms));
+  }
+
+  // Packed vs reference: same optimum, states/sec ratio (BENCH_OFFLINE.json
+  // carries the regression-gated medians; these are single-shot).
+  auto& engine_table = b.series(
+      "engine_speedup",
+      "Packed (interned bitsets + Dial) vs reference (heap Dijkstra):",
+      {"n/core", "ref_ms", "packed_ms", "ref_kst/s", "packed_kst/s",
+       "speedup"});
+  bool engines_agree = true;
+  for (std::size_t n : {40u, 48u, 64u}) {
+    // Denser instances than the scaling series (5 pages/core, K=4, tau=2):
+    // wide victim branching is where the packed encoding pays off most.
+    const OfflineInstance inst = random_instance(2, 5, n, 4, 2, 78);
+    FtfResult packed;
+    FtfResult ref;
+    const double packed_ms = solve_ms(inst, OfflineEngine::kPacked, &packed);
+    const double ref_ms = solve_ms(inst, OfflineEngine::kReference, &ref);
+    engines_agree = engines_agree && packed.min_faults == ref.min_faults;
+    engine_table.row(static_cast<std::uint64_t>(n), ref_ms, packed_ms,
+                     kstates_per_sec(ref.states_stored, ref_ms),
+                     kstates_per_sec(packed.states_stored, packed_ms),
+                     packed_ms <= 0.0 ? 0.0 : ref_ms / packed_ms);
   }
 
   b.note("Exactness spot-check vs exhaustive search (10 instances):");
@@ -87,9 +119,9 @@ lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
   // noise).  Exponential-ish in K: strictly increasing states.
   const bool poly_n = per_n2.back() < 4.0 * per_n2.front();
   const bool grows_k = states_by_k.back() > 4 * states_by_k.front();
-  return std::move(b).finish(poly_n && grows_k && exact,
+  return std::move(b).finish(poly_n && grows_k && exact && engines_agree,
                              "poly-in-n, exponential-in-K scaling; exact "
-                             "optimum");
+                             "optimum; engines agree");
 }
 
 }  // namespace

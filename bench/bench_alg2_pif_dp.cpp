@@ -28,26 +28,82 @@ PifInstance random_pif(std::size_t per_core, Time deadline, Count bound,
   return inst;
 }
 
-lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
+double solve_ms(const PifInstance& inst, const PifOptions& options,
+                PifResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = solve_pif(inst, options);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+lab::ExperimentResult run(const lab::RunContext& ctx) {
   lab::ResultBuilder b;
+  PifOptions packed_opts;
+  packed_opts.workers = ctx.workers;
 
   auto& deadline_table = b.series(
       "width_vs_deadline",
       "Scaling in the deadline (p=2, K=2, tau=1, generous bounds):",
-      {"deadline", "feasible", "peak_width", "expanded", "ms"});
+      {"deadline", "feasible", "peak_width", "expanded", "ms", "kstates/s"});
   std::vector<std::size_t> widths;
   for (Time deadline : {Time{8}, Time{16}, Time{32}, Time{64}, Time{128}}) {
     const PifInstance inst =
         random_pif(/*per_core=*/deadline, deadline, deadline, 31);
-    const auto start = std::chrono::steady_clock::now();
-    const PifResult result = solve_pif(inst);
-    const auto stop = std::chrono::steady_clock::now();
+    PifResult result;
+    const double ms = solve_ms(inst, packed_opts, &result);
     widths.push_back(result.peak_layer_width);
     deadline_table.row(
         static_cast<std::uint64_t>(deadline), result.feasible ? "yes" : "no",
         static_cast<std::uint64_t>(result.peak_layer_width),
-        static_cast<std::uint64_t>(result.states_expanded),
-        std::chrono::duration<double, std::milli>(stop - start).count());
+        static_cast<std::uint64_t>(result.states_expanded), ms,
+        ms <= 0.0 ? 0.0 : static_cast<double>(result.states_expanded) / ms);
+  }
+
+  // Packed layer-parallel vs reference serial engine, and the determinism
+  // contract: bit-identical witnesses at any worker count.
+  auto& engine_table = b.series(
+      "engine_speedup",
+      "Packed (interned bitsets, layer-parallel) vs reference (serial):",
+      {"deadline", "ref_ms", "packed_ms", "ref_kst/s", "packed_kst/s",
+       "speedup"});
+  bool engines_agree = true;
+  for (Time deadline : {Time{32}, Time{64}, Time{128}}) {
+    const PifInstance inst =
+        random_pif(/*per_core=*/deadline, deadline, deadline, 31);
+    PifOptions ref_opts;
+    ref_opts.engine = OfflineEngine::kReference;
+    PifResult packed;
+    PifResult ref;
+    const double packed_ms = solve_ms(inst, packed_opts, &packed);
+    const double ref_ms = solve_ms(inst, ref_opts, &ref);
+    engines_agree = engines_agree && packed.feasible == ref.feasible &&
+                    packed.decided_at == ref.decided_at &&
+                    packed.peak_layer_width == ref.peak_layer_width;
+    const auto rate = [](std::size_t states, double ms) {
+      return ms <= 0.0 ? 0.0 : static_cast<double>(states) / ms;
+    };
+    engine_table.row(static_cast<std::uint64_t>(deadline), ref_ms, packed_ms,
+                     rate(ref.states_expanded, ref_ms),
+                     rate(packed.states_expanded, packed_ms),
+                     packed_ms <= 0.0 ? 0.0 : ref_ms / packed_ms);
+  }
+
+  bool deterministic = true;
+  {
+    PifInstance inst = random_pif(48, 48, 12, 33);
+    PifOptions base;
+    base.build_schedule = true;
+    base.workers = 1;
+    const PifResult serial = solve_pif(inst, base);
+    for (std::size_t workers : {2u, 8u}) {
+      base.workers = workers;
+      const PifResult parallel = solve_pif(inst, base);
+      deterministic = deterministic && parallel.feasible == serial.feasible &&
+                      parallel.schedule == serial.schedule &&
+                      parallel.peak_layer_width == serial.peak_layer_width;
+    }
+    b.notef("Worker determinism (workers 1/2/8): %s",
+            deterministic ? "bit-identical" : "MISMATCH");
   }
 
   auto& bounds_table =
@@ -79,8 +135,10 @@ lab::ExperimentResult run(const lab::RunContext& /*ctx*/) {
   // pruning is doing its job (worst case is much larger).
   const double growth = static_cast<double>(widths.back()) /
                         static_cast<double>(widths.front());
-  return std::move(b).finish(agreements == total && growth < 256.0,
-                             "decisions exact; layer width stays polynomial");
+  return std::move(b).finish(
+      agreements == total && growth < 256.0 && engines_agree && deterministic,
+      "decisions exact; layer width stays polynomial; engines agree; "
+      "worker-count independent");
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
 #include "offline/ftf_solver.hpp"
+#include "offline/pif_solver.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/partition.hpp"
@@ -102,21 +103,55 @@ void BM_SharedFitf(benchmark::State& state) {
                           static_cast<std::int64_t>(rs.total_requests()));
 }
 
-void BM_FtfSolver(benchmark::State& state) {
+void BM_FtfSolver(benchmark::State& state, OfflineEngine engine) {
+  // states_per_sec is the offline perf-smoke gate (BENCH_OFFLINE.json):
+  // packed must stay well ahead of the retained reference engine.
   const std::size_t per_core = static_cast<std::size_t>(state.range(0));
   CoreWorkload core;
   core.pattern = AccessPattern::kUniform;
-  core.num_pages = 3;
+  core.num_pages = 5;
   core.length = per_core;
   OfflineInstance inst;
-  inst.requests = make_workload(homogeneous_spec(2, core, true, 9));
-  inst.cache_size = 2;
-  inst.tau = 1;
+  inst.requests = make_workload(homogeneous_spec(2, core, true, 78));
+  inst.cache_size = 4;
+  inst.tau = 2;
+  FtfOptions options;
+  options.engine = engine;
+  std::size_t states = 0;
   for (auto _ : state) {
-    const FtfResult result = solve_ftf(inst);
+    const FtfResult result = solve_ftf(inst, options);
     benchmark::DoNotOptimize(result.min_faults);
+    states += result.states_stored;
     state.counters["states"] = static_cast<double>(result.states_stored);
   }
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+
+void BM_PifSolver(benchmark::State& state, OfflineEngine engine) {
+  const Time deadline = static_cast<Time>(state.range(0));
+  CoreWorkload core;
+  core.pattern = AccessPattern::kUniform;
+  core.num_pages = 3;
+  core.length = static_cast<std::size_t>(deadline);
+  PifInstance inst;
+  inst.base.requests = make_workload(homogeneous_spec(2, core, true, 31));
+  inst.base.cache_size = 2;
+  inst.base.tau = 1;
+  inst.deadline = deadline;
+  inst.bounds = {deadline, deadline};
+  PifOptions options;
+  options.engine = engine;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const PifResult result = solve_pif(inst, options);
+    benchmark::DoNotOptimize(result.feasible);
+    states += result.states_expanded;
+    state.counters["peak_width"] =
+        static_cast<double>(result.peak_layer_width);
+  }
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
 }
 
 void BM_BigFleetThroughput(benchmark::State& state) {
@@ -197,7 +232,17 @@ BENCHMARK_CAPTURE(BM_SharedPolicy, mark, "mark")->Arg(4);
 BENCHMARK(BM_StaticPartition)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_Lemma3Dynamic)->Arg(4);
 BENCHMARK(BM_SharedFitf);
-BENCHMARK(BM_FtfSolver)->Arg(8)->Arg(16)->Arg(32);
+// Arg = requests per core; the instance family matches E8's engine_speedup
+// series (5 pages/core, K=4, tau=2 — wide victim branching).
+BENCHMARK_CAPTURE(BM_FtfSolver, packed, mcp::OfflineEngine::kPacked)
+    ->Arg(24)->Arg(40)->Arg(48);
+BENCHMARK_CAPTURE(BM_FtfSolver, reference, mcp::OfflineEngine::kReference)
+    ->Arg(24)->Arg(40)->Arg(48);
+// Arg = deadline; matches E9's engine_speedup series.
+BENCHMARK_CAPTURE(BM_PifSolver, packed, mcp::OfflineEngine::kPacked)
+    ->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_PifSolver, reference, mcp::OfflineEngine::kReference)
+    ->Arg(32)->Arg(64)->Arg(128);
 BENCHMARK(BM_BigFleetThroughput);
 BENCHMARK(BM_LruFaultCurve)->Arg(64);
 // Arg = sweep worker cap: serial, two workers, all hardware workers (0).

@@ -1,29 +1,42 @@
 #!/usr/bin/env bash
-# Records the E13 engine perf baseline (bench/baseline/BENCH_E13.json).
+# Records the engine perf baselines:
+#
+#   bench/baseline/BENCH_E13.json     — simulator/sweep counters (steps/sec,
+#                                       fault-curve cells/sec, sweep cells/sec)
+#   bench/baseline/BENCH_OFFLINE.json — offline solver engines (states/sec for
+#                                       the packed and reference FTF/PIF
+#                                       engines, the packed-speedup record)
 #
 # Builds the google-benchmark suite in Release and captures the benchmarks
-# that gate the perf-smoke CI job: shared-LRU simulator throughput
-# (steps/sec), the LRU fault-curve kernel (curve cells/sec), and the
-# partition sweep (cells/sec).  Usage:
+# that gate the perf-smoke CI job.  Usage:
 #
-#   scripts/bench_baseline.sh [output.json]
+#   scripts/bench_baseline.sh [e13_output.json [offline_output.json]]
 #
 # Environment: BUILD_DIR overrides the build directory (default:
-# build-bench), BENCH_FILTER overrides the benchmark selection.
+# build-bench); BENCH_FILTER / OFFLINE_FILTER override the benchmark
+# selections.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-bench/baseline/BENCH_E13.json}
+OFFLINE_OUT=${2:-bench/baseline/BENCH_OFFLINE.json}
 BUILD=${BUILD_DIR:-build-bench}
 FILTER=${BENCH_FILTER:-'BM_SharedPolicy/lru/4$|BM_LruFaultCurve/64$|BM_PartitionSweep/0$'}
+OFFLINE_FILTER=${OFFLINE_FILTER:-'BM_FtfSolver/(packed|reference)/(24|40|48)$|BM_PifSolver/(packed|reference)/(32|64|128)$'}
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
   -DMCP_BUILD_TESTS=OFF -DMCP_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$BUILD" --target bench_sim_throughput -j "$(nproc)" >/dev/null
 
-mkdir -p "$(dirname "$OUT")"
+mkdir -p "$(dirname "$OUT")" "$(dirname "$OFFLINE_OUT")"
 "$BUILD"/bench/bench_sim_throughput \
   --benchmark_filter="$FILTER" \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json >"$OUT"
 echo "wrote $OUT"
+
+"$BUILD"/bench/bench_sim_throughput \
+  --benchmark_filter="$OFFLINE_FILTER" \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$OFFLINE_OUT"
+echo "wrote $OFFLINE_OUT"

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Gate the perf-smoke CI job on the committed E13 baseline.
+"""Gate the perf-smoke CI job on a committed benchmark baseline.
 
 Compares a fresh google-benchmark JSON run (bench_baseline.sh output)
-against the committed baseline and fails when the simulator's steps/sec
-median regresses by more than the tolerance (default 25%).  Improvements
-and regressions within tolerance pass; other counters are reported for
-context but do not gate.
+against the committed baseline and fails when any gated counter's median
+regresses by more than the tolerance (default 25%).  Improvements and
+regressions within tolerance pass; other counters are reported for context
+but do not gate.
+
+Gates are `BENCHMARK:COUNTER` pairs, repeatable:
+
+  # E13 simulator gate (the default when no --gate is given)
+  scripts/check_perf_regression.py CURRENT.json
+  # offline engine gate (BENCH_OFFLINE.json)
+  scripts/check_perf_regression.py CURRENT.json bench/baseline/BENCH_OFFLINE.json \
+      --gate 'BM_FtfSolver/packed/48:states_per_sec' \
+      --gate 'BM_PifSolver/packed/128:states_per_sec'
 
 Usage:
-  scripts/check_perf_regression.py CURRENT.json [BASELINE.json] [--tolerance 0.25]
+  scripts/check_perf_regression.py CURRENT.json [BASELINE.json]
+      [--tolerance 0.25] [--gate NAME:COUNTER]...
 """
 from __future__ import annotations
 
@@ -16,12 +26,17 @@ import argparse
 import json
 import sys
 
-GATED_COUNTER = "steps_per_sec"
-GATED_BENCHMARK = "BM_SharedPolicy/lru/4"
-CONTEXT_COUNTERS = ("faults_per_sec", "curve_cells_per_sec", "cells_per_sec")
+DEFAULT_GATES = ("BM_SharedPolicy/lru/4:steps_per_sec",)
+CONTEXT_COUNTERS = (
+    "steps_per_sec",
+    "faults_per_sec",
+    "curve_cells_per_sec",
+    "cells_per_sec",
+    "states_per_sec",
+)
 
 
-def load_medians(path: str) -> dict[str, dict[str, float]]:
+def load_medians(path: str, counters: set[str]) -> dict[str, dict[str, float]]:
     """Map benchmark name -> {counter: value} for median aggregates."""
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -30,13 +45,9 @@ def load_medians(path: str) -> dict[str, dict[str, float]]:
         if bench.get("aggregate_name") != "median":
             continue
         name = bench["name"].removesuffix("_median")
-        counters = {
-            key: value
-            for key, value in bench.items()
-            if key == GATED_COUNTER or key in CONTEXT_COUNTERS
-        }
-        if counters:
-            medians[name] = counters
+        found = {key: value for key, value in bench.items() if key in counters}
+        if found:
+            medians[name] = found
     return medians
 
 
@@ -55,27 +66,44 @@ def main() -> int:
         default=0.25,
         help="allowed fractional regression (default: %(default)s)",
     )
+    parser.add_argument(
+        "--gate",
+        action="append",
+        metavar="NAME:COUNTER",
+        help="gated benchmark/counter pair; repeatable "
+        f"(default: {' '.join(DEFAULT_GATES)})",
+    )
     args = parser.parse_args()
 
-    current = load_medians(args.current)
-    baseline = load_medians(args.baseline)
+    gates: set[tuple[str, str]] = set()
+    for spec in args.gate or DEFAULT_GATES:
+        name, sep, counter = spec.rpartition(":")
+        if not sep or not name or not counter:
+            parser.error(f"--gate must be NAME:COUNTER, got {spec!r}")
+        gates.add((name, counter))
+
+    counters = set(CONTEXT_COUNTERS) | {counter for _, counter in gates}
+    current = load_medians(args.current, counters)
+    baseline = load_medians(args.baseline, counters)
 
     failed = False
+    failed_gates: list[str] = []
     for name in sorted(baseline):
         base_counters = baseline[name]
         cur_counters = current.get(name)
         if cur_counters is None:
+            gated_bench = any(gate_name == name for gate_name, _ in gates)
             print(f"MISSING  {name}: benchmark absent from current run")
-            failed = True
+            failed = failed or gated_bench
             continue
         for counter, base in sorted(base_counters.items()):
+            gated = (name, counter) in gates
             cur = cur_counters.get(counter)
             if cur is None:
                 print(f"MISSING  {name}.{counter}: counter absent")
-                failed = True
+                failed = failed or gated
                 continue
             ratio = cur / base if base > 0 else float("inf")
-            gated = name == GATED_BENCHMARK and counter == GATED_COUNTER
             regressed = ratio < 1.0 - args.tolerance
             tag = "GATE" if gated else "info"
             verdict = "FAIL" if (gated and regressed) else "ok"
@@ -85,11 +113,17 @@ def main() -> int:
             )
             if gated and regressed:
                 failed = True
+                failed_gates.append(f"{name}.{counter}")
+
+    for gate_name, _gate_counter in sorted(gates):
+        if gate_name not in baseline:
+            print(f"MISSING  {gate_name}: gated benchmark absent from baseline")
+            failed = True
 
     if failed:
         print(
-            f"\nperf regression: {GATED_BENCHMARK}.{GATED_COUNTER} fell more "
-            f"than {args.tolerance:.0%} below the committed baseline "
+            f"\nperf regression: {', '.join(failed_gates) or 'gated data missing'} "
+            f"fell more than {args.tolerance:.0%} below the committed baseline "
             f"({args.baseline}).  If the slowdown is intentional, regenerate "
             "the baseline with scripts/bench_baseline.sh and commit it.",
             file=sys.stderr,

@@ -3,13 +3,28 @@
 #include <algorithm>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "offline/packed_space.hpp"
+#include "offline/packed_state.hpp"
 
 namespace mcp {
 
 namespace {
+
+[[noreturn]] void throw_state_limit(std::size_t expanded, std::size_t stored) {
+  throw ModelError("solve_ftf: state limit exceeded (states_expanded=" +
+                   std::to_string(expanded) +
+                   ", states_stored=" + std::to_string(stored) + ")");
+}
+
+// ---------------------------------------------------------------------------
+// Reference engine: binary-heap Dijkstra over heap-backed OfflineState nodes
+// keyed in an unordered_map.  Retained as the differential-testing oracle for
+// the packed engine below.
+// ---------------------------------------------------------------------------
 
 struct NodeInfo {
   Count dist = 0;
@@ -24,9 +39,8 @@ struct QueueEntry {
   bool operator>(const QueueEntry& other) const { return dist > other.dist; }
 };
 
-}  // namespace
-
-FtfResult solve_ftf(const OfflineInstance& instance, const FtfOptions& options) {
+FtfResult solve_ftf_reference(const OfflineInstance& instance,
+                              const FtfOptions& options) {
   const TransitionSystem system(instance, options.victim_rule);
 
   // Node ownership: the map's keys are the canonical state objects; queue
@@ -53,6 +67,9 @@ FtfResult solve_ftf(const OfflineInstance& instance, const FtfOptions& options) 
       result.min_faults = top.dist;
       break;
     }
+    if (options.max_states != 0 && nodes.size() > options.max_states) {
+      throw_state_limit(result.states_expanded, nodes.size());
+    }
     ++result.states_expanded;
 
     system.expand(*top.state, [&](StepOutcome&& outcome) {
@@ -63,9 +80,6 @@ FtfResult solve_ftf(const OfflineInstance& instance, const FtfOptions& options) 
       if (options.build_schedule) {
         node_it->second.parent = top.state;
         node_it->second.step_evictions = std::move(outcome.evictions);
-      }
-      if (options.max_states != 0 && nodes.size() > options.max_states) {
-        throw ModelError("solve_ftf: state limit exceeded");
       }
       queue.push(QueueEntry{dist, &node_it->first});
     });
@@ -92,6 +106,126 @@ FtfResult solve_ftf(const OfflineInstance& instance, const FtfOptions& options) 
     MCP_ASSERT(result.schedule.size() == result.min_faults);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Packed engine: Dial's algorithm (bucket queue) over interned packed ids.
+// One timestep costs 0..p faults, so distances are dense small integers and
+// buckets replace the binary heap: O(1) push, monotone non-decreasing pops.
+// All per-node metadata is flat vectors indexed by interned id.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+
+FtfResult solve_ftf_packed(const OfflineInstance& instance,
+                           const FtfOptions& options) {
+  const PackedTransitionSystem system(instance, options.victim_rule);
+  StateInterner interner(system.state_words());
+  interner.reserve(4096);
+  PackedTransitionSystem::StepScratch scratch;
+
+  std::vector<std::uint32_t> dist;      // id -> best known distance
+  std::vector<std::uint32_t> parent;    // id -> predecessor id (schedule mode)
+  std::vector<std::uint32_t> evict_off; // id -> offset into evict_pool
+  std::vector<std::uint16_t> evict_len; // id -> eviction count of best step
+  std::vector<PageId> evict_pool;       // append-only flat eviction storage
+  const bool schedule = options.build_schedule;
+
+  std::vector<std::uint64_t> start(system.state_words());
+  system.initial(start.data());
+  interner.intern(start.data());
+  dist.push_back(0);
+  if (schedule) {
+    parent.push_back(StateInterner::kNoState);
+    evict_off.push_back(0);
+    evict_len.push_back(0);
+  }
+
+  std::vector<std::vector<std::uint32_t>> buckets(1);
+  buckets[0].push_back(0);
+  std::size_t pending = 1;
+
+  FtfResult result;
+  std::uint32_t goal = StateInterner::kNoState;
+
+  for (std::uint32_t d = 0; pending > 0 && goal == StateInterner::kNoState;
+       ++d) {
+    MCP_ASSERT(d < buckets.size());
+    // Zero-fault self-distance steps append to buckets[d] mid-iteration:
+    // index, don't iterate.
+    for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+      const std::uint32_t id = buckets[d][i];
+      --pending;
+      if (dist[id] != d) continue;  // stale entry
+      if (system.is_terminal(interner.state(id))) {
+        goal = id;
+        result.min_faults = d;
+        break;
+      }
+      if (options.max_states != 0 && interner.size() > options.max_states) {
+        throw_state_limit(result.states_expanded, interner.size());
+      }
+      ++result.states_expanded;
+
+      system.expand(interner.state(id), scratch,
+                    [&](const PackedOutcome& outcome) {
+        const std::uint32_t nd = d + static_cast<std::uint32_t>(outcome.fault_count());
+        const auto [nid, inserted] = interner.intern(outcome.next);
+        if (inserted) {
+          dist.push_back(kUnreached);
+          if (schedule) {
+            parent.push_back(StateInterner::kNoState);
+            evict_off.push_back(0);
+            evict_len.push_back(0);
+          }
+        }
+        if (dist[nid] <= nd) return;
+        dist[nid] = nd;
+        if (schedule) {
+          parent[nid] = id;
+          evict_off[nid] = static_cast<std::uint32_t>(evict_pool.size());
+          evict_len[nid] = static_cast<std::uint16_t>(outcome.evictions.size());
+          evict_pool.insert(evict_pool.end(), outcome.evictions.begin(),
+                            outcome.evictions.end());
+        }
+        if (nd >= buckets.size()) buckets.resize(nd + 1);
+        buckets[nd].push_back(nid);
+        ++pending;
+      });
+    }
+  }
+
+  MCP_REQUIRE(goal != StateInterner::kNoState,
+              "solve_ftf: no terminal state reachable");
+  result.states_stored = interner.size();
+
+  if (schedule) {
+    // Walk parent ids back to the start; flatten per-step eviction spans in
+    // forward order.
+    std::vector<std::uint32_t> chain;
+    for (std::uint32_t cur = goal; parent[cur] != StateInterner::kNoState;
+         cur = parent[cur]) {
+      chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (std::uint32_t cur : chain) {
+      const PageId* first = evict_pool.data() + evict_off[cur];
+      result.schedule.insert(result.schedule.end(), first,
+                             first + evict_len[cur]);
+    }
+    MCP_ASSERT(result.schedule.size() == result.min_faults);
+  }
+  return result;
+}
+
+}  // namespace
+
+FtfResult solve_ftf(const OfflineInstance& instance, const FtfOptions& options) {
+  if (options.engine == OfflineEngine::kPacked &&
+      PackedTransitionSystem::supports(instance)) {
+    return solve_ftf_packed(instance, options);
+  }
+  return solve_ftf_reference(instance, options);
 }
 
 }  // namespace mcp

@@ -29,6 +29,11 @@ struct FtfOptions {
   bool build_schedule = false;
   /// Abort (throw ModelError) after storing this many states; 0 = no limit.
   std::size_t max_states = 0;
+  /// Search implementation.  kPacked runs Dial's bucket-queue shortest path
+  /// over interned bitset states (edge weights are 0..p faults per step, so
+  /// distances are dense); kReference is the retained binary-heap Dijkstra
+  /// over OfflineState nodes.  Both compute the same optimum.
+  OfflineEngine engine = OfflineEngine::kPacked;
 };
 
 // Design note: cache-superset dominance pruning (drop a state whose cache

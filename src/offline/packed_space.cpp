@@ -1,0 +1,148 @@
+#include "offline/packed_space.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+
+constexpr std::uint32_t kNever = std::numeric_limits<std::uint32_t>::max();
+
+using detail::clear_bit;
+using detail::set_bit;
+using detail::test_bit;
+
+}  // namespace
+
+bool PackedTransitionSystem::supports(const OfflineInstance& instance) {
+  if (instance.requests.num_cores() == 0 ||
+      instance.requests.num_cores() > kMaxCores) {
+    return false;
+  }
+  if (instance.requests.page_bound() > kMaxUniverse) return false;
+  if (instance.tau > kMaxTau) return false;
+  for (const RequestSequence& seq : instance.requests) {
+    if (seq.size() > kMaxPosition) return false;
+  }
+  return true;
+}
+
+PackedTransitionSystem::PackedTransitionSystem(const OfflineInstance& instance,
+                                               VictimRule rule)
+    : instance_(&instance),
+      rule_(rule),
+      p_(instance.requests.num_cores()),
+      tau_(static_cast<std::uint32_t>(instance.tau)),
+      cache_size_(instance.cache_size) {
+  instance.validate();
+  MCP_REQUIRE(supports(instance),
+              "PackedTransitionSystem: instance exceeds the packed encoding "
+              "(universe <= 128 pages, tau <= 255, n < 2^24, p <= 32)");
+  universe_size_ = instance.requests.page_bound();
+  cache_words_ = std::max<std::size_t>(1, (universe_size_ + 63) / 64);
+  stride_ = cache_words_ + (p_ + 1) / 2;
+  owner_ = instance.requests.owner_map(universe_size_);
+  occurrences_.resize(universe_size_);
+  seqs_.reserve(p_);
+  for (CoreId core = 0; core < p_; ++core) {
+    const RequestSequence& seq = instance.requests.sequence(core);
+    seqs_.push_back(&seq);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      occurrences_[seq[i]].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+void PackedTransitionSystem::initial(std::uint64_t* out) const {
+  std::fill(out, out + stride_, 0);
+}
+
+bool PackedTransitionSystem::is_terminal(const std::uint64_t* state) const {
+  for (CoreId j = 0; j < p_; ++j) {
+    if (position(state, j) < seqs_[j]->size()) return false;
+  }
+  return true;
+}
+
+std::uint32_t PackedTransitionSystem::next_occurrence(PageId page,
+                                                      std::uint32_t from) const {
+  const auto& occ = occurrences_[page];
+  const auto it = std::lower_bound(occ.begin(), occ.end(), from);
+  return it == occ.end() ? kNever : *it;
+}
+
+void PackedTransitionSystem::pack(const OfflineState& state,
+                                  std::uint64_t* out) const {
+  std::fill(out, out + stride_, 0);
+  for (PageId page : state.cache) {
+    MCP_REQUIRE(page < universe_size_, "pack: page outside the universe");
+    set_bit(out, page);
+  }
+  MCP_REQUIRE(state.pos.size() == p_ && state.fetch.size() == p_,
+              "pack: core-vector sizes mismatch the instance");
+  for (CoreId j = 0; j < p_; ++j) {
+    MCP_REQUIRE(state.pos[j] <= kMaxPosition && state.fetch[j] <= 0xFFu,
+                "pack: position/fetch out of encoding range");
+    set_core_word(out, cache_words_, j, (state.pos[j] << 8) | state.fetch[j]);
+  }
+}
+
+OfflineState PackedTransitionSystem::unpack(const std::uint64_t* state) const {
+  OfflineState out;
+  for (std::size_t w = 0; w < cache_words_; ++w) {
+    std::uint64_t bits = state[w];
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      out.cache.push_back(static_cast<PageId>(w * 64 + b));
+    }
+  }
+  out.pos.resize(p_);
+  out.fetch.resize(p_);
+  for (CoreId j = 0; j < p_; ++j) {
+    out.pos[j] = position(state, j);
+    out.fetch[j] = fetch_left(state, j);
+  }
+  return out;
+}
+
+void PackedTransitionSystem::victim_bits(const StepScratch& scratch,
+                                         std::uint64_t* out) const {
+  for (std::size_t w = 0; w < cache_words_; ++w) {
+    out[w] = scratch.work[w] & ~scratch.locked[w];
+  }
+  if (rule_ == VictimRule::kAllPages) return;
+
+  // Theorem 5: keep, for each core c, only the evictable page of R_c whose
+  // next request in R_c is furthest (never-again = infinitely far).
+  std::array<PageId, kMaxCores> best_page;
+  std::array<std::uint64_t, kMaxCores> best_dist;
+  best_page.fill(kInvalidPage);
+  for (std::size_t w = 0; w < cache_words_; ++w) {
+    std::uint64_t bits = out[w];
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const PageId page = static_cast<PageId>(w * 64 + b);
+      const CoreId c = owner_[page];
+      const std::uint32_t next =
+          next_occurrence(page, position(scratch.work.data(), c));
+      const std::uint64_t dist =
+          next == kNever ? std::numeric_limits<std::uint64_t>::max() : next;
+      if (best_page[c] == kInvalidPage || dist > best_dist[c]) {
+        best_page[c] = page;
+        best_dist[c] = dist;
+      }
+    }
+  }
+  std::fill(out, out + cache_words_, 0);
+  for (CoreId c = 0; c < p_; ++c) {
+    if (best_page[c] != kInvalidPage) set_bit(out, best_page[c]);
+  }
+}
+
+}  // namespace mcp

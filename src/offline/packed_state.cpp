@@ -1,0 +1,54 @@
+#include "offline/packed_state.hpp"
+
+#include "core/error.hpp"
+
+namespace mcp {
+
+namespace {
+
+constexpr std::size_t kInitialTableSize = 64;  // power of two
+
+}  // namespace
+
+StateInterner::StateInterner(std::size_t stride) : stride_(stride) {
+  MCP_REQUIRE(stride > 0, "StateInterner: zero stride");
+  table_.assign(kInitialTableSize, kNoState);
+}
+
+void StateInterner::rehash(std::size_t target) {
+  std::vector<std::uint32_t> old = std::move(table_);
+  table_.assign(target, kNoState);
+  const std::size_t mask = table_.size() - 1;
+  for (std::uint32_t id : old) {
+    if (id == kNoState) continue;
+    std::size_t slot = static_cast<std::size_t>(hashes_[id]) & mask;
+    while (table_[slot] != kNoState) slot = (slot + 1) & mask;
+    table_[slot] = id;
+  }
+}
+
+void StateInterner::grow_table() {
+  // 4x growth: rebuilds touch every stored id, so fewer, larger steps beat
+  // doubling (total rebuild work ~1.3x final size instead of ~2x).
+  rehash(table_.size() * 4);
+}
+
+std::pair<std::uint32_t, bool> StateInterner::insert_new(
+    const std::uint64_t* words, std::uint64_t hash, std::size_t slot) {
+  const std::uint32_t id = count_++;
+  MCP_ASSERT_MSG(id != kNoState, "StateInterner: id space exhausted");
+  arena_.insert(arena_.end(), words, words + stride_);
+  hashes_.push_back(hash);
+  table_[slot] = id;
+  return {id, true};
+}
+
+void StateInterner::reserve(std::size_t states) {
+  arena_.reserve(states * stride_);
+  hashes_.reserve(states);
+  std::size_t target = table_.size();
+  while (target * 7 < states * 10) target *= 2;
+  if (target > table_.size()) rehash(target);
+}
+
+}  // namespace mcp

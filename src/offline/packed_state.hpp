@@ -1,0 +1,104 @@
+// Interned packed states for the offline search engine.
+//
+// The offline searches (ftf_solver, pif_solver) explore state spaces whose
+// nodes were heap-heavy `OfflineState` objects — three vectors per node,
+// hashed field by field, owned by `unordered_map` nodes.  The packed engine
+// instead encodes a state as a fixed-width block of `uint64_t` words (cache
+// bitset + one `uint32_t` per core, see packed_space.hpp for the layout) and
+// interns every block in a StateInterner: an arena of contiguous blocks
+// addressed by dense `uint32_t` ids, deduplicated through an open-addressing
+// hash table.  Search structures (distances, parents, bucket queues, layer
+// fronts) become flat arrays indexed by id instead of pointer-chasing maps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace mcp {
+
+namespace detail {
+
+/// splitmix64 finalizer — cheap, well-mixed, stable across platforms.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Arena-backed deduplicating store of fixed-stride `uint64_t` blocks.
+///
+/// Ids are dense (0, 1, 2, ... in first-interned order), so per-state search
+/// metadata lives in plain vectors indexed by id.  Pointers returned by
+/// state() are invalidated by the next intern() (the arena may grow); copy
+/// the words out before interning successors.
+class StateInterner {
+ public:
+  static constexpr std::uint32_t kNoState = 0xFFFFFFFFu;
+
+  /// `stride`: words per state (PackedTransitionSystem::state_words()).
+  explicit StateInterner(std::size_t stride);
+
+  /// Interns the `stride()`-word block at `words`; returns (id, inserted).
+  /// Header-inline: this is the innermost call of both offline solvers (once
+  /// per emitted outcome), and inlining it into the emission lambdas is worth
+  /// several percent of total solve time.
+  std::pair<std::uint32_t, bool> intern(const std::uint64_t* words) {
+    // Resize before probing so the insert below always finds a free slot.
+    if (static_cast<std::size_t>(count_) * 10 >= table_.size() * 7) {
+      grow_table();
+    }
+    const std::uint64_t hash = hash_block(words);
+    const std::size_t mask = table_.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    while (table_[slot] != kNoState) {
+      if (hashes_[table_[slot]] == hash && block_equal(table_[slot], words)) {
+        return {table_[slot], false};
+      }
+      slot = (slot + 1) & mask;
+    }
+    return insert_new(words, hash, slot);
+  }
+
+  /// The interned block of `id` — valid until the next intern().
+  [[nodiscard]] const std::uint64_t* state(std::uint32_t id) const noexcept {
+    return arena_.data() + static_cast<std::size_t>(id) * stride_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  /// Pre-sizes arena and table for `states` states (optional).
+  void reserve(std::size_t states);
+
+ private:
+  [[nodiscard]] std::uint64_t hash_block(
+      const std::uint64_t* words) const noexcept {
+    std::uint64_t h = 0x12345678abcdef01ULL;
+    for (std::size_t w = 0; w < stride_; ++w) h = detail::mix64(h ^ words[w]);
+    return h;
+  }
+  [[nodiscard]] bool block_equal(std::uint32_t id,
+                                 const std::uint64_t* words) const noexcept {
+    return std::memcmp(state(id), words, stride_ * sizeof(std::uint64_t)) == 0;
+  }
+  /// Cold path of intern(): append to the arena and claim `slot`.
+  std::pair<std::uint32_t, bool> insert_new(const std::uint64_t* words,
+                                            std::uint64_t hash,
+                                            std::size_t slot);
+  void rehash(std::size_t target);
+  void grow_table();
+
+  std::size_t stride_;
+  std::vector<std::uint64_t> arena_;   ///< count_ * stride_ words
+  std::vector<std::uint64_t> hashes_;  ///< per-id hash (cheap table growth)
+  std::vector<std::uint32_t> table_;   ///< open addressing; power-of-two size
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace mcp

@@ -2,15 +2,24 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 #include <unordered_map>
 
 #include "core/error.hpp"
 #include "core/simulator.hpp"
+#include "core/thread_pool.hpp"
+#include "offline/packed_space.hpp"
+#include "offline/packed_state.hpp"
 #include "offline/replay.hpp"
 
 namespace mcp {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Reference engine: serial layered BFS over heap-backed OfflineState nodes
+// with linear-scan Pareto fronts.  Retained as the differential oracle.
+// ---------------------------------------------------------------------------
 
 using FaultVec = std::vector<std::uint32_t>;
 
@@ -76,10 +85,8 @@ std::vector<PageId> reconstruct(const std::deque<Layer>& history,
   return schedule;
 }
 
-}  // namespace
-
-PifResult solve_pif(const PifInstance& instance, const PifOptions& options) {
-  instance.validate();
+PifResult solve_pif_reference(const PifInstance& instance,
+                              const PifOptions& options) {
   const TransitionSystem system(instance.base, options.victim_rule);
   const std::size_t p = system.num_cores();
 
@@ -161,6 +168,482 @@ PifResult solve_pif(const PifInstance& instance, const PifOptions& options) {
         reconstruct(history, history.size() - 1, &it->first, 0);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Packed engine: layered DP over interned packed states, expanded
+// layer-parallel on mcp::ThreadPool.
+//
+// Determinism contract (bit-identical results at any worker count): each
+// layer's states — sorted ascending by interned id — are partitioned into
+// fixed-size chunks by index; every chunk records its (successor, advanced
+// fault vector, provenance) emissions in the exact order the serial loop
+// would produce them; chunks are then merged into the next layer's Pareto
+// fronts serially, in chunk-index order.  Worker scheduling only decides
+// *when* a chunk's buffer is filled, never what it contains or when it is
+// merged.  Pareto front contents are insertion-order independent anyway
+// (the front is the set of minimal vectors seen), so the merge yields the
+// same fronts the reference engine computes.
+// ---------------------------------------------------------------------------
+
+/// States per expansion chunk.  Fixed — it shapes the deterministic merge
+/// order, so it must not depend on the worker count.
+constexpr std::size_t kChunkStates = 4;
+
+/// Entry provenance inside a packed layer (schedule mode).
+struct Prov {
+  std::uint32_t parent_state = 0;  ///< state index in the previous layer
+  std::uint32_t parent_entry = 0;  ///< entry index in that state's front
+  std::uint32_t evict_off = 0;     ///< span into the layer's evict_pool
+  std::uint32_t evict_len = 0;
+};
+
+/// Pareto frontier of one state: entries sorted lexicographically by fault
+/// vector (flat, p words per entry) with parallel provenance.  The sorted
+/// order carries the pruning structure: an entry can only be dominated by
+/// lexicographically smaller entries and can only dominate lexicographically
+/// larger ones, so both scans cover half the front — and for p == 2 the
+/// staircase invariant (first coordinate strictly increasing, second
+/// strictly decreasing) collapses them to a binary search plus one
+/// contiguous erase.
+struct PackedFront {
+  std::vector<std::uint32_t> faults;  ///< size() * p fault counters
+  std::vector<Prov> prov;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prov.size(); }
+  [[nodiscard]] const std::uint32_t* entry(std::size_t p_,
+                                           std::size_t e) const noexcept {
+    return faults.data() + e * p_;
+  }
+};
+
+/// true iff a[i] <= b[i] for all i in [0, p).
+bool dominates_flat(const std::uint32_t* a, const std::uint32_t* b,
+                    std::size_t p) noexcept {
+  for (std::size_t i = 0; i < p; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+/// Inserts `fv` unless dominated; removes entries it dominates; keeps the
+/// front sorted.  Returns false if rejected.
+bool pareto_insert_packed(PackedFront& front, std::size_t p,
+                          const std::uint32_t* fv, const Prov& prov) {
+  const std::size_t n = front.size();
+  // Binary search: first entry lexicographically greater than fv.
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const std::uint32_t* e = front.entry(p, mid);
+    if (std::lexicographical_compare(fv, fv + p, e, e + p)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::size_t pos = lo;  // entries [0,pos) are lex <= fv (incl. equal)
+
+  // Dominated check: only lexicographically smaller-or-equal entries can
+  // dominate fv (dominance implies lex <=); an equal vector also lands in
+  // [0,pos) and rejects the duplicate.
+  if (p == 2) {
+    // Staircase: among [0,pos) the second coordinate is minimal at pos-1.
+    if (pos > 0 && front.entry(p, pos - 1)[1] <= fv[1]) return false;
+  } else {
+    for (std::size_t e = 0; e < pos; ++e) {
+      if (dominates_flat(front.entry(p, e), fv, p)) return false;
+    }
+  }
+
+  // Removal: fv can only dominate lexicographically larger entries.
+  std::size_t first_removed = pos;
+  std::size_t removed = 0;
+  if (p == 2) {
+    // Dominated entries form a contiguous run at pos (second coordinate is
+    // descending and every entry past pos has first coordinate >= fv[0]).
+    while (first_removed + removed < n &&
+           front.entry(p, first_removed + removed)[1] >= fv[1]) {
+      ++removed;
+    }
+  } else {
+    // Compact the survivors of [pos, n) in place.
+    std::size_t write = pos;
+    for (std::size_t e = pos; e < n; ++e) {
+      if (dominates_flat(fv, front.entry(p, e), p)) continue;
+      if (write != e) {
+        std::copy_n(front.entry(p, e), p, front.faults.data() + write * p);
+        front.prov[write] = front.prov[e];
+      }
+      ++write;
+    }
+    removed = n - write;
+    first_removed = write;  // tail [write, n) is now garbage
+  }
+  const auto off = [](std::size_t i) {
+    return static_cast<std::ptrdiff_t>(i);
+  };
+  if (removed > 0) {
+    front.faults.erase(front.faults.begin() + off(first_removed * p),
+                       front.faults.begin() + off((first_removed + removed) * p));
+    front.prov.erase(front.prov.begin() + off(first_removed),
+                     front.prov.begin() + off(first_removed + removed));
+  }
+  front.faults.insert(front.faults.begin() + off(pos * p), fv, fv + p);
+  front.prov.insert(front.prov.begin() + off(pos), prov);
+  return true;
+}
+
+/// One layer of the packed DP: states sorted ascending by interned id.
+struct PackedLayer {
+  std::vector<std::uint32_t> ids;
+  std::vector<PackedFront> fronts;  ///< parallel to ids
+  std::vector<PageId> evict_pool;   ///< flat eviction storage (schedule mode)
+
+  [[nodiscard]] std::size_t width() const noexcept {
+    std::size_t w = 0;
+    for (const PackedFront& f : fronts) w += f.size();
+    return w;
+  }
+};
+
+/// Emissions of one expansion chunk, grouped per outcome (the successor is
+/// interned once per outcome at merge time), in deterministic serial order.
+/// Only outcomes with at least one bound-surviving entry are recorded.
+struct ChunkEmits {
+  // Per surviving outcome.
+  std::vector<std::uint64_t> words;          ///< stride words each
+  std::vector<std::uint32_t> out_state;      ///< source state index
+  std::vector<std::uint32_t> out_count;      ///< surviving emissions
+  std::vector<std::uint32_t> out_evict_off;  ///< span into evicts
+  std::vector<std::uint32_t> out_evict_len;
+  std::vector<PageId> evicts;
+  // Per emission, concatenated across outcomes.
+  std::vector<std::uint32_t> faults;         ///< p per emission
+  std::vector<std::uint32_t> src_entry;
+
+  void clear() {
+    words.clear();
+    out_state.clear();
+    out_count.clear();
+    out_evict_off.clear();
+    out_evict_len.clear();
+    evicts.clear();
+    faults.clear();
+    src_entry.clear();
+  }
+};
+
+std::vector<PageId> reconstruct_packed(const std::vector<PackedLayer>& history,
+                                       std::size_t layer_index,
+                                       std::uint32_t state_index,
+                                       std::uint32_t entry_index) {
+  std::vector<std::pair<const PageId*, std::uint32_t>> steps;
+  while (layer_index > 0) {
+    const PackedLayer& layer = history[layer_index];
+    const Prov& prov = layer.fronts[state_index].prov[entry_index];
+    steps.emplace_back(layer.evict_pool.data() + prov.evict_off,
+                       prov.evict_len);
+    state_index = prov.parent_state;
+    entry_index = prov.parent_entry;
+    --layer_index;
+  }
+  std::reverse(steps.begin(), steps.end());
+  std::vector<PageId> schedule;
+  for (const auto& [first, len] : steps) {
+    schedule.insert(schedule.end(), first, first + len);
+  }
+  return schedule;
+}
+
+PifResult solve_pif_packed(const PifInstance& instance,
+                           const PifOptions& options) {
+  const PackedTransitionSystem system(instance.base, options.victim_rule);
+  const std::size_t p = system.num_cores();
+  const std::size_t stride = system.state_words();
+  const bool schedule = options.build_schedule;
+
+  StateInterner interner(stride);
+  interner.reserve(1024);
+  {
+    std::vector<std::uint64_t> start(stride);
+    system.initial(start.data());
+    interner.intern(start.data());  // id 0
+  }
+
+  // history.back() is the current layer; earlier layers are retained only in
+  // schedule mode (parent indices need them for reconstruction).
+  std::vector<PackedLayer> history;
+  history.emplace_back();
+  history.back().ids.push_back(0);
+  history.back().fronts.emplace_back();
+  history.back().fronts.back().faults.assign(p, 0);
+  history.back().fronts.back().prov.push_back(Prov{});
+
+  // Interned id -> state index in the layer being merged, stamped per layer
+  // so the map never needs clearing (ids are dense).
+  std::vector<std::uint32_t> id_stamp;
+  std::vector<std::uint32_t> id_index;
+  std::uint32_t stamp = 0;
+
+  std::vector<ChunkEmits> chunks;
+  std::vector<PackedTransitionSystem::StepScratch> scratches;
+  PackedTransitionSystem::StepScratch serial_scratch;
+  std::vector<std::uint32_t> advanced(p);
+
+  // Retired fronts and layer shells, recycled so the steady-state loop stops
+  // allocating (only meaningful without schedule retention).
+  std::vector<PackedFront> spare_fronts;
+  PackedLayer spare_layer;
+  PackedLayer sort_buf;
+  std::vector<std::uint32_t> order;
+
+  PifResult result;
+  for (Time t = 0; t < instance.deadline; ++t) {
+    const PackedLayer& layer = history.back();
+    // Early success: a finished state's fault vector is frozen, and every
+    // vector still alive satisfies the bounds by construction.  Scanning in
+    // ascending id order makes the witness choice worker-count independent.
+    for (std::size_t s = 0; s < layer.ids.size(); ++s) {
+      if (system.is_terminal(interner.state(layer.ids[s])) &&
+          layer.fronts[s].size() > 0) {
+        result.feasible = true;
+        result.decided_at = t;
+        if (schedule) {
+          result.schedule = reconstruct_packed(
+              history, history.size() - 1, static_cast<std::uint32_t>(s), 0);
+        }
+        return result;
+      }
+    }
+
+    // Expansion: fixed-size chunks of the (id-sorted) state list.  Both
+    // paths below walk (state, outcome, surviving entry) in the same order
+    // and intern each successor on its first surviving emission, so they
+    // build identical layers; the parallel path merely buffers per chunk.
+    const std::size_t num_states = layer.ids.size();
+    const std::size_t num_chunks =
+        (num_states + kChunkStates - 1) / kChunkStates;
+    PackedLayer next = std::move(spare_layer);
+    next.ids.clear();
+    next.evict_pool.clear();
+    for (PackedFront& front : next.fronts) {
+      spare_fronts.push_back(std::move(front));
+    }
+    next.fronts.clear();
+    next.ids.reserve(num_states);
+    next.fronts.reserve(num_states);
+    ++stamp;
+
+    const auto insert_emission = [&](std::uint32_t nid,
+                                     const std::uint32_t* fv,
+                                     std::uint32_t src_state,
+                                     std::uint32_t src_entry,
+                                     const PageId* evictions,
+                                     std::uint32_t num_evictions) {
+      if (nid >= id_stamp.size()) {
+        // Headroom so the maps don't resize on every freshly interned id.
+        id_stamp.resize(interner.size() + 256, 0);
+        id_index.resize(interner.size() + 256, 0);
+      }
+      std::uint32_t idx;
+      if (id_stamp[nid] != stamp) {
+        id_stamp[nid] = stamp;
+        idx = static_cast<std::uint32_t>(next.ids.size());
+        id_index[nid] = idx;
+        next.ids.push_back(nid);
+        if (spare_fronts.empty()) {
+          next.fronts.emplace_back();
+        } else {
+          next.fronts.push_back(std::move(spare_fronts.back()));
+          spare_fronts.pop_back();
+          next.fronts.back().faults.clear();
+          next.fronts.back().prov.clear();
+        }
+      } else {
+        idx = id_index[nid];
+      }
+      Prov prov;
+      prov.parent_state = src_state;
+      prov.parent_entry = src_entry;
+      if (schedule) {
+        prov.evict_off = static_cast<std::uint32_t>(next.evict_pool.size());
+        prov.evict_len = num_evictions;
+      }
+      if (pareto_insert_packed(next.fronts[idx], p, fv, prov) && schedule &&
+          num_evictions > 0) {
+        next.evict_pool.insert(next.evict_pool.end(), evictions,
+                               evictions + num_evictions);
+      }
+    };
+
+    // Pool dispatch pays off only with real workers and more than one chunk.
+    const bool parallel = options.workers != 1 && num_chunks > 1 &&
+                          ThreadPool::global().num_workers() > 1;
+    if (!parallel) {
+      for (std::size_t s = 0; s < num_states; ++s) {
+        const PackedFront& front = layer.fronts[s];
+        system.expand(interner.state(layer.ids[s]), serial_scratch,
+                      [&](const PackedOutcome& outcome) {
+          std::uint32_t nid = StateInterner::kNoState;
+          for (std::size_t v = 0; v < front.size(); ++v) {
+            std::copy_n(front.entry(p, v), p, advanced.begin());
+            bool alive = true;
+            for (std::size_t j = 0; j < p; ++j) {
+              if ((outcome.faulted_cores >> j) & 1u) {
+                if (++advanced[j] > instance.bounds[j]) {
+                  alive = false;
+                  break;
+                }
+              }
+            }
+            if (!alive) continue;
+            if (nid == StateInterner::kNoState) {
+              nid = interner.intern(outcome.next).first;
+            }
+            insert_emission(
+                nid, advanced.data(), static_cast<std::uint32_t>(s),
+                static_cast<std::uint32_t>(v), outcome.evictions.data(),
+                static_cast<std::uint32_t>(outcome.evictions.size()));
+          }
+        });
+      }
+    } else {
+      chunks.resize(num_chunks);
+      scratches.resize(num_chunks);
+      const auto expand_chunk = [&](std::size_t c) {
+        ChunkEmits& out = chunks[c];
+        out.clear();
+        PackedTransitionSystem::StepScratch& scratch = scratches[c];
+        std::vector<std::uint32_t> adv(p);
+        const std::size_t begin = c * kChunkStates;
+        const std::size_t end = std::min(num_states, begin + kChunkStates);
+        for (std::size_t s = begin; s < end; ++s) {
+          const PackedFront& front = layer.fronts[s];
+          system.expand(interner.state(layer.ids[s]), scratch,
+                        [&](const PackedOutcome& outcome) {
+            std::uint32_t count = 0;
+            for (std::size_t v = 0; v < front.size(); ++v) {
+              std::copy_n(front.entry(p, v), p, adv.begin());
+              bool alive = true;
+              for (std::size_t j = 0; j < p; ++j) {
+                if ((outcome.faulted_cores >> j) & 1u) {
+                  if (++adv[j] > instance.bounds[j]) {
+                    alive = false;
+                    break;
+                  }
+                }
+              }
+              if (!alive) continue;
+              out.faults.insert(out.faults.end(), adv.begin(), adv.end());
+              out.src_entry.push_back(static_cast<std::uint32_t>(v));
+              ++count;
+            }
+            if (count == 0) return;
+            out.words.insert(out.words.end(), outcome.next,
+                             outcome.next + stride);
+            out.out_state.push_back(static_cast<std::uint32_t>(s));
+            out.out_count.push_back(count);
+            if (schedule) {
+              out.out_evict_off.push_back(
+                  static_cast<std::uint32_t>(out.evicts.size()));
+              out.out_evict_len.push_back(
+                  static_cast<std::uint32_t>(outcome.evictions.size()));
+              out.evicts.insert(out.evicts.end(), outcome.evictions.begin(),
+                                outcome.evictions.end());
+            }
+          });
+        }
+      };
+      ThreadPool::global().run_indexed(num_chunks, expand_chunk,
+                                       options.workers);
+
+      // Merge serially, in chunk order — the exact order the serial path
+      // above would use.
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const ChunkEmits& out = chunks[c];
+        std::size_t cursor = 0;
+        for (std::size_t o = 0; o < out.out_state.size(); ++o) {
+          const std::uint32_t nid =
+              interner.intern(out.words.data() + o * stride).first;
+          const std::uint32_t ev_len = schedule ? out.out_evict_len[o] : 0;
+          const PageId* ev =
+              ev_len > 0 ? out.evicts.data() + out.out_evict_off[o] : nullptr;
+          for (std::uint32_t e = 0; e < out.out_count[o]; ++e, ++cursor) {
+            insert_emission(nid, out.faults.data() + cursor * p,
+                            out.out_state[o], out.src_entry[cursor], ev,
+                            ev_len);
+          }
+        }
+      }
+    }
+    result.states_expanded += num_states;
+
+    // Sort the merged layer by id so the next round's chunking, terminal
+    // scan, and witness choice are canonical.  `sort_buf` ping-pongs with
+    // `next`'s buffers across layers, so the rebuild allocates nothing in
+    // steady state (and is skipped entirely when the merge order happens to
+    // be id-sorted already).
+    if (!std::is_sorted(next.ids.begin(), next.ids.end())) {
+      order.resize(next.ids.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&next](std::uint32_t a, std::uint32_t b) {
+                  return next.ids[a] < next.ids[b];
+                });
+      sort_buf.ids.clear();
+      sort_buf.fronts.clear();
+      sort_buf.ids.reserve(next.ids.size());
+      sort_buf.fronts.reserve(next.fronts.size());
+      sort_buf.evict_pool = std::move(next.evict_pool);
+      for (std::uint32_t i : order) {
+        sort_buf.ids.push_back(next.ids[i]);
+        sort_buf.fronts.push_back(std::move(next.fronts[i]));
+      }
+      std::swap(next, sort_buf);
+    }
+
+    if (!schedule) {
+      spare_layer = std::move(history.back());
+      for (PackedFront& front : spare_layer.fronts) {
+        spare_fronts.push_back(std::move(front));
+      }
+      spare_layer.fronts.clear();
+      history.clear();
+    }
+    history.push_back(std::move(next));
+
+    result.peak_layer_width =
+        std::max(result.peak_layer_width, history.back().width());
+    if (options.max_layer_width != 0 &&
+        result.peak_layer_width > options.max_layer_width) {
+      throw ModelError("solve_pif: layer width limit exceeded");
+    }
+    if (history.back().ids.empty()) {  // every branch blew a bound
+      result.feasible = false;
+      result.decided_at = t + 1;
+      return result;
+    }
+  }
+
+  result.feasible = !history.back().ids.empty();
+  result.decided_at = instance.deadline;
+  if (result.feasible && schedule) {
+    result.schedule = reconstruct_packed(history, history.size() - 1, 0, 0);
+  }
+  return result;
+}
+
+}  // namespace
+
+PifResult solve_pif(const PifInstance& instance, const PifOptions& options) {
+  instance.validate();
+  if (options.engine == OfflineEngine::kPacked &&
+      PackedTransitionSystem::supports(instance.base)) {
+    return solve_pif_packed(instance, options);
+  }
+  return solve_pif_reference(instance, options);
 }
 
 bool verify_pif_witness(const PifInstance& instance,

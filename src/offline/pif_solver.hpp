@@ -36,6 +36,16 @@ struct PifOptions {
   /// eviction schedule replayable through the simulator (costs memory
   /// proportional to deadline x layer width).
   bool build_schedule = false;
+  /// Search implementation.  kPacked runs the layered DP over interned
+  /// bitset states with layer expansion fanned out on mcp::ThreadPool;
+  /// kReference is the retained serial unordered_map implementation.
+  OfflineEngine engine = OfflineEngine::kPacked;
+  /// Worker cap for the packed engine's layer-parallel expansion (0 = all
+  /// pool workers).  Results are bit-identical at any worker count: states
+  /// are partitioned into fixed-size chunks by layer index, each chunk's
+  /// emissions are produced in serial order, and chunks merge in index
+  /// order regardless of which worker ran them.
+  std::size_t workers = 0;
 };
 
 struct PifResult {

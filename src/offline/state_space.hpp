@@ -14,6 +14,7 @@
 // documented restriction (see DESIGN.md).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -43,8 +44,19 @@ struct StepOutcome {
   std::vector<PageId> evictions;     ///< victims, in faulting-core order
                                      ///< (kInvalidPage for no-eviction faults)
   [[nodiscard]] Count fault_count() const noexcept {
-    return static_cast<Count>(__builtin_popcount(faulted_cores));
+    return static_cast<Count>(std::popcount(faulted_cores));
   }
+};
+
+/// Which search implementation a solver runs.
+enum class OfflineEngine {
+  /// Packed bitset states interned to dense ids, cache-friendly kernels
+  /// (packed_space.hpp) — the default.  Falls back to kReference when the
+  /// instance exceeds the packed encoding (PackedTransitionSystem::supports).
+  kPacked,
+  /// The retained reference implementation over heap-backed OfflineState
+  /// nodes — the differential-testing oracle.
+  kReference,
 };
 
 /// Which victims a fault may choose from.
