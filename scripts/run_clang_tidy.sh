@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (.clang-tidy profile) over the source tree against a
+# compile_commands.json build.  Part of the checked-build analysis matrix
+# (DESIGN.md section 10); advisory for local development, see
+# CONTRIBUTING.md's pre-PR checklist.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Environment:
+#   CLANG_TIDY  override the binary (default: first of clang-tidy,
+#               clang-tidy-18 .. clang-tidy-14 on PATH)
+#
+# Exits 0 with a notice when no clang-tidy binary is installed (the repo's
+# container ships only gcc; CI installs pinned LLVM tooling).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build-tidy"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+      clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_clang_tidy: no clang-tidy on PATH; skipping (install LLVM" \
+       "tooling or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DMCP_WERROR=OFF
+fi
+
+# Lint every first-party translation unit the compile database knows about.
+mapfile -t FILES < <(python3 - "${BUILD_DIR}/compile_commands.json" <<'EOF'
+import json, pathlib, sys
+repo = pathlib.Path.cwd()
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    path = pathlib.Path(entry["file"])
+    try:
+        rel = path.resolve().relative_to(repo)
+    except ValueError:
+        continue
+    if rel.parts[0] in ("src", "tests", "bench", "examples"):
+        seen.add(str(rel))
+print("\n".join(sorted(seen)))
+EOF
+)
+
+echo "run_clang_tidy: ${TIDY} over ${#FILES[@]} files (${BUILD_DIR})"
+"${TIDY}" -p "${BUILD_DIR}" --quiet "$@" "${FILES[@]}"

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "core/error.hpp"
+#include "core/sentry.hpp"
 
 namespace mcp {
 
@@ -17,6 +18,7 @@ CacheState::CacheState(std::size_t capacity) : capacity_(capacity) {
     free_slots_.push_back(static_cast<std::uint32_t>(s));
   }
   fetch_heap_.reserve(capacity_);
+  completed_.reserve(capacity_);  // at most `capacity` fetches can land at once
 }
 
 void CacheState::reserve_universe(PageId bound) {
@@ -103,6 +105,73 @@ std::vector<PageId> CacheState::resident_pages() const {
   for_each_resident([&pages](PageId page) { pages.push_back(page); });
   std::sort(pages.begin(), pages.end());
   return pages;
+}
+
+void CacheState::validate() const {
+  // The validator's own scratch is declared: it may run inside a guarded
+  // region (checked builds arm guards and validators together).
+  AllocAllow allow;
+
+  MCP_ASSERT_MSG(slots_.size() == capacity_, "validate: slot arena resized");
+  MCP_ASSERT_MSG(occupied_ <= capacity_, "validate: occupancy over capacity");
+
+  // Arena -> index: every occupied slot is indexed back to itself; counters
+  // match the arena contents.
+  std::size_t occupied = 0;
+  std::size_t fetching = 0;
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    const Slot& slot = slots_[s];
+    if (slot.page == kInvalidPage) continue;
+    ++occupied;
+    if (slot.info.status == CellStatus::kFetching) ++fetching;
+    MCP_ASSERT_MSG(slot.page < page_to_slot_.size(),
+                   "validate: resident page outside the index universe");
+    MCP_ASSERT_MSG(page_to_slot_[slot.page] == s,
+                   "validate: slot arena and page->slot index disagree");
+  }
+  MCP_ASSERT_MSG(occupied == occupied_, "validate: occupied_ counter drifted");
+  MCP_ASSERT_MSG(fetching == fetching_count_,
+                 "validate: fetching_count_ counter drifted");
+
+  // Index -> arena: every live index entry points at a slot holding exactly
+  // that page (with the arena->index pass above, a bijection).
+  for (PageId page = 0; page < page_to_slot_.size(); ++page) {
+    const std::uint32_t entry = page_to_slot_[page];
+    if (entry == kNoSlot) continue;
+    MCP_ASSERT_MSG(entry < slots_.size(),
+                   "validate: page->slot index entry out of range");
+    MCP_ASSERT_MSG(slots_[entry].page == page,
+                   "validate: page->slot index entry points at another page");
+  }
+
+  // Free-slot stack: exactly the unoccupied arena slots, each once.
+  MCP_ASSERT_MSG(free_slots_.size() == capacity_ - occupied_,
+                 "validate: free-slot stack size mismatch");
+  std::vector<bool> free_seen(capacity_, false);
+  for (const std::uint32_t s : free_slots_) {
+    MCP_ASSERT_MSG(s < capacity_, "validate: free-slot index out of range");
+    MCP_ASSERT_MSG(!free_seen[s], "validate: duplicate free-slot entry");
+    free_seen[s] = true;
+    MCP_ASSERT_MSG(slots_[s].page == kInvalidPage,
+                   "validate: free-slot entry names an occupied slot");
+  }
+
+  // Fetch heap: min-heap over exactly the in-flight pages, keyed by their
+  // recorded ready times.
+  MCP_ASSERT_MSG(fetch_heap_.size() == fetching_count_,
+                 "validate: fetch-heap size != fetching count");
+  MCP_ASSERT_MSG(
+      std::is_heap(fetch_heap_.begin(), fetch_heap_.end(), std::greater<>()),
+      "validate: fetch heap lost min-heap ordering");
+  for (const auto& [ready_at, page] : fetch_heap_) {
+    const std::uint32_t entry = slot_of(page);
+    MCP_ASSERT_MSG(entry != kNoSlot,
+                   "validate: fetch-heap entry for a non-resident page");
+    MCP_ASSERT_MSG(slots_[entry].info.status == CellStatus::kFetching,
+                   "validate: fetch-heap entry for a present page");
+    MCP_ASSERT_MSG(slots_[entry].info.ready_at == ready_at,
+                   "validate: fetch-heap key disagrees with cell ready_at");
+  }
 }
 
 void CacheState::clear() {

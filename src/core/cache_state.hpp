@@ -42,6 +42,8 @@ struct CellInfo {
   CoreId fetched_by = kInvalidCore;  ///< Core whose fault brought it in.
 };
 
+struct CacheStateTestAccess;  // corruption-injection backdoor (tests only)
+
 class CacheState {
  public:
   explicit CacheState(std::size_t capacity);
@@ -126,7 +128,17 @@ class CacheState {
 
   void clear();
 
+  /// Deep structural invariant check (the checked-build validator, DESIGN.md
+  /// §10): slot arena ↔ page→slot index bijection, free-slot stack
+  /// disjointness and completeness, occupancy counters, and fetch-heap
+  /// ordering/membership.  Throws ModelError naming the violated invariant.
+  /// O(capacity + universe + heap); invoked at step boundaries under
+  /// MCP_CHECKED and callable directly from tests in any build.
+  void validate() const;
+
  private:
+  friend struct CacheStateTestAccess;  ///< corruption injection (test_sentry)
+
   struct Slot {
     PageId page = kInvalidPage;  ///< kInvalidPage marks a free slot.
     CellInfo info;

@@ -1,0 +1,219 @@
+// Replacement global operator new/delete with per-thread accounting, and the
+// AllocGuard/AllocAllow machinery (see sentry.hpp).
+//
+// Linkage: this TU lives in mcp_core; the linker pulls it into any binary
+// that references a sentry symbol (every binary using the simulator or the
+// offline solvers does, via their guard wiring), and the replacement
+// operators then cover the whole binary.  tests/test_sentry.cpp asserts
+// instrumentation_active() so a silently-uninstrumented build cannot pass.
+//
+// Re-entrancy: reporting a violation builds a std::string (allocates).  The
+// thread-local `reporting` flag suppresses the guard check during message
+// construction; ModelError's copy/move are noexcept (libstdc++ shares the
+// string), so the throw itself performs no further allocation.
+#include "core/sentry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace mcp {
+namespace sentry {
+namespace {
+
+struct ThreadState {
+  ThreadAllocStats stats;
+  AllocGuard* innermost = nullptr;
+  int guard_depth = 0;
+  int allow_depth = 0;
+  bool reporting = false;
+};
+
+ThreadState& tls() noexcept {
+  // All members are constant-initializable: no TLS init guard on access.
+  thread_local ThreadState state;
+  return state;
+}
+
+/// Formats the fatal report for an allocation inside a guarded region.
+/// Pre: a guard is armed on this thread.
+[[noreturn]] void report_violation(std::size_t bytes) {
+  ThreadState& st = tls();
+  st.reporting = true;
+  const AllocGuard* guard = st.innermost;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "AllocGuard violation: %zu-byte allocation inside "
+                "allocation-free region \"%s\" declared at %s:%u",
+                bytes, guard->region(), guard->site().file_name(),
+                static_cast<unsigned>(guard->site().line()));
+  ModelError error{std::string(buf)};  // allocates; reporting flag is set
+  st.reporting = false;
+  throw error;  // noexcept copy/move: no allocation past this point
+}
+
+/// Counts the attempt, enforces any armed guard, then allocates.  `align`
+/// is 0 for the default-aligned forms.
+void* checked_alloc(std::size_t size, std::size_t align) {
+  ThreadState& st = tls();
+  ++st.stats.allocations;
+  st.stats.bytes_allocated += size;
+  if (st.guard_depth > 0 && st.allow_depth == 0 && !st.reporting) {
+    report_violation(size);
+  }
+  for (;;) {
+    void* ptr = nullptr;
+    if (align == 0) {
+      ptr = std::malloc(size != 0 ? size : 1);
+    } else {
+      // aligned_alloc requires size to be a multiple of the alignment.
+      const std::size_t padded = (size + align - 1) / align * align;
+      ptr = std::aligned_alloc(align, padded != 0 ? padded : align);
+    }
+    if (ptr != nullptr) return ptr;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc{};
+    handler();
+  }
+}
+
+/// nothrow forms cannot throw the violation report; a guarded allocation
+/// here is still a fatal contract break, so report and abort.
+void* checked_alloc_nothrow(std::size_t size, std::size_t align) noexcept {
+  ThreadState& st = tls();
+  if (st.guard_depth > 0 && st.allow_depth == 0 && !st.reporting) {
+    const AllocGuard* guard = st.innermost;
+    std::fprintf(stderr,
+                 "AllocGuard violation (nothrow new): %zu-byte allocation "
+                 "inside allocation-free region \"%s\" declared at %s:%u\n",
+                 size, guard->region(), guard->site().file_name(),
+                 static_cast<unsigned>(guard->site().line()));
+    std::abort();
+  }
+  try {
+    return checked_alloc(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void checked_free(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  ++tls().stats.deallocations;
+  std::free(ptr);
+}
+
+}  // namespace
+
+ThreadAllocStats thread_alloc_stats() noexcept { return tls().stats; }
+
+std::uint64_t thread_allocations() noexcept { return tls().stats.allocations; }
+
+bool instrumentation_active() {
+  const std::uint64_t before = tls().stats.allocations;
+  { auto probe = std::make_unique<int>(0); }
+  return tls().stats.allocations != before;
+}
+
+}  // namespace sentry
+
+AllocGuard::AllocGuard(const char* region, std::source_location site)
+    : region_(region), site_(site) {
+  sentry::ThreadState& st = sentry::tls();
+  start_allocations_ = st.stats.allocations;
+  prev_ = st.innermost;
+  st.innermost = this;
+  ++st.guard_depth;
+}
+
+AllocGuard::~AllocGuard() {
+  sentry::ThreadState& st = sentry::tls();
+  st.innermost = prev_;
+  --st.guard_depth;
+  // Unwinding a violation passes through here; make sure a half-cleared
+  // reporting flag can never outlive the region that tripped it.
+  if (st.guard_depth == 0) st.reporting = false;
+}
+
+std::uint64_t AllocGuard::allocations() const noexcept {
+  return sentry::tls().stats.allocations - start_allocations_;
+}
+
+AllocAllow::AllocAllow() noexcept { ++sentry::tls().allow_depth; }
+
+AllocAllow::~AllocAllow() { --sentry::tls().allow_depth; }
+
+}  // namespace mcp
+
+// ---------------------------------------------------------------------------
+// Replacement global allocation functions.  Every form routes through
+// checked_alloc/checked_free so the counters and guards see all of them.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  return mcp::sentry::checked_alloc(size, 0);
+}
+void* operator new[](std::size_t size) {
+  return mcp::sentry::checked_alloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return mcp::sentry::checked_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return mcp::sentry::checked_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return mcp::sentry::checked_alloc_nothrow(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return mcp::sentry::checked_alloc_nothrow(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return mcp::sentry::checked_alloc_nothrow(size,
+                                            static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return mcp::sentry::checked_alloc_nothrow(size,
+                                            static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { mcp::sentry::checked_free(ptr); }
+void operator delete[](void* ptr) noexcept { mcp::sentry::checked_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  mcp::sentry::checked_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  mcp::sentry::checked_free(ptr);
+}

@@ -1,8 +1,10 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/error.hpp"
+#include "core/sentry.hpp"
 
 namespace mcp {
 
@@ -145,6 +147,14 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
       throw ModelError("simulation exceeded SimConfig.max_steps");
     }
 
+    // Allocation sentry: past warm-up, the whole step — engine bookkeeping
+    // and strategy callbacks alike — must not touch the heap (§8 claim).
+    std::optional<AllocGuard> step_guard;
+    if (config_.alloc_guard_after_step != 0 &&
+        steps > config_.alloc_guard_after_step) {
+      step_guard.emplace("simulator step loop");
+    }
+
     if (observed) notify([&](SimObserver& obs) { obs.on_step_begin(now); });
 
     // 1. Land fetches due now, before any request is served this step.
@@ -194,6 +204,10 @@ RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
     }
 
     if (observed) notify([&](SimObserver& obs) { obs.on_step_end(now); });
+
+    // Checked builds revalidate the cache's deep structural invariants at
+    // every step boundary (validators carry their own AllocAllow).
+    MCP_CHECKED_ONLY(cache.validate());
 
     if (active == 0) {
       stats.end_time = now;

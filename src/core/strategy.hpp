@@ -30,6 +30,14 @@ struct SimConfig {
   /// Hard stop: abort with ModelError if the run exceeds this many steps
   /// (guards against adaptive streams that never terminate). 0 = no limit.
   Time max_steps = 0;
+  /// Allocation sentry (DESIGN.md §10): arm an AllocGuard over every
+  /// simulation step past this step count (0 = disabled).  Turns the
+  /// steady-state allocation-free hot-path claim (§8) into an enforced
+  /// invariant: any heap allocation in a guarded step — simulator
+  /// bookkeeping, CacheState, or strategy callbacks — throws ModelError.
+  /// Arm it only past warm-up and only with strategies whose steady-state
+  /// callbacks do not allocate.
+  Time alloc_guard_after_step = 0;
 };
 
 class CacheStrategy {

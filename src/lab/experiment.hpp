@@ -68,6 +68,14 @@ struct Series {
   std::vector<Row> rows;
 
   /// Appends a row; the cell count must match the column count.
+  ///
+  /// GCC 12's -Wmaybe-uninitialized mis-fires on the inlined move of the
+  /// std::string alternative inside Value's variant here (the "may be used
+  /// uninitialized" object is the freshly move-constructed temporary;
+  /// upstream GCC PR105562 family).  Only some build configs tip the
+  /// inliner into the warning path, so suppress it at this one site.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   template <typename... Ts>
   void row(Ts&&... cells) {
     Row r;
@@ -75,6 +83,7 @@ struct Series {
     (r.emplace_back(Value(std::forward<Ts>(cells))), ...);
     add_row(std::move(r));
   }
+#pragma GCC diagnostic pop
 
   void add_row(Row r) {
     MCP_REQUIRE(r.size() == columns.size(),

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "core/sentry.hpp"
 #include "offline/packed_space.hpp"
 #include "offline/packed_state.hpp"
 
@@ -167,8 +169,21 @@ FtfResult solve_ftf_packed(const OfflineInstance& instance,
       }
       ++result.states_expanded;
 
+      // Allocation sentry (FtfOptions::alloc_guard): every expansion after
+      // the first (which warms the step scratch) runs guarded — only the
+      // relaxation sink below, a declared amortized growth point, may
+      // allocate; an allocation inside the expansion kernel itself throws.
+      std::optional<AllocGuard> expand_guard;
+      if (options.alloc_guard && result.states_expanded > 1) {
+        expand_guard.emplace("ftf expansion kernel");
+      }
+
       system.expand(interner.state(id), scratch,
                     [&](const PackedOutcome& outcome) {
+        // Declared growth: the relaxation sink's flat arrays (interner
+        // arena/table via intern(), distance/parent/eviction arrays, bucket
+        // queue) all grow amortized as new states are discovered.
+        AllocAllow allow;
         const std::uint32_t nd = d + static_cast<std::uint32_t>(outcome.fault_count());
         const auto [nid, inserted] = interner.intern(outcome.next);
         if (inserted) {
@@ -198,6 +213,8 @@ FtfResult solve_ftf_packed(const OfflineInstance& instance,
   MCP_REQUIRE(goal != StateInterner::kNoState,
               "solve_ftf: no terminal state reachable");
   result.states_stored = interner.size();
+  // Checked builds: the interner is structurally sound after the search.
+  MCP_CHECKED_ONLY(interner.validate());
 
   if (schedule) {
     // Walk parent ids back to the start; flatten per-step eviction spans in

@@ -34,6 +34,13 @@ struct FtfOptions {
   /// distances are dense); kReference is the retained binary-heap Dijkstra
   /// over OfflineState nodes.  Both compute the same optimum.
   OfflineEngine engine = OfflineEngine::kPacked;
+  /// Allocation sentry (DESIGN.md §10, packed engine only): arm an
+  /// AllocGuard over every state expansion after the first (the first call
+  /// warms the step scratch).  Enforces the §9 claim that the packed
+  /// expansion kernel is allocation-free: only the relaxation sink's
+  /// declared amortized growth (interner arena/table, distance/bucket
+  /// arrays) may allocate; anything inside the kernel throws ModelError.
+  bool alloc_guard = false;
 };
 
 // Design note: cache-superset dominance pruning (drop a state whose cache

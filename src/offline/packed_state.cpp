@@ -1,6 +1,7 @@
 #include "offline/packed_state.hpp"
 
 #include "core/error.hpp"
+#include "core/sentry.hpp"
 
 namespace mcp {
 
@@ -16,6 +17,9 @@ StateInterner::StateInterner(std::size_t stride) : stride_(stride) {
 }
 
 void StateInterner::rehash(std::size_t target) {
+  // Declared amortized growth point: table rebuilds are part of the
+  // interner's O(1)-amortized contract and exempt from allocation guards.
+  AllocAllow allow;
   std::vector<std::uint32_t> old = std::move(table_);
   table_.assign(target, kNoState);
   const std::size_t mask = table_.size() - 1;
@@ -35,12 +39,71 @@ void StateInterner::grow_table() {
 
 std::pair<std::uint32_t, bool> StateInterner::insert_new(
     const std::uint64_t* words, std::uint64_t hash, std::size_t slot) {
+  // Declared amortized growth point: arena/hash-array appends may grow
+  // their buffers; everything else about interning is allocation-free.
+  AllocAllow allow;
   const std::uint32_t id = count_++;
   MCP_ASSERT_MSG(id != kNoState, "StateInterner: id space exhausted");
   arena_.insert(arena_.end(), words, words + stride_);
   hashes_.push_back(hash);
   table_[slot] = id;
   return {id, true};
+}
+
+void StateInterner::validate() const {
+  // The validator's own scratch is declared: it may run inside a guarded
+  // region (checked builds arm guards and validators together).
+  AllocAllow allow;
+
+  // Live-id density: ids are 0..count_-1, each backed by exactly stride_
+  // arena words and one stored hash.
+  MCP_ASSERT_MSG(arena_.size() == static_cast<std::size_t>(count_) * stride_,
+                 "interner validate: arena size != count * stride");
+  MCP_ASSERT_MSG(hashes_.size() == count_,
+                 "interner validate: stored-hash array size != count");
+  MCP_ASSERT_MSG(table_.size() >= kInitialTableSize &&
+                     (table_.size() & (table_.size() - 1)) == 0,
+                 "interner validate: table size not a power of two");
+
+  // Stored-hash consistency: every per-id hash re-derives from its block
+  // (catches both a mutated hash and a mutated arena block).
+  for (std::uint32_t id = 0; id < count_; ++id) {
+    MCP_ASSERT_MSG(hashes_[id] == hash_block(state(id)),
+                   "interner validate: stored hash disagrees with block");
+  }
+
+  // Table integrity: every live id claims exactly one slot, no stray ids.
+  std::vector<bool> in_table(count_, false);
+  std::size_t live_slots = 0;
+  for (const std::uint32_t id : table_) {
+    if (id == kNoState) continue;
+    ++live_slots;
+    MCP_ASSERT_MSG(id < count_, "interner validate: table entry out of range");
+    MCP_ASSERT_MSG(!in_table[id],
+                   "interner validate: id claims two table slots");
+    in_table[id] = true;
+  }
+  MCP_ASSERT_MSG(live_slots == count_,
+                 "interner validate: table is missing live ids");
+
+  // No duplicate packed states: the probe chain from every id's home slot
+  // must reach the id itself before any other id with an equal block (a
+  // duplicate would make one of the two unreachable by lookup).
+  const std::size_t mask = table_.size() - 1;
+  for (std::uint32_t id = 0; id < count_; ++id) {
+    std::size_t slot = static_cast<std::size_t>(hashes_[id]) & mask;
+    for (;;) {
+      const std::uint32_t entry = table_[slot];
+      MCP_ASSERT_MSG(entry != kNoState,
+                     "interner validate: id unreachable from its home slot");
+      if (hashes_[entry] == hashes_[id] && block_equal(entry, state(id))) {
+        MCP_ASSERT_MSG(entry == id,
+                       "interner validate: duplicate packed state stored");
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
 }
 
 void StateInterner::reserve(std::size_t states) {

@@ -31,6 +31,8 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
 
 }  // namespace detail
 
+struct InternerTestAccess;  // corruption-injection backdoor (tests only)
+
 /// Arena-backed deduplicating store of fixed-stride `uint64_t` blocks.
 ///
 /// Ids are dense (0, 1, 2, ... in first-interned order), so per-state search
@@ -76,7 +78,18 @@ class StateInterner {
   /// Pre-sizes arena and table for `states` states (optional).
   void reserve(std::size_t states);
 
+  /// Deep structural invariant check (the checked-build validator, DESIGN.md
+  /// §10): live-id density (arena/hash-array sizes match count), stored-hash
+  /// consistency (every per-id hash re-derives from its block), table
+  /// integrity (every live id claims exactly one slot), and no duplicate
+  /// packed states (every id's probe chain finds the id itself first).
+  /// Throws ModelError naming the violated invariant.  O(states · stride);
+  /// invoked at solver boundaries under MCP_CHECKED and callable directly
+  /// from tests in any build.
+  void validate() const;
+
  private:
+  friend struct InternerTestAccess;  ///< corruption injection (test_sentry)
   [[nodiscard]] std::uint64_t hash_block(
       const std::uint64_t* words) const noexcept {
     std::uint64_t h = 0x12345678abcdef01ULL;

@@ -1,0 +1,157 @@
+// Packed Pareto fronts for the PIF layered DP (pif_solver.cpp) — extracted
+// so the insertion kernel and its checked-build validator are directly
+// testable (tests/test_sentry.cpp injects corrupted fronts).
+//
+// A front is the Pareto-minimal set of per-core fault vectors reaching one
+// interned state, stored flat (`p` uint32 counters per entry) and sorted
+// lexicographically, with parallel provenance.  The sorted order carries the
+// pruning structure: an entry can only be dominated by lexicographically
+// smaller entries and can only dominate lexicographically larger ones, so
+// both scans cover half the front — and for p == 2 the staircase invariant
+// (first coordinate strictly increasing, second strictly decreasing)
+// collapses them to a binary search plus one contiguous erase.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/sentry.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Entry provenance inside a packed layer (schedule mode).
+struct ParetoProv {
+  std::uint32_t parent_state = 0;  ///< state index in the previous layer
+  std::uint32_t parent_entry = 0;  ///< entry index in that state's front
+  std::uint32_t evict_off = 0;     ///< span into the layer's evict_pool
+  std::uint32_t evict_len = 0;
+};
+
+/// Pareto frontier of one state: entries sorted lexicographically by fault
+/// vector (flat, p words per entry) with parallel provenance.
+struct PackedFront {
+  std::vector<std::uint32_t> faults;  ///< size() * p fault counters
+  std::vector<ParetoProv> prov;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prov.size(); }
+  [[nodiscard]] const std::uint32_t* entry(std::size_t p_,
+                                           std::size_t e) const noexcept {
+    return faults.data() + e * p_;
+  }
+};
+
+/// true iff a[i] <= b[i] for all i in [0, p).
+inline bool dominates_flat(const std::uint32_t* a, const std::uint32_t* b,
+                           std::size_t p) noexcept {
+  for (std::size_t i = 0; i < p; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+/// Inserts `fv` unless dominated; removes entries it dominates; keeps the
+/// front sorted.  Returns false if rejected.  Allocation discipline: the
+/// search/dominance scans are allocation-free; only the final splice may
+/// grow the front's buffers (declared amortized growth — buffers are
+/// recycled across layers by the solver).
+inline bool pareto_insert_packed(PackedFront& front, std::size_t p,
+                                 const std::uint32_t* fv,
+                                 const ParetoProv& prov) {
+  const std::size_t n = front.size();
+  // Binary search: first entry lexicographically greater than fv.
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const std::uint32_t* e = front.entry(p, mid);
+    if (std::lexicographical_compare(fv, fv + p, e, e + p)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::size_t pos = lo;  // entries [0,pos) are lex <= fv (incl. equal)
+
+  // Dominated check: only lexicographically smaller-or-equal entries can
+  // dominate fv (dominance implies lex <=); an equal vector also lands in
+  // [0,pos) and rejects the duplicate.
+  if (p == 2) {
+    // Staircase: among [0,pos) the second coordinate is minimal at pos-1.
+    if (pos > 0 && front.entry(p, pos - 1)[1] <= fv[1]) return false;
+  } else {
+    for (std::size_t e = 0; e < pos; ++e) {
+      if (dominates_flat(front.entry(p, e), fv, p)) return false;
+    }
+  }
+
+  // Removal: fv can only dominate lexicographically larger entries.
+  std::size_t first_removed = pos;
+  std::size_t removed = 0;
+  if (p == 2) {
+    // Dominated entries form a contiguous run at pos (second coordinate is
+    // descending and every entry past pos has first coordinate >= fv[0]).
+    while (first_removed + removed < n &&
+           front.entry(p, first_removed + removed)[1] >= fv[1]) {
+      ++removed;
+    }
+  } else {
+    // Compact the survivors of [pos, n) in place.
+    std::size_t write = pos;
+    for (std::size_t e = pos; e < n; ++e) {
+      if (dominates_flat(fv, front.entry(p, e), p)) continue;
+      if (write != e) {
+        std::copy_n(front.entry(p, e), p, front.faults.data() + write * p);
+        front.prov[write] = front.prov[e];
+      }
+      ++write;
+    }
+    removed = n - write;
+    first_removed = write;  // tail [write, n) is now garbage
+  }
+  const auto off = [](std::size_t i) {
+    return static_cast<std::ptrdiff_t>(i);
+  };
+  // Declared amortized growth point: the splice below may grow the front's
+  // recycled buffers.
+  AllocAllow allow;
+  if (removed > 0) {
+    front.faults.erase(
+        front.faults.begin() + off(first_removed * p),
+        front.faults.begin() + off((first_removed + removed) * p));
+    front.prov.erase(front.prov.begin() + off(first_removed),
+                     front.prov.begin() + off(first_removed + removed));
+  }
+  front.faults.insert(front.faults.begin() + off(pos * p), fv, fv + p);
+  front.prov.insert(front.prov.begin() + off(pos), prov);
+  return true;
+}
+
+/// Deep structural invariant check (the checked-build validator, DESIGN.md
+/// §10): storage consistency, strict lexicographic sortedness (which also
+/// forbids duplicates), and strict domination-freedom between every pair.
+/// Throws ModelError naming the violated invariant.  O(size² · p); invoked
+/// per merged layer under MCP_CHECKED and callable from tests in any build.
+inline void validate_front(const PackedFront& front, std::size_t p) {
+  MCP_ASSERT_MSG(front.faults.size() == front.prov.size() * p,
+                 "front validate: fault storage size != entries * p");
+  const std::size_t n = front.size();
+  for (std::size_t e = 0; e + 1 < n; ++e) {
+    const std::uint32_t* a = front.entry(p, e);
+    const std::uint32_t* b = front.entry(p, e + 1);
+    MCP_ASSERT_MSG(std::lexicographical_compare(a, a + p, b, b + p),
+                   "front validate: entries not strictly lex-sorted");
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      MCP_ASSERT_MSG(!dominates_flat(front.entry(p, a), front.entry(p, b), p),
+                     "front validate: entry dominates another (not minimal)");
+    }
+  }
+}
+
+}  // namespace mcp

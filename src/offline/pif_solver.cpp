@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "core/sentry.hpp"
 #include "core/simulator.hpp"
 #include "core/thread_pool.hpp"
 #include "offline/packed_space.hpp"
 #include "offline/packed_state.hpp"
+#include "offline/pareto_front.hpp"
 #include "offline/replay.hpp"
 
 namespace mcp {
@@ -190,110 +193,9 @@ PifResult solve_pif_reference(const PifInstance& instance,
 /// order, so it must not depend on the worker count.
 constexpr std::size_t kChunkStates = 4;
 
-/// Entry provenance inside a packed layer (schedule mode).
-struct Prov {
-  std::uint32_t parent_state = 0;  ///< state index in the previous layer
-  std::uint32_t parent_entry = 0;  ///< entry index in that state's front
-  std::uint32_t evict_off = 0;     ///< span into the layer's evict_pool
-  std::uint32_t evict_len = 0;
-};
-
-/// Pareto frontier of one state: entries sorted lexicographically by fault
-/// vector (flat, p words per entry) with parallel provenance.  The sorted
-/// order carries the pruning structure: an entry can only be dominated by
-/// lexicographically smaller entries and can only dominate lexicographically
-/// larger ones, so both scans cover half the front — and for p == 2 the
-/// staircase invariant (first coordinate strictly increasing, second
-/// strictly decreasing) collapses them to a binary search plus one
-/// contiguous erase.
-struct PackedFront {
-  std::vector<std::uint32_t> faults;  ///< size() * p fault counters
-  std::vector<Prov> prov;
-
-  [[nodiscard]] std::size_t size() const noexcept { return prov.size(); }
-  [[nodiscard]] const std::uint32_t* entry(std::size_t p_,
-                                           std::size_t e) const noexcept {
-    return faults.data() + e * p_;
-  }
-};
-
-/// true iff a[i] <= b[i] for all i in [0, p).
-bool dominates_flat(const std::uint32_t* a, const std::uint32_t* b,
-                    std::size_t p) noexcept {
-  for (std::size_t i = 0; i < p; ++i) {
-    if (a[i] > b[i]) return false;
-  }
-  return true;
-}
-
-/// Inserts `fv` unless dominated; removes entries it dominates; keeps the
-/// front sorted.  Returns false if rejected.
-bool pareto_insert_packed(PackedFront& front, std::size_t p,
-                          const std::uint32_t* fv, const Prov& prov) {
-  const std::size_t n = front.size();
-  // Binary search: first entry lexicographically greater than fv.
-  std::size_t lo = 0;
-  std::size_t hi = n;
-  while (lo < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    const std::uint32_t* e = front.entry(p, mid);
-    if (std::lexicographical_compare(fv, fv + p, e, e + p)) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  const std::size_t pos = lo;  // entries [0,pos) are lex <= fv (incl. equal)
-
-  // Dominated check: only lexicographically smaller-or-equal entries can
-  // dominate fv (dominance implies lex <=); an equal vector also lands in
-  // [0,pos) and rejects the duplicate.
-  if (p == 2) {
-    // Staircase: among [0,pos) the second coordinate is minimal at pos-1.
-    if (pos > 0 && front.entry(p, pos - 1)[1] <= fv[1]) return false;
-  } else {
-    for (std::size_t e = 0; e < pos; ++e) {
-      if (dominates_flat(front.entry(p, e), fv, p)) return false;
-    }
-  }
-
-  // Removal: fv can only dominate lexicographically larger entries.
-  std::size_t first_removed = pos;
-  std::size_t removed = 0;
-  if (p == 2) {
-    // Dominated entries form a contiguous run at pos (second coordinate is
-    // descending and every entry past pos has first coordinate >= fv[0]).
-    while (first_removed + removed < n &&
-           front.entry(p, first_removed + removed)[1] >= fv[1]) {
-      ++removed;
-    }
-  } else {
-    // Compact the survivors of [pos, n) in place.
-    std::size_t write = pos;
-    for (std::size_t e = pos; e < n; ++e) {
-      if (dominates_flat(fv, front.entry(p, e), p)) continue;
-      if (write != e) {
-        std::copy_n(front.entry(p, e), p, front.faults.data() + write * p);
-        front.prov[write] = front.prov[e];
-      }
-      ++write;
-    }
-    removed = n - write;
-    first_removed = write;  // tail [write, n) is now garbage
-  }
-  const auto off = [](std::size_t i) {
-    return static_cast<std::ptrdiff_t>(i);
-  };
-  if (removed > 0) {
-    front.faults.erase(front.faults.begin() + off(first_removed * p),
-                       front.faults.begin() + off((first_removed + removed) * p));
-    front.prov.erase(front.prov.begin() + off(first_removed),
-                     front.prov.begin() + off(first_removed + removed));
-  }
-  front.faults.insert(front.faults.begin() + off(pos * p), fv, fv + p);
-  front.prov.insert(front.prov.begin() + off(pos), prov);
-  return true;
-}
+// ParetoProv / PackedFront / pareto_insert_packed / validate_front live in
+// offline/pareto_front.hpp (extracted so test_sentry.cpp can corrupt and
+// validate fronts directly).
 
 /// One layer of the packed DP: states sorted ascending by interned id.
 struct PackedLayer {
@@ -322,6 +224,9 @@ struct ChunkEmits {
   // Per emission, concatenated across outcomes.
   std::vector<std::uint32_t> faults;         ///< p per emission
   std::vector<std::uint32_t> src_entry;
+  /// Advanced-fault-vector scratch (p words), persistent across layers so
+  /// the expansion loop stays allocation-free — excluded from clear().
+  std::vector<std::uint32_t> adv;
 
   void clear() {
     words.clear();
@@ -342,7 +247,7 @@ std::vector<PageId> reconstruct_packed(const std::vector<PackedLayer>& history,
   std::vector<std::pair<const PageId*, std::uint32_t>> steps;
   while (layer_index > 0) {
     const PackedLayer& layer = history[layer_index];
-    const Prov& prov = layer.fronts[state_index].prov[entry_index];
+    const ParetoProv& prov = layer.fronts[state_index].prov[entry_index];
     steps.emplace_back(layer.evict_pool.data() + prov.evict_off,
                        prov.evict_len);
     state_index = prov.parent_state;
@@ -379,7 +284,7 @@ PifResult solve_pif_packed(const PifInstance& instance,
   history.back().ids.push_back(0);
   history.back().fronts.emplace_back();
   history.back().fronts.back().faults.assign(p, 0);
-  history.back().fronts.back().prov.push_back(Prov{});
+  history.back().fronts.back().prov.push_back(ParetoProv{});
 
   // Interned id -> state index in the layer being merged, stamped per layer
   // so the map never needs clearing (ids are dense).
@@ -436,6 +341,16 @@ PifResult solve_pif_packed(const PifInstance& instance,
     next.fronts.reserve(num_states);
     ++stamp;
 
+    // Allocation sentry (PifOptions::alloc_guard_after_layer): past the
+    // declared warm-up, the merging thread runs the rest of the layer
+    // guarded, and each expansion chunk arms its own guard (guards are
+    // per-thread).  Every amortized growth point below carries a scoped
+    // AllocAllow naming what it grows; anything else that allocates throws.
+    const bool guard_layer = options.alloc_guard_after_layer != 0 &&
+                             t >= options.alloc_guard_after_layer;
+    std::optional<AllocGuard> layer_guard;
+    if (guard_layer) layer_guard.emplace("pif layer loop");
+
     const auto insert_emission = [&](std::uint32_t nid,
                                      const std::uint32_t* fv,
                                      std::uint32_t src_state,
@@ -444,11 +359,15 @@ PifResult solve_pif_packed(const PifInstance& instance,
                                      std::uint32_t num_evictions) {
       if (nid >= id_stamp.size()) {
         // Headroom so the maps don't resize on every freshly interned id.
+        AllocAllow allow;  // declared growth: id-map headroom
         id_stamp.resize(interner.size() + 256, 0);
         id_index.resize(interner.size() + 256, 0);
       }
       std::uint32_t idx;
       if (id_stamp[nid] != stamp) {
+        // Declared growth: layer id/front tables (recycled across layers;
+        // they grow only when a layer widens past every layer before it).
+        AllocAllow allow;
         id_stamp[nid] = stamp;
         idx = static_cast<std::uint32_t>(next.ids.size());
         id_index[nid] = idx;
@@ -464,7 +383,7 @@ PifResult solve_pif_packed(const PifInstance& instance,
       } else {
         idx = id_index[nid];
       }
-      Prov prov;
+      ParetoProv prov;
       prov.parent_state = src_state;
       prov.parent_entry = src_entry;
       if (schedule) {
@@ -473,6 +392,7 @@ PifResult solve_pif_packed(const PifInstance& instance,
       }
       if (pareto_insert_packed(next.fronts[idx], p, fv, prov) && schedule &&
           num_evictions > 0) {
+        AllocAllow allow;  // declared growth: schedule-mode eviction pool
         next.evict_pool.insert(next.evict_pool.end(), evictions,
                                evictions + num_evictions);
       }
@@ -510,13 +430,28 @@ PifResult solve_pif_packed(const PifInstance& instance,
         });
       }
     } else {
-      chunks.resize(num_chunks);
-      scratches.resize(num_chunks);
+      {
+        // Declared growth: per-chunk buffers appear as layers widen.
+        AllocAllow allow;
+        chunks.resize(num_chunks);
+        scratches.resize(num_chunks);
+      }
       const auto expand_chunk = [&](std::size_t c) {
         ChunkEmits& out = chunks[c];
         out.clear();
         PackedTransitionSystem::StepScratch& scratch = scratches[c];
-        std::vector<std::uint32_t> adv(p);
+        {
+          // Declared growth: first-use warm-up — a chunk index first used on
+          // a later (wider) layer starts with cold scratch buffers.
+          AllocAllow allow;
+          out.adv.resize(p);
+          scratch.work.reserve(stride);
+          scratch.locked.reserve(stride);
+          scratch.evictions.reserve(p);
+        }
+        std::optional<AllocGuard> chunk_guard;
+        if (guard_layer) chunk_guard.emplace("pif expansion chunk");
+        std::vector<std::uint32_t>& adv = out.adv;
         const std::size_t begin = c * kChunkStates;
         const std::size_t end = std::min(num_states, begin + kChunkStates);
         for (std::size_t s = begin; s < end; ++s) {
@@ -536,11 +471,17 @@ PifResult solve_pif_packed(const PifInstance& instance,
                 }
               }
               if (!alive) continue;
-              out.faults.insert(out.faults.end(), adv.begin(), adv.end());
-              out.src_entry.push_back(static_cast<std::uint32_t>(v));
+              {
+                // Declared growth: chunk emission buffers (recycled; grow
+                // only while the layer widens past the chunk's past peaks).
+                AllocAllow allow;
+                out.faults.insert(out.faults.end(), adv.begin(), adv.end());
+                out.src_entry.push_back(static_cast<std::uint32_t>(v));
+              }
               ++count;
             }
             if (count == 0) return;
+            AllocAllow allow;  // declared growth: chunk emission buffers
             out.words.insert(out.words.end(), outcome.next,
                              outcome.next + stride);
             out.out_state.push_back(static_cast<std::uint32_t>(s));
@@ -556,8 +497,16 @@ PifResult solve_pif_packed(const PifInstance& instance,
           });
         }
       };
-      ThreadPool::global().run_indexed(num_chunks, expand_chunk,
-                                       options.workers);
+      {
+        // Declared growth: pool dispatch packages the chunk tasks on the
+        // heap.  (Guards are per-thread, so this thread's Allow does not
+        // suspend the workers' chunk guards — only chunks this thread runs
+        // inline, which keep worker-side enforcement meaningful at >= 2
+        // workers.)
+        AllocAllow allow;
+        ThreadPool::global().run_indexed(num_chunks, expand_chunk,
+                                         options.workers);
+      }
 
       // Merge serially, in chunk order — the exact order the serial path
       // above would use.
@@ -586,6 +535,7 @@ PifResult solve_pif_packed(const PifInstance& instance,
     // steady state (and is skipped entirely when the merge order happens to
     // be id-sorted already).
     if (!std::is_sorted(next.ids.begin(), next.ids.end())) {
+      AllocAllow allow;  // declared growth: recycled order/sort buffers
       order.resize(next.ids.size());
       std::iota(order.begin(), order.end(), 0);
       std::sort(order.begin(), order.end(),
@@ -604,15 +554,30 @@ PifResult solve_pif_packed(const PifInstance& instance,
       std::swap(next, sort_buf);
     }
 
-    if (!schedule) {
-      spare_layer = std::move(history.back());
-      for (PackedFront& front : spare_layer.fronts) {
-        spare_fronts.push_back(std::move(front));
+    {
+      // Declared growth: layer/front recycling pools, and (schedule mode)
+      // the retained layer history.
+      AllocAllow allow;
+      if (!schedule) {
+        spare_layer = std::move(history.back());
+        for (PackedFront& front : spare_layer.fronts) {
+          spare_fronts.push_back(std::move(front));
+        }
+        spare_layer.fronts.clear();
+        history.clear();
       }
-      spare_layer.fronts.clear();
-      history.clear();
+      history.push_back(std::move(next));
     }
-    history.push_back(std::move(next));
+
+    // Checked builds: every merged front is strictly sorted, duplicate-free
+    // and Pareto-minimal, and the interner stays structurally sound as the
+    // layer's successors were interned into it.
+    MCP_CHECKED_ONLY({
+      for (const PackedFront& front : history.back().fronts) {
+        validate_front(front, p);
+      }
+      interner.validate();
+    });
 
     result.peak_layer_width =
         std::max(result.peak_layer_width, history.back().width());

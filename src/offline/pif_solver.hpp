@@ -46,6 +46,14 @@ struct PifOptions {
   /// emissions are produced in serial order, and chunks merge in index
   /// order regardless of which worker ran them.
   std::size_t workers = 0;
+  /// Allocation sentry (DESIGN.md §10, packed engine only): arm an
+  /// AllocGuard over every DP layer with index >= this value (0 = disabled),
+  /// on the merging thread and inside each expansion chunk.  Enforces the §9
+  /// steady-state claim: past warm-up, a layer allocates only at the
+  /// declared amortized growth points (interner arena/table, layer/front
+  /// recycling pools, chunk emission buffers, pool dispatch) — anything
+  /// else, e.g. a reintroduced per-emission temporary, throws ModelError.
+  Time alloc_guard_after_layer = 0;
 };
 
 struct PifResult {

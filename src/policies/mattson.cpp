@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/sentry.hpp"
 
 namespace mcp {
 
@@ -41,12 +42,18 @@ void scan_stack_distances(const RequestSequence& seq, OnCold on_cold,
                           OnReuse on_reuse) {
   const std::size_t n = seq.size();
   PositionTree marks(n);
-  std::vector<std::size_t> last_pos;  // page -> 1-based position, 0 = unseen
+  // Presize the page->position map from the sequence's max page id: one O(n)
+  // pass up front, and the scan below never grows it — which lets the
+  // allocation sentry hold the kernel to the §8 allocation-free claim.
+  // The callbacks inherit the guard: both callers append into
+  // exactly-reserved storage or bump counters.
+  PageId max_page = 0;
+  for (const PageId page : seq) max_page = std::max(max_page, page);
+  std::vector<std::size_t> last_pos(n == 0 ? 1 : std::size_t{max_page} + 1,
+                                    0);  // page -> 1-based position, 0 = unseen
+  AllocGuard guard("mattson stack-distance scan");
   for (std::size_t i = 1; i <= n; ++i) {
     const PageId page = seq[i - 1];
-    if (page >= last_pos.size()) {
-      last_pos.resize(std::max<std::size_t>(page + 1, last_pos.size() * 2), 0);
-    }
     const std::size_t prev = last_pos[page];
     if (prev == 0) {
       on_cold();

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "core/error.hpp"
 #include "test_support.hpp"
 
@@ -90,7 +92,7 @@ TEST(MaxPif, MonotonicityPruningNeverChangesTheAnswer) {
       if (solve_pif(relaxed).feasible) {
         reference = std::max(
             reference,
-            static_cast<std::size_t>(__builtin_popcount(subset)));
+            static_cast<std::size_t>(std::popcount(subset)));
       }
     }
     EXPECT_EQ(fast.max_satisfied, reference) << "trial=" << trial;
