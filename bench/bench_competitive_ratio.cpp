@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "adversary/adversary.hpp"
+#include "core/batch_state.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
 #include "experiments.hpp"
@@ -62,6 +63,19 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
   SweepRunner sweep(sweep_opts);
   const std::vector<CompetitiveReport> reports =
       sweep.run(policies.size(), [&](std::size_t i, Rng& /*rng*/) {
+        // S_LRU and S_FIFO are batchable: their trials run as lockstep
+        // lanes through the batch engine, bit-identical to the per-trial
+        // strategy objects the other policies keep.
+        if (policies[i] == "lru") {
+          return measure_competitive_ratio(
+              BatchStrategySpec::shared(BatchPolicy::kLru), random_tiny,
+              kTrials);
+        }
+        if (policies[i] == "fifo") {
+          return measure_competitive_ratio(
+              BatchStrategySpec::shared(BatchPolicy::kFifo), random_tiny,
+              kTrials);
+        }
         return measure_competitive_ratio(shared_policy(policies[i].c_str()),
                                          random_tiny, kTrials);
       });

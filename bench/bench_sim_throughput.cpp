@@ -6,6 +6,7 @@
 // pass --benchmark_format=json to capture the counters machine-readably).
 #include <benchmark/benchmark.h>
 
+#include "core/batch_state.hpp"
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
 #include "offline/ftf_solver.hpp"
@@ -221,6 +222,45 @@ void BM_PartitionSweep(benchmark::State& state) {
   state.counters["sweep_wall_s"] = wall;
 }
 
+void BM_BatchSweep(benchmark::State& state) {
+  // The same 105-cell partition grid as BM_PartitionSweep, but run as
+  // lockstep lanes through the batch engine (SweepRunner::run_jobs) instead
+  // of per-cell strategy objects.  Arg = batch width B.  cells_per_sec here
+  // against BM_PartitionSweep's counter is the batched-vs-scalar aggregate
+  // speedup; the perf-smoke job gates on this counter staying put.
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const RequestSet rs = zipf_workload(3, 48, 1500, 11);
+  SimConfig cfg;
+  cfg.cache_size = 16;
+  cfg.fault_penalty = 4;
+  cfg.record_fault_timeline = false;
+  const std::vector<Partition> grid = enumerate_partitions(16, 3, 1);
+  std::vector<SimJob> jobs(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    jobs[i].config = cfg;
+    jobs[i].requests = &rs;
+    jobs[i].strategy =
+        BatchStrategySpec::static_partition(grid[i], BatchPolicy::kLru);
+  }
+  std::size_t cells = 0;
+  Count lane_steps = 0;
+  double wall = 0.0;
+  for (auto _ : state) {
+    SweepRunner sweep(SweepOptions{/*master_seed=*/13, /*max_threads=*/0});
+    const std::vector<RunStats> stats = sweep.run_jobs(jobs, width);
+    benchmark::DoNotOptimize(stats.data());
+    cells += sweep.last_timing().cells;
+    wall += sweep.last_timing().wall_seconds;
+    for (const RunStats& s : stats) lane_steps += s.sim_steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["cells_per_sec"] =
+      benchmark::Counter(static_cast<double>(cells), benchmark::Counter::kIsRate);
+  state.counters["lane_steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(lane_steps), benchmark::Counter::kIsRate);
+  state.counters["sweep_wall_s"] = wall;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SharedPolicy, lru, "lru")->Arg(2)->Arg(4)->Arg(8);
@@ -247,5 +287,7 @@ BENCHMARK(BM_BigFleetThroughput);
 BENCHMARK(BM_LruFaultCurve)->Arg(64);
 // Arg = sweep worker cap: serial, two workers, all hardware workers (0).
 BENCHMARK(BM_PartitionSweep)->Arg(1)->Arg(2)->Arg(0);
+// Arg = batch width B: degenerate single-lane batches vs full lockstep.
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(64);
 
 BENCHMARK_MAIN();

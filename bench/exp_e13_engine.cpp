@@ -8,6 +8,7 @@
 // bit-identical at 1, 2 and all hardware workers — the PR-1 contract).
 #include <chrono>
 
+#include "core/batch_state.hpp"
 #include "core/simulator.hpp"
 #include "core/sweep.hpp"
 #include "experiments.hpp"
@@ -105,6 +106,46 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
             t);
   }
 
+  // Batched sweep: the same 105 partition jobs as lockstep lanes through
+  // the batch engine (SweepRunner::run_jobs).  The fault vector must match
+  // the scalar sweep bit-for-bit at every batch width — the batch engine's
+  // differential contract, re-checked here from the driver's seed — and the
+  // Mcells/s column quantifies the structure-of-arrays win over the
+  // per-cell strategy objects above.
+  auto& batch_table = b.series(
+      "batch_sweep",
+      "Batched partition sweep (same 105 cells, lockstep lanes):",
+      {"B", "cells", "wall_s", "Mcells/s", "Mlane_steps/s", "identical"});
+  std::vector<SimJob> batch_jobs(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    batch_jobs[i].config = sweep_cfg;
+    batch_jobs[i].requests = &sweep_rs;
+    batch_jobs[i].strategy =
+        BatchStrategySpec::static_partition(grid[i], BatchPolicy::kLru);
+  }
+  bool batch_identical = true;
+  for (const std::size_t width : {std::size_t{1}, std::size_t{32}}) {
+    SweepRunner sweep(SweepOptions{ctx.master_seed, ctx.workers});
+    const std::vector<RunStats> stats = sweep.run_jobs(batch_jobs, width);
+    std::vector<Count> faults(stats.size());
+    Count lane_steps = 0;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      faults[i] = stats[i].total_faults();
+      lane_steps += stats[i].sim_steps;
+    }
+    const bool identical = faults == baseline;
+    batch_identical = batch_identical && identical;
+    const SweepTiming& t = sweep.last_timing();
+    const double rate = t.wall_seconds > 0.0
+                            ? static_cast<double>(lane_steps) / t.wall_seconds
+                            : 0.0;
+    batch_table.row(std::to_string(width),
+                    static_cast<std::uint64_t>(t.cells), t.wall_seconds,
+                    t.cells_per_second() / 1e6, rate / 1e6,
+                    identical ? "yes" : "NO");
+    b.sweep("E13.batch_sweep.b" + std::to_string(width), t);
+  }
+
   // LRU fault-curve kernel: the single-pass Mattson path of
   // policy_fault_curves against the per-k reference loop it replaced; the
   // curves must agree cell-for-cell.
@@ -146,10 +187,10 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
          "(google-benchmark; not driven by mcpaging-lab).");
 
   return std::move(b).finish(
-      rates_positive && deterministic && curves_agree,
+      rates_positive && deterministic && batch_identical && curves_agree,
       "simulator sustains positive throughput on every strategy family; "
-      "sweep results bit-identical across worker counts; Mattson curve "
-      "matches the per-k reference");
+      "sweep results bit-identical across worker counts and batch widths; "
+      "Mattson curve matches the per-k reference");
 }
 
 }  // namespace
@@ -159,13 +200,14 @@ void mcp::experiments::register_e13(lab::ExperimentRegistry& registry) {
       "E13",
       "Engine throughput & sweep determinism (lab edition)",
       "simulator steps/faults/requests per second per strategy family; "
-      "partition sweep bit-identical at 1/2/all workers; Mattson vs per-k "
-      "LRU fault-curve cells/sec (see bench_sim_throughput for the full "
+      "partition sweep bit-identical at 1/2/all workers; batched lockstep "
+      "sweep (Mcells/s) bit-identical at B=1/32; Mattson vs per-k LRU "
+      "fault-curve cells/sec (see bench_sim_throughput for the full "
       "google-benchmark suite)",
       "EXPERIMENTS.md §E13; PR-1 sweep contract",
-      {"engine", "throughput", "sweep", "fault-curve"},
+      {"engine", "throughput", "sweep", "batch", "fault-curve"},
       "p=4, K=64 zipf single-pass; 105-cell partition sweep at worker caps "
-      "{1,2,all}; K=64 LRU fault curves both paths",
+      "{1,2,all} and batch widths {1,32}; K=64 LRU fault curves both paths",
       run,
   });
 }

@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 OUT=${1:-bench/baseline/BENCH_E13.json}
 OFFLINE_OUT=${2:-bench/baseline/BENCH_OFFLINE.json}
 BUILD=${BUILD_DIR:-build-bench}
-FILTER=${BENCH_FILTER:-'BM_SharedPolicy/lru/4$|BM_LruFaultCurve/64$|BM_PartitionSweep/0$'}
+FILTER=${BENCH_FILTER:-'BM_SharedPolicy/lru/4$|BM_LruFaultCurve/64$|BM_PartitionSweep/0$|BM_BatchSweep/(1|64)$'}
 OFFLINE_FILTER=${OFFLINE_FILTER:-'BM_FtfSolver/(packed|reference)/(24|40|48)$|BM_PifSolver/(packed|reference)/(32|64|128)$'}
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \

@@ -26,12 +26,18 @@ import argparse
 import json
 import sys
 
-DEFAULT_GATES = ("BM_SharedPolicy/lru/4:steps_per_sec",)
+DEFAULT_GATES = (
+    "BM_SharedPolicy/lru/4:steps_per_sec",
+    # The batched lockstep sweep's aggregate throughput (BatchEngine under
+    # SweepRunner::run_jobs); 25% default tolerance like every other gate.
+    "BM_BatchSweep/64:cells_per_sec",
+)
 CONTEXT_COUNTERS = (
     "steps_per_sec",
     "faults_per_sec",
     "curve_cells_per_sec",
     "cells_per_sec",
+    "lane_steps_per_sec",
     "states_per_sec",
 )
 

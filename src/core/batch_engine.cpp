@@ -1,0 +1,564 @@
+// Implementation of the batched lockstep engine and SweepRunner::run_jobs.
+//
+// The per-lane step function is a transliteration of Simulator::run's step
+// loop (land fetches, serve ready cores in increasing id, fast-forward the
+// clock), specialized at compile time on (shared vs static-partition, LRU
+// vs FIFO).  Bit-equality with the scalar engine is argued in DESIGN.md
+// §12; the load-bearing piece is the stamp representation of the policies:
+// stamps are unique and monotonic per cell, LRU writes them on insert and
+// hit, FIFO on insert only, so "first evictable page scanning the policy
+// list from the back" is exactly "minimum stamp among the region's present
+// slots".
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <span>
+
+#include "core/error.hpp"
+#include "core/sentry.hpp"
+#include "core/sweep.hpp"
+
+namespace mcp {
+
+void BatchEngine::load(std::span<const SimJob> jobs, std::span<RunStats> out) {
+  MCP_REQUIRE(out.size() == jobs.size(),
+              "BatchEngine::load: out.size() must equal jobs.size()");
+  state_.clear();
+  active_.clear();
+  out_ = out.data();
+  out_size_ = out.size();
+
+  // Pass 1: validate every job's shape and size the lanes.
+  std::size_t total_slots = 0;
+  std::size_t total_cores = 0;
+  std::size_t total_regions = 0;
+  std::size_t total_pages = 0;
+  std::vector<PageId> page_bounds(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SimJob& job = jobs[i];
+    MCP_REQUIRE(job.requests != nullptr, "SimJob.requests must not be null");
+    MCP_REQUIRE(job.config.cache_size > 0,
+                "SimConfig.cache_size must be positive");
+    const std::size_t p = job.requests->num_cores();
+    MCP_REQUIRE(p > 0, "request stream has no cores");
+    const BatchStrategySpec& spec = job.strategy;
+    if (spec.kind == BatchStrategySpec::Kind::kStaticPartition) {
+      MCP_REQUIRE(spec.partition.size() == p,
+                  "static partition spec must have one part per core");
+      std::size_t sum = 0;
+      for (const std::size_t part : spec.partition) {
+        MCP_REQUIRE(part >= 1, "every core's part must hold at least one page");
+        sum += part;
+      }
+      MCP_REQUIRE(sum == job.config.cache_size,
+                  "partition must sum to the cache size");
+    } else {
+      MCP_REQUIRE(spec.partition.empty(),
+                  "shared strategy spec takes no partition");
+    }
+    page_bounds[i] = job.requests->page_bound();
+    total_slots += job.config.cache_size;
+    total_cores += p;
+    total_regions +=
+        spec.kind == BatchStrategySpec::Kind::kStaticPartition ? p : 1;
+    total_pages += page_bounds[i];
+  }
+
+  state_.cells.resize(jobs.size());
+  state_.slot_page.assign(total_slots, kInvalidPage);
+  state_.slot_status.assign(total_slots, BatchSlotStatus::kFree);
+  state_.slot_ready.assign(total_slots, 0);
+  state_.slot_stamp.assign(total_slots, 0);
+  state_.free_stack.resize(total_slots);
+  state_.inflight.resize(total_slots);
+  state_.page_slot.assign(total_pages, kNoBatchSlot);
+  state_.core_ready.assign(total_cores, 0);
+  state_.core_finish.assign(total_cores, 0);
+  state_.core_seq.resize(total_cores);
+  state_.core_len.resize(total_cores);
+  state_.core_next.assign(total_cores, 0);
+  state_.core_pending.assign(total_cores, kInvalidPage);
+  state_.core_flags.assign(total_cores, 0);
+  state_.region_size.resize(total_regions);
+  state_.region_occ.assign(total_regions, 0);
+  state_.region_slot_base.resize(total_regions);
+  state_.region_free_top.resize(total_regions);
+  active_.reserve(jobs.size());
+
+  // Pass 2: fill the lane slices and pre-size every result (the step loop
+  // must not allocate, so fault timelines get their worst-case capacity —
+  // at most one fault per request — here).
+  std::size_t slot_base = 0;
+  std::size_t core_base = 0;
+  std::size_t region_base = 0;
+  std::size_t page_base = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SimJob& job = jobs[i];
+    const std::size_t cache_size = job.config.cache_size;
+    const std::size_t p = job.requests->num_cores();
+    const bool partitioned =
+        job.strategy.kind == BatchStrategySpec::Kind::kStaticPartition;
+
+    BatchCell& cell = state_.cells[i];
+    cell = BatchCell{};
+    cell.cache_size = static_cast<std::uint32_t>(cache_size);
+    cell.num_cores = static_cast<std::uint32_t>(p);
+    cell.num_regions = static_cast<std::uint32_t>(partitioned ? p : 1);
+    cell.page_bound = page_bounds[i];
+    cell.tau = job.config.fault_penalty;
+    cell.max_steps = job.config.max_steps;
+    cell.mode = job.config.shared_fetch;
+    cell.kind = job.strategy.kind;
+    cell.policy = job.strategy.policy;
+    cell.record_timeline = job.config.record_fault_timeline;
+    cell.slot_base = slot_base;
+    cell.core_base = core_base;
+    cell.region_base = region_base;
+    cell.page_base = page_base;
+    cell.active_cores = static_cast<std::uint32_t>(p);
+
+    // The identity fill seeds every region's free-stack segment with its
+    // own slot range (region slot ranges tile the cell's range in region
+    // order, so slot and free-stack segments coincide).
+    for (std::size_t s = 0; s < cache_size; ++s) {
+      state_.free_stack[slot_base + s] =
+          static_cast<std::uint32_t>(slot_base + s);
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      const RequestSequence& seq =
+          job.requests->sequence(static_cast<CoreId>(j));
+      state_.core_seq[core_base + j] = seq.pages().data();
+      state_.core_len[core_base + j] = static_cast<std::uint32_t>(seq.size());
+    }
+    std::size_t region_slot = slot_base;
+    for (std::size_t r = 0; r < cell.num_regions; ++r) {
+      const std::size_t rsize =
+          partitioned ? job.strategy.partition[r] : cache_size;
+      state_.region_size[region_base + r] = static_cast<std::uint32_t>(rsize);
+      state_.region_slot_base[region_base + r] =
+          static_cast<std::uint32_t>(region_slot);
+      state_.region_free_top[region_base + r] =
+          static_cast<std::uint32_t>(rsize);
+      region_slot += rsize;
+    }
+
+    RunStats stats(p);
+    if (job.config.record_fault_timeline) {
+      for (std::size_t j = 0; j < p; ++j) {
+        stats.core(static_cast<CoreId>(j))
+            .fault_times.reserve(
+                job.requests->sequence(static_cast<CoreId>(j)).size());
+      }
+    }
+    out_[i] = std::move(stats);
+
+    active_.push_back(static_cast<std::uint32_t>(i));
+    slot_base += cache_size;
+    core_base += p;
+    region_base += cell.num_regions;
+    page_base += page_bounds[i];
+  }
+}
+
+template <bool kPartitioned, bool kLruTouch>
+bool BatchEngine::step_lane(BatchCell& cell, RunStats& stats) {
+  BatchState& st = state_;
+  // Lane slices as raw locals: the lanes are disjoint arrays of distinct
+  // element types indexed by absolute slot ids (slot lanes) or pre-offset
+  // by the cell's base (core/region/page lanes).  Hoisting the data
+  // pointers out of the vectors keeps the optimizer from reloading them
+  // after every store (the vectors alias `state_` as far as it can tell).
+  PageId* const slot_page = st.slot_page.data();
+  BatchSlotStatus* const slot_status = st.slot_status.data();
+  Time* const slot_ready = st.slot_ready.data();
+  std::uint64_t* const slot_stamp = st.slot_stamp.data();
+  std::uint32_t* const free_stack = st.free_stack.data();
+  std::uint32_t* const inflight = st.inflight.data() + cell.slot_base;
+  std::uint32_t* const page_slot = st.page_slot.data() + cell.page_base;
+  Time* const core_ready = st.core_ready.data() + cell.core_base;
+  Time* const core_finish = st.core_finish.data() + cell.core_base;
+  const PageId* const* const core_seq = st.core_seq.data() + cell.core_base;
+  const std::uint32_t* const core_len = st.core_len.data() + cell.core_base;
+  std::uint32_t* const core_next = st.core_next.data() + cell.core_base;
+  PageId* const core_pending = st.core_pending.data() + cell.core_base;
+  std::uint8_t* const core_flags = st.core_flags.data() + cell.core_base;
+  const std::uint32_t* const region_size =
+      st.region_size.data() + cell.region_base;
+  std::uint32_t* const region_occ = st.region_occ.data() + cell.region_base;
+  const std::uint32_t* const region_slot_base =
+      st.region_slot_base.data() + cell.region_base;
+  std::uint32_t* const region_free_top =
+      st.region_free_top.data() + cell.region_base;
+  CoreStats* const cores = &stats.core(0);
+
+  ++cell.steps;
+  if (cell.max_steps != 0 && cell.steps > cell.max_steps) {
+    AllocAllow allow;  // declared growth: error paths may build a message
+    throw ModelError("simulation exceeded SimConfig.max_steps");
+  }
+  const Time now = cell.now;
+  const Time tau = cell.tau;
+
+  // 1. Land fetches due now, before any request is served this step.  The
+  //    in-flight lane holds at most min(p, K) entries; backwards
+  //    swap-remove keeps it packed.  Landing order is unobservable here:
+  //    the batchable strategies' on_fetch_complete is a no-op.
+  for (std::uint32_t i = cell.fetching; i-- > 0;) {
+    const std::uint32_t slot = inflight[i];
+    if (slot_ready[slot] <= now) {
+      slot_status[slot] = BatchSlotStatus::kPresent;
+      inflight[i] = inflight[--cell.fetching];
+    }
+  }
+
+  // 2. (No voluntary evictions and no deferrals: the batchable strategies
+  //    keep the base class's no-op on_step_begin / defer_request.)
+
+  // 3. Serve ready cores in increasing core id — the paper's fixed logical
+  //    service order for simultaneous requests.  The fast-forward min is
+  //    folded into the same pass: iteration j is the only writer of core
+  //    j's ready time, so the value observed here is the value the old
+  //    second pass would have read.
+  Time next_time = kTimeNever;
+  for (std::uint32_t j = 0; j < cell.num_cores; ++j) {
+    std::uint8_t flags = core_flags[j];
+    if ((flags & kBatchCoreDone) != 0) continue;
+    if (core_ready[j] > now) {
+      next_time = std::min(next_time, core_ready[j]);
+      continue;
+    }
+    if ((flags & kBatchCorePending) == 0) {
+      if (core_next[j] >= core_len[j]) {
+        core_flags[j] = static_cast<std::uint8_t>(flags | kBatchCoreDone);
+        cores[j].completion_time = core_finish[j];
+        --cell.active_cores;
+        continue;
+      }
+      core_pending[j] = core_seq[j][core_next[j]++];
+      flags = static_cast<std::uint8_t>(flags | kBatchCorePending);
+      core_flags[j] = flags;
+    }
+    const PageId page = core_pending[j];
+    MCP_ASSERT(page < cell.page_bound);
+    std::uint32_t& slot_of_page = page_slot[page];
+    CoreStats& core_stats = cores[j];
+
+    if (slot_of_page != kNoBatchSlot &&
+        slot_status[slot_of_page] == BatchSlotStatus::kPresent) {
+      // Hit: served within the step; LRU freshens the slot's stamp.
+      ++core_stats.hits;
+      ++core_stats.requests;
+      if constexpr (kLruTouch) slot_stamp[slot_of_page] = ++cell.stamp;
+      core_ready[j] = now + 1;
+      core_finish[j] = now;
+      core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+      next_time = std::min(next_time, now + 1);
+      continue;
+    }
+
+    if (slot_of_page != kNoBatchSlot) {
+      // The page is in flight on behalf of another core.
+      if (cell.mode == SharedFetchMode::kJoinsFetch) {
+        // Block until the fetch lands, then re-serve the still-pending
+        // request (usually a hit; a fault if the page was evicted again).
+        const Time wake = std::max(slot_ready[slot_of_page], now + 1);
+        core_ready[j] = wake;
+        next_time = std::min(next_time, wake);
+        continue;
+      }
+      // kCountsAsFault: full penalty, but the request joins the in-flight
+      // fetch — no cell is taken and the policy is not consulted.
+      ++core_stats.faults;
+      ++core_stats.requests;
+      if (cell.record_timeline) core_stats.fault_times.push_back(now);
+      core_ready[j] = now + tau + 1;
+      core_finish[j] = now + tau;
+      core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+      next_time = std::min(next_time, now + tau + 1);
+      continue;
+    }
+
+    // Plain fault: evict if the region is full, then begin the fetch.
+    ++core_stats.faults;
+    ++core_stats.requests;
+    if (cell.record_timeline) core_stats.fault_times.push_back(now);
+    const std::uint32_t region = kPartitioned ? j : 0;
+    const std::size_t region_begin = region_slot_base[region];
+    if (region_occ[region] == region_size[region]) {
+      // Victim: minimum stamp among the region's present slots (fetching
+      // cells are reserved and never evictable).  The scan covers only the
+      // region's own slot range — K/p slots, not K.
+      const std::size_t end = region_begin + region_size[region];
+      std::uint32_t victim = kNoBatchSlot;
+      std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t s = region_begin; s < end; ++s) {
+        if (slot_status[s] != BatchSlotStatus::kPresent) continue;
+        if (slot_stamp[s] < oldest) {
+          oldest = slot_stamp[s];
+          victim = static_cast<std::uint32_t>(s);
+        }
+      }
+      if (victim == kNoBatchSlot) {
+        AllocAllow allow;
+        throw ModelError("batch engine: no evictable page (all reserved)");
+      }
+      page_slot[slot_page[victim]] = kNoBatchSlot;
+      slot_page[victim] = kInvalidPage;
+      slot_status[victim] = BatchSlotStatus::kFree;
+      free_stack[region_begin + region_free_top[region]++] = victim;
+      --region_occ[region];
+    }
+    MCP_ASSERT(region_free_top[region] > 0);
+    const std::uint32_t slot =
+        free_stack[region_begin + --region_free_top[region]];
+    slot_page[slot] = page;
+    slot_status[slot] = BatchSlotStatus::kFetching;
+    slot_ready[slot] = now + tau + 1;
+    slot_stamp[slot] = ++cell.stamp;
+    slot_of_page = slot;
+    inflight[cell.fetching++] = slot;
+    ++region_occ[region];
+    core_ready[j] = now + tau + 1;
+    core_finish[j] = now + tau;
+    core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+    next_time = std::min(next_time, now + tau + 1);
+  }
+
+  if (cell.active_cores == 0) {
+    stats.end_time = now;
+    stats.sim_steps = cell.steps;
+    return false;
+  }
+
+  // 4. Fast-forward to the next step at which any core can act.
+  MCP_ASSERT(next_time != kTimeNever);
+  cell.now = std::max(now + 1, next_time);
+  return true;
+}
+
+template <bool kPartitioned, bool kLruTouch>
+bool BatchEngine::step_block(BatchCell& cell, RunStats& stats,
+                             std::size_t steps) {
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (!step_lane<kPartitioned, kLruTouch>(cell, stats)) return false;
+  }
+  return true;
+}
+
+std::size_t BatchEngine::round(std::size_t steps_per_lane) {
+  std::size_t i = 0;
+  while (i < active_.size()) {
+    const std::uint32_t index = active_[i];
+    MCP_ASSERT(index < out_size_);
+    BatchCell& cell = state_.cells[index];
+    RunStats& stats = out_[index];
+    bool alive = false;
+    if (cell.kind == BatchStrategySpec::Kind::kStaticPartition) {
+      alive = cell.policy == BatchPolicy::kLru
+                  ? step_block<true, true>(cell, stats, steps_per_lane)
+                  : step_block<true, false>(cell, stats, steps_per_lane);
+    } else {
+      alive = cell.policy == BatchPolicy::kLru
+                  ? step_block<false, true>(cell, stats, steps_per_lane)
+                  : step_block<false, false>(cell, stats, steps_per_lane);
+    }
+    if (alive) {
+      ++i;
+    } else {
+      // Ragged tail: a finished lane is swap-removed and never visited
+      // again; the remaining lanes keep their own clocks.
+      active_[i] = active_.back();
+      active_.pop_back();
+    }
+  }
+  MCP_CHECKED_ONLY(validate());
+  return active_.size();
+}
+
+std::size_t BatchEngine::step_round() { return round(1); }
+
+void BatchEngine::run(std::span<const SimJob> jobs, std::span<RunStats> out) {
+  load(jobs, out);
+  std::optional<AllocGuard> guard;
+  if (options_.alloc_guard) guard.emplace("batch engine lockstep loop");
+  // Blocked schedule: each visit advances a lane many steps, so its slot
+  // and core lanes stay hot in L1 instead of being flushed by the other
+  // B - 1 lanes between consecutive steps.  Per-lane results are identical
+  // to the strict one-step round-robin (lanes never read each other's
+  // state), which step_round() still provides for the phased API.
+  constexpr std::size_t kRunBlockSteps = 1024;
+  while (round(kRunBlockSteps) > 0) {
+  }
+}
+
+std::vector<RunStats> BatchEngine::run(std::span<const SimJob> jobs) {
+  std::vector<RunStats> results(jobs.size());
+  run(jobs, results);
+  return results;
+}
+
+Count BatchEngine::lane_steps() const noexcept {
+  Count total = 0;
+  for (const BatchCell& cell : state_.cells) total += cell.steps;
+  return total;
+}
+
+void BatchEngine::validate() const {
+  // The validator allocates scratch; it is a checked-build/test facility,
+  // not hot-path code, so it suspends any enclosing AllocGuard.
+  AllocAllow allow;
+  const BatchState& st = state_;
+
+  std::size_t slot_base = 0;
+  std::size_t core_base = 0;
+  std::size_t region_base = 0;
+  std::size_t page_base = 0;
+  // Marks free-stack and in-flight members (disjoint sets, one array).
+  std::vector<std::uint8_t> slot_seen(st.slot_page.size(), 0);
+  std::vector<std::uint8_t> cell_active(st.cells.size(), 0);
+  for (const std::uint32_t index : active_) {
+    MCP_REQUIRE(index < st.cells.size(),
+                "batch state: active list references a nonexistent cell");
+    MCP_REQUIRE(cell_active[index] == 0,
+                "batch state: cell listed as active twice");
+    cell_active[index] = 1;
+  }
+
+  for (std::size_t i = 0; i < st.cells.size(); ++i) {
+    const BatchCell& cell = st.cells[i];
+    MCP_REQUIRE(cell.slot_base == slot_base && cell.core_base == core_base &&
+                    cell.region_base == region_base &&
+                    cell.page_base == page_base,
+                "batch state: cell lane bases are not contiguous");
+    MCP_REQUIRE(slot_base + cell.cache_size <= st.slot_page.size() &&
+                    core_base + cell.num_cores <= st.core_ready.size() &&
+                    region_base + cell.num_regions <= st.region_size.size() &&
+                    page_base + cell.page_bound <= st.page_slot.size(),
+                "batch state: cell lane slice exceeds the lane arrays");
+    MCP_REQUIRE((cell_active[i] != 0) == (cell.active_cores > 0),
+                "batch state: active list disagrees with cell.active_cores");
+
+    const std::size_t slot_end = slot_base + cell.cache_size;
+    std::size_t fetching = 0;
+    for (std::size_t s = slot_base; s < slot_end; ++s) {
+      if (st.slot_status[s] == BatchSlotStatus::kFree) {
+        MCP_REQUIRE(st.slot_page[s] == kInvalidPage,
+                    "batch state: free slot still names a page");
+        continue;
+      }
+      if (st.slot_status[s] == BatchSlotStatus::kFetching) ++fetching;
+      const PageId page = st.slot_page[s];
+      MCP_REQUIRE(page < cell.page_bound,
+                  "batch state: slot holds a page outside the cell's bound");
+      MCP_REQUIRE(st.page_slot[page_base + page] == s,
+                  "batch state: page index does not point back at the slot "
+                  "holding the page");
+    }
+    for (std::size_t q = 0; q < cell.page_bound; ++q) {
+      const std::uint32_t s = st.page_slot[page_base + q];
+      if (s == kNoBatchSlot) continue;
+      MCP_REQUIRE(s >= slot_base && s < slot_end,
+                  "batch state: page index points outside the cell's slot "
+                  "lane (lane/cell bijection broken)");
+      MCP_REQUIRE(st.slot_status[s] != BatchSlotStatus::kFree &&
+                      st.slot_page[s] == q,
+                  "batch state: page index points at a slot not holding the "
+                  "page");
+    }
+    MCP_REQUIRE(cell.fetching == fetching,
+                "batch state: in-flight count disagrees with slot statuses");
+    for (std::size_t t = 0; t < cell.fetching; ++t) {
+      const std::uint32_t f = st.inflight[slot_base + t];
+      MCP_REQUIRE(f >= slot_base && f < slot_end &&
+                      st.slot_status[f] == BatchSlotStatus::kFetching &&
+                      slot_seen[f] == 0,
+                  "batch state: in-flight lane names a non-fetching or "
+                  "duplicate slot");
+      slot_seen[f] = 1;
+    }
+
+    std::size_t region_slot = slot_base;
+    for (std::size_t r = 0; r < cell.num_regions; ++r) {
+      const std::size_t rsize = st.region_size[region_base + r];
+      MCP_REQUIRE(st.region_slot_base[region_base + r] == region_slot,
+                  "batch state: region slot ranges do not tile the cell's "
+                  "slot lane in region order");
+      std::size_t occupied = 0;
+      for (std::size_t s = region_slot; s < region_slot + rsize; ++s) {
+        if (st.slot_status[s] != BatchSlotStatus::kFree) ++occupied;
+      }
+      MCP_REQUIRE(st.region_occ[region_base + r] == occupied,
+                  "batch state: region occupancy disagrees with the slot "
+                  "statuses of its range");
+      const std::size_t free_top = st.region_free_top[region_base + r];
+      MCP_REQUIRE(free_top == rsize - occupied,
+                  "batch state: free-stack depth disagrees with occupancy");
+      for (std::size_t t = 0; t < free_top; ++t) {
+        const std::uint32_t f = st.free_stack[region_slot + t];
+        MCP_REQUIRE(f >= region_slot && f < region_slot + rsize &&
+                        st.slot_status[f] == BatchSlotStatus::kFree &&
+                        slot_seen[f] == 0,
+                    "batch state: free stack names a non-free, foreign, or "
+                    "duplicate slot");
+        slot_seen[f] = 1;
+      }
+      region_slot += rsize;
+    }
+    MCP_REQUIRE(region_slot == slot_end,
+                "batch state: region sizes do not sum to the cache size");
+
+    std::size_t running = 0;
+    for (std::size_t j = 0; j < cell.num_cores; ++j) {
+      const std::size_t cj = core_base + j;
+      MCP_REQUIRE(st.core_next[cj] <= st.core_len[cj],
+                  "batch state: core cursor past the end of its sequence");
+      if ((st.core_flags[cj] & kBatchCoreDone) == 0) ++running;
+      if ((st.core_flags[cj] & kBatchCorePending) != 0) {
+        MCP_REQUIRE(st.core_pending[cj] < cell.page_bound,
+                    "batch state: pending request outside the page bound");
+      }
+    }
+    MCP_REQUIRE(running == cell.active_cores,
+                "batch state: active core count disagrees with core flags");
+
+    slot_base += cell.cache_size;
+    core_base += cell.num_cores;
+    region_base += cell.num_regions;
+    page_base += cell.page_bound;
+  }
+  MCP_REQUIRE(slot_base == st.slot_page.size() &&
+                  core_base == st.core_ready.size() &&
+                  region_base == st.region_size.size() &&
+                  page_base == st.page_slot.size(),
+              "batch state: cells do not tile the lane arrays");
+}
+
+std::vector<RunStats> SweepRunner::run_jobs(std::span<const SimJob> jobs,
+                                            std::size_t batch_width) {
+  MCP_REQUIRE(batch_width > 0,
+              "SweepRunner::run_jobs: batch_width must be positive");
+  std::vector<RunStats> results(jobs.size());
+  const auto start = std::chrono::steady_clock::now();
+  if (!jobs.empty()) {
+    const std::size_t batches = (jobs.size() + batch_width - 1) / batch_width;
+    ThreadPool::global().run_indexed(
+        batches,
+        [&](std::size_t b) {
+          const std::size_t begin = b * batch_width;
+          const std::size_t count = std::min(batch_width, jobs.size() - begin);
+          BatchEngine engine;
+          engine.run(jobs.subspan(begin, count),
+                     std::span<RunStats>(results).subspan(begin, count));
+        },
+        options_.max_threads);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  timing_.cells = jobs.size();
+  timing_.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  timing_.max_threads = options_.max_threads;
+  return results;
+}
+
+}  // namespace mcp

@@ -1,0 +1,101 @@
+// BatchEngine: advances B independent simulation cells per step in lockstep
+// over the structure-of-arrays lanes of core/batch_state.hpp.
+//
+// Semantics are bit-equal to running each cell through mcp::Simulator with
+// the corresponding strategy object — same RunStats field for field,
+// including fault timelines, end_time and sim_steps.  The win is layout:
+// no virtual dispatch, no hash maps, no list nodes; every decision is a few
+// loads from contiguous lanes, so a sweep of thousands of small cells runs
+// at a multiple of the scalar engine's aggregate throughput (BM_BatchSweep,
+// E13 `batch_sweep` series).
+//
+// The step loop is allocation-free after load(): every lane, free stack,
+// in-flight list and fault-timeline buffer is sized up front, and run()
+// arms an AllocGuard over the whole lockstep loop (DESIGN.md §10), so a
+// regression that sneaks an allocation into the hot path fails loudly
+// (tests/test_sentry.cpp).
+//
+// Determinism: lanes never read each other's state, so results are
+// bit-identical for any batch width B and — via SweepRunner::run_jobs,
+// which assigns each batch a fixed slice of the result vector — any worker
+// count (tests/core/test_batch_differential.cpp, test_sweep_determinism).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/batch_state.hpp"
+#include "core/stats.hpp"
+
+namespace mcp {
+
+struct BatchEngineTestAccess;
+
+struct BatchEngineOptions {
+  /// Arm an AllocGuard over the lockstep loop in run().  Disable only for
+  /// sentry tests that want to arm their own guard around step_round().
+  bool alloc_guard = true;
+};
+
+class BatchEngine {
+ public:
+  BatchEngine() = default;
+  explicit BatchEngine(BatchEngineOptions options) : options_(options) {}
+
+  /// One-shot: load() + lockstep rounds until every lane finishes.
+  /// `out[i]` receives job i's RunStats (same values as Simulator::run).
+  /// Both spans are borrowed for the duration of the call only.
+  void run(std::span<const SimJob> jobs, std::span<RunStats> out);
+  [[nodiscard]] std::vector<RunStats> run(std::span<const SimJob> jobs);
+
+  /// Phased API (used by the sentry and differential tests): load the jobs
+  /// — this is where ALL allocation happens — then call step_round() until
+  /// it returns 0.  `out` must stay alive until the last round.
+  void load(std::span<const SimJob> jobs, std::span<RunStats> out);
+
+  /// Advances every active lane by one step-loop iteration; finished lanes
+  /// are swap-removed.  Returns the number of still-active lanes.  (run()
+  /// uses the private blocked variant — many steps per lane visit — for
+  /// locality; per-lane results are identical either way because lanes
+  /// never read each other's state.)
+  std::size_t step_round();
+
+  [[nodiscard]] std::size_t active_lanes() const noexcept {
+    return active_.size();
+  }
+
+  /// Total step-loop iterations executed across all lanes so far (the
+  /// batched counterpart of RunStats::sim_steps, summed).
+  [[nodiscard]] Count lane_steps() const noexcept;
+
+  /// Deep lane/cell invariant check (see BatchState): throws ModelError on
+  /// the first violation.  Callable in any build; step_round() invokes it
+  /// per round under MCP_CHECKED.  Allocates scratch (owns an AllocAllow).
+  void validate() const;
+
+ private:
+  friend struct BatchEngineTestAccess;
+
+  template <bool kPartitioned, bool kLruTouch>
+  bool step_lane(BatchCell& cell, RunStats& stats);
+  template <bool kPartitioned, bool kLruTouch>
+  bool step_block(BatchCell& cell, RunStats& stats, std::size_t steps);
+  std::size_t round(std::size_t steps_per_lane);
+
+  BatchEngineOptions options_{};
+  BatchState state_;
+  std::vector<std::uint32_t> active_;  ///< cell indices still running
+  RunStats* out_ = nullptr;            ///< borrowed result slots (load())
+  std::size_t out_size_ = 0;
+};
+
+/// Test-only backdoor, mirroring CacheStateTestAccess: lets the sentry test
+/// corrupt lane state in place to prove validate() catches it.
+struct BatchEngineTestAccess {
+  [[nodiscard]] static BatchState& state(BatchEngine& engine) {
+    return engine.state_;
+  }
+};
+
+}  // namespace mcp

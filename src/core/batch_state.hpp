@@ -1,0 +1,187 @@
+// Structure-of-arrays state for the batched lockstep engine (DESIGN.md §12).
+//
+// A *cell* is one independent simulation — a (SimConfig, RequestSet,
+// strategy) triple; a batch is B cells advanced in lockstep by BatchEngine.
+// All per-cell state lives in flat lanes shared by the whole batch: cell i
+// owns the contiguous [base, base + count) slice of every lane, with the
+// bases recorded in its BatchCell header (a CSR layout).  Heterogeneous
+// shapes — cache size K, core count p, page bound, trace length — pack
+// without padding, and a cell that finishes early is simply dropped from the
+// active list, so ragged tails cost nothing.
+//
+// Only strategies whose decisions are a pure function of this packed state
+// are batchable: the shared cache S_A and static partitions sP^B_A under LRU
+// or FIFO (BatchStrategySpec).  Recency/insertion order is represented by a
+// per-cell monotonic stamp written into slot_stamp on insert (LRU and FIFO)
+// and on hit (LRU only); the victim is the minimum-stamp present slot of the
+// faulting region, which reproduces the scalar policies' list order exactly
+// because stamps are unique.  Everything else (dynamic partitions, marking,
+// adaptive adversary streams) keeps the scalar Simulator — which is also
+// retained as the differential oracle for the batched path
+// (tests/core/test_batch_differential.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/strategy.hpp"
+#include "core/types.hpp"
+
+namespace mcp {
+
+/// Eviction policies the batch engine can express with stamp lanes.
+enum class BatchPolicy : std::uint8_t { kLru, kFifo };
+
+/// Maps a policy display name to its batched counterpart.  Exact-name match
+/// ("LRU", "FIFO") on purpose: variants such as "LRU-SCAN" must not silently
+/// take the batched path.
+[[nodiscard]] inline std::optional<BatchPolicy> batch_policy_from_name(
+    std::string_view name) noexcept {
+  if (name == "LRU") return BatchPolicy::kLru;
+  if (name == "FIFO") return BatchPolicy::kFifo;
+  return std::nullopt;
+}
+
+/// Value-type description of a batchable strategy (no factories or virtual
+/// dispatch: a SimJob must be shippable to any worker and hashable into a
+/// lane header).
+struct BatchStrategySpec {
+  enum class Kind : std::uint8_t { kShared, kStaticPartition };
+
+  Kind kind = Kind::kShared;
+  BatchPolicy policy = BatchPolicy::kLru;
+  /// kStaticPartition only: one entry per core, each >= 1, summing to K.
+  std::vector<std::size_t> partition;
+
+  [[nodiscard]] static BatchStrategySpec shared(BatchPolicy policy) {
+    return {Kind::kShared, policy, {}};
+  }
+  [[nodiscard]] static BatchStrategySpec static_partition(
+      std::vector<std::size_t> partition, BatchPolicy policy) {
+    return {Kind::kStaticPartition, policy, std::move(partition)};
+  }
+};
+
+/// One simulation cell, ready to run.  `requests` is borrowed: the caller
+/// keeps the RequestSet alive until the run completes.
+struct SimJob {
+  SimConfig config;
+  const RequestSet* requests = nullptr;
+  BatchStrategySpec strategy;
+};
+
+/// Status of one cache slot lane entry.
+enum class BatchSlotStatus : std::uint8_t { kFree = 0, kFetching, kPresent };
+
+/// Sentinel for page_slot lane entries: page not resident in this cell.
+inline constexpr std::uint32_t kNoBatchSlot =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// core_flags lane bits.
+inline constexpr std::uint8_t kBatchCorePending = 0x1;  ///< has_pending
+inline constexpr std::uint8_t kBatchCoreDone = 0x2;     ///< sequence drained
+
+/// Per-cell header: immutable shape, CSR lane bases, and the mutable
+/// scalars that are one-per-cell rather than one-per-slot/core.
+struct BatchCell {
+  // Immutable shape (from SimJob).
+  std::uint32_t cache_size = 0;  ///< K: slots in [slot_base, slot_base+K)
+  std::uint32_t num_cores = 0;   ///< p: cores in [core_base, core_base+p)
+  std::uint32_t num_regions = 0;  ///< 1 (shared) or p (static partition)
+  std::uint32_t page_bound = 0;   ///< page ids < page_bound
+  Time tau = 0;
+  Time max_steps = 0;
+  SharedFetchMode mode = SharedFetchMode::kCountsAsFault;
+  BatchStrategySpec::Kind kind = BatchStrategySpec::Kind::kShared;
+  BatchPolicy policy = BatchPolicy::kLru;
+  bool record_timeline = true;
+
+  // CSR bases into the shared lanes (slot_base also indexes the free-stack
+  // and in-flight lanes, which are slot-capacity arrays).
+  std::size_t slot_base = 0;
+  std::size_t core_base = 0;
+  std::size_t region_base = 0;
+  std::size_t page_base = 0;
+
+  // Mutable per-cell scalars.
+  Time now = 0;
+  Time steps = 0;               ///< lockstep iterations this lane executed
+  std::uint64_t stamp = 0;      ///< monotonic recency/insertion counter
+  std::uint32_t active_cores = 0;
+  std::uint32_t fetching = 0;   ///< live entries in the in-flight lane
+};
+
+/// The flat lanes.  Invariants (enforced by BatchEngine::validate()):
+///  * cells' lane slices are contiguous, ascending and non-overlapping;
+///  * regions' slot ranges tile the cell's slot range in region order, so a
+///    slot's owning region is implied by its index — the victim scan and the
+///    free stack of region r touch only [region_slot_base[r],
+///    region_slot_base[r] + region_size[r]);
+///  * page_slot and (slot_page, slot_status) are a bijection per cell: a
+///    non-sentinel page_slot entry points into its own cell's slot range at
+///    a non-free slot holding that page, and vice versa;
+///  * region r's free-stack segment holds exactly the region's free slots,
+///    once each;
+///  * in-flight entries are exactly the cell's fetching slots;
+///  * region occupancy equals the count of non-free slots in the region's
+///    slot range.
+struct BatchState {
+  std::vector<BatchCell> cells;
+
+  // Slot lanes (size = sum of cache sizes).
+  std::vector<PageId> slot_page;
+  std::vector<BatchSlotStatus> slot_status;
+  std::vector<Time> slot_ready;             ///< fetch completion time
+  std::vector<std::uint64_t> slot_stamp;
+  std::vector<std::uint32_t> free_stack;    ///< absolute slot ids, segmented
+                                            ///< per region like the slots
+  std::vector<std::uint32_t> inflight;      ///< absolute slot ids
+
+  // Page-index lane (size = sum of page bounds): absolute slot id or
+  // kNoBatchSlot.
+  std::vector<std::uint32_t> page_slot;
+
+  // Core lanes (size = sum of core counts).
+  std::vector<Time> core_ready;
+  std::vector<Time> core_finish;            ///< last request's finish time
+  std::vector<const PageId*> core_seq;
+  std::vector<std::uint32_t> core_len;
+  std::vector<std::uint32_t> core_next;     ///< cursor into core_seq
+  std::vector<PageId> core_pending;
+  std::vector<std::uint8_t> core_flags;
+
+  // Region lanes (size = sum of region counts).
+  std::vector<std::uint32_t> region_size;
+  std::vector<std::uint32_t> region_occ;       ///< present + fetching slots
+  std::vector<std::uint32_t> region_slot_base; ///< absolute first slot id
+  std::vector<std::uint32_t> region_free_top;  ///< live free-stack entries
+
+  void clear() {
+    cells.clear();
+    slot_page.clear();
+    slot_status.clear();
+    slot_ready.clear();
+    slot_stamp.clear();
+    free_stack.clear();
+    inflight.clear();
+    page_slot.clear();
+    core_ready.clear();
+    core_finish.clear();
+    core_seq.clear();
+    core_len.clear();
+    core_next.clear();
+    core_pending.clear();
+    core_flags.clear();
+    region_size.clear();
+    region_occ.clear();
+    region_slot_base.clear();
+    region_free_top.clear();
+  }
+};
+
+}  // namespace mcp

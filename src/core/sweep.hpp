@@ -20,14 +20,22 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 
 namespace mcp {
+
+struct SimJob;  // core/batch_state.hpp
+
+/// Default lanes per batch for run_jobs: wide enough to amortize the batch
+/// load, small enough that a sweep still spreads across pool workers.
+inline constexpr std::size_t kDefaultBatchWidth = 64;
 
 struct SweepOptions {
   /// Root of every cell's RNG stream; two sweeps with equal seeds and equal
@@ -88,6 +96,18 @@ class SweepRunner {
     timing_.max_threads = options_.max_threads;
     return results;
   }
+
+  /// Executes pre-materialized simulation jobs through the batched lockstep
+  /// engine (core/batch_engine.hpp), `batch_width` lanes per batch, batches
+  /// dispatched over the shared pool.  Results are bit-identical to running
+  /// each job through mcp::Simulator with the matching strategy object, for
+  /// any worker count AND any batch width: lanes are fully independent and
+  /// each batch writes only its own contiguous slice of the result vector.
+  /// Jobs draw no randomness, so the master seed plays no role here.
+  /// Records last_timing() like run().  Defined in batch_engine.cpp.
+  [[nodiscard]] std::vector<RunStats> run_jobs(
+      std::span<const SimJob> jobs,
+      std::size_t batch_width = kDefaultBatchWidth);
 
   [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
   /// Timing of the most recent run() (zeroed cells before the first run).

@@ -62,4 +62,67 @@ CompetitiveReport measure_competitive_ratio(const StrategyFactory& strategy,
   return report;
 }
 
+CompetitiveReport measure_competitive_ratio(const BatchStrategySpec& strategy,
+                                            const InstanceGenerator& generator,
+                                            std::size_t trials) {
+  MCP_REQUIRE(trials > 0, "measure_competitive_ratio: no trials");
+  struct TrialCase {
+    OfflineInstance instance;
+    Count opt = 0;
+    bool nonempty = false;
+  };
+  // Phase 1: generate and exactly solve each trial — the expensive,
+  // per-trial-heterogeneous part — as independent sweep cells.
+  SweepRunner sweep;
+  const std::vector<TrialCase> cases =
+      sweep.run(trials, [&](std::size_t trial, Rng& /*rng*/) {
+        TrialCase tc;
+        tc.instance = generator(trial);
+        if (tc.instance.requests.total_requests() == 0) return tc;
+        tc.opt = solve_ftf(tc.instance).min_faults;
+        MCP_ASSERT_MSG(tc.opt > 0,
+                       "nonempty instance must have compulsory misses");
+        tc.nonempty = true;
+        return tc;
+      });
+
+  // Phase 2: simulate the strategy on every nonempty instance as lockstep
+  // lanes.  Jobs are built in trial order, so the reduction below walks the
+  // same order as the scalar overload's — bit-identical report.
+  std::vector<SimJob> jobs;
+  std::vector<std::size_t> trial_of_job;
+  jobs.reserve(trials);
+  trial_of_job.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    if (!cases[trial].nonempty) continue;
+    SimJob job;
+    job.config = cases[trial].instance.sim_config();
+    job.config.record_fault_timeline = false;  // totals only
+    job.requests = &cases[trial].instance.requests;
+    job.strategy = strategy;
+    jobs.push_back(std::move(job));
+    trial_of_job.push_back(trial);
+  }
+  MCP_REQUIRE(!jobs.empty(), "all generated instances were empty");
+  const std::vector<RunStats> stats = sweep.run_jobs(jobs);
+
+  CompetitiveReport report;
+  double ratio_sum = 0.0;
+  for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+    const std::size_t trial = trial_of_job[idx];
+    const Count faults = stats[idx].total_faults();
+    const double ratio =
+        static_cast<double>(faults) / static_cast<double>(cases[trial].opt);
+    ++report.samples;
+    ratio_sum += ratio;
+    if (faults == cases[trial].opt) ++report.optimal_hits;
+    if (ratio > report.max_ratio) {
+      report.max_ratio = ratio;
+      report.worst_trial = trial;
+    }
+  }
+  report.mean_ratio = ratio_sum / static_cast<double>(report.samples);
+  return report;
+}
+
 }  // namespace mcp

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/batch_state.hpp"
 #include "core/strategy.hpp"
 #include "offline/instance.hpp"
 
@@ -42,6 +43,17 @@ struct CompetitiveReport {
 /// state).  The report is bit-identical for any worker count.
 [[nodiscard]] CompetitiveReport measure_competitive_ratio(
     const StrategyFactory& strategy, const InstanceGenerator& generator,
+    std::size_t trials);
+
+/// Batched variant: the strategy under test is a BatchStrategySpec, so the
+/// per-trial simulations run as lockstep lanes through the batch engine
+/// (SweepRunner::run_jobs) after the generate + exact-solve phase sweeps on
+/// the pool.  Bit-identical report to the StrategyFactory overload with the
+/// matching strategy object (same trial order in every reduction).  A
+/// static-partition spec requires every generated instance to match its
+/// core count and cache size.
+[[nodiscard]] CompetitiveReport measure_competitive_ratio(
+    const BatchStrategySpec& strategy, const InstanceGenerator& generator,
     std::size_t trials);
 
 }  // namespace mcp

@@ -32,6 +32,17 @@ namespace mcp {
 [[nodiscard]] std::vector<Count> lru_fault_curve(const RequestSequence& seq,
                                                  std::size_t max_k);
 
+/// Batched Mattson: per-core LRU fault curves for a whole request set in
+/// one structure-of-arrays pass.  The Fenwick position trees, last-access
+/// maps and stack-distance histograms of all cores are packed CSR-style
+/// into shared lanes and advanced position-by-position in lockstep (lanes
+/// ordered longest-first, so shorter sequences drop out of the active
+/// prefix and ragged tails cost nothing); lanes are chunked over the shared
+/// pool for large p.  curves[j] is identical to
+/// lru_fault_curve(requests.sequence(j), max_k) for every core j.
+[[nodiscard]] std::vector<std::vector<Count>> lru_fault_curve_batch(
+    const RequestSet& requests, std::size_t max_k);
+
 /// All requests' stack distances in sequence order: 0 for a first (cold)
 /// access, otherwise the number of distinct pages touched since the
 /// previous access to the same page (inclusive — a repeat of the

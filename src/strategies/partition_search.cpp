@@ -1,7 +1,9 @@
 #include "strategies/partition_search.hpp"
 
 #include <limits>
+#include <optional>
 
+#include "core/batch_state.hpp"
 #include "core/error.hpp"
 #include "core/parallel.hpp"
 #include "core/simulator.hpp"
@@ -47,15 +49,52 @@ FaultCurves policy_fault_curves(const RequestSet& requests,
                                 std::size_t cache_size,
                                 const PolicyFactory& factory) {
   // LRU has the stack property, so the whole column f_j(0..K) falls out of
-  // one Mattson pass per core instead of K + 1 independent runs.  The name
+  // one Mattson pass per core instead of K + 1 independent runs — and the
+  // batched kernel advances all cores' passes in lockstep lanes.  The name
   // check is deliberately exact: LRU-SCAN and the other variants do not
   // keep the inclusion property.
-  if (factory()->name() == "LRU") {
-    FaultCurves curves(requests.num_cores());
-    parallel_for(requests.num_cores(), [&](std::size_t j) {
-      curves[j] = lru_fault_curve(requests.sequence(static_cast<CoreId>(j)),
-                                  cache_size);
-    });
+  const std::string policy_name = factory()->name();
+  if (policy_name == "LRU") {
+    return lru_fault_curve_batch(requests, cache_size);
+  }
+  // FIFO has no stack property, but every (j, k) grid cell is a one-core
+  // simulation the batch engine runs natively: materialize the grid as
+  // SimJobs and run them as lockstep lanes instead of per-cell policy
+  // objects.  The k = 0 column is the no-cache limit (every request
+  // faults), same as single_core_policy_faults.
+  if (const std::optional<BatchPolicy> batched =
+          batch_policy_from_name(policy_name);
+      batched.has_value()) {
+    const std::size_t p = requests.num_cores();
+    std::vector<RequestSet> singles;
+    singles.reserve(p);
+    for (CoreId j = 0; j < p; ++j) {
+      RequestSet single;
+      single.add_sequence(requests.sequence(j));
+      singles.push_back(std::move(single));
+    }
+    std::vector<SimJob> jobs;
+    jobs.reserve(p * cache_size);
+    for (CoreId j = 0; j < p; ++j) {
+      for (std::size_t k = 1; k <= cache_size; ++k) {
+        SimJob job;
+        job.config.cache_size = k;
+        job.config.record_fault_timeline = false;
+        job.requests = &singles[j];
+        job.strategy = BatchStrategySpec::shared(*batched);
+        jobs.push_back(std::move(job));
+      }
+    }
+    SweepRunner sweep;
+    const std::vector<RunStats> stats = sweep.run_jobs(jobs);
+    FaultCurves curves(p);
+    for (CoreId j = 0; j < p; ++j) {
+      curves[j].resize(cache_size + 1);
+      curves[j][0] = requests.sequence(j).size();
+      for (std::size_t k = 1; k <= cache_size; ++k) {
+        curves[j][k] = stats[j * cache_size + (k - 1)].total_faults();
+      }
+    }
     return curves;
   }
   return fault_curve_sweep(
@@ -140,13 +179,34 @@ PartitionSearchResult optimal_partition_by_simulation(
 
   // The candidate runs are independent: sweep them on the shared pool.  The
   // cells are seed-free (the simulation is deterministic), so the sweep is
-  // reproducible for any worker count by construction.
+  // reproducible for any worker count by construction.  LRU and FIFO
+  // partitions are batchable: one SimJob per candidate, run as lockstep
+  // lanes (bit-equal to the per-cell Simulator runs — the differential
+  // battery holds the batch engine to that).
   SweepRunner sweep;
-  const std::vector<Count> faults =
-      sweep.run(candidates.size(), [&](std::size_t i, Rng& /*rng*/) {
-        StaticPartitionStrategy strategy(candidates[i], factory);
-        return simulate(config, requests, strategy).total_faults();
-      });
+  std::vector<Count> faults;
+  if (const std::optional<BatchPolicy> batched =
+          batch_policy_from_name(factory()->name());
+      batched.has_value()) {
+    std::vector<SimJob> jobs(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      jobs[i].config = config;
+      jobs[i].config.record_fault_timeline = false;  // totals only
+      jobs[i].requests = &requests;
+      jobs[i].strategy =
+          BatchStrategySpec::static_partition(candidates[i], *batched);
+    }
+    const std::vector<RunStats> stats = sweep.run_jobs(jobs);
+    faults.resize(stats.size());
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      faults[i] = stats[i].total_faults();
+    }
+  } else {
+    faults = sweep.run(candidates.size(), [&](std::size_t i, Rng& /*rng*/) {
+      StaticPartitionStrategy strategy(candidates[i], factory);
+      return simulate(config, requests, strategy).total_faults();
+    });
+  }
 
   PartitionSearchResult result;
   result.faults = std::numeric_limits<Count>::max();

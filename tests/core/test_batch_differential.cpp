@@ -1,0 +1,332 @@
+// Differential test battery for the batched lockstep engine
+// (core/batch_engine.hpp): for every batchable strategy x workload x tau x
+// shared-fetch cell, BatchEngine must produce RunStats bit-equal to the
+// retained scalar Simulator driving the real strategy objects — hits,
+// faults, fault timelines, completion times, end time and step count — at
+// every tested batch width B, including ragged tails where lanes finish at
+// different trace lengths.  Error behaviour (reserved-full cache, max_steps
+// abort) must match too.
+#include "core/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/partition.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+using testing::random_shared_workload;
+
+void expect_same_stats(const RunStats& batched, const RunStats& scalar,
+                       const std::string& label) {
+  ASSERT_EQ(batched.num_cores(), scalar.num_cores()) << label;
+  EXPECT_EQ(batched.end_time, scalar.end_time) << label;
+  EXPECT_EQ(batched.sim_steps, scalar.sim_steps) << label;
+  for (CoreId j = 0; j < batched.num_cores(); ++j) {
+    const CoreStats& a = batched.core(j);
+    const CoreStats& b = scalar.core(j);
+    EXPECT_EQ(a.hits, b.hits) << label << " core=" << j;
+    EXPECT_EQ(a.faults, b.faults) << label << " core=" << j;
+    EXPECT_EQ(a.requests, b.requests) << label << " core=" << j;
+    EXPECT_EQ(a.completion_time, b.completion_time) << label << " core=" << j;
+    EXPECT_EQ(a.fault_times, b.fault_times) << label << " core=" << j;
+  }
+}
+
+/// A batchable strategy: the spec the batch engine runs and the factory for
+/// the equivalent scalar strategy object (rebuilt fresh per run).
+struct BatchableCase {
+  std::string label;
+  BatchStrategySpec spec;
+  std::function<std::unique_ptr<CacheStrategy>()> make_scalar;
+};
+
+std::vector<BatchableCase> batchable_grid(std::size_t p, std::size_t K) {
+  std::vector<BatchableCase> grid;
+  grid.push_back({"S_lru", BatchStrategySpec::shared(BatchPolicy::kLru), [] {
+                    return std::make_unique<SharedStrategy>(
+                        make_policy_factory("lru"));
+                  }});
+  grid.push_back({"S_fifo", BatchStrategySpec::shared(BatchPolicy::kFifo), [] {
+                    return std::make_unique<SharedStrategy>(
+                        make_policy_factory("fifo"));
+                  }});
+  const Partition even = even_partition(K, p);
+  grid.push_back(
+      {"sP_even_lru", BatchStrategySpec::static_partition(even, BatchPolicy::kLru),
+       [even] {
+         return std::make_unique<StaticPartitionStrategy>(
+             even, make_policy_factory("lru"));
+       }});
+  grid.push_back(
+      {"sP_even_fifo",
+       BatchStrategySpec::static_partition(even, BatchPolicy::kFifo), [even] {
+         return std::make_unique<StaticPartitionStrategy>(
+             even, make_policy_factory("fifo"));
+       }});
+  Partition skew(p, 1);
+  skew[0] = K - (p - 1);
+  grid.push_back(
+      {"sP_skew_lru", BatchStrategySpec::static_partition(skew, BatchPolicy::kLru),
+       [skew] {
+         return std::make_unique<StaticPartitionStrategy>(
+             skew, make_policy_factory("lru"));
+       }});
+  return grid;
+}
+
+struct WorkloadCase {
+  std::string label;
+  RequestSet requests;
+  bool disjoint = true;
+};
+
+std::vector<WorkloadCase> workload_grid(std::size_t p) {
+  std::vector<WorkloadCase> grid;
+  {
+    Rng rng(20260807);
+    grid.push_back(
+        {"disjoint_uniform", random_disjoint_workload(rng, p, 7, 160), true});
+  }
+  {
+    Rng rng(4242);
+    grid.push_back(
+        {"shared_uniform", random_shared_workload(rng, p, 12, 160), false});
+  }
+  {
+    CoreWorkload core;
+    core.pattern = AccessPattern::kZipf;
+    core.num_pages = 24;
+    core.length = 200;
+    grid.push_back(
+        {"disjoint_zipf", make_workload(homogeneous_spec(p, core)), true});
+  }
+  {
+    // Ragged per-core lengths, including an empty sequence: lanes in the
+    // same cell — and cells in the same batch — finish at different times.
+    Rng rng(99);
+    RequestSet rs;
+    rs.add_sequence({});
+    RequestSequence mid;
+    for (std::size_t i = 0; i < 45; ++i) {
+      mid.push_back(100 + static_cast<PageId>(rng.below(5)));
+    }
+    rs.add_sequence(std::move(mid));
+    RequestSequence lng;
+    for (std::size_t i = 0; i < 160; ++i) {
+      lng.push_back(200 + static_cast<PageId>(rng.below(9)));
+    }
+    rs.add_sequence(std::move(lng));
+    grid.push_back({"ragged_lengths", std::move(rs), true});
+  }
+  {
+    // Sparse page ids stress the page->slot index lane sizing.
+    RequestSet rs;
+    rs.add_sequence({5000, 7, 5000, 4321, 7, 5000});
+    rs.add_sequence({9, 4999, 9, 4999, 9});
+    rs.add_sequence({1234});
+    grid.push_back({"sparse_ids", std::move(rs), true});
+  }
+  return grid;
+}
+
+TEST(BatchDifferential, BitEqualToScalarEngineAcrossGridAndWidths) {
+  const std::size_t p = 3;
+  const std::size_t K = 6;
+  const std::vector<WorkloadCase> workloads = workload_grid(p);
+  const std::vector<BatchableCase> strategies = batchable_grid(p, K);
+
+  std::vector<SimJob> jobs;
+  std::vector<RunStats> expected;
+  std::vector<std::string> labels;
+  for (const WorkloadCase& wl : workloads) {
+    for (const BatchableCase& sc : strategies) {
+      for (const Time tau : {Time{0}, Time{3}}) {
+        for (const SharedFetchMode mode :
+             {SharedFetchMode::kCountsAsFault, SharedFetchMode::kJoinsFetch}) {
+          // Shared-fetch mode only matters for non-disjoint inputs; skip
+          // the redundant duplicate run on disjoint ones.
+          if (wl.disjoint && mode == SharedFetchMode::kJoinsFetch) continue;
+          SimConfig config = testing::sim_config(K, tau);
+          config.shared_fetch = mode;
+          config.record_fault_timeline = true;
+
+          SimJob job;
+          job.config = config;
+          job.requests = &wl.requests;
+          job.strategy = sc.spec;
+          jobs.push_back(std::move(job));
+
+          const std::unique_ptr<CacheStrategy> scalar = sc.make_scalar();
+          Simulator sim(config);
+          expected.push_back(sim.run(wl.requests, *scalar));
+          labels.push_back(wl.label + "/" + sc.label +
+                           "/tau=" + std::to_string(tau) +
+                           (mode == SharedFetchMode::kJoinsFetch ? "/join"
+                                                                 : "/fault"));
+        }
+      }
+    }
+  }
+  // A couple of off-grid shapes so batches mix heterogeneous K and tau.
+  for (const Time tau : {Time{1}, Time{5}}) {
+    SimConfig config = testing::sim_config(3, tau);
+    SimJob job;
+    job.config = config;
+    job.requests = &workloads[0].requests;
+    job.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+    jobs.push_back(std::move(job));
+    SharedStrategy scalar(make_policy_factory("lru"));
+    Simulator sim(config);
+    expected.push_back(sim.run(workloads[0].requests, scalar));
+    labels.push_back("off_grid/K=3/tau=" + std::to_string(tau));
+  }
+  ASSERT_GT(jobs.size(), 60u);
+
+  for (const std::size_t width :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{64}}) {
+    SweepRunner sweep;
+    const std::vector<RunStats> got = sweep.run_jobs(jobs, width);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_stats(got[i], expected[i],
+                        labels[i] + "/B=" + std::to_string(width));
+    }
+  }
+}
+
+TEST(BatchDifferential, PhasedSteppingWithValidationMatchesOneShot) {
+  const std::size_t p = 3;
+  const std::size_t K = 6;
+  Rng rng(777);
+  const RequestSet disjoint = random_disjoint_workload(rng, p, 6, 120);
+  const RequestSet shared = random_shared_workload(rng, p, 10, 80);
+
+  std::vector<SimJob> jobs;
+  for (const RequestSet* rs : {&disjoint, &shared}) {
+    for (const Time tau : {Time{0}, Time{2}}) {
+      SimJob job;
+      job.config = testing::sim_config(K, tau);
+      job.requests = rs;
+      job.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+      jobs.push_back(std::move(job));
+      SimJob part_job;
+      part_job.config = testing::sim_config(K, tau);
+      part_job.requests = rs;
+      part_job.strategy = BatchStrategySpec::static_partition(
+          even_partition(K, p), BatchPolicy::kFifo);
+      jobs.push_back(std::move(part_job));
+    }
+  }
+
+  BatchEngine one_shot;
+  const std::vector<RunStats> direct = one_shot.run(jobs);
+
+  // Phased: validate the lane/cell invariants after every round (in any
+  // build type, not just MCP_CHECKED).
+  BatchEngine phased(BatchEngineOptions{.alloc_guard = false});
+  std::vector<RunStats> out(jobs.size());
+  phased.load(jobs, out);
+  phased.validate();
+  std::size_t rounds = 0;
+  while (phased.step_round() > 0) {
+    phased.validate();
+    ++rounds;
+  }
+  phased.validate();
+  EXPECT_GT(rounds, 0u);
+  EXPECT_EQ(phased.active_lanes(), 0u);
+
+  Count steps_sum = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_same_stats(out[i], direct[i], "phased job " + std::to_string(i));
+    steps_sum += direct[i].sim_steps;
+  }
+  EXPECT_EQ(phased.lane_steps(), steps_sum);
+  EXPECT_EQ(one_shot.lane_steps(), steps_sum);
+}
+
+TEST(BatchDifferential, AllReservedCacheThrowsLikeScalar) {
+  // K=1, two cores faulting different pages in the same step: the second
+  // needs a cell while the only slot is reserved by an in-flight fetch.
+  RequestSet rs;
+  rs.add_sequence({1});
+  rs.add_sequence({2});
+  const SimConfig config = testing::sim_config(1, 2);
+
+  SharedStrategy scalar(make_policy_factory("lru"));
+  Simulator sim(config);
+  EXPECT_THROW((void)sim.run(rs, scalar), ModelError);
+
+  SimJob job;
+  job.config = config;
+  job.requests = &rs;
+  job.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+  BatchEngine engine;
+  EXPECT_THROW((void)engine.run(std::span<const SimJob>(&job, 1)), ModelError);
+}
+
+TEST(BatchDifferential, MaxStepsAbortMatchesScalar) {
+  Rng rng(5);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 8, 200);
+  SimConfig config = testing::sim_config(4, 3);
+  config.max_steps = 10;
+
+  SharedStrategy scalar(make_policy_factory("lru"));
+  Simulator sim(config);
+  EXPECT_THROW((void)sim.run(rs, scalar), ModelError);
+
+  SimJob job;
+  job.config = config;
+  job.requests = &rs;
+  job.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+  BatchEngine engine;
+  EXPECT_THROW((void)engine.run(std::span<const SimJob>(&job, 1)), ModelError);
+}
+
+TEST(BatchDifferential, RejectsMalformedJobs) {
+  RequestSet rs;
+  rs.add_sequence({1, 2, 3});
+  rs.add_sequence({4, 5});
+  BatchEngine engine;
+
+  SimJob no_requests;
+  no_requests.config = testing::sim_config(2, 0);
+  EXPECT_THROW((void)engine.run(std::span<const SimJob>(&no_requests, 1)),
+               ModelError);
+
+  SimJob bad_partition;
+  bad_partition.config = testing::sim_config(4, 0);
+  bad_partition.requests = &rs;
+  bad_partition.strategy =
+      BatchStrategySpec::static_partition({3, 2}, BatchPolicy::kLru);
+  EXPECT_THROW((void)engine.run(std::span<const SimJob>(&bad_partition, 1)),
+               ModelError);
+
+  SimJob starved;
+  starved.config = testing::sim_config(4, 0);
+  starved.requests = &rs;
+  starved.strategy =
+      BatchStrategySpec::static_partition({4, 0}, BatchPolicy::kLru);
+  EXPECT_THROW((void)engine.run(std::span<const SimJob>(&starved, 1)),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace mcp

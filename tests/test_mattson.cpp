@@ -139,6 +139,58 @@ TEST(MattsonKernel, PolicyFaultCurvesFastPathEqualsReferenceSweep) {
   EXPECT_EQ(via_curves.faults, via_sim.faults);
 }
 
+TEST(MattsonKernel, BatchedCurvesMatchPerKOracle) {
+  // lru_fault_curve_batch advances all cores' Mattson passes as lanes over
+  // shared offset arrays; every lane's curve must equal both the scalar
+  // kernel and the per-k oracle it stands in for.  Ragged lane lengths
+  // (including an empty sequence) exercise the active-prefix shrink.
+  Rng rng(0x3A77);
+  RequestSet rs;
+  rs.add_sequence({});
+  for (const std::size_t len : {std::size_t{37}, std::size_t{400},
+                                std::size_t{123}, std::size_t{5}}) {
+    RequestSequence seq;
+    const std::size_t universe = 3 + rng.below(14);
+    for (std::size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<PageId>(rng.below(universe)));
+    }
+    rs.add_sequence(std::move(seq));
+  }
+  const std::size_t max_k = 18;
+  const PolicyFactory lru = make_policy_factory("lru");
+  const FaultCurves batched = lru_fault_curve_batch(rs, max_k);
+  ASSERT_EQ(batched.size(), rs.num_cores());
+  for (CoreId j = 0; j < rs.num_cores(); ++j) {
+    ASSERT_EQ(batched[j].size(), max_k + 1) << "core=" << j;
+    EXPECT_EQ(batched[j], lru_fault_curve(rs.sequence(j), max_k))
+        << "core=" << j;
+    for (std::size_t k = 0; k <= max_k; ++k) {
+      EXPECT_EQ(batched[j][k],
+                single_core_policy_faults(rs.sequence(j), k, lru))
+          << "core=" << j << " k=" << k;
+    }
+  }
+}
+
+TEST(MattsonKernel, FifoFaultCurvesRideTheBatchEngine) {
+  // policy_fault_curves has no stack trick for FIFO; it materializes the
+  // (core, k) grid as batch-engine jobs.  Hold it to the per-k oracle too.
+  Rng rng(23);
+  const RequestSet rs = testing::random_disjoint_workload(rng, 3, 8, 300);
+  const std::size_t K = 9;
+  const PolicyFactory fifo = make_policy_factory("fifo");
+  const FaultCurves curves = policy_fault_curves(rs, K, fifo);
+  ASSERT_EQ(curves.size(), rs.num_cores());
+  for (CoreId j = 0; j < rs.num_cores(); ++j) {
+    ASSERT_EQ(curves[j].size(), K + 1);
+    for (std::size_t k = 0; k <= K; ++k) {
+      EXPECT_EQ(curves[j][k],
+                single_core_policy_faults(rs.sequence(j), k, fifo))
+          << "core=" << j << " k=" << k;
+    }
+  }
+}
+
 TEST(MattsonKernel, AgreesWithWorkloadHistogramView) {
   Rng rng(41);
   RequestSequence seq;

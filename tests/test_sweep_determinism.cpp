@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_state.hpp"
 #include "core/simulator.hpp"
 #include "policies/policy_registry.hpp"
 #include "strategies/shared.hpp"
@@ -108,6 +109,56 @@ TEST(SweepCellRng, CellStreamIndependentOfConsumptionElsewhere) {
   for (int i = 0; i < 1000; ++i) (void)cell4();  // a greedy neighbour
   Rng cell5_again = sweep_cell_rng(42, 5);
   EXPECT_EQ(cell5_again(), expected);
+}
+
+// The batched job path (run_jobs) extends the contract: results must be
+// bit-identical for any worker count AND any batch width B — lanes are
+// fully independent, so how jobs are tiled into engines is unobservable.
+TEST(SweepDeterminism, RunJobsBitIdenticalAcrossWorkersAndBatchWidths) {
+  Rng rng(0xBA7C4);
+  std::vector<RequestSet> workloads;
+  workloads.push_back(random_disjoint_workload(rng, 2, 6, 150));
+  workloads.push_back(random_disjoint_workload(rng, 3, 5, 90));
+  workloads.push_back(random_disjoint_workload(rng, 4, 7, 200));
+
+  std::vector<SimJob> jobs;
+  for (const RequestSet& rs : workloads) {
+    for (const Time tau : {Time{0}, Time{2}, Time{5}}) {
+      const std::size_t cache = 3 * rs.num_cores();
+      SimJob shared_job;
+      shared_job.config = sim_config(cache, tau);
+      shared_job.requests = &rs;
+      shared_job.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+      jobs.push_back(std::move(shared_job));
+      SimJob part_job;
+      part_job.config = sim_config(cache, tau);
+      part_job.requests = &rs;
+      part_job.strategy = BatchStrategySpec::static_partition(
+          even_partition(cache, rs.num_cores()), BatchPolicy::kFifo);
+      jobs.push_back(std::move(part_job));
+    }
+  }
+
+  std::vector<std::vector<std::uint64_t>> baseline;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    for (const std::size_t width : {std::size_t{1}, std::size_t{32}}) {
+      SweepOptions opts;
+      opts.max_threads = workers;
+      SweepRunner sweep(opts);
+      const std::vector<RunStats> stats = sweep.run_jobs(jobs, width);
+      std::vector<std::vector<std::uint64_t>> prints;
+      prints.reserve(stats.size());
+      for (const RunStats& s : stats) prints.push_back(fingerprint(s));
+      if (baseline.empty()) {
+        baseline = std::move(prints);
+        ASSERT_EQ(baseline.size(), jobs.size());
+      } else {
+        EXPECT_EQ(prints, baseline)
+            << "workers=" << workers << " B=" << width;
+      }
+    }
+  }
 }
 
 TEST(SweepTiming, ReportsCellsAndRate) {
