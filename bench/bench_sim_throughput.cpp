@@ -12,6 +12,8 @@
 #include "offline/ftf_solver.hpp"
 #include "offline/pif_solver.hpp"
 #include "policies/policy_registry.hpp"
+#include "service/mcpd.hpp"
+#include "service/wire_format.hpp"
 #include "strategies/dynamic_partition.hpp"
 #include "strategies/partition.hpp"
 #include "strategies/partition_search.hpp"
@@ -261,6 +263,48 @@ void BM_BatchSweep(benchmark::State& state) {
   state.counters["sweep_wall_s"] = wall;
 }
 
+void BM_McpdIngest(benchmark::State& state) {
+  // End-to-end daemon ingest for one epoch-batched round: submit eight
+  // pre-encoded tenant documents (open + chunks + close + fault query) and
+  // wait for every reply.  Measures wire decode, shard routing, session
+  // stepping and response publication together; encoding is hoisted out of
+  // the loop.  Arg = shard count.  pairs_per_sec is the perf-smoke gate for
+  // the service layer (BENCH_MCPD.json holds the loadgen-side baseline).
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTenants = 8;
+  std::vector<std::shared_ptr<const std::vector<std::byte>>> traces;
+  std::vector<std::shared_ptr<const std::vector<std::byte>>> queries;
+  std::size_t pairs_per_round = 0;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    const RequestSet rs = zipf_workload(4, 64, 500, 20 + t);
+    const wire::SessionParams params{4, 16, 4, wire::StrategyKind::kSharedLru};
+    traces.push_back(std::make_shared<const std::vector<std::byte>>(
+        wire::encode_trace(rs, t + 1, params, 256)));
+    wire::WireWriter writer;
+    writer.query_faults(t + 1, t + 1);
+    queries.push_back(std::make_shared<const std::vector<std::byte>>(
+        std::move(writer).take()));
+    pairs_per_round += rs.total_requests();
+  }
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    service::Mcpd daemon(service::McpdConfig{shards});
+    service::ResponseMailbox mailbox;
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      daemon.submit_document(traces[t], &mailbox);
+      daemon.submit_document(queries[t], &mailbox);
+    }
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      benchmark::DoNotOptimize(mailbox.wait());
+    }
+    daemon.stop();
+    pairs += pairs_per_round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+  state.counters["pairs_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SharedPolicy, lru, "lru")->Arg(2)->Arg(4)->Arg(8);
@@ -289,5 +333,7 @@ BENCHMARK(BM_LruFaultCurve)->Arg(64);
 BENCHMARK(BM_PartitionSweep)->Arg(1)->Arg(2)->Arg(0);
 // Arg = batch width B: degenerate single-lane batches vs full lockstep.
 BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(64);
+// Arg = shard count: single-shard baseline vs the sharded daemon.
+BENCHMARK(BM_McpdIngest)->Arg(1)->Arg(4);
 
 BENCHMARK_MAIN();

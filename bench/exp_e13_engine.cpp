@@ -10,6 +10,7 @@
 
 #include "core/batch_state.hpp"
 #include "core/simulator.hpp"
+#include "core/stats.hpp"
 #include "core/sweep.hpp"
 #include "experiments.hpp"
 #include "policies/belady.hpp"
@@ -183,14 +184,46 @@ lab::ExperimentResult run(const lab::RunContext& ctx) {
   });
   const bool curves_agree = mattson == per_k;
 
+  // Per-cell latency distribution: every cell of the 105-cell sweep timed
+  // individually into the log-bucketed LatencyHistogram (core/stats.hpp) —
+  // the same helper mcpd's shards and the loadgen use for epoch latency.
+  // The verdict checks the histogram's invariants (count == cells, ordered
+  // quantiles, max >= p99): cell wall times vary by host, the shape must
+  // not.
+  auto& latency_table = b.series(
+      "cell_latency",
+      "Per-cell simulate() latency over the 105-cell grid (log buckets):",
+      {"cells", "p50_ns", "p90_ns", "p99_ns", "max_ns"});
+  LatencyHistogram cell_latency;
+  for (const Partition& cell : grid) {
+    const auto start = std::chrono::steady_clock::now();
+    StaticPartitionStrategy strategy(cell, lru_factory);
+    const RunStats stats = simulate(sweep_cfg, sweep_rs, strategy);
+    const auto stop = std::chrono::steady_clock::now();
+    (void)stats;
+    cell_latency.record_seconds(
+        std::chrono::duration<double>(stop - start).count());
+  }
+  latency_table.row(cell_latency.count(), cell_latency.p50(),
+                    cell_latency.p90(), cell_latency.p99(),
+                    cell_latency.max_value());
+  const bool latency_sane =
+      cell_latency.count() == grid.size() &&
+      cell_latency.p50() <= cell_latency.p90() &&
+      cell_latency.p90() <= cell_latency.p99() &&
+      cell_latency.p99() <= cell_latency.max_value() &&
+      cell_latency.p50() > 0;
+
   b.note("Full microbenchmark suite: build target bench_sim_throughput "
          "(google-benchmark; not driven by mcpaging-lab).");
 
   return std::move(b).finish(
-      rates_positive && deterministic && batch_identical && curves_agree,
+      rates_positive && deterministic && batch_identical && curves_agree &&
+          latency_sane,
       "simulator sustains positive throughput on every strategy family; "
       "sweep results bit-identical across worker counts and batch widths; "
-      "Mattson curve matches the per-k reference");
+      "Mattson curve matches the per-k reference; per-cell latency "
+      "histogram is well-formed (ordered quantiles over all cells)");
 }
 
 }  // namespace

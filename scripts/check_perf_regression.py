@@ -15,6 +15,11 @@ Gates are `BENCHMARK:COUNTER` pairs, repeatable:
   scripts/check_perf_regression.py CURRENT.json bench/baseline/BENCH_OFFLINE.json \
       --gate 'BM_FtfSolver/packed/48:states_per_sec' \
       --gate 'BM_PifSolver/packed/128:states_per_sec'
+  # mcpd service gate (BENCH_MCPD.json, mcpd-loadgen output: daemon ingest
+  # throughput at 1 shard plus aggregate shard capacity at 8 shards)
+  scripts/check_perf_regression.py CURRENT.json bench/baseline/BENCH_MCPD.json \
+      --gate 'mcpd_loadgen/shards/1:requests_per_sec' \
+      --gate 'mcpd_loadgen/shards/8:capacity_rps'
 
 Usage:
   scripts/check_perf_regression.py CURRENT.json [BASELINE.json]
@@ -39,6 +44,13 @@ CONTEXT_COUNTERS = (
     "cells_per_sec",
     "lane_steps_per_sec",
     "states_per_sec",
+    # Service layer (BM_McpdIngest and the mcpd-loadgen BENCH_MCPD.json):
+    # daemon ingest pairs/sec, loadgen wall throughput, aggregate per-shard
+    # capacity, and the epoch-latency tail.
+    "pairs_per_sec",
+    "requests_per_sec",
+    "capacity_rps",
+    "epoch_p99_ns",
 )
 
 

@@ -61,8 +61,12 @@ HOT_PATH_EXEMPT = {
 
 # console: the lab/driver layer owns the terminal; sentry's nothrow-new
 # violation path cannot throw, so it reports on stderr before aborting.
+# Service CLI entry points (src/service/*_main.cpp) are driver executables
+# — they emit benchmark JSON on stdout by design.  The service library
+# itself (wire format, queue, shards, loadgen harness) stays covered.
 CONSOLE_ALLOWED_PREFIXES = ("src/lab/",)
 CONSOLE_EXEMPT = {"src/core/sentry.cpp"}
+CONSOLE_EXEMPT_MAIN = re.compile(r"^src/service/[^/]*_main\.cpp$")
 
 # --- rule patterns ---------------------------------------------------------
 
@@ -103,7 +107,8 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 and rel not in HOT_PATH_EXEMPT)
     console_checked = (in_src
                        and not rel.startswith(CONSOLE_ALLOWED_PREFIXES)
-                       and rel not in CONSOLE_EXEMPT)
+                       and rel not in CONSOLE_EXEMPT
+                       and not CONSOLE_EXEMPT_MAIN.match(rel))
     errors = []
     in_block_comment = False
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):

@@ -8,23 +8,68 @@
 
 namespace mcp {
 
-Simulator::Simulator(SimConfig config) : config_(config) {
-  MCP_REQUIRE(config_.cache_size > 0, "SimConfig.cache_size must be positive");
+namespace {
+
+const SimConfig& validated(const SimConfig& config) {
+  MCP_REQUIRE(config.cache_size > 0, "SimConfig.cache_size must be positive");
+  return config;
 }
 
-void Simulator::add_observer(SimObserver* observer) {
-  MCP_REQUIRE(observer != nullptr, "null observer");
-  observers_.push_back(observer);
+/// Adapts a (blocking, possibly adaptive) RequestStream to the incremental
+/// RequestSource contract; such a stream never stalls.
+class StreamSource final : public RequestSource {
+ public:
+  explicit StreamSource(RequestStream& stream) : stream_(&stream) {}
+
+  [[nodiscard]] std::size_t num_cores() const override {
+    return stream_->num_cores();
+  }
+
+  PullStatus pull(CoreId core, PageId& page) override {
+    const std::optional<PageId> next = stream_->next(core);
+    if (!next.has_value()) return PullStatus::kEnded;
+    page = *next;
+    return PullStatus::kReady;
+  }
+
+ private:
+  RequestStream* stream_;
+};
+
+}  // namespace
+
+SimSession::SimSession(const SimConfig& config, std::size_t num_cores,
+                       CacheStrategy& strategy,
+                       const RequestSet* offline_info,
+                       std::span<SimObserver* const> observers)
+    : config_(validated(config)),
+      strategy_(&strategy),
+      observers_(observers.begin(), observers.end()),
+      cache_(config.cache_size),
+      stats_(num_cores),
+      cores_(num_cores),
+      active_(num_cores) {
+  MCP_REQUIRE(num_cores > 0, "request stream has no cores");
+  strategy_->attach(config_, num_cores, offline_info);
+  if (offline_info != nullptr) {
+    cache_.reserve_universe(offline_info->page_bound());
+    if (config_.record_fault_timeline) {
+      // Worst case every request faults; one reserve beats per-fault growth.
+      for (CoreId j = 0; j < num_cores; ++j) {
+        stats_.core(j).fault_times.reserve(offline_info->sequence(j).size());
+      }
+    }
+  }
 }
 
-RunStats Simulator::run(const RequestSet& requests, CacheStrategy& strategy) {
-  FixedStream stream(requests);
-  return run_stream(stream, strategy, &requests);
+RunStats SimSession::take_stats() {
+  MCP_REQUIRE(finished_, "SimSession::take_stats before the session finished");
+  return std::move(stats_);
 }
 
-void Simulator::apply_evictions(const std::vector<PageId>& victims,
-                                PageId incoming, CoreId cause_core, Time now,
-                                CacheState& cache, EvictionCause cause) {
+void SimSession::apply_evictions(const std::vector<PageId>& victims,
+                                 PageId incoming, CoreId cause_core, Time now,
+                                 EvictionCause cause) {
   // Duplicate detection by linear scan over the already-validated prefix:
   // victims are almost always 0 or 1 pages, so this beats building a hash
   // set per fault.
@@ -35,24 +80,23 @@ void Simulator::apply_evictions(const std::vector<PageId>& victims,
     MCP_REQUIRE(std::find(begin, begin + static_cast<std::ptrdiff_t>(i),
                           victim) == begin + static_cast<std::ptrdiff_t>(i),
                 "strategy evicted a page twice");
-    cache.evict(victim);  // validates: present, not a reserved (fetching) cell
-    if (!active_observers_.empty()) {
+    cache_.evict(victim);  // validates: present, not a reserved (fetching) cell
+    if (!observers_.empty()) {
       notify([&](SimObserver& obs) { obs.on_evict(victim, cause_core, now, cause); });
     }
   }
 }
 
-void Simulator::serve_request(CoreId core, PageId page, Time now,
-                              CacheState& cache, CacheStrategy& strategy,
-                              RunStats& stats, CoreRuntime& runtime) {
+void SimSession::serve_request(CoreId core, PageId page, Time now,
+                               CoreRuntime& runtime) {
   const AccessContext ctx{core, page, now, runtime.issued};
-  CoreStats& cstats = stats.core(core);
-  const bool observed = !active_observers_.empty();
+  CoreStats& cstats = stats_.core(core);
+  const bool observed = !observers_.empty();
 
-  if (cache.contains(page)) {  // hit: served within this step
+  if (cache_.contains(page)) {  // hit: served within this step
     ++cstats.hits;
     ++cstats.requests;
-    strategy.on_hit(ctx);
+    strategy_->on_hit(ctx);
     if (observed) notify([&](SimObserver& obs) { obs.on_hit(ctx); });
     runtime.ready_at = now + 1;
     runtime.last_finish = now;
@@ -61,13 +105,13 @@ void Simulator::serve_request(CoreId core, PageId page, Time now,
     return;
   }
 
-  if (cache.is_fetching(page)) {
+  if (cache_.is_fetching(page)) {
     // Another core's fetch for this page is in flight (only possible for
     // non-disjoint inputs).  Behaviour per SharedFetchMode; see types.hpp.
     if (config_.shared_fetch == SharedFetchMode::kJoinsFetch) {
       // Block until the in-flight fetch lands, then retry (it will be a hit
       // unless the strategy evicts it first, in which case it faults then).
-      const CellInfo* info = cache.find(page);
+      const CellInfo* info = cache_.find(page);
       MCP_ASSERT(info != nullptr);
       runtime.ready_at = std::max(info->ready_at, now + 1);
       runtime.has_pending = true;
@@ -80,7 +124,7 @@ void Simulator::serve_request(CoreId core, PageId page, Time now,
     if (config_.record_fault_timeline) cstats.fault_times.push_back(now);
     if (observed) notify([&](SimObserver& obs) { obs.on_fault(ctx); });
     fault_evictions_.clear();
-    strategy.on_fault(ctx, cache, /*needs_cell=*/false, fault_evictions_);
+    strategy_->on_fault(ctx, cache_, /*needs_cell=*/false, fault_evictions_);
     MCP_REQUIRE(fault_evictions_.empty(),
                 "on_fault(needs_cell=false) must not request evictions");
     runtime.ready_at = now + config_.fault_penalty + 1;
@@ -96,149 +140,172 @@ void Simulator::serve_request(CoreId core, PageId page, Time now,
   if (config_.record_fault_timeline) cstats.fault_times.push_back(now);
   if (observed) notify([&](SimObserver& obs) { obs.on_fault(ctx); });
   fault_evictions_.clear();
-  strategy.on_fault(ctx, cache, /*needs_cell=*/true, fault_evictions_);
-  apply_evictions(fault_evictions_, page, core, now, cache,
-                  EvictionCause::kFault);
-  MCP_REQUIRE(cache.free_cells() >= 1,
+  strategy_->on_fault(ctx, cache_, /*needs_cell=*/true, fault_evictions_);
+  apply_evictions(fault_evictions_, page, core, now, EvictionCause::kFault);
+  MCP_REQUIRE(cache_.free_cells() >= 1,
               "strategy left no free cell for a faulting request");
-  cache.begin_fetch(page, core, now + config_.fault_penalty + 1);
+  cache_.begin_fetch(page, core, now + config_.fault_penalty + 1);
   runtime.ready_at = now + config_.fault_penalty + 1;
   runtime.last_finish = now + config_.fault_penalty;
   ++runtime.issued;
   runtime.has_pending = false;
 }
 
-RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
-                               const RequestSet* offline_info) {
-  const std::size_t p = stream.num_cores();
-  MCP_REQUIRE(p > 0, "request stream has no cores");
-
-  active_observers_.clear();
-  if (SimObserver* obs = stream.observer(); obs != nullptr) {
-    active_observers_.push_back(obs);
-  }
-  active_observers_.insert(active_observers_.end(), observers_.begin(),
-                           observers_.end());
-  const bool observed = !active_observers_.empty();
-
-  strategy.attach(config_, p, offline_info);
-
-  CacheState cache(config_.cache_size);
-  RunStats stats(p);
-  if (offline_info != nullptr) {
-    cache.reserve_universe(offline_info->page_bound());
-    if (config_.record_fault_timeline) {
-      // Worst case every request faults; one reserve beats per-fault growth.
-      for (CoreId j = 0; j < p; ++j) {
-        stats.core(j).fault_times.reserve(offline_info->sequence(j).size());
-      }
-    }
-  }
-  std::vector<CoreRuntime> cores(p);
-  std::size_t active = p;
-  Time now = 0;
-  Time steps = 0;
-  Time stalled_steps = 0;
+bool SimSession::advance(RequestSource& source) {
+  const std::size_t p = cores_.size();
+  MCP_REQUIRE(source.num_cores() == p,
+              "request source core count does not match the session");
+  if (finished_) return true;
+  const bool observed = !observers_.empty();
   constexpr Time kMaxStalledSteps = 1 << 20;
 
-  while (active > 0) {
-    ++steps;
-    if (config_.max_steps != 0 && steps > config_.max_steps) {
-      throw ModelError("simulation exceeded SimConfig.max_steps");
+  while (active_ > 0) {
+    if (!in_step_) {
+      ++steps_;
+      stats_.sim_steps = steps_;
+      if (config_.max_steps != 0 && steps_ > config_.max_steps) {
+        throw ModelError("simulation exceeded SimConfig.max_steps");
+      }
     }
 
     // Allocation sentry: past warm-up, the whole step — engine bookkeeping
     // and strategy callbacks alike — must not touch the heap (§8 claim).
+    // On a resume the guard covers the remainder of the suspended step.
     std::optional<AllocGuard> step_guard;
     if (config_.alloc_guard_after_step != 0 &&
-        steps > config_.alloc_guard_after_step) {
+        steps_ > config_.alloc_guard_after_step) {
       step_guard.emplace("simulator step loop");
     }
 
-    if (observed) notify([&](SimObserver& obs) { obs.on_step_begin(now); });
+    if (!in_step_) {
+      if (observed) notify([&](SimObserver& obs) { obs.on_step_begin(now_); });
 
-    // 1. Land fetches due now, before any request is served this step.
-    for (PageId page : cache.complete_fetches(now)) {
-      const CellInfo* info = cache.find(page);
-      const CoreId by = info != nullptr ? info->fetched_by : kInvalidCore;
-      strategy.on_fetch_complete(page, by, now);
-      if (observed) {
-        notify([&](SimObserver& obs) { obs.on_fetch_complete(page, by, now); });
+      // 1. Land fetches due now, before any request is served this step.
+      for (PageId page : cache_.complete_fetches(now_)) {
+        const CellInfo* info = cache_.find(page);
+        const CoreId by = info != nullptr ? info->fetched_by : kInvalidCore;
+        strategy_->on_fetch_complete(page, by, now_);
+        if (observed) {
+          notify([&](SimObserver& obs) { obs.on_fetch_complete(page, by, now_); });
+        }
       }
+
+      // 2. Voluntary evictions (dynamic-partition shrinks, dishonest moves).
+      voluntary_evictions_.clear();
+      strategy_->on_step_begin(now_, cache_, voluntary_evictions_);
+      apply_evictions(voluntary_evictions_, kInvalidPage, kInvalidCore, now_,
+                      EvictionCause::kVoluntary);
+
+      in_step_ = true;
+      resume_core_ = 0;
+      any_deferred_ = false;
+      any_served_ = false;
     }
 
-    // 2. Voluntary evictions (dynamic-partition shrinks, dishonest moves).
-    voluntary_evictions_.clear();
-    strategy.on_step_begin(now, cache, voluntary_evictions_);
-    apply_evictions(voluntary_evictions_, kInvalidPage, kInvalidCore, now,
-                    cache, EvictionCause::kVoluntary);
-
-    // 3. Serve ready cores in logical (increasing id) order.
-    bool any_deferred = false;
-    bool any_served = false;
-    for (CoreId core = 0; core < p; ++core) {
-      CoreRuntime& rt = cores[core];
-      if (rt.done || rt.ready_at > now) continue;
+    // 3. Serve ready cores in logical (increasing id) order.  On a stall the
+    //    session parks right here: earlier cores of this step are served,
+    //    the stalled core is re-pulled on the next advance().
+    for (CoreId core = resume_core_; core < p; ++core) {
+      CoreRuntime& rt = cores_[core];
+      if (rt.done || rt.ready_at > now_) continue;
       if (!rt.has_pending) {
-        const std::optional<PageId> next = stream.next(core);
-        if (!next.has_value()) {
+        PageId page = kInvalidPage;
+        const PullStatus status = source.pull(core, page);
+        if (status == PullStatus::kStalled) {
+          resume_core_ = core;
+          return false;
+        }
+        if (status == PullStatus::kEnded) {
           rt.done = true;
-          stats.core(core).completion_time = rt.last_finish;
-          strategy.on_core_done(core, now);
+          stats_.core(core).completion_time = rt.last_finish;
+          strategy_->on_core_done(core, now_);
           if (observed) {
             notify([&](SimObserver& obs) { obs.on_core_done(core, rt.last_finish); });
           }
-          --active;
+          --active_;
           continue;
         }
         rt.has_pending = true;
-        rt.pending = *next;
+        rt.pending = page;
       }
-      const AccessContext ctx{core, rt.pending, now, rt.issued};
-      if (strategy.defer_request(ctx, cache)) {
-        any_deferred = true;  // postponed; the core stays ready next step
+      const AccessContext ctx{core, rt.pending, now_, rt.issued};
+      if (strategy_->defer_request(ctx, cache_)) {
+        any_deferred_ = true;  // postponed; the core stays ready next step
         continue;
       }
-      any_served = true;
-      serve_request(core, rt.pending, now, cache, strategy, stats, rt);
+      any_served_ = true;
+      serve_request(core, rt.pending, now_, rt);
     }
 
-    if (observed) notify([&](SimObserver& obs) { obs.on_step_end(now); });
+    if (observed) notify([&](SimObserver& obs) { obs.on_step_end(now_); });
 
     // Checked builds revalidate the cache's deep structural invariants at
     // every step boundary (validators carry their own AllocAllow).
-    MCP_CHECKED_ONLY(cache.validate());
+    MCP_CHECKED_ONLY(cache_.validate());
 
-    if (active == 0) {
-      stats.end_time = now;
+    in_step_ = false;
+
+    if (active_ == 0) {
+      stats_.end_time = now_;
       break;
     }
 
     // Deferrals with nothing in flight and nothing served make no progress.
     // Tolerate bounded idle waiting (a strategy may stall until a target
     // time), but call a persistent stall what it is: livelock.
-    if (any_deferred && !any_served && cache.fetching_count() == 0) {
-      if (++stalled_steps > kMaxStalledSteps) {
+    if (any_deferred_ && !any_served_ && cache_.fetching_count() == 0) {
+      if (++stalled_steps_ > kMaxStalledSteps) {
         throw ModelError("strategy deferred every serviceable request with "
                          "nothing in flight for too long (livelock)");
       }
     } else {
-      stalled_steps = 0;
+      stalled_steps_ = 0;
     }
 
     // 4. Advance time; fast-forward over steps where no core can act —
     //    impossible while a deferral keeps a core ready at `now`.
     Time next_time = kTimeNever;
-    for (const CoreRuntime& rt : cores) {
+    for (const CoreRuntime& rt : cores_) {
       if (!rt.done) next_time = std::min(next_time, rt.ready_at);
     }
     MCP_ASSERT(next_time != kTimeNever);
-    now = any_deferred ? now + 1 : std::max(now + 1, next_time);
+    now_ = any_deferred_ ? now_ + 1 : std::max(now_ + 1, next_time);
   }
 
-  stats.sim_steps = steps;
+  finished_ = true;
+  return true;
+}
+
+Simulator::Simulator(SimConfig config) : config_(config) {
+  MCP_REQUIRE(config_.cache_size > 0, "SimConfig.cache_size must be positive");
+}
+
+void Simulator::add_observer(SimObserver* observer) {
+  MCP_REQUIRE(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+RunStats Simulator::run(const RequestSet& requests, CacheStrategy& strategy) {
+  FixedStream stream(requests);
+  return run_stream(stream, strategy, &requests);
+}
+
+RunStats Simulator::run_stream(RequestStream& stream, CacheStrategy& strategy,
+                               const RequestSet* offline_info) {
   active_observers_.clear();
-  return stats;
+  if (SimObserver* obs = stream.observer(); obs != nullptr) {
+    active_observers_.push_back(obs);
+  }
+  active_observers_.insert(active_observers_.end(), observers_.begin(),
+                           observers_.end());
+
+  StreamSource source(stream);
+  SimSession session(config_, stream.num_cores(), strategy, offline_info,
+                     active_observers_);
+  const bool done = session.advance(source);
+  MCP_ASSERT(done);  // a RequestStream never stalls
+  active_observers_.clear();
+  return session.take_stats();
 }
 
 RunStats simulate(const SimConfig& config, const RequestSet& requests,

@@ -1,6 +1,8 @@
 #include "core/stats.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
@@ -8,6 +10,63 @@
 #include "core/error.hpp"
 
 namespace mcp {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const std::size_t msb = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const std::size_t row = msb - kSubBucketBits + 1;
+  return row * kSubBuckets + static_cast<std::size_t>(value >> row);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_edge(std::size_t index) noexcept {
+  const std::size_t row = index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  if (row == 0) return sub;  // row 0 is exact: bucket i holds value i only
+  return ((sub + 1) << row) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::record_seconds(double seconds) noexcept {
+  if (!(seconds > 0.0)) {
+    record(0);
+    return;
+  }
+  record(static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  target = std::clamp<std::uint64_t>(target, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper_edge(i), max_);
+  }
+  return max_;  // unreachable: all samples are bucketed
+}
+
+std::string LatencyHistogram::to_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"p50\":" << p50() << ",\"p90\":" << p90()
+     << ",\"p99\":" << p99() << ",\"max\":" << max_ << '}';
+  return os.str();
+}
 
 Count RunStats::total_faults() const noexcept {
   Count sum = 0;

@@ -8,13 +8,63 @@
 // objective for multicore paging.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
 
 namespace mcp {
+
+/// Fixed-bucket latency histogram (HdrHistogram-style: one power-of-two
+/// exponent range per row, kSubBuckets linear sub-buckets per row), sized
+/// for nanosecond samples from ~1ns to ~18s.  record() is allocation-free
+/// and O(1); quantiles are deterministic (bucket upper edge), so two runs
+/// that record the same samples report identical percentiles.  Used by the
+/// mcpd service layer (epoch/query latency) and the E13 lab verdicts.
+class LatencyHistogram {
+ public:
+  /// Adds one sample (any unit; the service layer records nanoseconds).
+  void record(std::uint64_t value) noexcept;
+  /// Convenience for wall-clock seconds: records round(seconds * 1e9) ns.
+  void record_seconds(double seconds) noexcept;
+
+  /// Merges another histogram's samples into this one (bucket-wise add).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
+
+  /// Upper edge of the bucket containing quantile `q` in [0, 1]; 0 when the
+  /// histogram is empty.  Relative bucket error is below
+  /// 2^(1-kSubBucketBits), i.e. ~6% with the default 32 sub-buckets.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+  /// One-line JSON object, stable field set:
+  /// {"count":N,"p50":..,"p90":..,"p99":..,"max":..} (values in the unit
+  /// recorded, nanoseconds throughout this repo).
+  [[nodiscard]] std::string to_json() const;
+
+  static constexpr std::size_t kSubBucketBits = 5;  ///< 32 sub-buckets/row.
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// Row r >= 1 holds values whose top bit is kSubBucketBits + r - 1, so
+  /// row 64 - kSubBucketBits covers bit 63: every uint64_t has a bucket.
+  static constexpr std::size_t kRows = 64 - kSubBucketBits + 1;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_edge(
+      std::size_t index) noexcept;
+
+  std::array<std::uint64_t, kRows * kSubBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
 
 /// Per-core tallies of one run.
 struct CoreStats {

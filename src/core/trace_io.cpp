@@ -30,14 +30,18 @@ RequestSet read_trace(std::istream& is) {
   std::vector<bool> seen;
 
   std::size_t lineno = 0;
+  std::size_t byte_offset = 0;  // offset of the current line's first byte
   while (std::getline(is, line)) {
     ++lineno;
+    const std::size_t line_start = byte_offset;
+    byte_offset += line.size() + 1;  // + the newline getline consumed
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string keyword;
     ls >> keyword;
     const auto fail = [&](const std::string& why) -> void {
-      throw InputError("trace line " + std::to_string(lineno) + ": " + why);
+      throw InputError("trace line " + std::to_string(lineno) + " (byte " +
+                       std::to_string(line_start) + "): " + why);
     };
     if (!saw_header) {
       int version = 0;
@@ -85,21 +89,22 @@ RequestSet read_trace_pairs(std::istream& is) {
   std::vector<RequestSequence> seqs;
   std::string line;
   std::size_t lineno = 0;
+  std::size_t byte_offset = 0;
   while (std::getline(is, line)) {
     ++lineno;
+    const std::size_t line_start = byte_offset;
+    byte_offset += line.size() + 1;
     if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const std::string& why) -> void {
+      throw InputError("pairs line " + std::to_string(lineno) + " (byte " +
+                       std::to_string(line_start) + "): " + why);
+    };
     std::istringstream ls(line);
     std::size_t core = 0;
     PageId page = 0;
-    if (!(ls >> core >> page)) {
-      throw InputError("pairs line " + std::to_string(lineno) +
-                       ": expected '<core> <page>'");
-    }
+    if (!(ls >> core >> page)) fail("expected '<core> <page>'");
     std::string extra;
-    if (ls >> extra) {
-      throw InputError("pairs line " + std::to_string(lineno) +
-                       ": trailing tokens");
-    }
+    if (ls >> extra) fail("trailing tokens");
     if (core >= seqs.size()) seqs.resize(core + 1);
     seqs[core].push_back(page);
   }

@@ -1,0 +1,171 @@
+// mcpd-loadgen — drives src/service/loadgen.hpp from the command line and
+// emits google-benchmark-shaped JSON so scripts/check_perf_regression.py
+// can gate the service baselines (bench/baseline/BENCH_MCPD.json).
+//
+//   mcpd-loadgen [--shards=1,2,4,8] [--tenants=32] [--producers=2]
+//                [--repetitions=3] [--requests=2048] [--cores=4]
+//                [--cache=64] [--chunk=256] [--seed=N]
+//
+// For each shard count the loadgen runs `repetitions` full passes and
+// reports the median of every counter as one aggregate benchmark entry
+// named `mcpd_loadgen/shards/<n>`.  The determinism checksum
+// (total_faults) must agree across all runs and shard counts; the tool
+// fails loudly if it does not.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "service/loadgen.hpp"
+
+namespace {
+
+using mcp::service::LoadgenConfig;
+using mcp::service::LoadgenResult;
+
+[[nodiscard]] std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> values;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    if (comma > pos) {
+      values.push_back(
+          static_cast<std::size_t>(std::stoull(csv.substr(pos, comma - pos))));
+    }
+    pos = comma + 1;
+  }
+  if (values.empty()) throw mcp::InputError("empty shard list");
+  return values;
+}
+
+[[nodiscard]] bool parse_flag(const char* arg, const char* name,
+                              std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  return true;
+}
+
+[[nodiscard]] double median_of(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+void print_entry(bool first, std::size_t shards, std::size_t iterations,
+                 double wall_s, double rps, double capacity,
+                 double p50_ns, double p99_ns, std::uint64_t faults) {
+  std::printf("%s    {\n", first ? "" : ",\n");
+  std::printf("      \"name\": \"mcpd_loadgen/shards/%zu_median\",\n", shards);
+  std::printf("      \"run_name\": \"mcpd_loadgen/shards/%zu\",\n", shards);
+  std::printf("      \"run_type\": \"aggregate\",\n");
+  std::printf("      \"aggregate_name\": \"median\",\n");
+  std::printf("      \"iterations\": %zu,\n", iterations);
+  std::printf("      \"real_time\": %.6e,\n", wall_s * 1e9);
+  std::printf("      \"cpu_time\": %.6e,\n", wall_s * 1e9);
+  std::printf("      \"time_unit\": \"ns\",\n");
+  std::printf("      \"requests_per_sec\": %.6e,\n", rps);
+  std::printf("      \"capacity_rps\": %.6e,\n", capacity);
+  std::printf("      \"epoch_p50_ns\": %.6e,\n", p50_ns);
+  std::printf("      \"epoch_p99_ns\": %.6e,\n", p99_ns);
+  std::printf("      \"total_faults\": %llu\n",
+              static_cast<unsigned long long>(faults));
+  std::printf("    }");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  std::size_t repetitions = 3;
+  LoadgenConfig base;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    try {
+      if (parse_flag(argv[i], "--shards", value)) {
+        shard_counts = parse_list(value);
+      } else if (parse_flag(argv[i], "--tenants", value)) {
+        base.tenants = std::stoull(value);
+      } else if (parse_flag(argv[i], "--producers", value)) {
+        base.producers = std::stoull(value);
+      } else if (parse_flag(argv[i], "--repetitions", value)) {
+        repetitions = std::stoull(value);
+      } else if (parse_flag(argv[i], "--requests", value)) {
+        base.requests_per_core = std::stoull(value);
+      } else if (parse_flag(argv[i], "--cores", value)) {
+        base.cores_per_tenant = std::stoull(value);
+      } else if (parse_flag(argv[i], "--cache", value)) {
+        base.cache_size = std::stoull(value);
+      } else if (parse_flag(argv[i], "--chunk", value)) {
+        base.chunk_pairs = std::stoull(value);
+      } else if (parse_flag(argv[i], "--seed", value)) {
+        base.seed = std::stoull(value);
+      } else {
+        std::fprintf(stderr, "mcpd-loadgen: unknown argument %s\n", argv[i]);
+        return 2;
+      }
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "mcpd-loadgen: bad argument %s (%s)\n", argv[i],
+                   err.what());
+      return 2;
+    }
+  }
+  if (repetitions == 0) repetitions = 1;
+
+  std::printf("{\n  \"context\": {\n");
+  std::printf("    \"executable\": \"mcpd-loadgen\",\n");
+  std::printf("    \"tenants\": %zu,\n", base.tenants);
+  std::printf("    \"producers\": %zu,\n", base.producers);
+  std::printf("    \"cores_per_tenant\": %zu,\n", base.cores_per_tenant);
+  std::printf("    \"requests_per_core\": %zu,\n", base.requests_per_core);
+  std::printf("    \"cache_size\": %zu,\n", base.cache_size);
+  std::printf("    \"chunk_pairs\": %zu\n", base.chunk_pairs);
+  std::printf("  },\n  \"benchmarks\": [\n");
+
+  std::uint64_t checksum = 0;
+  bool have_checksum = false;
+  bool first = true;
+  for (const std::size_t shards : shard_counts) {
+    std::vector<double> wall, rps, capacity, p50, p99;
+    std::uint64_t faults = 0;
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      LoadgenConfig config = base;
+      config.num_shards = shards;
+      LoadgenResult result;
+      try {
+        result = mcp::service::run_loadgen(config);
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "mcpd-loadgen: run failed: %s\n", err.what());
+        return 1;
+      }
+      wall.push_back(result.wall_seconds);
+      rps.push_back(result.requests_per_sec);
+      capacity.push_back(result.capacity_rps);
+      p50.push_back(static_cast<double>(result.epoch_latency.p50()));
+      p99.push_back(static_cast<double>(result.epoch_latency.p99()));
+      faults = result.total_faults;
+      if (!have_checksum) {
+        checksum = result.total_faults;
+        have_checksum = true;
+      } else if (checksum != result.total_faults) {
+        std::fprintf(stderr,
+                     "mcpd-loadgen: DETERMINISM VIOLATION: fault checksum "
+                     "%llu != %llu across runs\n",
+                     static_cast<unsigned long long>(result.total_faults),
+                     static_cast<unsigned long long>(checksum));
+        return 1;
+      }
+    }
+    print_entry(first, shards, repetitions, median_of(wall), median_of(rps),
+                median_of(capacity), median_of(p50), median_of(p99), faults);
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

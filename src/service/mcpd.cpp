@@ -1,0 +1,621 @@
+#include "service/mcpd.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "policies/mattson.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/partition.hpp"
+#include "strategies/partition_search.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+
+namespace mcp::service {
+
+namespace {
+
+/// Largest max_k a fault-curve query may ask for (bounds reply memory).
+constexpr std::uint32_t kMaxCurveK = 1u << 16;
+
+[[nodiscard]] std::uint64_t thread_cpu_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+[[nodiscard]] std::uint64_t wall_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[nodiscard]] std::unique_ptr<CacheStrategy> make_strategy(
+    const wire::SessionParams& params) {
+  const bool lru = params.strategy == wire::StrategyKind::kSharedLru ||
+                   params.strategy == wire::StrategyKind::kStaticEvenLru;
+  PolicyFactory factory = make_policy_factory(lru ? "lru" : "fifo");
+  switch (params.strategy) {
+    case wire::StrategyKind::kSharedLru:
+    case wire::StrategyKind::kSharedFifo:
+      return std::make_unique<SharedStrategy>(std::move(factory));
+    case wire::StrategyKind::kStaticEvenLru:
+    case wire::StrategyKind::kStaticEvenFifo:
+      if (params.cache_size < params.num_cores) {
+        throw InputError(
+            "mcpd: static partition session needs cache_size >= num_cores");
+      }
+      return std::make_unique<StaticPartitionStrategy>(
+          even_partition(params.cache_size, params.num_cores),
+          std::move(factory));
+  }
+  throw InputError("mcpd: unknown strategy kind");
+}
+
+}  // namespace
+
+// --- ResponseMailbox --------------------------------------------------------
+
+ResponseMailbox::~ResponseMailbox() {
+  // Drain so the queue's leak assert holds even when a client abandons
+  // replies (e.g. a pipelined loadgen that only samples).
+  while (ResponseMsg* msg = queue_.pop()) delete msg;
+}
+
+void ResponseMailbox::deliver(std::vector<std::byte> doc) {
+  auto msg = std::make_unique<ResponseMsg>();
+  msg->doc = std::move(doc);
+  queue_.push(msg.release());
+  delivered_.fetch_add(1, std::memory_order_release);
+  delivered_.notify_one();
+}
+
+std::optional<std::vector<std::byte>> ResponseMailbox::try_pop() {
+  ResponseMsg* raw = queue_.pop();
+  if (raw == nullptr) return std::nullopt;
+  std::unique_ptr<ResponseMsg> msg(raw);
+  ++taken_;
+  return std::move(msg->doc);
+}
+
+std::vector<std::byte> ResponseMailbox::wait() {
+  for (;;) {
+    if (std::optional<std::vector<std::byte>> doc = try_pop()) {
+      return *std::move(doc);
+    }
+    const std::uint64_t seen = delivered_.load(std::memory_order_acquire);
+    // seen > taken_: a delivery is queued but its list link is mid-flight
+    // (the MPSC transient) — spin, the producer is two instructions away.
+    if (seen > taken_) continue;
+    delivered_.wait(seen, std::memory_order_acquire);
+  }
+}
+
+// --- Session ----------------------------------------------------------------
+
+/// One tenant session, owned by exactly one shard.  The session *is* the
+/// RequestSource feeding its SimSession: pull() walks the accumulated
+/// trace behind a per-core cursor and reports kStalled past the buffered
+/// end until the client closes — SimSession parks mid-step and resumes on
+/// the next epoch, which is what makes per-session results independent of
+/// chunk arrival timing.
+class Session final : public RequestSource {
+ public:
+  Session(std::uint64_t id, const wire::SessionParams& params,
+          ResponseMailbox* reply_to)
+      : id_(id),
+        params_(params),
+        reply_to_(reply_to),
+        trace_(params.num_cores),
+        cursor_(params.num_cores, 0),
+        strategy_(make_strategy(params)) {
+    SimConfig config;
+    config.cache_size = params.cache_size;
+    config.fault_penalty = params.fault_penalty;
+    config.record_fault_timeline = false;
+    sim_.emplace(config, params.num_cores, *strategy_);
+  }
+
+  [[nodiscard]] std::size_t num_cores() const override {
+    return params_.num_cores;
+  }
+
+  PullStatus pull(CoreId core, PageId& page) override {
+    const RequestSequence& seq = trace_.sequence(core);
+    if (cursor_[core] < seq.size()) {
+      page = seq[cursor_[core]++];
+      return PullStatus::kReady;
+    }
+    return closed_ ? PullStatus::kEnded : PullStatus::kStalled;
+  }
+
+  /// Appends a chunk's pairs to the trace (validating core ids).  Returns
+  /// the number of pairs ingested.
+  std::size_t append_chunk(const wire::ChunkView& chunk) {
+    if (closed_) throw InputError("mcpd: request chunk after session close");
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const wire::WirePair pair = chunk.pair(i);
+      if (pair.core >= params_.num_cores) {
+        throw InputError("mcpd: request pair core " +
+                         std::to_string(pair.core) + " out of range");
+      }
+      trace_.sequence(pair.core).push_back(pair.page);
+    }
+    return chunk.size();
+  }
+
+  void close() { closed_ = true; }
+
+  /// Parks (or, once finished, immediately answers) a query.
+  void enqueue_query(wire::FrameType type, const wire::QueryView& query,
+                     std::size_t park_limit) {
+    if (type == wire::FrameType::kQueryFaultCurve && query.max_k > kMaxCurveK) {
+      throw InputError("mcpd: fault curve max_k above the service limit");
+    }
+    if (finished_) {
+      answer(type, query);
+      return;
+    }
+    if (parked_.size() >= park_limit) {
+      throw InputError("mcpd: too many queries parked on an open session");
+    }
+    parked_.push_back({type, query});
+  }
+
+  /// Steps the simulation as far as the buffered trace allows.  Returns
+  /// true when the session just finished (close seen and fully simulated).
+  bool advance_buffered() {
+    if (finished_ || !dirty_) return false;
+    dirty_ = false;
+    if (!sim_->advance(*this)) return false;
+    finished_ = true;
+    stats_ = sim_->take_stats();
+    for (const ParkedQuery& parked : parked_) answer(parked.type, parked.query);
+    parked_.clear();
+    return true;
+  }
+
+  void mark_dirty() { dirty_ = true; }
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+
+ private:
+  struct ParkedQuery {
+    wire::FrameType type;
+    wire::QueryView query;
+  };
+
+  void answer(wire::FrameType type, const wire::QueryView& query) {
+    if (reply_to_ == nullptr) return;
+    wire::WireWriter writer;
+    switch (type) {
+      case wire::FrameType::kQueryFaults: {
+        wire::FaultCountsReply reply;
+        reply.query_id = query.query_id;
+        reply.finished = true;
+        reply.requests_served = stats_.total_requests();
+        reply.end_time = stats_.end_time;
+        reply.per_core_faults.resize(params_.num_cores);
+        reply.completion_times.resize(params_.num_cores);
+        for (CoreId j = 0; j < params_.num_cores; ++j) {
+          reply.per_core_faults[j] = stats_.core(j).faults;
+          reply.completion_times[j] = stats_.core(j).completion_time;
+        }
+        writer.fault_counts(id_, reply);
+        break;
+      }
+      case wire::FrameType::kQueryFaultCurve: {
+        wire::FaultCurveReply reply;
+        reply.query_id = query.query_id;
+        reply.max_k = query.max_k;
+        reply.curves = lru_fault_curve_batch(trace_, query.max_k);
+        writer.fault_curve(id_, reply);
+        break;
+      }
+      case wire::FrameType::kQueryPartition: {
+        if (params_.cache_size < params_.num_cores) {
+          throw InputError(
+              "mcpd: partition advice needs cache_size >= num_cores");
+        }
+        const FaultCurves curves =
+            lru_fault_curve_batch(trace_, params_.cache_size);
+        const PartitionSearchResult best =
+            optimal_partition_from_curves(curves, params_.cache_size);
+        wire::PartitionAdviceReply reply;
+        reply.query_id = query.query_id;
+        reply.predicted_faults = best.faults;
+        reply.cells_per_core.reserve(best.partition.size());
+        for (std::size_t cells : best.partition) {
+          reply.cells_per_core.push_back(static_cast<std::uint32_t>(cells));
+        }
+        writer.partition_advice(id_, reply);
+        break;
+      }
+      default:
+        throw InputError("mcpd: not a query frame");
+    }
+    reply_to_->deliver(std::move(writer).take());
+  }
+
+  std::uint64_t id_;
+  wire::SessionParams params_;
+  ResponseMailbox* reply_to_;
+  RequestSet trace_;                 ///< Grows as chunks arrive.
+  std::vector<std::size_t> cursor_;  ///< Per-core feed position in trace_.
+  std::unique_ptr<CacheStrategy> strategy_;
+  std::optional<SimSession> sim_;
+  RunStats stats_;  ///< Valid once finished_.
+  std::vector<ParkedQuery> parked_;
+  bool closed_ = false;
+  bool dirty_ = false;
+  bool finished_ = false;
+};
+
+// --- Shard ------------------------------------------------------------------
+
+/// One shard: a dedicated worker thread, its ingress queue, and the
+/// sessions hashed to it.  All session state is thread-confined to the
+/// worker; the queue and the pending_ counter are the only shared parts.
+class Shard {
+ public:
+  explicit Shard(const McpdConfig& config) : config_(config) {}
+
+  ~Shard() { stop_and_join(); }
+
+  void start() {
+    worker_ = std::thread([this] { run(); });
+  }
+
+  /// Takes ownership of `msg`.  Any thread.
+  void enqueue(IngressMsg* msg) {
+    ingress_.push(msg);
+    pending_.fetch_add(1, std::memory_order_release);
+    pending_.notify_one();
+  }
+
+  void stop_and_join() {
+    if (!worker_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    pending_.fetch_add(1, std::memory_order_release);  // phantom wake token
+    pending_.notify_one();
+    worker_.join();
+  }
+
+  /// Race-free only after stop_and_join().
+  [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+
+ private:
+  void run() {
+    for (;;) {
+      const std::uint64_t seen = pending_.load(std::memory_order_acquire);
+      if (process_epoch()) continue;
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (pending_.load(std::memory_order_acquire) != seen) continue;
+      pending_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+  /// One epoch: drain every queued frame, step every touched session,
+  /// publish responses.  Returns false when the queue was empty.
+  bool process_epoch() {
+    std::uint64_t wall0 = 0;
+    std::uint64_t cpu0 = 0;
+    std::uint64_t frames = 0;
+    dirty_.clear();
+    while (IngressMsg* raw = ingress_.pop()) {
+      std::unique_ptr<IngressMsg> msg(raw);
+      if (frames == 0) {
+        wall0 = wall_ns();
+        cpu0 = thread_cpu_ns();
+      }
+      ++frames;
+      try {
+        apply_frame(*msg);
+      } catch (const std::exception&) {
+        // A malformed or out-of-protocol frame must not take the daemon
+        // down; it is counted and dropped (docs/MCPD.md "error handling").
+        ++stats_.bad_frames;
+      }
+    }
+    if (frames == 0) return false;
+    for (Session* session : dirty_) {
+      try {
+        if (session->advance_buffered()) ++stats_.sessions_finished;
+      } catch (const std::exception&) {
+        ++stats_.bad_frames;
+      }
+    }
+    stats_.frames += frames;
+    ++stats_.epochs;
+    stats_.busy_ns += thread_cpu_ns() - cpu0;
+    stats_.epoch_latency.record(wall_ns() - wall0);
+    return true;
+  }
+
+  void apply_frame(const IngressMsg& msg) {
+    const wire::FrameView frame = wire::parse_frame(
+        std::span<const std::byte>(*msg.doc).subspan(msg.offset, msg.length),
+        msg.offset);
+    switch (frame.type) {
+      case wire::FrameType::kSessionOpen: {
+        const wire::SessionParams params = wire::decode_session_open(frame);
+        auto [it, inserted] = sessions_.try_emplace(frame.session);
+        if (!inserted) {
+          throw InputError("mcpd: duplicate session open");
+        }
+        it->second =
+            std::make_unique<Session>(frame.session, params, msg.reply_to);
+        ++stats_.sessions_opened;
+        break;
+      }
+      case wire::FrameType::kRequestChunk: {
+        Session& session = find_session(frame.session);
+        stats_.pairs += session.append_chunk(wire::ChunkView(frame));
+        mark_dirty(session);
+        break;
+      }
+      case wire::FrameType::kSessionClose: {
+        Session& session = find_session(frame.session);
+        session.close();
+        mark_dirty(session);
+        break;
+      }
+      case wire::FrameType::kQueryFaults:
+      case wire::FrameType::kQueryFaultCurve:
+      case wire::FrameType::kQueryPartition: {
+        Session& session = find_session(frame.session);
+        session.enqueue_query(frame.type, wire::decode_query(frame),
+                              config_.max_parked_queries);
+        break;
+      }
+      default:
+        throw InputError("mcpd: response frame on the ingress path");
+    }
+  }
+
+  Session& find_session(std::uint64_t id) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      throw InputError("mcpd: frame for unknown session " +
+                       std::to_string(id));
+    }
+    return *it->second;
+  }
+
+  void mark_dirty(Session& session) {
+    if (!session.dirty()) {
+      session.mark_dirty();
+      dirty_.push_back(&session);
+    }
+  }
+
+  McpdConfig config_;
+  MpscQueue<IngressMsg> ingress_;
+  alignas(64) std::atomic<std::uint64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::vector<Session*> dirty_;  ///< Sessions touched this epoch.
+  ShardStats stats_;
+  std::thread worker_;
+};
+
+// --- Mcpd -------------------------------------------------------------------
+
+Mcpd::Mcpd(McpdConfig config) : config_(config) {
+  MCP_REQUIRE(config_.num_shards >= 1, "mcpd needs at least one shard");
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+  for (auto& shard : shards_) shard->start();
+}
+
+Mcpd::~Mcpd() { stop(); }
+
+std::size_t Mcpd::shard_of(std::uint64_t session) const noexcept {
+  std::uint64_t state = session;
+  return splitmix64(state) % shards_.size();
+}
+
+void Mcpd::submit_document(std::shared_ptr<const std::vector<std::byte>> doc,
+                           ResponseMailbox* reply_to) {
+  MCP_REQUIRE(!stopped_, "mcpd: submit after stop");
+  MCP_REQUIRE(doc != nullptr, "mcpd: null document");
+  // Pass 1 validates the whole document's framing, so a malformed tail
+  // never leaves a prefix half-enqueued.
+  struct Slot {
+    std::size_t offset;
+    std::size_t length;
+    std::uint64_t session;
+  };
+  std::vector<Slot> slots;
+  {
+    wire::WireReader reader(*doc);
+    wire::FrameView frame;
+    std::size_t start = reader.offset();
+    while (reader.next(frame)) {
+      slots.push_back({start, reader.offset() - start, frame.session});
+      start = reader.offset();
+    }
+  }
+  for (const Slot& slot : slots) {
+    auto msg = std::make_unique<IngressMsg>();
+    msg->doc = doc;
+    msg->offset = slot.offset;
+    msg->length = slot.length;
+    msg->reply_to = reply_to;
+    shards_[shard_of(slot.session)]->enqueue(msg.release());
+  }
+}
+
+void Mcpd::stop() {
+  if (stopped_) return;
+  for (auto& shard : shards_) shard->stop_and_join();
+  stopped_ = true;
+}
+
+std::size_t Mcpd::num_shards() const noexcept { return shards_.size(); }
+
+const ShardStats& Mcpd::shard_stats(std::size_t shard) const {
+  MCP_REQUIRE(stopped_, "mcpd: shard_stats before stop");
+  return shards_.at(shard)->stats();
+}
+
+ShardStats Mcpd::total_stats() const {
+  MCP_REQUIRE(stopped_, "mcpd: total_stats before stop");
+  ShardStats total;
+  for (const auto& shard : shards_) {
+    const ShardStats& s = shard->stats();
+    total.frames += s.frames;
+    total.pairs += s.pairs;
+    total.epochs += s.epochs;
+    total.sessions_opened += s.sessions_opened;
+    total.sessions_finished += s.sessions_finished;
+    total.bad_frames += s.bad_frames;
+    total.busy_ns += s.busy_ns;
+    total.epoch_latency.merge(s.epoch_latency);
+  }
+  return total;
+}
+
+// --- McpdClient -------------------------------------------------------------
+
+namespace {
+
+struct ReplyKey {
+  wire::FrameType type;
+  std::uint64_t query_id;
+};
+
+/// All reply payloads lead with their u64 query id.
+[[nodiscard]] ReplyKey peek_reply(const std::vector<std::byte>& doc) {
+  wire::WireReader reader(doc);
+  wire::FrameView frame;
+  MCP_REQUIRE(reader.next(frame), "mcpd client: empty reply document");
+  MCP_REQUIRE(frame.payload.size() >= 8, "mcpd client: reply payload too short");
+  return {frame.type, wire::load_u64(frame.payload.data())};
+}
+
+[[nodiscard]] wire::FrameView reply_frame(const std::vector<std::byte>& doc) {
+  wire::WireReader reader(doc);
+  wire::FrameView frame;
+  MCP_REQUIRE(reader.next(frame), "mcpd client: empty reply document");
+  return frame;
+}
+
+}  // namespace
+
+void McpdClient::submit(wire::WireWriter&& writer) {
+  daemon_->submit_document(std::make_shared<const std::vector<std::byte>>(
+                               std::move(writer).take()),
+                           &mailbox_);
+}
+
+void McpdClient::open(std::uint64_t session,
+                      const wire::SessionParams& params) {
+  wire::WireWriter writer;
+  writer.session_open(session, params);
+  submit(std::move(writer));
+}
+
+void McpdClient::send_pairs(std::uint64_t session,
+                            std::span<const wire::WirePair> pairs) {
+  wire::WireWriter writer;
+  writer.request_chunk(session, pairs);
+  submit(std::move(writer));
+}
+
+void McpdClient::send_core_pages(std::uint64_t session, std::uint32_t core,
+                                 std::span<const PageId> pages) {
+  wire::WireWriter writer;
+  writer.request_chunk(session, core, pages);
+  submit(std::move(writer));
+}
+
+void McpdClient::close(std::uint64_t session) {
+  wire::WireWriter writer;
+  writer.session_close(session);
+  submit(std::move(writer));
+}
+
+void McpdClient::post_query_faults(std::uint64_t session,
+                                   std::uint64_t query_id) {
+  wire::WireWriter writer;
+  writer.query_faults(session, query_id);
+  submit(std::move(writer));
+}
+
+void McpdClient::post_query_fault_curve(std::uint64_t session,
+                                        std::uint64_t query_id,
+                                        std::uint32_t max_k) {
+  wire::WireWriter writer;
+  writer.query_fault_curve(session, query_id, max_k);
+  submit(std::move(writer));
+}
+
+void McpdClient::post_query_partition(std::uint64_t session,
+                                      std::uint64_t query_id) {
+  wire::WireWriter writer;
+  writer.query_partition(session, query_id);
+  submit(std::move(writer));
+}
+
+std::vector<std::byte> McpdClient::wait_for(wire::FrameType want,
+                                            std::uint64_t query_id) {
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    const ReplyKey key = peek_reply(stash_[i]);
+    if (key.type == want && key.query_id == query_id) {
+      std::vector<std::byte> doc = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      return doc;
+    }
+  }
+  for (;;) {
+    std::vector<std::byte> doc = mailbox_.wait();
+    const ReplyKey key = peek_reply(doc);
+    if (key.type == want && key.query_id == query_id) return doc;
+    stash_.push_back(std::move(doc));
+  }
+}
+
+wire::FrameView McpdClient::wait_reply(std::vector<std::byte>& storage) {
+  if (!stash_.empty()) {
+    storage = std::move(stash_.back());
+    stash_.pop_back();
+  } else {
+    storage = mailbox_.wait();
+  }
+  return reply_frame(storage);
+}
+
+wire::FaultCountsReply McpdClient::query_faults(std::uint64_t session,
+                                                std::uint64_t query_id) {
+  post_query_faults(session, query_id);
+  const std::vector<std::byte> doc =
+      wait_for(wire::FrameType::kFaultCounts, query_id);
+  return wire::decode_fault_counts(reply_frame(doc));
+}
+
+wire::FaultCurveReply McpdClient::query_fault_curve(std::uint64_t session,
+                                                    std::uint64_t query_id,
+                                                    std::uint32_t max_k) {
+  post_query_fault_curve(session, query_id, max_k);
+  const std::vector<std::byte> doc =
+      wait_for(wire::FrameType::kFaultCurve, query_id);
+  return wire::decode_fault_curve(reply_frame(doc));
+}
+
+wire::PartitionAdviceReply McpdClient::query_partition(std::uint64_t session,
+                                                       std::uint64_t query_id) {
+  post_query_partition(session, query_id);
+  const std::vector<std::byte> doc =
+      wait_for(wire::FrameType::kPartitionAdvice, query_id);
+  return wire::decode_partition_advice(reply_frame(doc));
+}
+
+}  // namespace mcp::service

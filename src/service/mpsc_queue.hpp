@@ -1,0 +1,107 @@
+// Lock-free multi-producer single-consumer intrusive queue (Vyukov's
+// classic design) — the ingress path of every mcpd shard.
+//
+// Producers (client threads, the loadgen) push with one atomic exchange and
+// one store; the shard's worker thread is the only popper.  The queue is
+// *intrusive*: values embed the hook node, so a push is allocation-free
+// once the message object exists — no internal nodes, no ABA problem (a
+// node is owned by exactly one side at a time), unbounded capacity.
+//
+// Progress guarantees: push is wait-free (two unconditional atomic ops).
+// pop is lock-free with one benign transient: after a producer's exchange
+// but before its store, the list is momentarily split and pop returns
+// nullptr as if empty; the item becomes visible as soon as the store lands.
+// The consumer must therefore treat "empty" as advisory — mcpd re-checks
+// after arming its sleep (see Shard::run).
+//
+// Memory ordering: push publishes the message payload via the release
+// store to prev->next; pop's acquire load of next synchronizes-with it, so
+// everything written before push() is visible to the consumer after pop().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "core/error.hpp"
+
+namespace mcp::service {
+
+/// Embed one of these in every message type pushed through MpscQueue.
+struct MpscHook {
+  std::atomic<MpscHook*> next{nullptr};
+};
+
+/// T must derive from MpscHook.  The queue never owns messages: the pusher
+/// hands ownership to the popper through the queue, and destruction of a
+/// non-empty queue asserts (messages would leak silently otherwise).
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() { MCP_ASSERT(empty()); }
+
+  /// Wait-free; callable from any thread.
+  void push(T* item) noexcept {
+    MpscHook* node = item;
+    node->next.store(nullptr, std::memory_order_relaxed);
+    // The exchange makes this node the new head; linking the previous head
+    // to it (release) publishes the item and everything written before.
+    MpscHook* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Single-consumer only.  Returns nullptr when empty *or* when a push is
+  /// mid-flight (see header comment) — callers must not infer quiescence.
+  T* pop() noexcept {
+    MpscHook* tail = tail_;
+    MpscHook* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty (or push in flight)
+      tail_ = next;  // unhook the stub; first real node becomes the tail
+      tail = next;
+      next = tail->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return static_cast<T*>(tail);
+    }
+    // tail is the last visible node.  If it is also the head, re-insert the
+    // stub behind it so the list never empties out from under a producer.
+    if (head_.load(std::memory_order_acquire) != tail) {
+      return nullptr;  // a push is mid-flight; its store will link tail->next
+    }
+    push_hook(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return static_cast<T*>(tail);
+    }
+    return nullptr;  // another producer got between; retry later
+  }
+
+  /// Advisory (single-consumer): true when no item is visible.
+  [[nodiscard]] bool empty() const noexcept {
+    return tail_ == &stub_ &&
+           tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  void push_hook(MpscHook* node) noexcept {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    MpscHook* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // head_ is the producers' end (most recently pushed), tail_ the
+  // consumer's end; stub_ keeps the list non-empty so push never races an
+  // empty->non-empty transition.
+  alignas(64) std::atomic<MpscHook*> head_;
+  alignas(64) MpscHook* tail_;
+  MpscHook stub_;
+};
+
+}  // namespace mcp::service

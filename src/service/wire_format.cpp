@@ -1,0 +1,486 @@
+#include "service/wire_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+namespace mcp::wire {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t offset, const std::string& why) {
+  throw InputError("wire byte " + std::to_string(offset) + ": " + why);
+}
+
+[[nodiscard]] bool known_frame_type(std::uint32_t raw) noexcept {
+  return raw >= static_cast<std::uint32_t>(FrameType::kSessionOpen) &&
+         raw <= static_cast<std::uint32_t>(FrameType::kPartitionAdvice);
+}
+
+void expect_payload(const FrameView& frame, std::size_t want,
+                    const char* what) {
+  if (frame.payload.size() != want) {
+    throw InputError(std::string("wire: ") + what + " payload is " +
+                     std::to_string(frame.payload.size()) + " bytes, expected " +
+                     std::to_string(want));
+  }
+}
+
+}  // namespace
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kSharedLru: return "shared_lru";
+    case StrategyKind::kSharedFifo: return "shared_fifo";
+    case StrategyKind::kStaticEvenLru: return "static_even_lru";
+    case StrategyKind::kStaticEvenFifo: return "static_even_fifo";
+  }
+  return "unknown";
+}
+
+// --- ChunkView --------------------------------------------------------------
+
+ChunkView::ChunkView(const FrameView& frame) {
+  MCP_REQUIRE(frame.type == FrameType::kRequestChunk,
+              "ChunkView over a non-chunk frame");
+  if (frame.payload.size() < 8) {
+    throw InputError("wire: request chunk payload shorter than its header");
+  }
+  count_ = load_u32(frame.payload.data());
+  if (frame.payload.size() != 8 + count_ * sizeof(WirePair)) {
+    throw InputError("wire: request chunk declares " + std::to_string(count_) +
+                     " pairs but carries " +
+                     std::to_string(frame.payload.size()) + " payload bytes");
+  }
+  data_ = frame.payload.data() + 8;
+}
+
+// --- WireWriter -------------------------------------------------------------
+
+WireWriter::WireWriter() {
+  buf_.resize(kMagicSize);
+  std::memcpy(buf_.data(), kMagic.data(), kMagicSize);
+}
+
+std::size_t WireWriter::begin_frame(FrameType type, std::uint64_t session,
+                                    std::size_t payload_len) {
+  MCP_ASSERT(payload_len % 8 == 0);  // alignment invariant of the format
+  const std::size_t header_at = buf_.size();
+  buf_.resize(header_at + kFrameHeaderSize + payload_len);
+  std::byte* h = buf_.data() + header_at;
+  store_u32(h, static_cast<std::uint32_t>(type));
+  store_u32(h + 4, static_cast<std::uint32_t>(payload_len));
+  store_u64(h + 8, session);
+  return header_at + kFrameHeaderSize;
+}
+
+void WireWriter::session_open(std::uint64_t session,
+                              const SessionParams& params) {
+  const std::size_t at = begin_frame(FrameType::kSessionOpen, session, 16);
+  std::byte* p = buf_.data() + at;
+  store_u32(p, params.num_cores);
+  store_u32(p + 4, params.cache_size);
+  store_u32(p + 8, params.fault_penalty);
+  store_u32(p + 12, static_cast<std::uint32_t>(params.strategy));
+}
+
+void WireWriter::request_chunk(std::uint64_t session,
+                               std::span<const WirePair> pairs) {
+  const std::size_t at = begin_frame(FrameType::kRequestChunk, session,
+                                     8 + pairs.size() * sizeof(WirePair));
+  std::byte* p = buf_.data() + at;
+  store_u32(p, static_cast<std::uint32_t>(pairs.size()));
+  store_u32(p + 4, 0);  // reserved
+  p += 8;
+  for (const WirePair& pair : pairs) {
+    store_u32(p, pair.core);
+    store_u32(p + 4, pair.page);
+    p += sizeof(WirePair);
+  }
+}
+
+void WireWriter::request_chunk(std::uint64_t session, std::uint32_t core,
+                               std::span<const PageId> pages) {
+  const std::size_t at = begin_frame(FrameType::kRequestChunk, session,
+                                     8 + pages.size() * sizeof(WirePair));
+  std::byte* p = buf_.data() + at;
+  store_u32(p, static_cast<std::uint32_t>(pages.size()));
+  store_u32(p + 4, 0);
+  p += 8;
+  for (PageId page : pages) {
+    store_u32(p, core);
+    store_u32(p + 4, static_cast<std::uint32_t>(page));
+    p += sizeof(WirePair);
+  }
+}
+
+void WireWriter::session_close(std::uint64_t session) {
+  begin_frame(FrameType::kSessionClose, session, 0);
+}
+
+void WireWriter::query_faults(std::uint64_t session, std::uint64_t query_id) {
+  const std::size_t at = begin_frame(FrameType::kQueryFaults, session, 16);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, query_id);
+  store_u32(p + 8, 0);
+  store_u32(p + 12, 0);
+}
+
+void WireWriter::query_fault_curve(std::uint64_t session,
+                                   std::uint64_t query_id,
+                                   std::uint32_t max_k) {
+  const std::size_t at = begin_frame(FrameType::kQueryFaultCurve, session, 16);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, query_id);
+  store_u32(p + 8, max_k);
+  store_u32(p + 12, 0);
+}
+
+void WireWriter::query_partition(std::uint64_t session,
+                                 std::uint64_t query_id) {
+  const std::size_t at = begin_frame(FrameType::kQueryPartition, session, 16);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, query_id);
+  store_u32(p + 8, 0);
+  store_u32(p + 12, 0);
+}
+
+void WireWriter::fault_counts(std::uint64_t session,
+                              const FaultCountsReply& reply) {
+  MCP_REQUIRE(reply.per_core_faults.size() == reply.completion_times.size(),
+              "fault_counts: per-core vectors disagree");
+  const std::size_t cores = reply.per_core_faults.size();
+  // u64 query_id, u32 finished, u32 cores, u64 requests_served, u64 end_time,
+  // then cores x (u64 faults, u64 completion_time).
+  const std::size_t at = begin_frame(FrameType::kFaultCounts, session,
+                                     32 + cores * 16);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, reply.query_id);
+  store_u32(p + 8, reply.finished ? 1 : 0);
+  store_u32(p + 12, static_cast<std::uint32_t>(cores));
+  store_u64(p + 16, reply.requests_served);
+  store_u64(p + 24, reply.end_time);
+  p += 32;
+  for (std::size_t j = 0; j < cores; ++j) {
+    store_u64(p, reply.per_core_faults[j]);
+    store_u64(p + 8, reply.completion_times[j]);
+    p += 16;
+  }
+}
+
+void WireWriter::fault_curve(std::uint64_t session,
+                             const FaultCurveReply& reply) {
+  const std::size_t cores = reply.curves.size();
+  const std::size_t points = static_cast<std::size_t>(reply.max_k) + 1;
+  for (const auto& curve : reply.curves) {
+    MCP_REQUIRE(curve.size() == points, "fault_curve: ragged curve matrix");
+  }
+  // u64 query_id, u32 max_k, u32 cores, then cores x points x u64.
+  const std::size_t at = begin_frame(FrameType::kFaultCurve, session,
+                                     16 + cores * points * 8);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, reply.query_id);
+  store_u32(p + 8, reply.max_k);
+  store_u32(p + 12, static_cast<std::uint32_t>(cores));
+  p += 16;
+  for (const auto& curve : reply.curves) {
+    for (Count value : curve) {
+      store_u64(p, value);
+      p += 8;
+    }
+  }
+}
+
+void WireWriter::partition_advice(std::uint64_t session,
+                                  const PartitionAdviceReply& reply) {
+  const std::size_t cores = reply.cells_per_core.size();
+  const std::size_t cells_bytes = (cores * 4 + 7) / 8 * 8;  // pad to 8
+  // u64 query_id, u64 predicted_faults, u32 cores, u32 reserved,
+  // then cores x u32 (padded to a multiple of 8 bytes).
+  const std::size_t at = begin_frame(FrameType::kPartitionAdvice, session,
+                                     24 + cells_bytes);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, reply.query_id);
+  store_u64(p + 8, reply.predicted_faults);
+  store_u32(p + 16, static_cast<std::uint32_t>(cores));
+  store_u32(p + 20, 0);
+  p += 24;
+  std::memset(p, 0, cells_bytes);
+  for (std::size_t j = 0; j < cores; ++j) {
+    store_u32(p + j * 4, reply.cells_per_core[j]);
+  }
+}
+
+// --- WireReader / parse_frame -----------------------------------------------
+
+WireReader::WireReader(std::span<const std::byte> data) : data_(data) {
+  if (data_.size() < kMagicSize ||
+      std::memcmp(data_.data(), kMagic.data(), kMagicSize) != 0) {
+    fail_at(0, "bad magic, expected \"MCPWIRE1\"");
+  }
+  pos_ = kMagicSize;
+}
+
+bool WireReader::next(FrameView& frame) {
+  if (pos_ == data_.size()) return false;
+  if (data_.size() - pos_ < kFrameHeaderSize) {
+    fail_at(pos_, "truncated frame header (" +
+                      std::to_string(data_.size() - pos_) + " bytes left)");
+  }
+  frame = parse_frame(data_.subspan(pos_), pos_);
+  pos_ += kFrameHeaderSize + frame.payload.size();
+  return true;
+}
+
+FrameView parse_frame(std::span<const std::byte> bytes,
+                      std::size_t offset_in_doc) {
+  if (bytes.size() < kFrameHeaderSize) {
+    fail_at(offset_in_doc, "truncated frame header");
+  }
+  const std::uint32_t raw_type = load_u32(bytes.data());
+  const std::uint32_t payload_len = load_u32(bytes.data() + 4);
+  if (!known_frame_type(raw_type)) {
+    fail_at(offset_in_doc,
+            "unknown frame type " + std::to_string(raw_type));
+  }
+  if (payload_len % 8 != 0) {
+    fail_at(offset_in_doc, "payload length " + std::to_string(payload_len) +
+                               " is not a multiple of 8");
+  }
+  if (bytes.size() - kFrameHeaderSize < payload_len) {
+    fail_at(offset_in_doc,
+            "frame payload of " + std::to_string(payload_len) +
+                " bytes overruns the buffer (" +
+                std::to_string(bytes.size() - kFrameHeaderSize) + " left)");
+  }
+  FrameView frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.session = load_u64(bytes.data() + 8);
+  frame.payload = bytes.subspan(kFrameHeaderSize, payload_len);
+  return frame;
+}
+
+// --- payload decoders -------------------------------------------------------
+
+SessionParams decode_session_open(const FrameView& frame) {
+  expect_payload(frame, 16, "session open");
+  const std::byte* p = frame.payload.data();
+  SessionParams params;
+  params.num_cores = load_u32(p);
+  params.cache_size = load_u32(p + 4);
+  params.fault_penalty = load_u32(p + 8);
+  const std::uint32_t raw = load_u32(p + 12);
+  if (raw > static_cast<std::uint32_t>(StrategyKind::kStaticEvenFifo)) {
+    throw InputError("wire: unknown strategy kind " + std::to_string(raw));
+  }
+  params.strategy = static_cast<StrategyKind>(raw);
+  if (params.num_cores == 0) throw InputError("wire: session with 0 cores");
+  if (params.num_cores > kMaxWireCores) {
+    throw InputError("wire: session with " + std::to_string(params.num_cores) +
+                     " cores exceeds the spec bound of " +
+                     std::to_string(kMaxWireCores));
+  }
+  if (params.cache_size == 0) {
+    throw InputError("wire: session with 0 cache cells");
+  }
+  if (params.cache_size > kMaxWireCacheCells) {
+    throw InputError("wire: session with " + std::to_string(params.cache_size) +
+                     " cache cells exceeds the spec bound of " +
+                     std::to_string(kMaxWireCacheCells));
+  }
+  return params;
+}
+
+QueryView decode_query(const FrameView& frame) {
+  expect_payload(frame, 16, "query");
+  const std::byte* p = frame.payload.data();
+  return QueryView{load_u64(p), load_u32(p + 8)};
+}
+
+FaultCountsReply decode_fault_counts(const FrameView& frame) {
+  if (frame.payload.size() < 32) {
+    throw InputError("wire: fault counts payload shorter than its header");
+  }
+  const std::byte* p = frame.payload.data();
+  FaultCountsReply reply;
+  reply.query_id = load_u64(p);
+  reply.finished = load_u32(p + 8) != 0;
+  const std::uint32_t cores = load_u32(p + 12);
+  reply.requests_served = load_u64(p + 16);
+  reply.end_time = load_u64(p + 24);
+  expect_payload(frame, 32 + static_cast<std::size_t>(cores) * 16,
+                 "fault counts");
+  p += 32;
+  reply.per_core_faults.resize(cores);
+  reply.completion_times.resize(cores);
+  for (std::uint32_t j = 0; j < cores; ++j) {
+    reply.per_core_faults[j] = load_u64(p);
+    reply.completion_times[j] = load_u64(p + 8);
+    p += 16;
+  }
+  return reply;
+}
+
+FaultCurveReply decode_fault_curve(const FrameView& frame) {
+  if (frame.payload.size() < 16) {
+    throw InputError("wire: fault curve payload shorter than its header");
+  }
+  const std::byte* p = frame.payload.data();
+  FaultCurveReply reply;
+  reply.query_id = load_u64(p);
+  reply.max_k = load_u32(p + 8);
+  const std::uint32_t cores = load_u32(p + 12);
+  // Bound both factors before sizing anything from them: the expected-length
+  // product must not overflow, and a hostile header must not trigger a huge
+  // resize that the subsequent length check would otherwise reject too late.
+  if (cores > kMaxWireCores || reply.max_k >= (1u << 24)) {
+    throw InputError("wire: fault curve header exceeds spec bounds");
+  }
+  const std::size_t points = static_cast<std::size_t>(reply.max_k) + 1;
+  expect_payload(frame, 16 + static_cast<std::size_t>(cores) * points * 8,
+                 "fault curve");
+  p += 16;
+  reply.curves.resize(cores);
+  for (auto& curve : reply.curves) {
+    curve.resize(points);
+    for (Count& value : curve) {
+      value = load_u64(p);
+      p += 8;
+    }
+  }
+  return reply;
+}
+
+PartitionAdviceReply decode_partition_advice(const FrameView& frame) {
+  if (frame.payload.size() < 24) {
+    throw InputError("wire: partition advice payload shorter than its header");
+  }
+  const std::byte* p = frame.payload.data();
+  PartitionAdviceReply reply;
+  reply.query_id = load_u64(p);
+  reply.predicted_faults = load_u64(p + 8);
+  const std::uint32_t cores = load_u32(p + 16);
+  const std::size_t cells_bytes =
+      (static_cast<std::size_t>(cores) * 4 + 7) / 8 * 8;
+  expect_payload(frame, 24 + cells_bytes, "partition advice");
+  p += 24;
+  reply.cells_per_core.resize(cores);
+  for (std::uint32_t j = 0; j < cores; ++j) {
+    reply.cells_per_core[j] = load_u32(p + j * 4);
+  }
+  return reply;
+}
+
+// --- trace conversion -------------------------------------------------------
+
+std::vector<std::byte> encode_trace(const RequestSet& requests,
+                                    std::uint64_t session,
+                                    const SessionParams& params,
+                                    std::size_t chunk_pairs) {
+  MCP_REQUIRE(chunk_pairs > 0, "encode_trace: chunk_pairs must be positive");
+  MCP_REQUIRE(params.num_cores == requests.num_cores(),
+              "encode_trace: params.num_cores does not match the trace");
+  WireWriter writer;
+  writer.session_open(session, params);
+  // Interleave cores chunk-by-chunk (round-robin) so a chunked consumer
+  // exercises realistic multi-core arrival order; each core's own order is
+  // preserved, which is all the model semantics depend on.
+  const std::size_t p = requests.num_cores();
+  std::vector<std::size_t> cursor(p, 0);
+  bool emitted = true;
+  while (emitted) {
+    emitted = false;
+    for (CoreId core = 0; core < p; ++core) {
+      const RequestSequence& seq = requests.sequence(core);
+      if (cursor[core] >= seq.size()) continue;
+      const std::size_t n =
+          std::min(chunk_pairs, seq.size() - cursor[core]);
+      writer.request_chunk(session, static_cast<std::uint32_t>(core),
+                           seq.pages().subspan(cursor[core], n));
+      cursor[core] += n;
+      emitted = true;
+    }
+  }
+  writer.session_close(session);
+  return std::move(writer).take();
+}
+
+DecodedTrace decode_trace(std::span<const std::byte> data) {
+  WireReader reader(data);
+  DecodedTrace out;
+  bool opened = false;
+  std::vector<std::vector<PageId>> seqs;
+  FrameView frame;
+  while (reader.next(frame)) {
+    if (!opened) {
+      if (frame.type != FrameType::kSessionOpen) {
+        throw InputError("wire: document does not start with a session open");
+      }
+      out.session = frame.session;
+      out.params = decode_session_open(frame);
+      seqs.resize(out.params.num_cores);
+      opened = true;
+      continue;
+    }
+    if (frame.session != out.session) {
+      throw InputError("wire: decode_trace on a multi-session document");
+    }
+    if (out.closed) {
+      throw InputError("wire: frame after session close");
+    }
+    switch (frame.type) {
+      case FrameType::kRequestChunk: {
+        const ChunkView chunk(frame);
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          const WirePair pair = chunk.pair(i);
+          if (pair.core >= seqs.size()) {
+            throw InputError("wire: request pair core " +
+                             std::to_string(pair.core) + " out of range");
+          }
+          seqs[pair.core].push_back(pair.page);
+        }
+        break;
+      }
+      case FrameType::kSessionClose:
+        out.closed = true;
+        break;
+      case FrameType::kSessionOpen:
+        throw InputError("wire: duplicate session open");
+      default:
+        throw InputError("wire: unexpected frame type " +
+                         std::to_string(static_cast<std::uint32_t>(frame.type)) +
+                         " in a trace document");
+    }
+  }
+  if (!opened) throw InputError("wire: empty document (no session open)");
+  std::vector<RequestSequence> sequences;
+  sequences.reserve(seqs.size());
+  for (auto& pages : seqs) sequences.emplace_back(std::move(pages));
+  out.requests = RequestSet(std::move(sequences));
+  return out;
+}
+
+void save_wire_trace(const std::string& path, const RequestSet& requests,
+                     std::uint64_t session, const SessionParams& params,
+                     std::size_t chunk_pairs) {
+  const std::vector<std::byte> bytes =
+      encode_trace(requests, session, params, chunk_pairs);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw InputError("cannot open for writing: " + path);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw InputError("write failed: " + path);
+}
+
+DecodedTrace load_wire_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw InputError("cannot open for reading: " + path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!is) throw InputError("read failed: " + path);
+  return decode_trace(bytes);
+}
+
+}  // namespace mcp::wire

@@ -1,0 +1,206 @@
+// SimSession differential battery: a session advanced through an
+// incremental, stalling RequestSource must produce results bit-identical
+// to Simulator::run over the full materialized trace — the property the
+// mcpd shard layer's determinism rests on (DESIGN.md §13).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "policies/policy_registry.hpp"
+#include "strategies/partition.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+/// Feeds a RequestSet page-by-page under a grant budget: pull() stalls
+/// once a core's granted window is exhausted, ended once the true sequence
+/// is drained.  grant() releases more pages, emulating chunk arrival.
+class ChunkedSource final : public RequestSource {
+ public:
+  explicit ChunkedSource(const RequestSet& requests)
+      : requests_(&requests),
+        cursor_(requests.num_cores(), 0),
+        granted_(requests.num_cores(), 0) {}
+
+  [[nodiscard]] std::size_t num_cores() const override {
+    return requests_->num_cores();
+  }
+
+  PullStatus pull(CoreId core, PageId& page) override {
+    const RequestSequence& seq = requests_->sequence(core);
+    if (cursor_[core] >= seq.size()) return PullStatus::kEnded;
+    if (cursor_[core] >= granted_[core]) return PullStatus::kStalled;
+    page = seq[cursor_[core]++];
+    return PullStatus::kReady;
+  }
+
+  /// Grants `n` more pages to `core` (clamped to the sequence length).
+  void grant(CoreId core, std::size_t n) {
+    granted_[core] =
+        std::min(requests_->sequence(core).size(), granted_[core] + n);
+  }
+
+  void grant_all() {
+    for (CoreId j = 0; j < requests_->num_cores(); ++j) {
+      granted_[j] = requests_->sequence(j).size();
+    }
+  }
+
+  [[nodiscard]] bool fully_granted() const {
+    for (CoreId j = 0; j < requests_->num_cores(); ++j) {
+      if (granted_[j] < requests_->sequence(j).size()) return false;
+    }
+    return true;
+  }
+
+ private:
+  const RequestSet* requests_;
+  std::vector<std::size_t> cursor_;
+  std::vector<std::size_t> granted_;
+};
+
+void expect_identical(const RunStats& a, const RunStats& b) {
+  ASSERT_EQ(a.num_cores(), b.num_cores());
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.sim_steps, b.sim_steps);
+  for (CoreId j = 0; j < a.num_cores(); ++j) {
+    EXPECT_EQ(a.core(j).hits, b.core(j).hits) << "core " << j;
+    EXPECT_EQ(a.core(j).faults, b.core(j).faults) << "core " << j;
+    EXPECT_EQ(a.core(j).requests, b.core(j).requests) << "core " << j;
+    EXPECT_EQ(a.core(j).completion_time, b.core(j).completion_time)
+        << "core " << j;
+    EXPECT_EQ(a.core(j).fault_times, b.core(j).fault_times) << "core " << j;
+  }
+}
+
+/// Runs `requests` through a SimSession with the given grant pattern and
+/// returns the stats.  `grant_step` pages are released to one core per
+/// stall round-robin (grant_step == 0 means: release everything upfront).
+RunStats run_chunked(const SimConfig& config, const RequestSet& requests,
+                     CacheStrategy& strategy, std::size_t grant_step,
+                     Rng* shuffle_rng = nullptr) {
+  ChunkedSource source(requests);
+  SimSession session(config, requests.num_cores(), strategy, &requests);
+  if (grant_step == 0) source.grant_all();
+  CoreId next_core = 0;
+  std::size_t rounds = 0;
+  const std::size_t round_bound = 16 * (requests.total_requests() + 16);
+  while (!session.advance(source)) {
+    // Release a little more work; randomized order when a shuffler is given.
+    const CoreId core =
+        shuffle_rng != nullptr
+            ? static_cast<CoreId>(shuffle_rng->below(requests.num_cores()))
+            : next_core;
+    next_core = static_cast<CoreId>((next_core + 1) % requests.num_cores());
+    source.grant(core, grant_step);
+    if (++rounds > round_bound) {
+      throw ModelError("chunked run failed to make progress");
+    }
+  }
+  return session.take_stats();
+}
+
+TEST(SimSession, ChunkedSharedLruMatchesFullRun) {
+  Rng rng(0xA5A5);
+  for (int trial = 0; trial < 12; ++trial) {
+    const RequestSet requests =
+        testing::random_disjoint_workload(rng, 3, 16, 120);
+    const SimConfig config = testing::sim_config(12, 3);
+
+    SharedStrategy full(make_policy_factory("lru"));
+    Simulator sim(config);
+    const RunStats want = sim.run(requests, full);
+
+    for (const std::size_t grant : {1u, 3u, 7u, 64u}) {
+      SharedStrategy chunked(make_policy_factory("lru"));
+      RunStats got;
+      {
+        SCOPED_TRACE(grant);
+        got = run_chunked(config, requests, chunked, grant);
+      }
+      expect_identical(got, want);
+    }
+  }
+}
+
+TEST(SimSession, ChunkedStaticPartitionMatchesFullRun) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestSet requests =
+        testing::random_disjoint_workload(rng, 4, 12, 90);
+    const SimConfig config = testing::sim_config(8, 5);
+
+    StaticPartitionStrategy full(even_partition(8, 4),
+                                 make_policy_factory("fifo"));
+    Simulator sim(config);
+    const RunStats want = sim.run(requests, full);
+
+    StaticPartitionStrategy chunked(even_partition(8, 4),
+                                    make_policy_factory("fifo"));
+    const RunStats got = run_chunked(config, requests, chunked, 2);
+    expect_identical(got, want);
+  }
+}
+
+TEST(SimSession, RandomizedGrantOrderIsIrrelevant) {
+  Rng rng(0xD00D);
+  const RequestSet requests =
+      testing::random_shared_workload(rng, 3, 24, 150);
+  const SimConfig config = testing::sim_config(10, 2);
+
+  SharedStrategy full(make_policy_factory("lru"));
+  Simulator sim(config);
+  const RunStats want = sim.run(requests, full);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng shuffle(seed);
+    SharedStrategy chunked(make_policy_factory("lru"));
+    const RunStats got = run_chunked(config, requests, chunked, 5, &shuffle);
+    expect_identical(got, want);
+  }
+}
+
+TEST(SimSession, UngatedSourceFinishesInOneAdvance) {
+  Rng rng(0x11);
+  const RequestSet requests = testing::random_disjoint_workload(rng, 2, 8, 40);
+  const SimConfig config = testing::sim_config(6, 1);
+  SharedStrategy strategy(make_policy_factory("lru"));
+  ChunkedSource source(requests);
+  source.grant_all();
+  SimSession session(config, 2, strategy, &requests);
+  EXPECT_TRUE(session.advance(source));
+  EXPECT_TRUE(session.finished());
+  // A finished session's advance is idempotent.
+  EXPECT_TRUE(session.advance(source));
+}
+
+TEST(SimSession, TakeStatsBeforeFinishThrows) {
+  Rng rng(0x22);
+  const RequestSet requests = testing::random_disjoint_workload(rng, 2, 8, 40);
+  const SimConfig config = testing::sim_config(6, 1);
+  SharedStrategy strategy(make_policy_factory("lru"));
+  ChunkedSource source(requests);  // nothing granted: stalls immediately
+  SimSession session(config, 2, strategy, &requests);
+  EXPECT_FALSE(session.advance(source));
+  EXPECT_THROW((void)session.take_stats(), ModelError);
+}
+
+TEST(SimSession, EmptySequencesFinishImmediately) {
+  RequestSet requests(3);  // three cores, all empty
+  const SimConfig config = testing::sim_config(4, 2);
+  SharedStrategy strategy(make_policy_factory("lru"));
+  ChunkedSource source(requests);
+  SimSession session(config, 3, strategy, &requests);
+  EXPECT_TRUE(session.advance(source));
+  const RunStats stats = session.take_stats();
+  EXPECT_EQ(stats.total_requests(), 0u);
+  EXPECT_EQ(stats.end_time, 0u);
+}
+
+}  // namespace
+}  // namespace mcp

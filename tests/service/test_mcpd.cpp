@@ -1,0 +1,264 @@
+// mcpd end-to-end: shard determinism (the acceptance property — per-session
+// results bit-identical to a direct library simulation at every shard
+// count), query semantics against the library oracles, and protocol error
+// tolerance.  CONCURRENCY label: the daemon's shard workers + client
+// threads run under ThreadSanitizer in the tsan-full CI job.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "policies/mattson.hpp"
+#include "policies/policy_registry.hpp"
+#include "service/mcpd.hpp"
+#include "strategies/partition.hpp"
+#include "strategies/partition_search.hpp"
+#include "strategies/shared.hpp"
+#include "strategies/static_partition.hpp"
+#include "test_support.hpp"
+
+namespace mcp::service {
+namespace {
+
+using wire::SessionParams;
+using wire::StrategyKind;
+
+struct Tenant {
+  std::uint64_t session = 0;
+  RequestSet trace;
+  SessionParams params;
+};
+
+std::vector<Tenant> make_tenants(std::size_t count, Rng& rng) {
+  std::vector<Tenant> tenants(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::size_t cores = 1 + t % 4;
+    tenants[t].session = t + 1;
+    tenants[t].trace =
+        testing::random_disjoint_workload(rng, cores, 12, 80 + 13 * t);
+    tenants[t].params =
+        SessionParams{static_cast<std::uint32_t>(cores), 8, 3,
+                      t % 2 == 0 ? StrategyKind::kSharedLru
+                                 : StrategyKind::kStaticEvenLru};
+  }
+  return tenants;
+}
+
+/// The library-side oracle for one tenant: a direct Simulator::run with
+/// the strategy the daemon instantiates for its StrategyKind.
+RunStats oracle_run(const Tenant& tenant) {
+  SimConfig config;
+  config.cache_size = tenant.params.cache_size;
+  config.fault_penalty = tenant.params.fault_penalty;
+  config.record_fault_timeline = false;
+  Simulator sim(config);
+  if (tenant.params.strategy == StrategyKind::kSharedLru) {
+    SharedStrategy strategy(make_policy_factory("lru"));
+    return sim.run(tenant.trace, strategy);
+  }
+  StaticPartitionStrategy strategy(
+      even_partition(tenant.params.cache_size, tenant.trace.num_cores()),
+      make_policy_factory("lru"));
+  return sim.run(tenant.trace, strategy);
+}
+
+/// Drives every tenant through a daemon with `shards` shards using small
+/// chunks, queries fault counts, and checks the replies against the
+/// library oracle field by field.
+void expect_shard_determinism(std::size_t shards,
+                              const std::vector<Tenant>& tenants,
+                              std::size_t chunk_pairs) {
+  Mcpd daemon(McpdConfig{shards});
+  McpdClient client(daemon);
+  for (const Tenant& tenant : tenants) {
+    client.open(tenant.session, tenant.params);
+  }
+  // Interleave all tenants' chunks to scramble arrival order across shards.
+  std::vector<std::vector<std::size_t>> cursor(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    cursor[t].assign(tenants[t].trace.num_cores(), 0);
+  }
+  bool emitted = true;
+  while (emitted) {
+    emitted = false;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const Tenant& tenant = tenants[t];
+      for (CoreId core = 0; core < tenant.trace.num_cores(); ++core) {
+        const RequestSequence& seq = tenant.trace.sequence(core);
+        if (cursor[t][core] >= seq.size()) continue;
+        const std::size_t n =
+            std::min(chunk_pairs, seq.size() - cursor[t][core]);
+        client.send_core_pages(tenant.session, static_cast<std::uint32_t>(core),
+                               seq.pages().subspan(cursor[t][core], n));
+        cursor[t][core] += n;
+        emitted = true;
+      }
+    }
+  }
+  for (const Tenant& tenant : tenants) client.close(tenant.session);
+
+  for (const Tenant& tenant : tenants) {
+    const wire::FaultCountsReply reply =
+        client.query_faults(tenant.session, 1000 + tenant.session);
+    const RunStats want = oracle_run(tenant);
+    SCOPED_TRACE("session " + std::to_string(tenant.session) + " shards " +
+                 std::to_string(shards));
+    EXPECT_TRUE(reply.finished);
+    EXPECT_EQ(reply.requests_served, want.total_requests());
+    EXPECT_EQ(reply.end_time, want.end_time);
+    ASSERT_EQ(reply.per_core_faults.size(), want.num_cores());
+    for (CoreId j = 0; j < want.num_cores(); ++j) {
+      EXPECT_EQ(reply.per_core_faults[j], want.core(j).faults) << "core " << j;
+      EXPECT_EQ(reply.completion_times[j], want.core(j).completion_time)
+          << "core " << j;
+    }
+  }
+  daemon.stop();
+  EXPECT_EQ(daemon.total_stats().bad_frames, 0u);
+}
+
+TEST(Mcpd, ShardCountNeverChangesResults) {
+  Rng rng(0xDEED);
+  const std::vector<Tenant> tenants = make_tenants(9, rng);
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    expect_shard_determinism(shards, tenants, /*chunk_pairs=*/7);
+  }
+  // Chunk size must be equally irrelevant.
+  expect_shard_determinism(2, tenants, /*chunk_pairs=*/1);
+  expect_shard_determinism(2, tenants, /*chunk_pairs=*/1000);
+}
+
+TEST(Mcpd, FaultCurveMatchesMattsonKernel) {
+  Rng rng(0xCAFE);
+  Tenant tenant;
+  tenant.session = 5;
+  tenant.trace = testing::random_disjoint_workload(rng, 3, 16, 200);
+  tenant.params = SessionParams{3, 8, 2, StrategyKind::kSharedLru};
+
+  Mcpd daemon(McpdConfig{2});
+  McpdClient client(daemon);
+  client.open(tenant.session, tenant.params);
+  for (CoreId core = 0; core < 3; ++core) {
+    client.send_core_pages(tenant.session, core,
+                           tenant.trace.sequence(core).pages());
+  }
+  client.close(tenant.session);
+
+  const std::uint32_t max_k = 12;
+  const wire::FaultCurveReply reply =
+      client.query_fault_curve(tenant.session, 77, max_k);
+  EXPECT_EQ(reply.max_k, max_k);
+  EXPECT_EQ(reply.curves, lru_fault_curve_batch(tenant.trace, max_k));
+}
+
+TEST(Mcpd, PartitionAdviceMatchesOfflineSearch) {
+  Rng rng(0xF00D);
+  Tenant tenant;
+  tenant.session = 6;
+  tenant.trace = testing::random_disjoint_workload(rng, 3, 10, 150);
+  tenant.params = SessionParams{3, 9, 2, StrategyKind::kSharedLru};
+
+  Mcpd daemon(McpdConfig{1});
+  McpdClient client(daemon);
+  client.open(tenant.session, tenant.params);
+  for (CoreId core = 0; core < 3; ++core) {
+    client.send_core_pages(tenant.session, core,
+                           tenant.trace.sequence(core).pages());
+  }
+  client.close(tenant.session);
+
+  const wire::PartitionAdviceReply reply =
+      client.query_partition(tenant.session, 88);
+  const PartitionSearchResult want = optimal_partition_from_curves(
+      lru_fault_curve_batch(tenant.trace, 9), 9);
+  EXPECT_EQ(reply.predicted_faults, want.faults);
+  ASSERT_EQ(reply.cells_per_core.size(), want.partition.size());
+  for (std::size_t j = 0; j < want.partition.size(); ++j) {
+    EXPECT_EQ(reply.cells_per_core[j], want.partition[j]);
+  }
+}
+
+TEST(Mcpd, QueryBeforeCloseIsParkedUntilFinish) {
+  Rng rng(0x5555);
+  Tenant tenant;
+  tenant.session = 7;
+  tenant.trace = testing::random_disjoint_workload(rng, 2, 8, 60);
+  tenant.params = SessionParams{2, 6, 1, StrategyKind::kSharedLru};
+
+  Mcpd daemon(McpdConfig{2});
+  McpdClient client(daemon);
+  client.open(tenant.session, tenant.params);
+  // Query first, then the data: the reply must still be the finished one.
+  client.post_query_faults(tenant.session, 99);
+  for (CoreId core = 0; core < 2; ++core) {
+    client.send_core_pages(tenant.session, core,
+                           tenant.trace.sequence(core).pages());
+  }
+  client.close(tenant.session);
+
+  std::vector<std::byte> storage;
+  const wire::FrameView frame = client.wait_reply(storage);
+  ASSERT_EQ(frame.type, wire::FrameType::kFaultCounts);
+  const wire::FaultCountsReply reply = wire::decode_fault_counts(frame);
+  EXPECT_EQ(reply.query_id, 99u);
+  EXPECT_TRUE(reply.finished);
+  const RunStats want = oracle_run(tenant);
+  EXPECT_EQ(reply.requests_served, want.total_requests());
+}
+
+TEST(Mcpd, ProtocolErrorsAreCountedNotFatal) {
+  Mcpd daemon(McpdConfig{2});
+  McpdClient client(daemon);
+  const SessionParams params{2, 4, 1, StrategyKind::kSharedLru};
+
+  client.open(1, params);
+  client.open(1, params);  // duplicate open: dropped, counted
+  const PageId pages[] = {1, 2, 3};
+  client.send_core_pages(2, 0, pages);  // unknown session: dropped
+  client.send_core_pages(1, 0, pages);
+  client.send_core_pages(1, 1, pages);
+  client.close(1);
+  const wire::FaultCountsReply reply = client.query_faults(1, 1);
+  EXPECT_TRUE(reply.finished);
+  EXPECT_EQ(reply.requests_served, 6u);
+
+  daemon.stop();
+  EXPECT_EQ(daemon.total_stats().bad_frames, 2u);
+  EXPECT_EQ(daemon.total_stats().sessions_opened, 1u);
+  EXPECT_EQ(daemon.total_stats().sessions_finished, 1u);
+}
+
+TEST(Mcpd, StatsAccountForAllPairs) {
+  Rng rng(0x123);
+  const std::vector<Tenant> tenants = make_tenants(4, rng);
+  std::uint64_t expected_pairs = 0;
+
+  Mcpd daemon(McpdConfig{4});
+  McpdClient client(daemon);
+  for (const Tenant& tenant : tenants) {
+    client.open(tenant.session, tenant.params);
+    for (CoreId core = 0; core < tenant.trace.num_cores(); ++core) {
+      client.send_core_pages(tenant.session, core,
+                             tenant.trace.sequence(core).pages());
+      expected_pairs += tenant.trace.sequence(core).size();
+    }
+    client.close(tenant.session);
+  }
+  for (const Tenant& tenant : tenants) {
+    (void)client.query_faults(tenant.session, tenant.session);
+  }
+  daemon.stop();
+  const ShardStats total = daemon.total_stats();
+  EXPECT_EQ(total.pairs, expected_pairs);
+  EXPECT_EQ(total.sessions_opened, tenants.size());
+  EXPECT_EQ(total.sessions_finished, tenants.size());
+  EXPECT_EQ(total.bad_frames, 0u);
+  EXPECT_GT(total.epochs, 0u);
+  EXPECT_EQ(total.epoch_latency.count(), total.epochs);
+}
+
+}  // namespace
+}  // namespace mcp::service

@@ -1,0 +1,289 @@
+// mcpwire v1: bit-exact round trips (binary <-> RequestSet, matching the
+// text readers), reply payload round trips, malformed-input rejection with
+// byte offsets, and a seeded mutation fuzz pass (every corruption must
+// surface as InputError, never UB or a wrong silent decode).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/trace_io.hpp"
+#include "service/wire_format.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using wire::DecodedTrace;
+using wire::FrameType;
+using wire::FrameView;
+using wire::SessionParams;
+using wire::StrategyKind;
+using wire::WirePair;
+using wire::WireReader;
+using wire::WireWriter;
+
+SessionParams params_for(const RequestSet& requests, std::uint32_t cache) {
+  return SessionParams{static_cast<std::uint32_t>(requests.num_cores()), cache,
+                       3, StrategyKind::kSharedLru};
+}
+
+TEST(WireFormat, TraceRoundTripIsBitExact) {
+  Rng rng(0x31415);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RequestSet original =
+        testing::random_disjoint_workload(
+            rng, 1 + static_cast<std::size_t>(trial) % 4, 32, 200);
+    for (const std::size_t chunk : {1u, 7u, 256u, 100000u}) {
+      const std::vector<std::byte> doc = wire::encode_trace(
+          original, 42, params_for(original, 16), chunk);
+      const DecodedTrace back = wire::decode_trace(doc);
+      EXPECT_EQ(back.session, 42u);
+      EXPECT_EQ(back.params, params_for(original, 16));
+      EXPECT_TRUE(back.closed);
+      EXPECT_EQ(back.requests, original) << "chunk=" << chunk;
+    }
+  }
+}
+
+TEST(WireFormat, EncodeIsDeterministic) {
+  Rng rng(0x99);
+  const RequestSet requests = testing::random_shared_workload(rng, 3, 20, 64);
+  const auto a = wire::encode_trace(requests, 7, params_for(requests, 8), 16);
+  const auto b = wire::encode_trace(requests, 7, params_for(requests, 8), 16);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+}
+
+TEST(WireFormat, MatchesTextReaderThroughConversion) {
+  // text trace -> read_trace -> encode -> decode == the same RequestSet the
+  // text reader produced: the converter bridges the two formats bit-exactly.
+  std::stringstream text("mcptrace 1\ncores 2\nseq 0 3 5 6 5\nseq 1 2 9 9\n");
+  const RequestSet from_text = read_trace(text);
+  const DecodedTrace back = wire::decode_trace(
+      wire::encode_trace(from_text, 1, params_for(from_text, 4)));
+  EXPECT_EQ(back.requests, from_text);
+}
+
+TEST(WireFormat, FileRoundTrip) {
+  Rng rng(0x77);
+  const RequestSet requests = testing::random_disjoint_workload(rng, 2, 8, 50);
+  const std::string path = ::testing::TempDir() + "/mcp_wire_test.bin";
+  wire::save_wire_trace(path, requests, 9, params_for(requests, 6));
+  const DecodedTrace back = wire::load_wire_trace(path);
+  EXPECT_EQ(back.session, 9u);
+  EXPECT_EQ(back.requests, requests);
+}
+
+TEST(WireFormat, ReplyRoundTrips) {
+  WireWriter writer;
+  wire::FaultCountsReply counts;
+  counts.query_id = 11;
+  counts.finished = true;
+  counts.requests_served = 1234;
+  counts.per_core_faults = {5, 0, 19};
+  counts.completion_times = {100, 7, 360};
+  counts.end_time = 361;
+  writer.fault_counts(3, counts);
+
+  wire::FaultCurveReply curve;
+  curve.query_id = 12;
+  curve.max_k = 2;
+  curve.curves = {{9, 4, 2}, {7, 7, 1}};
+  writer.fault_curve(3, curve);
+
+  wire::PartitionAdviceReply advice;
+  advice.query_id = 13;
+  advice.predicted_faults = 88;
+  advice.cells_per_core = {5, 2, 1};
+  writer.partition_advice(3, advice);
+
+  WireReader reader(writer.bytes());
+  FrameView frame;
+  ASSERT_TRUE(reader.next(frame));
+  ASSERT_EQ(frame.type, FrameType::kFaultCounts);
+  EXPECT_EQ(frame.session, 3u);
+  const wire::FaultCountsReply counts_back = wire::decode_fault_counts(frame);
+  EXPECT_EQ(counts_back.query_id, counts.query_id);
+  EXPECT_EQ(counts_back.finished, counts.finished);
+  EXPECT_EQ(counts_back.requests_served, counts.requests_served);
+  EXPECT_EQ(counts_back.per_core_faults, counts.per_core_faults);
+  EXPECT_EQ(counts_back.completion_times, counts.completion_times);
+  EXPECT_EQ(counts_back.end_time, counts.end_time);
+
+  ASSERT_TRUE(reader.next(frame));
+  ASSERT_EQ(frame.type, FrameType::kFaultCurve);
+  const wire::FaultCurveReply curve_back = wire::decode_fault_curve(frame);
+  EXPECT_EQ(curve_back.query_id, curve.query_id);
+  EXPECT_EQ(curve_back.max_k, curve.max_k);
+  EXPECT_EQ(curve_back.curves, curve.curves);
+
+  ASSERT_TRUE(reader.next(frame));
+  ASSERT_EQ(frame.type, FrameType::kPartitionAdvice);
+  const wire::PartitionAdviceReply advice_back =
+      wire::decode_partition_advice(frame);
+  EXPECT_EQ(advice_back.query_id, advice.query_id);
+  EXPECT_EQ(advice_back.predicted_faults, advice.predicted_faults);
+  EXPECT_EQ(advice_back.cells_per_core, advice.cells_per_core);
+
+  EXPECT_FALSE(reader.next(frame));
+}
+
+TEST(WireFormat, QueryFramesRoundTrip) {
+  WireWriter writer;
+  writer.query_faults(1, 100);
+  writer.query_fault_curve(1, 101, 32);
+  writer.query_partition(1, 102);
+  WireReader reader(writer.bytes());
+  FrameView frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kQueryFaults);
+  EXPECT_EQ(wire::decode_query(frame).query_id, 100u);
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kQueryFaultCurve);
+  EXPECT_EQ(wire::decode_query(frame).query_id, 101u);
+  EXPECT_EQ(wire::decode_query(frame).max_k, 32u);
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kQueryPartition);
+  EXPECT_EQ(wire::decode_query(frame).query_id, 102u);
+}
+
+std::string wire_error_message(const std::vector<std::byte>& doc) {
+  try {
+    (void)wire::decode_trace(doc);
+  } catch (const InputError& err) {
+    return err.what();
+  }
+  return {};
+}
+
+TEST(WireFormat, BadMagicNamesByteZero) {
+  std::vector<std::byte> doc(8, std::byte{0x41});
+  const std::string message = wire_error_message(doc);
+  EXPECT_NE(message.find("byte 0"), std::string::npos) << message;
+  EXPECT_NE(message.find("magic"), std::string::npos) << message;
+}
+
+TEST(WireFormat, TruncatedHeaderNamesItsOffset) {
+  WireWriter writer;
+  writer.session_close(1);
+  std::vector<std::byte> doc(writer.bytes().begin(), writer.bytes().end());
+  doc.resize(doc.size() - 4);  // cut into the frame header
+  const std::string message = wire_error_message(doc);
+  EXPECT_NE(message.find("byte 8"), std::string::npos) << message;
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+}
+
+TEST(WireFormat, PayloadOverrunRejected) {
+  WireWriter writer;
+  writer.query_faults(1, 5);
+  std::vector<std::byte> doc(writer.bytes().begin(), writer.bytes().end());
+  // Inflate the declared payload length beyond the buffer.
+  wire::store_u32(doc.data() + wire::kMagicSize + 4, 1 << 20);
+  const std::string message = wire_error_message(doc);
+  EXPECT_NE(message.find("overruns"), std::string::npos) << message;
+}
+
+TEST(WireFormat, MisalignedPayloadRejected) {
+  WireWriter writer;
+  writer.query_faults(1, 5);
+  std::vector<std::byte> doc(writer.bytes().begin(), writer.bytes().end());
+  wire::store_u32(doc.data() + wire::kMagicSize + 4, 12);  // not % 8
+  const std::string message = wire_error_message(doc);
+  EXPECT_NE(message.find("multiple of 8"), std::string::npos) << message;
+}
+
+TEST(WireFormat, UnknownFrameTypeRejected) {
+  WireWriter writer;
+  writer.session_close(1);
+  std::vector<std::byte> doc(writer.bytes().begin(), writer.bytes().end());
+  wire::store_u32(doc.data() + wire::kMagicSize, 999);
+  const std::string message = wire_error_message(doc);
+  EXPECT_NE(message.find("unknown frame type 999"), std::string::npos)
+      << message;
+}
+
+TEST(WireFormat, ProtocolViolationsRejected) {
+  Rng rng(0x5);
+  const RequestSet requests = testing::random_disjoint_workload(rng, 2, 4, 10);
+  const SessionParams params = params_for(requests, 4);
+  {  // chunk before open
+    WireWriter writer;
+    const WirePair pair{0, 1};
+    writer.request_chunk(8, std::span<const WirePair>(&pair, 1));
+    EXPECT_THROW((void)wire::decode_trace(writer.bytes()), InputError);
+  }
+  {  // two sessions in one document
+    WireWriter writer;
+    writer.session_open(1, params);
+    writer.session_open(2, params);
+    EXPECT_THROW((void)wire::decode_trace(writer.bytes()), InputError);
+  }
+  {  // frames after close
+    WireWriter writer;
+    writer.session_open(1, params);
+    writer.session_close(1);
+    writer.session_close(1);
+    EXPECT_THROW((void)wire::decode_trace(writer.bytes()), InputError);
+  }
+  {  // pair core out of range
+    WireWriter writer;
+    writer.session_open(1, params);
+    const WirePair pair{7, 1};
+    writer.request_chunk(1, std::span<const WirePair>(&pair, 1));
+    EXPECT_THROW((void)wire::decode_trace(writer.bytes()), InputError);
+  }
+}
+
+TEST(WireFormat, MutationFuzzNeverCrashes) {
+  // Seeded corruption sweep: flip bytes / truncate a valid document and
+  // require every outcome to be either a clean decode or InputError —
+  // nothing else may escape (UB would surface under ASan/UBSan CI).
+  Rng rng(0xF022);
+  const RequestSet requests = testing::random_disjoint_workload(rng, 3, 8, 40);
+  const std::vector<std::byte> clean =
+      wire::encode_trace(requests, 6, params_for(requests, 8), 16);
+
+  int decoded = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<std::byte> doc = clean;
+    if (trial % 4 == 0) {
+      doc.resize(rng.below(doc.size() + 1));  // truncation
+    } else {
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        doc[rng.below(doc.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+      }
+    }
+    try {
+      const DecodedTrace back = wire::decode_trace(doc);
+      (void)back;
+      ++decoded;
+    } catch (const InputError&) {
+      ++rejected;
+    }
+  }
+  // The exact split is corruption-dependent; both paths must be exercised.
+  EXPECT_GT(decoded, 0);
+  EXPECT_GT(rejected, 500);
+}
+
+TEST(WireFormat, ReaderOffsetTracksFrames) {
+  WireWriter writer;
+  writer.session_close(4);   // 16-byte frame
+  writer.query_faults(4, 1); // 32-byte frame
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.offset(), wire::kMagicSize);
+  FrameView frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(reader.offset(), wire::kMagicSize + 16);
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(reader.offset(), wire::kMagicSize + 16 + 32);
+  EXPECT_FALSE(reader.next(frame));
+}
+
+}  // namespace
+}  // namespace mcp

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/error.hpp"
+#include "core/rng.hpp"
 
 namespace mcp {
 namespace {
@@ -133,6 +136,111 @@ TEST(RunStats, EmptyStatsAreSane) {
   EXPECT_EQ(stats.makespan(), 0u);
   EXPECT_DOUBLE_EQ(stats.overall_fault_rate(), 0.0);
   EXPECT_DOUBLE_EQ(stats.jain_fairness(), 1.0);
+}
+
+TEST(LatencyHistogram, EmptyHistogramIsZero) {
+  const LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.max_value(), 0u);
+  EXPECT_EQ(hist.p50(), 0u);
+  EXPECT_EQ(hist.p99(), 0u);
+  EXPECT_EQ(hist.to_json(),
+            "{\"count\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"max\":0}");
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Row 0 buckets (values < 32) hold exactly one value each, so quantiles
+  // of small samples are exact.
+  LatencyHistogram hist;
+  for (std::uint64_t v = 1; v <= 20; ++v) hist.record(v);
+  EXPECT_EQ(hist.count(), 20u);
+  EXPECT_EQ(hist.max_value(), 20u);
+  EXPECT_EQ(hist.p50(), 10u);
+  EXPECT_EQ(hist.p90(), 18u);
+  EXPECT_EQ(hist.quantile(1.0), 20u);
+  EXPECT_EQ(hist.quantile(0.0), 1u);  // lowest recorded sample's bucket
+}
+
+TEST(LatencyHistogram, QuantileErrorIsBounded) {
+  // Each bucket of row r spans 2^r values, so the relative error of a
+  // quantile is below 2^(1-kSubBucketBits) (~6% at 32 sub-buckets).
+  LatencyHistogram hist;
+  Rng rng(0xABCD);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = 1 + rng.below(1'000'000'000);
+    samples.push_back(v);
+    hist.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::uint64_t exact =
+        samples[static_cast<std::size_t>(
+            q * static_cast<double>(samples.size() - 1))];
+    const auto approx = static_cast<double>(hist.quantile(q));
+    EXPECT_GE(approx, static_cast<double>(exact) * 0.99) << q;
+    EXPECT_LE(approx, static_cast<double>(exact) * 1.07) << q;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesAreDeterministic) {
+  // Same samples in any order -> identical quantiles (bucket upper edges,
+  // no interpolation) — required for reproducible lab verdicts.
+  LatencyHistogram forward;
+  for (std::uint64_t v = 0; v < 5000; v += 7) forward.record(v);
+  LatencyHistogram exact_backward;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 5000; v += 7) values.push_back(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    exact_backward.record(*it);
+  }
+  EXPECT_EQ(forward.p50(), exact_backward.p50());
+  EXPECT_EQ(forward.p90(), exact_backward.p90());
+  EXPECT_EQ(forward.p99(), exact_backward.p99());
+  EXPECT_EQ(forward.to_json(), exact_backward.to_json());
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  Rng rng(0x777);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = rng.below(1u << 20);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max_value(), combined.max_value());
+  EXPECT_EQ(a.p50(), combined.p50());
+  EXPECT_EQ(a.p99(), combined.p99());
+}
+
+TEST(LatencyHistogram, ExtremeValuesBucketSafely) {
+  LatencyHistogram hist;
+  hist.record(0);
+  hist.record(~std::uint64_t{0});  // top bucket: bit 63
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.max_value(), ~std::uint64_t{0});
+  EXPECT_EQ(hist.quantile(1.0), ~std::uint64_t{0});  // clamped to max
+  EXPECT_EQ(hist.quantile(0.25), 0u);
+}
+
+TEST(LatencyHistogram, RecordSecondsConvertsToNanoseconds) {
+  LatencyHistogram hist;
+  hist.record_seconds(1.5e-6);   // 1500 ns
+  hist.record_seconds(-3.0);     // clamped to 0
+  hist.record_seconds(0.0);
+  EXPECT_EQ(hist.count(), 3u);
+  // 1500 lands in a row-5 bucket (width 32): upper edge 1503.
+  EXPECT_GE(hist.max_value(), 1500u);
+  EXPECT_GE(hist.quantile(1.0), 1500u);
+  EXPECT_LE(hist.quantile(1.0), 1503u);
 }
 
 }  // namespace

@@ -179,6 +179,36 @@ TEST(TraceIoPairs, ErrorNamesTheOffendingLine) {
   EXPECT_NE(message.find("line 3"), std::string::npos) << message;
 }
 
+TEST(TraceIoPairs, ErrorNamesTheByteOffset) {
+  // "0 1\n" is 4 bytes, "1 2\n" is 4 more: the broken line starts at byte 8.
+  std::stringstream ss("0 1\n1 2\nbroken\n");
+  const std::string message =
+      input_error_message([&] { (void)read_trace_pairs(ss); });
+  EXPECT_NE(message.find("(byte 8)"), std::string::npos) << message;
+}
+
+TEST(TraceIo, ErrorNamesTheByteOffset) {
+  // Offsets: "mcptrace 1\n"=11, "cores 2\n"=8, "seq 0 1 5\n"=10 -> the bad
+  // core id on line 4 starts at byte 29.
+  std::stringstream ss("mcptrace 1\ncores 2\nseq 0 1 5\nseq 9 0\n");
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("(byte 29)"), std::string::npos) << message;
+  EXPECT_NE(message.find("core id out of range"), std::string::npos)
+      << message;
+}
+
+TEST(TraceIo, ByteOffsetCountsSkippedCommentLines) {
+  // Comment and blank lines advance the byte offset even though they are
+  // not parsed: "# hi\n"=5, "\n"=1, so the bad header starts at byte 6.
+  std::stringstream ss("# hi\n\nnot-a-header\n");
+  const std::string message =
+      input_error_message([&] { (void)read_trace(ss); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("(byte 6)"), std::string::npos) << message;
+}
+
 TEST(TraceIo, MissingCoresLineNamed) {
   std::stringstream ss("mcptrace 1\n");
   const std::string message =
