@@ -289,13 +289,13 @@ void BM_McpdIngest(benchmark::State& state) {
   std::size_t pairs = 0;
   for (auto _ : state) {
     service::Mcpd daemon(service::McpdConfig{shards});
-    service::ResponseMailbox mailbox;
+    const auto mailbox = std::make_shared<service::ResponseMailbox>();
     for (std::size_t t = 0; t < kTenants; ++t) {
-      daemon.submit_document(traces[t], &mailbox);
-      daemon.submit_document(queries[t], &mailbox);
+      daemon.submit_document(traces[t], mailbox);
+      daemon.submit_document(queries[t], mailbox);
     }
     for (std::size_t t = 0; t < kTenants; ++t) {
-      benchmark::DoNotOptimize(mailbox.wait());
+      benchmark::DoNotOptimize(mailbox->wait());
     }
     daemon.stop();
     pairs += pairs_per_round;

@@ -81,16 +81,16 @@ LoadgenResult run_loadgen(const LoadgenConfig& config) {
   // blocks until every one of its sessions replied to the trailing query.
   std::vector<std::uint64_t> producer_faults(config.producers, 0);
   const auto producer_body = [&](std::size_t producer) {
-    ResponseMailbox mailbox;
+    const auto mailbox = std::make_shared<ResponseMailbox>();
     std::size_t mine = 0;
     for (std::size_t t = producer; t < config.tenants;
          t += config.producers) {
-      daemon.submit_document(docs[t], &mailbox);
+      daemon.submit_document(docs[t], mailbox);
       ++mine;
     }
     std::uint64_t faults = 0;
     for (std::size_t got = 0; got < mine; ++got) {
-      const std::vector<std::byte> doc = mailbox.wait();
+      const std::vector<std::byte> doc = mailbox->wait();
       wire::WireReader reader(doc);
       wire::FrameView frame;
       MCP_REQUIRE(reader.next(frame), "loadgen: empty reply");

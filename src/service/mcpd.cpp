@@ -107,11 +107,9 @@ std::vector<std::byte> ResponseMailbox::wait() {
 /// chunk arrival timing.
 class Session final : public RequestSource {
  public:
-  Session(std::uint64_t id, const wire::SessionParams& params,
-          ResponseMailbox* reply_to)
+  Session(std::uint64_t id, const wire::SessionParams& params)
       : id_(id),
         params_(params),
-        reply_to_(reply_to),
         trace_(params.num_cores),
         cursor_(params.num_cores, 0),
         strategy_(make_strategy(params)) {
@@ -152,20 +150,27 @@ class Session final : public RequestSource {
 
   void close() { closed_ = true; }
 
-  /// Parks (or, once finished, immediately answers) a query.
+  /// Parks (or, once finished, immediately answers) a query.  Replies go to
+  /// the submitting frame's mailbox; an infeasible query or a park-limit
+  /// overflow gets a kError reply instead of stranding a blocking client.
   void enqueue_query(wire::FrameType type, const wire::QueryView& query,
+                     std::weak_ptr<ResponseMailbox> reply_to,
                      std::size_t park_limit) {
-    if (type == wire::FrameType::kQueryFaultCurve && query.max_k > kMaxCurveK) {
-      throw InputError("mcpd: fault curve max_k above the service limit");
+    if (const char* why = query_rejected(type, query)) {
+      answer_error(query.query_id, why, reply_to);
+      return;
     }
     if (finished_) {
-      answer(type, query);
+      answer(type, query, reply_to);
       return;
     }
     if (parked_.size() >= park_limit) {
-      throw InputError("mcpd: too many queries parked on an open session");
+      answer_error(query.query_id,
+                   "mcpd: too many queries parked on an open session",
+                   reply_to);
+      return;
     }
-    parked_.push_back({type, query});
+    parked_.push_back({type, query, std::move(reply_to)});
   }
 
   /// Steps the simulation as far as the buffered trace allows.  Returns
@@ -176,8 +181,17 @@ class Session final : public RequestSource {
     if (!sim_->advance(*this)) return false;
     finished_ = true;
     stats_ = sim_->take_stats();
-    for (const ParkedQuery& parked : parked_) answer(parked.type, parked.query);
-    parked_.clear();
+    const std::vector<ParkedQuery> parked = std::exchange(parked_, {});
+    for (const ParkedQuery& query : parked) {
+      try {
+        answer(query.type, query.query, query.reply_to);
+      } catch (const std::exception&) {
+        // answer() turns its own failures into kError replies; landing here
+        // means even that failed (e.g. allocation).  Drop this reply and
+        // keep answering the rest — one bad query must not strand the
+        // others.
+      }
+    }
     return true;
   }
 
@@ -188,11 +202,58 @@ class Session final : public RequestSource {
   struct ParkedQuery {
     wire::FrameType type;
     wire::QueryView query;
+    std::weak_ptr<ResponseMailbox> reply_to;
   };
 
-  void answer(wire::FrameType type, const wire::QueryView& query) {
-    if (reply_to_ == nullptr) return;
+  /// Why a query can never be answered on this session, or nullptr if it
+  /// can.  Checked at enqueue time so the error reply is immediate — a
+  /// parked query must not wait for the session to finish only to fail.
+  [[nodiscard]] const char* query_rejected(
+      wire::FrameType type, const wire::QueryView& query) const {
+    if (type == wire::FrameType::kQueryFaultCurve &&
+        query.max_k > kMaxCurveK) {
+      return "mcpd: fault curve max_k above the service limit";
+    }
+    if (type == wire::FrameType::kQueryPartition &&
+        params_.cache_size < params_.num_cores) {
+      return "mcpd: partition advice needs cache_size >= num_cores";
+    }
+    return nullptr;
+  }
+
+  void answer_error(std::uint64_t query_id, const char* message,
+                    const std::weak_ptr<ResponseMailbox>& reply_to) {
+    const std::shared_ptr<ResponseMailbox> mailbox = reply_to.lock();
+    if (!mailbox) return;  // client gone; the reply has no reader
     wire::WireWriter writer;
+    wire::ErrorReply reply;
+    reply.query_id = query_id;
+    reply.message = message;
+    writer.error_reply(id_, reply);
+    mailbox->deliver(std::move(writer).take());
+  }
+
+  void answer(wire::FrameType type, const wire::QueryView& query,
+              const std::weak_ptr<ResponseMailbox>& reply_to) {
+    const std::shared_ptr<ResponseMailbox> mailbox = reply_to.lock();
+    if (!mailbox) return;  // client gone; the reply has no reader
+    wire::WireWriter writer;
+    try {
+      build_answer(writer, type, query);
+    } catch (const std::exception& e) {
+      wire::WireWriter error;
+      wire::ErrorReply reply;
+      reply.query_id = query.query_id;
+      reply.message = e.what();
+      error.error_reply(id_, reply);
+      mailbox->deliver(std::move(error).take());
+      return;
+    }
+    mailbox->deliver(std::move(writer).take());
+  }
+
+  void build_answer(wire::WireWriter& writer, wire::FrameType type,
+                    const wire::QueryView& query) {
     switch (type) {
       case wire::FrameType::kQueryFaults: {
         wire::FaultCountsReply reply;
@@ -218,10 +279,8 @@ class Session final : public RequestSource {
         break;
       }
       case wire::FrameType::kQueryPartition: {
-        if (params_.cache_size < params_.num_cores) {
-          throw InputError(
-              "mcpd: partition advice needs cache_size >= num_cores");
-        }
+        // query_rejected() screens infeasible partitions at enqueue time;
+        // this is unreachable for accepted queries.
         const FaultCurves curves =
             lru_fault_curve_batch(trace_, params_.cache_size);
         const PartitionSearchResult best =
@@ -239,12 +298,10 @@ class Session final : public RequestSource {
       default:
         throw InputError("mcpd: not a query frame");
     }
-    reply_to_->deliver(std::move(writer).take());
   }
 
   std::uint64_t id_;
   wire::SessionParams params_;
-  ResponseMailbox* reply_to_;
   RequestSet trace_;                 ///< Grows as chunks arrive.
   std::vector<std::size_t> cursor_;  ///< Per-core feed position in trace_.
   std::unique_ptr<CacheStrategy> strategy_;
@@ -279,11 +336,16 @@ class Shard {
   }
 
   void stop_and_join() {
-    if (!worker_.joinable()) return;
-    stop_.store(true, std::memory_order_release);
-    pending_.fetch_add(1, std::memory_order_release);  // phantom wake token
-    pending_.notify_one();
-    worker_.join();
+    if (worker_.joinable()) {
+      stop_.store(true, std::memory_order_release);
+      pending_.fetch_add(1, std::memory_order_release);  // phantom wake token
+      pending_.notify_one();
+      worker_.join();
+    }
+    // A submit that raced stop() may have enqueued frames after the
+    // worker's final drain; free them so nothing leaks and the queue's
+    // non-empty destructor assert holds.
+    while (IngressMsg* raw = ingress_.pop()) delete raw;
   }
 
   /// Race-free only after stop_and_join().
@@ -344,12 +406,14 @@ class Shard {
     switch (frame.type) {
       case wire::FrameType::kSessionOpen: {
         const wire::SessionParams params = wire::decode_session_open(frame);
-        auto [it, inserted] = sessions_.try_emplace(frame.session);
-        if (!inserted) {
+        if (sessions_.contains(frame.session)) {
           throw InputError("mcpd: duplicate session open");
         }
-        it->second =
-            std::make_unique<Session>(frame.session, params, msg.reply_to);
+        // Construct before inserting: a throwing Session constructor (e.g.
+        // an infeasible strategy/cache combination) must not leave a null
+        // map entry behind for later frames to dereference.
+        auto session = std::make_unique<Session>(frame.session, params);
+        sessions_.emplace(frame.session, std::move(session));
         ++stats_.sessions_opened;
         break;
       }
@@ -370,7 +434,7 @@ class Shard {
       case wire::FrameType::kQueryPartition: {
         Session& session = find_session(frame.session);
         session.enqueue_query(frame.type, wire::decode_query(frame),
-                              config_.max_parked_queries);
+                              msg.reply_to, config_.max_parked_queries);
         break;
       }
       default:
@@ -380,7 +444,7 @@ class Shard {
 
   Session& find_session(std::uint64_t id) {
     const auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
+    if (it == sessions_.end() || it->second == nullptr) {
       throw InputError("mcpd: frame for unknown session " +
                        std::to_string(id));
     }
@@ -423,8 +487,9 @@ std::size_t Mcpd::shard_of(std::uint64_t session) const noexcept {
 }
 
 void Mcpd::submit_document(std::shared_ptr<const std::vector<std::byte>> doc,
-                           ResponseMailbox* reply_to) {
-  MCP_REQUIRE(!stopped_, "mcpd: submit after stop");
+                           std::shared_ptr<ResponseMailbox> reply_to) {
+  MCP_REQUIRE(!stopped_.load(std::memory_order_acquire),
+              "mcpd: submit after stop");
   MCP_REQUIRE(doc != nullptr, "mcpd: null document");
   // Pass 1 validates the whole document's framing, so a malformed tail
   // never leaves a prefix half-enqueued.
@@ -454,20 +519,23 @@ void Mcpd::submit_document(std::shared_ptr<const std::vector<std::byte>> doc,
 }
 
 void Mcpd::stop() {
-  if (stopped_) return;
+  // Mark stopped *before* joining so a submit racing shutdown trips the
+  // precondition check instead of enqueueing into a joined shard.
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& shard : shards_) shard->stop_and_join();
-  stopped_ = true;
 }
 
 std::size_t Mcpd::num_shards() const noexcept { return shards_.size(); }
 
 const ShardStats& Mcpd::shard_stats(std::size_t shard) const {
-  MCP_REQUIRE(stopped_, "mcpd: shard_stats before stop");
+  MCP_REQUIRE(stopped_.load(std::memory_order_acquire),
+              "mcpd: shard_stats before stop");
   return shards_.at(shard)->stats();
 }
 
 ShardStats Mcpd::total_stats() const {
-  MCP_REQUIRE(stopped_, "mcpd: total_stats before stop");
+  MCP_REQUIRE(stopped_.load(std::memory_order_acquire),
+              "mcpd: total_stats before stop");
   ShardStats total;
   for (const auto& shard : shards_) {
     const ShardStats& s = shard->stats();
@@ -508,12 +576,18 @@ struct ReplyKey {
   return frame;
 }
 
+[[noreturn]] void throw_error_reply(const std::vector<std::byte>& doc) {
+  const wire::ErrorReply error = wire::decode_error(reply_frame(doc));
+  throw InputError("mcpd: query " + std::to_string(error.query_id) +
+                   " failed: " + error.message);
+}
+
 }  // namespace
 
 void McpdClient::submit(wire::WireWriter&& writer) {
   daemon_->submit_document(std::make_shared<const std::vector<std::byte>>(
                                std::move(writer).take()),
-                           &mailbox_);
+                           mailbox_);
 }
 
 void McpdClient::open(std::uint64_t session,
@@ -569,16 +643,22 @@ std::vector<std::byte> McpdClient::wait_for(wire::FrameType want,
                                             std::uint64_t query_id) {
   for (std::size_t i = 0; i < stash_.size(); ++i) {
     const ReplyKey key = peek_reply(stash_[i]);
-    if (key.type == want && key.query_id == query_id) {
-      std::vector<std::byte> doc = std::move(stash_[i]);
-      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
-      return doc;
+    if (key.query_id != query_id ||
+        (key.type != want && key.type != wire::FrameType::kError)) {
+      continue;
     }
+    std::vector<std::byte> doc = std::move(stash_[i]);
+    stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (key.type == wire::FrameType::kError) throw_error_reply(doc);
+    return doc;
   }
   for (;;) {
-    std::vector<std::byte> doc = mailbox_.wait();
+    std::vector<std::byte> doc = mailbox_->wait();
     const ReplyKey key = peek_reply(doc);
-    if (key.type == want && key.query_id == query_id) return doc;
+    if (key.query_id == query_id) {
+      if (key.type == want) return doc;
+      if (key.type == wire::FrameType::kError) throw_error_reply(doc);
+    }
     stash_.push_back(std::move(doc));
   }
 }
@@ -588,7 +668,7 @@ wire::FrameView McpdClient::wait_reply(std::vector<std::byte>& storage) {
     storage = std::move(stash_.back());
     stash_.pop_back();
   } else {
-    storage = mailbox_.wait();
+    storage = mailbox_->wait();
   }
   return reply_frame(storage);
 }

@@ -82,8 +82,11 @@ struct IngressMsg : MpscHook {
   std::shared_ptr<const std::vector<std::byte>> doc;
   std::size_t offset = 0;  ///< Frame start within *doc.
   std::size_t length = 0;  ///< Header + payload bytes.
-  ResponseMailbox* reply_to = nullptr;  ///< Where responses for this
-                                        ///< session's queries go.
+  /// Where replies to this frame's queries go.  Shared ownership keeps the
+  /// mailbox alive while the frame is queued; parked queries then downgrade
+  /// to a weak_ptr, so a client may be destroyed with queries outstanding —
+  /// its replies are dropped, never delivered into freed memory.
+  std::shared_ptr<ResponseMailbox> reply_to;
 };
 
 /// Counters a shard accumulates over its lifetime.  Snapshots are safe
@@ -122,9 +125,10 @@ class Mcpd {
   /// Routes every frame of `doc` (a complete mcpwire document) to its
   /// session's shard.  Thread-safe; frames of one session submitted by one
   /// thread are processed in submission order.  Malformed documents throw
-  /// InputError before anything is enqueued.
+  /// InputError before anything is enqueued.  Must not be called
+  /// concurrently with (or after) stop().
   void submit_document(std::shared_ptr<const std::vector<std::byte>> doc,
-                       ResponseMailbox* reply_to);
+                       std::shared_ptr<ResponseMailbox> reply_to);
 
   /// Drains all shards and joins their workers.  Idempotent; called by the
   /// destructor.  After stop(), stats() snapshots are race-free.
@@ -144,14 +148,15 @@ class Mcpd {
  private:
   McpdConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
 };
 
 /// Blocking convenience client: wraps frame building, submission and reply
 /// parsing around one ResponseMailbox.  One McpdClient per client thread.
 class McpdClient {
  public:
-  explicit McpdClient(Mcpd& daemon) : daemon_(&daemon) {}
+  explicit McpdClient(Mcpd& daemon)
+      : daemon_(&daemon), mailbox_(std::make_shared<ResponseMailbox>()) {}
 
   void open(std::uint64_t session, const wire::SessionParams& params);
   void send_pairs(std::uint64_t session,
@@ -167,7 +172,9 @@ class McpdClient {
   void post_query_partition(std::uint64_t session, std::uint64_t query_id);
 
   /// Blocking round trips (post + wait; replies to *other* outstanding
-  /// queries arriving first are stashed and matched by query id).
+  /// queries arriving first are stashed and matched by query id).  A query
+  /// the daemon rejects or fails to answer produces a kError reply, which
+  /// these helpers surface by throwing InputError.
   [[nodiscard]] wire::FaultCountsReply query_faults(std::uint64_t session,
                                                     std::uint64_t query_id);
   [[nodiscard]] wire::FaultCurveReply query_fault_curve(
@@ -187,7 +194,7 @@ class McpdClient {
                                                 std::uint64_t query_id);
 
   Mcpd* daemon_;
-  ResponseMailbox mailbox_;
+  std::shared_ptr<ResponseMailbox> mailbox_;
   std::vector<std::vector<std::byte>> stash_;  ///< Out-of-order replies.
 };
 

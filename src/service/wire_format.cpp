@@ -14,8 +14,12 @@ namespace {
 
 [[nodiscard]] bool known_frame_type(std::uint32_t raw) noexcept {
   return raw >= static_cast<std::uint32_t>(FrameType::kSessionOpen) &&
-         raw <= static_cast<std::uint32_t>(FrameType::kPartitionAdvice);
+         raw <= static_cast<std::uint32_t>(FrameType::kError);
 }
+
+/// Bounds an error reply's message on the wire (replies must stay small
+/// even if an exception message is not).
+constexpr std::size_t kMaxErrorMessage = 512;
 
 void expect_payload(const FrameView& frame, std::size_t want,
                     const char* what) {
@@ -211,6 +215,20 @@ void WireWriter::partition_advice(std::uint64_t session,
   }
 }
 
+void WireWriter::error_reply(std::uint64_t session, const ErrorReply& reply) {
+  const std::size_t msg_len =
+      std::min(reply.message.size(), kMaxErrorMessage);
+  const std::size_t padded = (msg_len + 7) / 8 * 8;
+  // u64 query_id, u32 msg_len, u32 reserved, msg bytes zero-padded to 8.
+  const std::size_t at = begin_frame(FrameType::kError, session, 16 + padded);
+  std::byte* p = buf_.data() + at;
+  store_u64(p, reply.query_id);
+  store_u32(p + 8, static_cast<std::uint32_t>(msg_len));
+  store_u32(p + 12, 0);
+  std::memset(p + 16, 0, padded);
+  std::memcpy(p + 16, reply.message.data(), msg_len);
+}
+
 // --- WireReader / parse_frame -----------------------------------------------
 
 WireReader::WireReader(std::span<const std::byte> data) : data_(data) {
@@ -368,6 +386,20 @@ PartitionAdviceReply decode_partition_advice(const FrameView& frame) {
   for (std::uint32_t j = 0; j < cores; ++j) {
     reply.cells_per_core[j] = load_u32(p + j * 4);
   }
+  return reply;
+}
+
+ErrorReply decode_error(const FrameView& frame) {
+  if (frame.payload.size() < 16) {
+    throw InputError("wire: error reply payload shorter than its header");
+  }
+  const std::byte* p = frame.payload.data();
+  ErrorReply reply;
+  reply.query_id = load_u64(p);
+  const std::uint32_t msg_len = load_u32(p + 8);
+  const std::size_t padded = (static_cast<std::size_t>(msg_len) + 7) / 8 * 8;
+  expect_payload(frame, 16 + padded, "error reply");
+  reply.message.assign(reinterpret_cast<const char*>(p + 16), msg_len);
   return reply;
 }
 

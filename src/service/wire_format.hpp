@@ -22,7 +22,7 @@
 //
 // Request frames:    kSessionOpen, kRequestChunk, kSessionClose,
 //                    kQueryFaults, kQueryFaultCurve, kQueryPartition.
-// Response frames:   kFaultCounts, kFaultCurve, kPartitionAdvice.
+// Response frames:   kFaultCounts, kFaultCurve, kPartitionAdvice, kError.
 //
 // encode_trace()/decode_trace() convert between a materialized RequestSet
 // and a single-session wire document, so every existing text trace feeds
@@ -67,6 +67,7 @@ enum class FrameType : std::uint32_t {
   kFaultCounts = 7,
   kFaultCurve = 8,
   kPartitionAdvice = 9,
+  kError = 10,
 };
 
 /// The strategy a session runs; the service instantiates the matching
@@ -194,6 +195,15 @@ struct PartitionAdviceReply {
   Count predicted_faults = 0;
 };
 
+/// kError payload: a query the daemon could not answer (infeasible
+/// parameters, parked-query overflow, or an answer-time failure).  Sent in
+/// place of the normal reply so blocking clients fail instead of waiting
+/// forever.
+struct ErrorReply {
+  std::uint64_t query_id = 0;
+  std::string message;
+};
+
 // --- writer ----------------------------------------------------------------
 
 /// Append-only wire document builder.  A default-constructed writer starts
@@ -217,6 +227,7 @@ class WireWriter {
   void fault_curve(std::uint64_t session, const FaultCurveReply& reply);
   void partition_advice(std::uint64_t session,
                         const PartitionAdviceReply& reply);
+  void error_reply(std::uint64_t session, const ErrorReply& reply);
 
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
   [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
@@ -265,6 +276,7 @@ class WireReader {
 [[nodiscard]] FaultCurveReply decode_fault_curve(const FrameView& frame);
 [[nodiscard]] PartitionAdviceReply decode_partition_advice(
     const FrameView& frame);
+[[nodiscard]] ErrorReply decode_error(const FrameView& frame);
 
 // --- trace conversion (text <-> binary) ------------------------------------
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
 #include "policies/mattson.hpp"
@@ -229,6 +230,98 @@ TEST(Mcpd, ProtocolErrorsAreCountedNotFatal) {
   EXPECT_EQ(daemon.total_stats().bad_frames, 2u);
   EXPECT_EQ(daemon.total_stats().sessions_opened, 1u);
   EXPECT_EQ(daemon.total_stats().sessions_finished, 1u);
+}
+
+TEST(Mcpd, FailedSessionOpenDoesNotPoisonTheShard) {
+  Mcpd daemon(McpdConfig{1});
+  McpdClient client(daemon);
+  // Static partition needs cache_size >= num_cores, so this open's Session
+  // construction throws inside the shard.  The frame must be counted and
+  // dropped without leaving a null session entry behind.
+  client.open(1, SessionParams{4, 2, 1, StrategyKind::kStaticEvenLru});
+  const PageId pages[] = {1, 2, 3};
+  client.send_core_pages(1, 0, pages);  // session 1 never opened: dropped
+  // The shard keeps serving healthy sessions afterwards.
+  client.open(2, SessionParams{1, 2, 1, StrategyKind::kSharedLru});
+  client.send_core_pages(2, 0, pages);
+  client.close(2);
+  const wire::FaultCountsReply reply = client.query_faults(2, 9);
+  EXPECT_TRUE(reply.finished);
+  EXPECT_EQ(reply.requests_served, 3u);
+  daemon.stop();
+  EXPECT_EQ(daemon.total_stats().bad_frames, 2u);  // bad open + orphan chunk
+  EXPECT_EQ(daemon.total_stats().sessions_opened, 1u);
+}
+
+TEST(Mcpd, InfeasiblePartitionQueryFailsInsteadOfHanging) {
+  // A shared-strategy session with cache_size < num_cores opens fine, but
+  // partition advice needs >= 1 cell per core: the daemon must send a
+  // kError reply (surfaced as InputError) rather than dropping the query
+  // and deadlocking the blocking client.
+  Mcpd daemon(McpdConfig{1});
+  McpdClient client(daemon);
+  client.open(1, SessionParams{4, 2, 1, StrategyKind::kSharedLru});
+  const PageId pages[] = {1, 2};
+  for (CoreId core = 0; core < 4; ++core) {
+    client.send_core_pages(1, static_cast<std::uint32_t>(core), pages);
+  }
+  client.close(1);
+  EXPECT_THROW((void)client.query_partition(1, 7), InputError);
+  // The session itself stays healthy: other queries still answer.
+  const wire::FaultCountsReply reply = client.query_faults(1, 8);
+  EXPECT_TRUE(reply.finished);
+  daemon.stop();
+  EXPECT_EQ(daemon.total_stats().bad_frames, 0u);
+}
+
+TEST(Mcpd, RejectedQueryDoesNotLoseLaterReplies) {
+  Mcpd daemon(McpdConfig{1});
+  McpdClient client(daemon);
+  client.open(1, SessionParams{2, 1, 1, StrategyKind::kSharedLru});
+  // Infeasible partition query posted before any data: the error reply is
+  // immediate, and the session must still answer the fault-count query
+  // that follows.
+  client.post_query_partition(1, 70);
+  const PageId pages[] = {1, 2, 3};
+  client.send_core_pages(1, 0, pages);
+  client.send_core_pages(1, 1, pages);
+  client.close(1);
+  const wire::FaultCountsReply ok = client.query_faults(1, 71);
+  EXPECT_TRUE(ok.finished);
+  EXPECT_EQ(ok.requests_served, 6u);
+  // The stashed out-of-order reply for query 70 is the error frame.
+  std::vector<std::byte> storage;
+  const wire::FrameView frame = client.wait_reply(storage);
+  ASSERT_EQ(frame.type, wire::FrameType::kError);
+  const wire::ErrorReply error = wire::decode_error(frame);
+  EXPECT_EQ(error.query_id, 70u);
+  EXPECT_NE(error.message.find("cache_size >= num_cores"), std::string::npos);
+  daemon.stop();
+  EXPECT_EQ(daemon.total_stats().bad_frames, 0u);
+}
+
+TEST(Mcpd, ClientMayBeDestroyedWithQueriesOutstanding) {
+  // post_query_* is fire-and-forget: a client that dies before its reply
+  // arrives must not leave the shard delivering into freed memory.  The
+  // parked query's mailbox reference goes weak, so the reply is dropped.
+  Mcpd daemon(McpdConfig{2});
+  const SessionParams params{1, 2, 1, StrategyKind::kSharedLru};
+  {
+    McpdClient doomed(daemon);
+    doomed.open(1, params);
+    doomed.post_query_faults(1, 5);  // parks: no data buffered yet
+  }
+  McpdClient client(daemon);
+  const PageId pages[] = {1, 2, 1};
+  client.send_core_pages(1, 0, pages);
+  client.close(1);
+  // Replies go to the querying frame's mailbox, so a second client can
+  // still query the session the first one opened.
+  const wire::FaultCountsReply reply = client.query_faults(1, 6);
+  EXPECT_TRUE(reply.finished);
+  EXPECT_EQ(reply.requests_served, 3u);
+  daemon.stop();
+  EXPECT_EQ(daemon.total_stats().bad_frames, 0u);
 }
 
 TEST(Mcpd, StatsAccountForAllPairs) {

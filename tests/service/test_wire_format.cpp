@@ -150,6 +150,32 @@ TEST(WireFormat, QueryFramesRoundTrip) {
   EXPECT_EQ(wire::decode_query(frame).query_id, 102u);
 }
 
+TEST(WireFormat, ErrorReplyRoundTrips) {
+  wire::ErrorReply error;
+  error.query_id = 42;
+  error.message = "mcpd: partition advice needs cache_size >= num_cores";
+  WireWriter writer;
+  writer.error_reply(9, error);
+  WireReader reader(writer.bytes());
+  FrameView frame;
+  ASSERT_TRUE(reader.next(frame));
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.session, 9u);
+  const wire::ErrorReply back = wire::decode_error(frame);
+  EXPECT_EQ(back.query_id, error.query_id);
+  EXPECT_EQ(back.message, error.message);
+  EXPECT_FALSE(reader.next(frame));
+
+  // The empty message still frames and round-trips (payload is header-only).
+  WireWriter empty_writer;
+  empty_writer.error_reply(1, wire::ErrorReply{7, ""});
+  WireReader empty_reader(empty_writer.bytes());
+  ASSERT_TRUE(empty_reader.next(frame));
+  const wire::ErrorReply empty_back = wire::decode_error(frame);
+  EXPECT_EQ(empty_back.query_id, 7u);
+  EXPECT_TRUE(empty_back.message.empty());
+}
+
 std::string wire_error_message(const std::vector<std::byte>& doc) {
   try {
     (void)wire::decode_trace(doc);
