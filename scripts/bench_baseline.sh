@@ -8,7 +8,9 @@
 #                                       engines, the packed-speedup record)
 #   bench/baseline/BENCH_MCPD.json    — mcpd service layer (mcpd-loadgen
 #                                       requests/sec, capacity_rps and epoch
-#                                       latency quantiles across shard counts)
+#                                       latency quantiles across shard counts;
+#                                       mixed replay plus the homogeneous
+#                                       batched/scalar cohort pair)
 #
 # Builds the google-benchmark suite and the loadgen in Release and captures
 # the benchmarks that gate the perf-smoke CI job.  Usage:
@@ -27,7 +29,7 @@ MCPD_OUT=${3:-bench/baseline/BENCH_MCPD.json}
 BUILD=${BUILD_DIR:-build-bench}
 FILTER=${BENCH_FILTER:-'BM_SharedPolicy/lru/4$|BM_LruFaultCurve/64$|BM_PartitionSweep/0$|BM_BatchSweep/(1|64)$|BM_McpdIngest/(1|4)$'}
 OFFLINE_FILTER=${OFFLINE_FILTER:-'BM_FtfSolver/(packed|reference)/(24|40|48)$|BM_PifSolver/(packed|reference)/(32|64|128)$'}
-LOADGEN_ARGS=${LOADGEN_ARGS:---shards=1,2,4,8 --tenants=32 --producers=2 --repetitions=3}
+LOADGEN_ARGS=${LOADGEN_ARGS:---shards=1,2,4,8 --tenants=64 --producers=2 --repetitions=5 --homogeneous}
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
   -DMCP_BUILD_TESTS=OFF -DMCP_BUILD_EXAMPLES=OFF >/dev/null

@@ -91,6 +91,16 @@ def main() -> int:
         help="gated benchmark/counter pair; repeatable "
         f"(default: {' '.join(DEFAULT_GATES)})",
     )
+    parser.add_argument(
+        "--speedup",
+        action="append",
+        nargs=3,
+        metavar=("FAST", "SLOW", "MIN"),
+        help="within-run ratio gate: fail unless the current run's median "
+        "FAST counter is at least MIN times its SLOW counter (both "
+        "NAME:COUNTER).  Unlike --gate this compares two scenarios of the "
+        "same run, so it is immune to machine-speed drift; repeatable",
+    )
     args = parser.parse_args()
 
     gates: set[tuple[str, str]] = set()
@@ -100,7 +110,28 @@ def main() -> int:
             parser.error(f"--gate must be NAME:COUNTER, got {spec!r}")
         gates.add((name, counter))
 
-    counters = set(CONTEXT_COUNTERS) | {counter for _, counter in gates}
+    speedups: list[tuple[str, str, str, str, float]] = []
+    for fast_spec, slow_spec, min_spec in args.speedup or ():
+        fast_name, fast_sep, fast_counter = fast_spec.rpartition(":")
+        slow_name, slow_sep, slow_counter = slow_spec.rpartition(":")
+        if not (fast_sep and fast_name and slow_sep and slow_name):
+            parser.error(
+                f"--speedup operands must be NAME:COUNTER, got "
+                f"{fast_spec!r} {slow_spec!r}"
+            )
+        try:
+            minimum = float(min_spec)
+        except ValueError:
+            parser.error(f"--speedup MIN must be a number, got {min_spec!r}")
+        speedups.append(
+            (fast_name, fast_counter, slow_name, slow_counter, minimum)
+        )
+
+    counters = (
+        set(CONTEXT_COUNTERS)
+        | {counter for _, counter in gates}
+        | {c for _, fc, _, sc, _ in speedups for c in (fc, sc)}
+    )
     current = load_medians(args.current, counters)
     baseline = load_medians(args.baseline, counters)
 
@@ -138,12 +169,35 @@ def main() -> int:
             print(f"MISSING  {gate_name}: gated benchmark absent from baseline")
             failed = True
 
+    for fast_name, fast_counter, slow_name, slow_counter, minimum in speedups:
+        fast = current.get(fast_name, {}).get(fast_counter)
+        slow = current.get(slow_name, {}).get(slow_counter)
+        if fast is None or slow is None or slow <= 0:
+            print(
+                f"MISSING  speedup {fast_name}.{fast_counter} / "
+                f"{slow_name}.{slow_counter}: data absent from current run"
+            )
+            failed = True
+            failed_gates.append(f"{fast_name}.{fast_counter} speedup")
+            continue
+        ratio = fast / slow
+        ok = ratio >= minimum
+        print(
+            f"{'ok' if ok else 'FAIL':4s} [GATE] {fast_name}.{fast_counter} / "
+            f"{slow_name}.{slow_counter}: {ratio:.2f}x (need >= {minimum:g}x)"
+        )
+        if not ok:
+            failed = True
+            failed_gates.append(
+                f"{fast_name}.{fast_counter} speedup {ratio:.2f}x < {minimum:g}x"
+            )
+
     if failed:
         print(
             f"\nperf regression: {', '.join(failed_gates) or 'gated data missing'} "
-            f"fell more than {args.tolerance:.0%} below the committed baseline "
-            f"({args.baseline}).  If the slowdown is intentional, regenerate "
-            "the baseline with scripts/bench_baseline.sh and commit it.",
+            f"(baseline {args.baseline}, tolerance {args.tolerance:.0%}).  If "
+            "the slowdown is intentional, regenerate the baseline with "
+            "scripts/bench_baseline.sh and commit it.",
             file=sys.stderr,
         )
         return 1

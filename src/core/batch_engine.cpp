@@ -8,11 +8,14 @@
 // stamps are unique and monotonic per cell, LRU writes them on insert and
 // hit, FIFO on insert only, so "first evictable page scanning the policy
 // list from the back" is exactly "minimum stamp among the region's present
-// slots".
+// slots".  The scan itself reads one array: non-present slots carry tagged
+// keys (kReservedKey / kFreeKey below) that can never win the min while an
+// evictable slot exists.
 #include "core/batch_engine.hpp"
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <optional>
 #include <span>
 
@@ -22,11 +25,36 @@
 
 namespace mcp {
 
+namespace {
+
+/// Blocked schedule for run()/drain(): each visit advances a lane many
+/// steps, so its slot and core lanes stay hot in L1 instead of being
+/// flushed by the other B - 1 lanes between consecutive steps.
+constexpr std::size_t kRunBlockSteps = 1024;
+
+/// Victim-scan keys, folded into slot_stamp: a present slot holds its
+/// policy stamp verbatim, a fetching slot holds stamp | kReservedKey (the
+/// tag loses every min-comparison while an evictable slot exists and the
+/// fetch landing clears it, restoring the stamp), and a free slot holds
+/// kFreeKey.  The eviction scan then reduces to an unsigned min over the
+/// region's contiguous key lane — no status-byte loads, no data-dependent
+/// branches — and "no evictable page" is simply min >= kReservedKey.
+/// Stamps count serves per cell, so they stay far below 2^62.
+constexpr std::uint64_t kReservedKey = std::uint64_t{1} << 62;
+constexpr std::uint64_t kFreeKey = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
 void BatchEngine::load(std::span<const SimJob> jobs, std::span<RunStats> out) {
   MCP_REQUIRE(out.size() == jobs.size(),
               "BatchEngine::load: out.size() must equal jobs.size()");
   state_.clear();
   active_.clear();
+  cohort_ = false;
+  free_lanes_.clear();
+  lane_stats_.clear();
+  page_capacity_ = 0;
+  retired_steps_ = 0;
   out_ = out.data();
   out_size_ = out.size();
 
@@ -70,7 +98,7 @@ void BatchEngine::load(std::span<const SimJob> jobs, std::span<RunStats> out) {
   state_.slot_page.assign(total_slots, kInvalidPage);
   state_.slot_status.assign(total_slots, BatchSlotStatus::kFree);
   state_.slot_ready.assign(total_slots, 0);
-  state_.slot_stamp.assign(total_slots, 0);
+  state_.slot_stamp.assign(total_slots, kFreeKey);
   state_.free_stack.resize(total_slots);
   state_.inflight.resize(total_slots);
   state_.page_slot.assign(total_pages, kNoBatchSlot);
@@ -163,7 +191,8 @@ void BatchEngine::load(std::span<const SimJob> jobs, std::span<RunStats> out) {
 }
 
 template <bool kPartitioned, bool kLruTouch>
-bool BatchEngine::step_lane(BatchCell& cell, RunStats& stats) {
+bool BatchEngine::step_block(BatchCell& cell, RunStats& stats,
+                             std::size_t steps) {
   BatchState& st = state_;
   // Lane slices as raw locals: the lanes are disjoint arrays of distinct
   // element types indexed by absolute slot ids (slot lanes) or pre-offset
@@ -193,157 +222,210 @@ bool BatchEngine::step_lane(BatchCell& cell, RunStats& stats) {
       st.region_free_top.data() + cell.region_base;
   CoreStats* const cores = &stats.core(0);
 
-  ++cell.steps;
-  if (cell.max_steps != 0 && cell.steps > cell.max_steps) {
-    AllocAllow allow;  // declared growth: error paths may build a message
-    throw ModelError("simulation exceeded SimConfig.max_steps");
-  }
-  const Time now = cell.now;
   const Time tau = cell.tau;
+  // The lane's clock and stamp counter live in registers across the whole
+  // block (every serve touches both) and are written back at each exit —
+  // together with the pointer hoists above, this is the per-step overhead
+  // the blocked schedule amortizes over kRunBlockSteps steps.
+  Time now = cell.now;
+  std::uint64_t stamp = cell.stamp;
 
-  // 1. Land fetches due now, before any request is served this step.  The
-  //    in-flight lane holds at most min(p, K) entries; backwards
-  //    swap-remove keeps it packed.  Landing order is unobservable here:
-  //    the batchable strategies' on_fetch_complete is a no-op.
-  for (std::uint32_t i = cell.fetching; i-- > 0;) {
-    const std::uint32_t slot = inflight[i];
-    if (slot_ready[slot] <= now) {
-      slot_status[slot] = BatchSlotStatus::kPresent;
-      inflight[i] = inflight[--cell.fetching];
+  for (std::size_t t = 0; t < steps; ++t) {
+    Time next_time = kTimeNever;
+    std::uint32_t serve_from = 0;
+    if (cell.in_step) {
+      // Resuming a step parked by a stall below: the preamble (step count,
+      // fetch landing) already ran when this step first started, cores before
+      // resume_core are already served, and the folded fast-forward min they
+      // contributed is restored.  Nothing else ran while the lane was parked,
+      // so every value is exactly what the uninterrupted step would see.
+      cell.in_step = false;
+      next_time = cell.next_time_partial;
+      serve_from = cell.resume_core;
+    } else {
+      ++cell.steps;
+      if (cell.max_steps != 0 && cell.steps > cell.max_steps) {
+        AllocAllow allow;  // declared growth: error paths may build a message
+        cell.now = now;
+        cell.stamp = stamp;
+        throw ModelError("simulation exceeded SimConfig.max_steps");
+      }
+
+      // 1. Land fetches due now, before any request is served this step.  The
+      //    in-flight lane holds at most min(p, K) entries; backwards
+      //    swap-remove keeps it packed.  Landing order is unobservable here:
+      //    the batchable strategies' on_fetch_complete is a no-op.
+      for (std::uint32_t i = cell.fetching; i-- > 0;) {
+        const std::uint32_t slot = inflight[i];
+        if (slot_ready[slot] <= now) {
+          slot_status[slot] = BatchSlotStatus::kPresent;
+          slot_stamp[slot] &= ~kReservedKey;  // evictable again, stamp intact
+          inflight[i] = inflight[--cell.fetching];
+        }
+      }
     }
-  }
 
-  // 2. (No voluntary evictions and no deferrals: the batchable strategies
-  //    keep the base class's no-op on_step_begin / defer_request.)
+    // 2. (No voluntary evictions and no deferrals: the batchable strategies
+    //    keep the base class's no-op on_step_begin / defer_request.)
 
-  // 3. Serve ready cores in increasing core id — the paper's fixed logical
-  //    service order for simultaneous requests.  The fast-forward min is
-  //    folded into the same pass: iteration j is the only writer of core
-  //    j's ready time, so the value observed here is the value the old
-  //    second pass would have read.
-  Time next_time = kTimeNever;
-  for (std::uint32_t j = 0; j < cell.num_cores; ++j) {
-    std::uint8_t flags = core_flags[j];
-    if ((flags & kBatchCoreDone) != 0) continue;
-    if (core_ready[j] > now) {
-      next_time = std::min(next_time, core_ready[j]);
-      continue;
-    }
-    if ((flags & kBatchCorePending) == 0) {
-      if (core_next[j] >= core_len[j]) {
-        core_flags[j] = static_cast<std::uint8_t>(flags | kBatchCoreDone);
-        cores[j].completion_time = core_finish[j];
-        --cell.active_cores;
+    // 3. Serve ready cores in increasing core id — the paper's fixed logical
+    //    service order for simultaneous requests.  The fast-forward min is
+    //    folded into the same pass: iteration j is the only writer of core
+    //    j's ready time, so the value observed here is the value the old
+    //    second pass would have read.
+    for (std::uint32_t j = serve_from; j < cell.num_cores; ++j) {
+      const std::uint8_t flags = core_flags[j];
+      if ((flags & kBatchCoreDone) != 0) continue;
+      if (core_ready[j] > now) {
+        next_time = std::min(next_time, core_ready[j]);
         continue;
       }
-      core_pending[j] = core_seq[j][core_next[j]++];
-      flags = static_cast<std::uint8_t>(flags | kBatchCorePending);
-      core_flags[j] = flags;
-    }
-    const PageId page = core_pending[j];
-    MCP_ASSERT(page < cell.page_bound);
-    std::uint32_t& slot_of_page = page_slot[page];
-    CoreStats& core_stats = cores[j];
+      // The pending lane materializes a pulled-but-unserved request only on
+      // the paths that actually park one (the stall below, kJoinsFetch); a
+      // request served the same step it is pulled stays in this register, so
+      // the hit path writes no pending state at all.
+      PageId page;
+      if ((flags & kBatchCorePending) != 0) {
+        page = core_pending[j];
+      } else {
+        if (core_next[j] >= core_len[j]) {
+          if (!cell.closed) {
+            // Source contract (SimSession): the feed may still grow, so the
+            // whole lane parks mid-step before core j — a later same-step
+            // core must never be served ahead of an earlier one.  This
+            // branch lives on the already-cold cursor-exhausted path, so the
+            // hot kernel is untouched while a lane has buffered requests.
+            cell.status = BatchLaneStatus::kStalled;
+            cell.in_step = true;
+            cell.resume_core = j;
+            cell.next_time_partial = next_time;
+            cell.now = now;
+            cell.stamp = stamp;
+            return false;
+          }
+          core_flags[j] = static_cast<std::uint8_t>(flags | kBatchCoreDone);
+          cores[j].completion_time = core_finish[j];
+          --cell.active_cores;
+          continue;
+        }
+        page = core_seq[j][core_next[j]++];
+      }
+      MCP_ASSERT(page < cell.page_bound);
+      std::uint32_t& slot_of_page = page_slot[page];
+      CoreStats& core_stats = cores[j];
 
-    if (slot_of_page != kNoBatchSlot &&
-        slot_status[slot_of_page] == BatchSlotStatus::kPresent) {
-      // Hit: served within the step; LRU freshens the slot's stamp.
-      ++core_stats.hits;
-      ++core_stats.requests;
-      if constexpr (kLruTouch) slot_stamp[slot_of_page] = ++cell.stamp;
-      core_ready[j] = now + 1;
-      core_finish[j] = now;
-      core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
-      next_time = std::min(next_time, now + 1);
-      continue;
-    }
-
-    if (slot_of_page != kNoBatchSlot) {
-      // The page is in flight on behalf of another core.
-      if (cell.mode == SharedFetchMode::kJoinsFetch) {
-        // Block until the fetch lands, then re-serve the still-pending
-        // request (usually a hit; a fault if the page was evicted again).
-        const Time wake = std::max(slot_ready[slot_of_page], now + 1);
-        core_ready[j] = wake;
-        next_time = std::min(next_time, wake);
+      if (slot_of_page != kNoBatchSlot &&
+          slot_status[slot_of_page] == BatchSlotStatus::kPresent) {
+        // Hit: served within the step; LRU freshens the slot's stamp.
+        ++core_stats.hits;
+        ++core_stats.requests;
+        if constexpr (kLruTouch) slot_stamp[slot_of_page] = ++stamp;
+        core_ready[j] = now + 1;
+        core_finish[j] = now;
+        if ((flags & kBatchCorePending) != 0) {
+          core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+        }
+        next_time = std::min(next_time, now + 1);
         continue;
       }
-      // kCountsAsFault: full penalty, but the request joins the in-flight
-      // fetch — no cell is taken and the policy is not consulted.
+
+      if (slot_of_page != kNoBatchSlot) {
+        // The page is in flight on behalf of another core.
+        if (cell.mode == SharedFetchMode::kJoinsFetch) {
+          // Block until the fetch lands, then re-serve the parked request
+          // (usually a hit; a fault if the page was evicted again).
+          if ((flags & kBatchCorePending) == 0) {
+            core_pending[j] = page;
+            core_flags[j] = static_cast<std::uint8_t>(flags | kBatchCorePending);
+          }
+          const Time wake = std::max(slot_ready[slot_of_page], now + 1);
+          core_ready[j] = wake;
+          next_time = std::min(next_time, wake);
+          continue;
+        }
+        // kCountsAsFault: full penalty, but the request joins the in-flight
+        // fetch — no cell is taken and the policy is not consulted.
+        ++core_stats.faults;
+        ++core_stats.requests;
+        if (cell.record_timeline) core_stats.fault_times.push_back(now);
+        core_ready[j] = now + tau + 1;
+        core_finish[j] = now + tau;
+        if ((flags & kBatchCorePending) != 0) {
+          core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+        }
+        next_time = std::min(next_time, now + tau + 1);
+        continue;
+      }
+
+      // Plain fault: evict if the region is full, then begin the fetch.
       ++core_stats.faults;
       ++core_stats.requests;
       if (cell.record_timeline) core_stats.fault_times.push_back(now);
+      const std::uint32_t region = kPartitioned ? j : 0;
+      const std::size_t region_begin = region_slot_base[region];
+      if (region_occ[region] == region_size[region]) {
+        // Victim: minimum stamp among the region's present slots (fetching
+        // cells carry kReservedKey-tagged keys and free ones kFreeKey, so the
+        // min pass needs no status checks and no data-dependent branches —
+        // it compiles to a straight-line reduction the hardware can overlap).
+        // A second short pass recovers the slot: stamps are unique per cell
+        // and the tagged keys can never equal an untagged minimum.  The scan
+        // covers only the region's own slot range — K/p slots, not K.
+        const std::size_t end = region_begin + region_size[region];
+        std::uint64_t oldest = kFreeKey;
+        for (std::size_t s = region_begin; s < end; ++s) {
+          oldest = std::min(oldest, slot_stamp[s]);
+        }
+        if (oldest >= kReservedKey) {
+          AllocAllow allow;
+          cell.now = now;  // keep the header consistent even on this exit
+          cell.stamp = stamp;
+          throw ModelError("batch engine: no evictable page (all reserved)");
+        }
+        std::size_t victim = region_begin;
+        while (slot_stamp[victim] != oldest) ++victim;
+        page_slot[slot_page[victim]] = kNoBatchSlot;
+        slot_page[victim] = kInvalidPage;
+        slot_status[victim] = BatchSlotStatus::kFree;
+        slot_stamp[victim] = kFreeKey;
+        free_stack[region_begin + region_free_top[region]++] =
+            static_cast<std::uint32_t>(victim);
+        --region_occ[region];
+      }
+      MCP_ASSERT(region_free_top[region] > 0);
+      const std::uint32_t slot =
+          free_stack[region_begin + --region_free_top[region]];
+      slot_page[slot] = page;
+      slot_status[slot] = BatchSlotStatus::kFetching;
+      slot_ready[slot] = now + tau + 1;
+      slot_stamp[slot] = ++stamp | kReservedKey;
+      slot_of_page = slot;
+      inflight[cell.fetching++] = slot;
+      ++region_occ[region];
       core_ready[j] = now + tau + 1;
       core_finish[j] = now + tau;
-      core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+      if ((flags & kBatchCorePending) != 0) {
+        core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
+      }
       next_time = std::min(next_time, now + tau + 1);
-      continue;
     }
 
-    // Plain fault: evict if the region is full, then begin the fetch.
-    ++core_stats.faults;
-    ++core_stats.requests;
-    if (cell.record_timeline) core_stats.fault_times.push_back(now);
-    const std::uint32_t region = kPartitioned ? j : 0;
-    const std::size_t region_begin = region_slot_base[region];
-    if (region_occ[region] == region_size[region]) {
-      // Victim: minimum stamp among the region's present slots (fetching
-      // cells are reserved and never evictable).  The scan covers only the
-      // region's own slot range — K/p slots, not K.
-      const std::size_t end = region_begin + region_size[region];
-      std::uint32_t victim = kNoBatchSlot;
-      std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-      for (std::size_t s = region_begin; s < end; ++s) {
-        if (slot_status[s] != BatchSlotStatus::kPresent) continue;
-        if (slot_stamp[s] < oldest) {
-          oldest = slot_stamp[s];
-          victim = static_cast<std::uint32_t>(s);
-        }
-      }
-      if (victim == kNoBatchSlot) {
-        AllocAllow allow;
-        throw ModelError("batch engine: no evictable page (all reserved)");
-      }
-      page_slot[slot_page[victim]] = kNoBatchSlot;
-      slot_page[victim] = kInvalidPage;
-      slot_status[victim] = BatchSlotStatus::kFree;
-      free_stack[region_begin + region_free_top[region]++] = victim;
-      --region_occ[region];
+    if (cell.active_cores == 0) {
+      cell.status = BatchLaneStatus::kEnded;
+      stats.end_time = now;
+      stats.sim_steps = cell.steps;
+      cell.now = now;
+      cell.stamp = stamp;
+      return false;
     }
-    MCP_ASSERT(region_free_top[region] > 0);
-    const std::uint32_t slot =
-        free_stack[region_begin + --region_free_top[region]];
-    slot_page[slot] = page;
-    slot_status[slot] = BatchSlotStatus::kFetching;
-    slot_ready[slot] = now + tau + 1;
-    slot_stamp[slot] = ++cell.stamp;
-    slot_of_page = slot;
-    inflight[cell.fetching++] = slot;
-    ++region_occ[region];
-    core_ready[j] = now + tau + 1;
-    core_finish[j] = now + tau;
-    core_flags[j] = static_cast<std::uint8_t>(flags & ~kBatchCorePending);
-    next_time = std::min(next_time, now + tau + 1);
+
+    // 4. Fast-forward to the next step at which any core can act.
+    MCP_ASSERT(next_time != kTimeNever);
+    now = std::max(now + 1, next_time);
   }
 
-  if (cell.active_cores == 0) {
-    stats.end_time = now;
-    stats.sim_steps = cell.steps;
-    return false;
-  }
-
-  // 4. Fast-forward to the next step at which any core can act.
-  MCP_ASSERT(next_time != kTimeNever);
-  cell.now = std::max(now + 1, next_time);
-  return true;
-}
-
-template <bool kPartitioned, bool kLruTouch>
-bool BatchEngine::step_block(BatchCell& cell, RunStats& stats,
-                             std::size_t steps) {
-  for (std::size_t t = 0; t < steps; ++t) {
-    if (!step_lane<kPartitioned, kLruTouch>(cell, stats)) return false;
-  }
+  cell.now = now;
+  cell.stamp = stamp;
   return true;
 }
 
@@ -367,8 +449,9 @@ std::size_t BatchEngine::round(std::size_t steps_per_lane) {
     if (alive) {
       ++i;
     } else {
-      // Ragged tail: a finished lane is swap-removed and never visited
-      // again; the remaining lanes keep their own clocks.
+      // Ragged tail: a finished (or, in cohort mode, stalled) lane is
+      // swap-removed and not visited again until a refresh re-wakes it;
+      // the remaining lanes keep their own clocks.
       active_[i] = active_.back();
       active_.pop_back();
     }
@@ -383,12 +466,9 @@ void BatchEngine::run(std::span<const SimJob> jobs, std::span<RunStats> out) {
   load(jobs, out);
   std::optional<AllocGuard> guard;
   if (options_.alloc_guard) guard.emplace("batch engine lockstep loop");
-  // Blocked schedule: each visit advances a lane many steps, so its slot
-  // and core lanes stay hot in L1 instead of being flushed by the other
-  // B - 1 lanes between consecutive steps.  Per-lane results are identical
-  // to the strict one-step round-robin (lanes never read each other's
-  // state), which step_round() still provides for the phased API.
-  constexpr std::size_t kRunBlockSteps = 1024;
+  // Blocked schedule (kRunBlockSteps): per-lane results are identical to
+  // the strict one-step round-robin (lanes never read each other's state),
+  // which step_round() still provides for the phased API.
   while (round(kRunBlockSteps) > 0) {
   }
 }
@@ -400,9 +480,254 @@ std::vector<RunStats> BatchEngine::run(std::span<const SimJob> jobs) {
 }
 
 Count BatchEngine::lane_steps() const noexcept {
-  Count total = 0;
+  Count total = retired_steps_;
   for (const BatchCell& cell : state_.cells) total += cell.steps;
   return total;
+}
+
+// --- Cohort mode ------------------------------------------------------------
+
+void BatchEngine::init_cohort(const CohortShape& shape) {
+  MCP_REQUIRE(shape.cache_size > 0, "cohort shape: cache_size must be positive");
+  MCP_REQUIRE(shape.num_cores > 0, "cohort shape: need at least one core");
+  const BatchStrategySpec& spec = shape.strategy;
+  cohort_regions_.clear();
+  if (spec.kind == BatchStrategySpec::Kind::kStaticPartition) {
+    MCP_REQUIRE(spec.partition.size() == shape.num_cores,
+                "static partition spec must have one part per core");
+    std::size_t sum = 0;
+    for (const std::size_t part : spec.partition) {
+      MCP_REQUIRE(part >= 1, "every core's part must hold at least one page");
+      sum += part;
+    }
+    MCP_REQUIRE(sum == shape.cache_size,
+                "partition must sum to the cache size");
+    cohort_regions_ = spec.partition;
+  } else {
+    MCP_REQUIRE(spec.partition.empty(),
+                "shared strategy spec takes no partition");
+    // Liveness: a faulting core never has its own fetch outstanding, so at
+    // most p - 1 slots are reserved when a victim is needed; with K >= p
+    // a present (evictable) slot always exists and drain() cannot throw.
+    // K < p shapes can abort mid-run and belong on the scalar path.
+    MCP_REQUIRE(shape.cache_size >= shape.num_cores,
+                "cohort shared lanes need cache_size >= num_cores");
+    cohort_regions_ = {shape.cache_size};
+  }
+
+  state_.clear();
+  active_.clear();
+  free_lanes_.clear();
+  lane_stats_.clear();
+  page_capacity_ = 0;
+  retired_steps_ = 0;
+  cohort_ = true;
+  out_ = nullptr;
+  out_size_ = 0;
+
+  proto_ = BatchCell{};
+  proto_.cache_size = static_cast<std::uint32_t>(shape.cache_size);
+  proto_.num_cores = static_cast<std::uint32_t>(shape.num_cores);
+  proto_.num_regions = static_cast<std::uint32_t>(cohort_regions_.size());
+  proto_.page_bound = 0;
+  proto_.tau = shape.fault_penalty;
+  proto_.max_steps = shape.max_steps;
+  proto_.mode = shape.shared_fetch;
+  proto_.kind = spec.kind;
+  proto_.policy = spec.policy;
+  proto_.record_timeline = shape.record_fault_timeline;
+  proto_.status = BatchLaneStatus::kFree;
+  proto_.closed = false;
+  proto_.active_cores = 0;
+}
+
+std::uint32_t BatchEngine::attach_lane() {
+  MCP_REQUIRE(cohort_, "attach_lane: engine is not in cohort mode");
+  std::uint32_t lane;
+  if (!free_lanes_.empty()) {
+    lane = free_lanes_.back();
+    free_lanes_.pop_back();
+  } else {
+    // Grow every lane array by one uniform stride.  resize() preserves the
+    // existing lanes in place: cohort strides are uniform, so the old
+    // slices keep their offsets.
+    lane = static_cast<std::uint32_t>(state_.cells.size());
+    const std::size_t slots = proto_.cache_size;
+    const std::size_t cores = proto_.num_cores;
+    const std::size_t regions = proto_.num_regions;
+    BatchState& st = state_;
+    st.cells.emplace_back();
+    st.slot_page.resize(st.slot_page.size() + slots, kInvalidPage);
+    st.slot_status.resize(st.slot_status.size() + slots,
+                          BatchSlotStatus::kFree);
+    st.slot_ready.resize(st.slot_ready.size() + slots, 0);
+    st.slot_stamp.resize(st.slot_stamp.size() + slots, kFreeKey);
+    st.free_stack.resize(st.free_stack.size() + slots, 0);
+    st.inflight.resize(st.inflight.size() + slots, 0);
+    st.page_slot.resize(st.page_slot.size() + page_capacity_, kNoBatchSlot);
+    st.core_ready.resize(st.core_ready.size() + cores, 0);
+    st.core_finish.resize(st.core_finish.size() + cores, 0);
+    st.core_seq.resize(st.core_seq.size() + cores, nullptr);
+    st.core_len.resize(st.core_len.size() + cores, 0);
+    st.core_next.resize(st.core_next.size() + cores, 0);
+    st.core_pending.resize(st.core_pending.size() + cores, kInvalidPage);
+    st.core_flags.resize(st.core_flags.size() + cores, 0);
+    st.region_size.resize(st.region_size.size() + regions, 0);
+    st.region_occ.resize(st.region_occ.size() + regions, 0);
+    st.region_slot_base.resize(st.region_slot_base.size() + regions, 0);
+    st.region_free_top.resize(st.region_free_top.size() + regions, 0);
+    lane_stats_.emplace_back();
+  }
+  reset_lane(lane);
+  BatchCell& cell = state_.cells[lane];
+  cell.status = BatchLaneStatus::kStalled;
+  cell.active_cores = proto_.num_cores;
+  lane_stats_[lane] = RunStats(proto_.num_cores);
+  // lane_stats_ may have reallocated; round() indexes through out_.
+  out_ = lane_stats_.data();
+  out_size_ = lane_stats_.size();
+  return lane;
+}
+
+void BatchEngine::reset_lane(std::uint32_t lane) {
+  BatchState& st = state_;
+  BatchCell& cell = st.cells[lane];
+  const std::size_t slots = proto_.cache_size;
+  const std::size_t cores = proto_.num_cores;
+  const std::size_t regions = proto_.num_regions;
+  cell = proto_;
+  cell.slot_base = static_cast<std::size_t>(lane) * slots;
+  cell.core_base = static_cast<std::size_t>(lane) * cores;
+  cell.region_base = static_cast<std::size_t>(lane) * regions;
+  cell.page_base = static_cast<std::size_t>(lane) * page_capacity_;
+  for (std::size_t s = cell.slot_base; s < cell.slot_base + slots; ++s) {
+    st.slot_page[s] = kInvalidPage;
+    st.slot_status[s] = BatchSlotStatus::kFree;
+    st.slot_ready[s] = 0;
+    st.slot_stamp[s] = kFreeKey;
+  }
+  for (std::size_t j = 0; j < cores; ++j) {
+    const std::size_t cj = cell.core_base + j;
+    st.core_ready[cj] = 0;
+    st.core_finish[cj] = 0;
+    st.core_seq[cj] = nullptr;
+    st.core_len[cj] = 0;
+    st.core_next[cj] = 0;
+    st.core_pending[cj] = kInvalidPage;
+    st.core_flags[cj] = 0;
+  }
+  std::size_t region_slot = cell.slot_base;
+  for (std::size_t r = 0; r < regions; ++r) {
+    const std::size_t rsize = cohort_regions_[r];
+    st.region_size[cell.region_base + r] = static_cast<std::uint32_t>(rsize);
+    st.region_slot_base[cell.region_base + r] =
+        static_cast<std::uint32_t>(region_slot);
+    st.region_free_top[cell.region_base + r] =
+        static_cast<std::uint32_t>(rsize);
+    st.region_occ[cell.region_base + r] = 0;
+    for (std::size_t s = 0; s < rsize; ++s) {
+      st.free_stack[region_slot + s] =
+          static_cast<std::uint32_t>(region_slot + s);
+    }
+    region_slot += rsize;
+  }
+}
+
+void BatchEngine::grow_page_capacity(std::size_t bound) {
+  std::size_t cap = page_capacity_ == 0 ? 64 : page_capacity_;
+  while (cap < bound) cap *= 2;
+  const std::size_t lanes = state_.cells.size();
+  std::vector<std::uint32_t> fresh(lanes * cap, kNoBatchSlot);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    BatchCell& cell = state_.cells[lane];
+    std::copy_n(
+        state_.page_slot.begin() + static_cast<std::ptrdiff_t>(cell.page_base),
+        page_capacity_,
+        fresh.begin() + static_cast<std::ptrdiff_t>(lane * cap));
+    cell.page_base = lane * cap;
+  }
+  state_.page_slot = std::move(fresh);
+  page_capacity_ = cap;
+}
+
+void BatchEngine::refresh_lane(std::uint32_t lane, const RequestSet& trace,
+                               PageId page_bound, bool closed) {
+  MCP_REQUIRE(cohort_, "refresh_lane: engine is not in cohort mode");
+  MCP_REQUIRE(lane < state_.cells.size(), "refresh_lane: no such lane");
+  BatchCell& cell = state_.cells[lane];
+  MCP_REQUIRE(cell.status == BatchLaneStatus::kStalled,
+              "refresh_lane: lane is not parked (free, running or ended)");
+  MCP_REQUIRE(trace.num_cores() == cell.num_cores,
+              "refresh_lane: trace core count does not match the cohort");
+  MCP_REQUIRE(!cell.closed || closed, "refresh_lane: a closed lane cannot "
+                                      "reopen");
+
+  if (page_bound > page_capacity_) grow_page_capacity(page_bound);
+  if (page_bound > cell.page_bound) cell.page_bound = page_bound;
+  BatchState& st = state_;
+  for (std::uint32_t j = 0; j < cell.num_cores; ++j) {
+    const RequestSequence& seq = trace.sequence(static_cast<CoreId>(j));
+    const std::size_t cj = cell.core_base + j;
+    MCP_REQUIRE(seq.size() >= st.core_len[cj],
+                "refresh_lane: a lane feed may only grow");
+    st.core_seq[cj] = seq.pages().data();
+    st.core_len[cj] = static_cast<std::uint32_t>(seq.size());
+  }
+  if (cell.record_timeline) {
+    // Worst case one fault per request: pre-size here so drain() stays
+    // allocation-free.
+    for (std::uint32_t j = 0; j < cell.num_cores; ++j) {
+      lane_stats_[lane]
+          .core(static_cast<CoreId>(j))
+          .fault_times.reserve(st.core_len[cell.core_base + j]);
+    }
+  }
+  cell.closed = closed;
+  // Wake only when the parked core can act: the model serves a step's cores
+  // in increasing id, so data for later cores cannot unblock the lane, and
+  // waking it would only re-park on the same core.  (A never-stepped lane
+  // parks at core 0, which is also where its first step begins.)
+  const std::size_t resume = cell.core_base + cell.resume_core;
+  if (closed || st.core_len[resume] > st.core_next[resume]) {
+    cell.status = BatchLaneStatus::kRunning;
+    active_.push_back(lane);
+  }
+}
+
+void BatchEngine::drain() {
+  MCP_REQUIRE(cohort_, "drain: engine is not in cohort mode");
+  std::optional<AllocGuard> guard;
+  if (options_.alloc_guard) guard.emplace("batch engine cohort drain");
+  while (round(kRunBlockSteps) > 0) {
+  }
+}
+
+BatchLaneStatus BatchEngine::lane_status(std::uint32_t lane) const {
+  MCP_REQUIRE(cohort_ && lane < state_.cells.size(),
+              "lane_status: no such cohort lane");
+  return state_.cells[lane].status;
+}
+
+RunStats BatchEngine::detach_lane(std::uint32_t lane) {
+  MCP_REQUIRE(cohort_ && lane < state_.cells.size(),
+              "detach_lane: no such cohort lane");
+  BatchCell& cell = state_.cells[lane];
+  MCP_REQUIRE(cell.status == BatchLaneStatus::kEnded,
+              "detach_lane: lane has not ended");
+  retired_steps_ += cell.steps;
+  // Clear the lane's page-index entries through the slot/page bijection —
+  // O(K) instead of O(page_capacity).
+  for (std::size_t s = cell.slot_base; s < cell.slot_base + cell.cache_size;
+       ++s) {
+    if (state_.slot_status[s] != BatchSlotStatus::kFree) {
+      state_.page_slot[cell.page_base + state_.slot_page[s]] = kNoBatchSlot;
+    }
+  }
+  reset_lane(lane);
+  free_lanes_.push_back(lane);
+  RunStats result = std::move(lane_stats_[lane]);
+  lane_stats_[lane] = RunStats();
+  return result;
 }
 
 void BatchEngine::validate() const {
@@ -428,6 +753,11 @@ void BatchEngine::validate() const {
 
   for (std::size_t i = 0; i < st.cells.size(); ++i) {
     const BatchCell& cell = st.cells[i];
+    // Cohort lanes share a uniform page stride (page_capacity_) that may
+    // exceed the lane's own page bound; load() lanes pack exactly.
+    const std::size_t page_stride = cohort_ ? page_capacity_ : cell.page_bound;
+    MCP_REQUIRE(cell.page_bound <= page_stride,
+                "batch state: cell page bound exceeds its lane stride");
     MCP_REQUIRE(cell.slot_base == slot_base && cell.core_base == core_base &&
                     cell.region_base == region_base &&
                     cell.page_base == page_base,
@@ -435,14 +765,65 @@ void BatchEngine::validate() const {
     MCP_REQUIRE(slot_base + cell.cache_size <= st.slot_page.size() &&
                     core_base + cell.num_cores <= st.core_ready.size() &&
                     region_base + cell.num_regions <= st.region_size.size() &&
-                    page_base + cell.page_bound <= st.page_slot.size(),
+                    page_base + page_stride <= st.page_slot.size(),
                 "batch state: cell lane slice exceeds the lane arrays");
-    MCP_REQUIRE((cell_active[i] != 0) == (cell.active_cores > 0),
-                "batch state: active list disagrees with cell.active_cores");
+
+    // Lane lifecycle: only kRunning lanes ride the active list, only
+    // cohort-mode detach leaves kFree lanes behind, and a parked step is
+    // coherent with its stall (resume core in range, neither done nor
+    // holding a pending request — a stall happens at the cursor pull).
+    MCP_REQUIRE((cell_active[i] != 0) == (cell.status == BatchLaneStatus::kRunning),
+                "batch state: active list disagrees with lane status");
+    switch (cell.status) {
+      case BatchLaneStatus::kFree:
+        MCP_REQUIRE(cohort_, "batch state: detached lane outside cohort mode");
+        [[fallthrough]];
+      case BatchLaneStatus::kEnded:
+        MCP_REQUIRE(cell.active_cores == 0 && !cell.in_step,
+                    "batch state: ended or detached lane still has live "
+                    "cores or a parked step");
+        break;
+      case BatchLaneStatus::kRunning:
+      case BatchLaneStatus::kStalled:
+        MCP_REQUIRE(cell.active_cores > 0,
+                    "batch state: runnable lane has no live cores");
+        break;
+    }
+    if (cell.in_step) {
+      MCP_REQUIRE(cell.status == BatchLaneStatus::kStalled,
+                  "batch state: parked step on a lane that is not stalled");
+      MCP_REQUIRE(cell.resume_core < cell.num_cores,
+                  "batch state: stalled lane's resume core out of range");
+      const std::size_t rj = core_base + cell.resume_core;
+      MCP_REQUIRE(
+          (st.core_flags[rj] & (kBatchCoreDone | kBatchCorePending)) == 0,
+          "batch state: stalled lane's resume core is done or already "
+          "holds a pending request");
+    }
 
     const std::size_t slot_end = slot_base + cell.cache_size;
     std::size_t fetching = 0;
     for (std::size_t s = slot_base; s < slot_end; ++s) {
+      // Eviction-key coherence: the victim scan trusts the key tags alone,
+      // so a status/key desync would silently evict a reserved cell (or
+      // never evict a present one) — check the folding invariant per slot.
+      switch (st.slot_status[s]) {
+        case BatchSlotStatus::kFree:
+          MCP_REQUIRE(st.slot_stamp[s] == kFreeKey,
+                      "batch state: free slot's eviction key is not kFreeKey");
+          break;
+        case BatchSlotStatus::kFetching:
+          MCP_REQUIRE((st.slot_stamp[s] & kReservedKey) != 0 &&
+                          st.slot_stamp[s] != kFreeKey,
+                      "batch state: fetching slot's eviction key lacks the "
+                      "reserved tag");
+          break;
+        case BatchSlotStatus::kPresent:
+          MCP_REQUIRE(st.slot_stamp[s] < kReservedKey,
+                      "batch state: present slot's eviction key carries a "
+                      "reserved or free tag");
+          break;
+      }
       if (st.slot_status[s] == BatchSlotStatus::kFree) {
         MCP_REQUIRE(st.slot_page[s] == kInvalidPage,
                     "batch state: free slot still names a page");
@@ -456,9 +837,12 @@ void BatchEngine::validate() const {
                   "batch state: page index does not point back at the slot "
                   "holding the page");
     }
-    for (std::size_t q = 0; q < cell.page_bound; ++q) {
+    for (std::size_t q = 0; q < page_stride; ++q) {
       const std::uint32_t s = st.page_slot[page_base + q];
       if (s == kNoBatchSlot) continue;
+      MCP_REQUIRE(q < cell.page_bound,
+                  "batch state: page index entry beyond the cell's page "
+                  "bound");
       MCP_REQUIRE(s >= slot_base && s < slot_end,
                   "batch state: page index points outside the cell's slot "
                   "lane (lane/cell bijection broken)");
@@ -519,14 +903,29 @@ void BatchEngine::validate() const {
         MCP_REQUIRE(st.core_pending[cj] < cell.page_bound,
                     "batch state: pending request outside the page bound");
       }
+      if (cell.status == BatchLaneStatus::kFree) {
+        MCP_REQUIRE(st.core_flags[cj] == 0 && st.core_next[cj] == 0 &&
+                        st.core_len[cj] == 0,
+                    "batch state: detached lane has a live core");
+      }
     }
-    MCP_REQUIRE(running == cell.active_cores,
-                "batch state: active core count disagrees with core flags");
+    // A detached lane's cores are fully reset (flags 0) while its
+    // active_cores is 0, so the flag/count coherence applies to the others.
+    if (cell.status != BatchLaneStatus::kFree) {
+      MCP_REQUIRE(running == cell.active_cores,
+                  "batch state: active core count disagrees with core flags");
+      // Done flags require a closed feed: an open lane must have every core
+      // still live.
+      if (!cell.closed) {
+        MCP_REQUIRE(running == cell.num_cores,
+                    "batch state: core finished on an unclosed lane");
+      }
+    }
 
     slot_base += cell.cache_size;
     core_base += cell.num_cores;
     region_base += cell.num_regions;
-    page_base += cell.page_bound;
+    page_base += page_stride;
   }
   MCP_REQUIRE(slot_base == st.slot_page.size() &&
                   core_base == st.core_ready.size() &&

@@ -33,9 +33,26 @@ namespace mcp {
 struct BatchEngineTestAccess;
 
 struct BatchEngineOptions {
-  /// Arm an AllocGuard over the lockstep loop in run().  Disable only for
-  /// sentry tests that want to arm their own guard around step_round().
+  /// Arm an AllocGuard over the lockstep loop in run() / drain().  Disable
+  /// only for sentry tests that want to arm their own guard around
+  /// step_round() or drain().
   bool alloc_guard = true;
+};
+
+/// Shape shared by every lane of a cohort-mode engine (init_cohort): the
+/// (SimConfig, strategy) half of a SimJob, with the per-lane request feed
+/// arriving later through refresh_lane().  Shared-cache cohorts require
+/// cache_size >= num_cores: with fewer slots than cores, every slot can be
+/// simultaneously reserved by in-flight fetches, and the resulting "no
+/// evictable page" abort must fail one scalar session, never a whole batch.
+struct CohortShape {
+  std::size_t cache_size = 0;
+  std::size_t num_cores = 0;
+  Time fault_penalty = 0;
+  Time max_steps = 0;
+  SharedFetchMode shared_fetch = SharedFetchMode::kCountsAsFault;
+  bool record_fault_timeline = false;
+  BatchStrategySpec strategy;
 };
 
 class BatchEngine {
@@ -66,8 +83,48 @@ class BatchEngine {
   }
 
   /// Total step-loop iterations executed across all lanes so far (the
-  /// batched counterpart of RunStats::sim_steps, summed).
+  /// batched counterpart of RunStats::sim_steps, summed).  Cohort mode
+  /// includes detached lanes, so the counter is monotonic across reuse.
   [[nodiscard]] Count lane_steps() const noexcept;
+
+  // --- Cohort mode (mcpd's per-shard scheduler) -----------------------------
+  //
+  // One engine per group of identically-shaped sessions.  Every lane shares
+  // the CohortShape, so lane arrays have uniform strides and lane id == cell
+  // index; the per-lane page index is a shared capacity (page_capacity_)
+  // that doubles as feeds reveal larger page ids.  Lanes attach/detach
+  // dynamically and their feeds arrive in chunks: refresh_lane() re-points a
+  // lane at the (append-only) caller trace and wakes it, drain() steps every
+  // runnable lane until it parks or ends.  All allocation happens in
+  // init_cohort/attach_lane/refresh_lane — drain() is allocation-free.
+
+  /// Switches the engine to cohort mode with zero lanes.  Throws ModelError
+  /// on an invalid shape (see CohortShape).
+  void init_cohort(const CohortShape& shape);
+  [[nodiscard]] bool cohort_mode() const noexcept { return cohort_; }
+
+  /// Adds a lane (recycling a detached slot when one exists) and returns
+  /// its id.  The lane starts kStalled with an empty feed.
+  std::uint32_t attach_lane();
+
+  /// Points the lane's cores at `trace`'s sequences (borrowed until the
+  /// next refresh or detach; sequences may only grow between refreshes).
+  /// `page_bound` must exceed every page id in `trace`; `closed` is sticky.
+  /// Wakes the lane iff the new data (or the close) lets it progress: the
+  /// model serves a step's cores in increasing id, so only data for the
+  /// parked core — or the promise of no more data — can unblock it.
+  void refresh_lane(std::uint32_t lane, const RequestSet& trace,
+                    PageId page_bound, bool closed);
+
+  /// Steps every woken lane until it parks or ends (blocked rounds, like
+  /// run()).  Arms an AllocGuard per options_.alloc_guard.
+  void drain();
+
+  [[nodiscard]] BatchLaneStatus lane_status(std::uint32_t lane) const;
+
+  /// Moves an ended lane's final RunStats out and recycles the lane slot
+  /// for a future attach_lane().
+  [[nodiscard]] RunStats detach_lane(std::uint32_t lane);
 
   /// Deep lane/cell invariant check (see BatchState): throws ModelError on
   /// the first violation.  Callable in any build; step_round() invokes it
@@ -77,17 +134,31 @@ class BatchEngine {
  private:
   friend struct BatchEngineTestAccess;
 
-  template <bool kPartitioned, bool kLruTouch>
-  bool step_lane(BatchCell& cell, RunStats& stats);
+  /// Advances one lane by up to `steps` simulation steps; the lane's
+  /// pointer slices, clock and stamp counter are hoisted once per block,
+  /// so larger blocks amortize the per-step dispatch to nothing.  Returns
+  /// false when the lane stalled or ended before exhausting the block.
   template <bool kPartitioned, bool kLruTouch>
   bool step_block(BatchCell& cell, RunStats& stats, std::size_t steps);
   std::size_t round(std::size_t steps_per_lane);
+  void reset_lane(std::uint32_t lane);
+  void grow_page_capacity(std::size_t bound);
 
   BatchEngineOptions options_{};
   BatchState state_;
   std::vector<std::uint32_t> active_;  ///< cell indices still running
-  RunStats* out_ = nullptr;            ///< borrowed result slots (load())
+  RunStats* out_ = nullptr;            ///< borrowed (load()) or
+                                       ///< lane_stats_.data() (cohort)
   std::size_t out_size_ = 0;
+
+  // Cohort mode only.
+  bool cohort_ = false;
+  BatchCell proto_{};                        ///< lane shape template
+  std::vector<std::size_t> cohort_regions_;  ///< region sizes (1 or p)
+  std::size_t page_capacity_ = 0;            ///< per-lane page_slot stride
+  std::vector<std::uint32_t> free_lanes_;    ///< detached, reusable slots
+  std::vector<RunStats> lane_stats_;         ///< owned results, per lane
+  Count retired_steps_ = 0;                  ///< steps of detached lanes
 };
 
 /// Test-only backdoor, mirroring CacheStateTestAccess: lets the sentry test
@@ -95,6 +166,10 @@ class BatchEngine {
 struct BatchEngineTestAccess {
   [[nodiscard]] static BatchState& state(BatchEngine& engine) {
     return engine.state_;
+  }
+  [[nodiscard]] static std::vector<std::uint32_t>& active(
+      BatchEngine& engine) {
+    return engine.active_;
   }
 };
 

@@ -15,7 +15,8 @@
 // per-cell monotonic stamp written into slot_stamp on insert (LRU and FIFO)
 // and on hit (LRU only); the victim is the minimum-stamp present slot of the
 // faulting region, which reproduces the scalar policies' list order exactly
-// because stamps are unique.  Everything else (dynamic partitions, marking,
+// because stamps are unique.  Fetching and free slots hold high-tagged keys
+// (batch_engine.cpp) so the victim scan is a branchless min over one array.  Everything else (dynamic partitions, marking,
 // adaptive adversary streams) keeps the scalar Simulator — which is also
 // retained as the differential oracle for the batched path
 // (tests/core/test_batch_differential.cpp).
@@ -78,6 +79,21 @@ struct SimJob {
 /// Status of one cache slot lane entry.
 enum class BatchSlotStatus : std::uint8_t { kFree = 0, kFetching, kPresent };
 
+/// Lifecycle of a lane.  load() lanes own their whole feed up front, so
+/// they are born kRunning with closed = true and can only move to kEnded.
+/// Cohort lanes (BatchEngine::init_cohort) mirror the RequestSource
+/// contract of core/simulator.hpp instead: a lane whose next ready core's
+/// cursor catches the buffered feed end parks (kStalled) mid-step and
+/// resumes bit-identically after the next refresh_lane(); once the feed is
+/// closed and every core drained it becomes kEnded and detach_lane()
+/// recycles the slot (kFree).
+enum class BatchLaneStatus : std::uint8_t {
+  kFree = 0,   ///< Detached cohort slot awaiting reuse.
+  kRunning,    ///< In the active list; stepped by round().
+  kStalled,    ///< Parked on an exhausted, unclosed feed.
+  kEnded,      ///< Every core served its last request (terminal).
+};
+
 /// Sentinel for page_slot lane entries: page not resident in this cell.
 inline constexpr std::uint32_t kNoBatchSlot =
     std::numeric_limits<std::uint32_t>::max();
@@ -114,6 +130,16 @@ struct BatchCell {
   std::uint64_t stamp = 0;      ///< monotonic recency/insertion counter
   std::uint32_t active_cores = 0;
   std::uint32_t fetching = 0;   ///< live entries in the in-flight lane
+
+  // Lane lifecycle (BatchLaneStatus).  The stall fields mirror SimSession's
+  // mid-step suspension: a step's preamble (fetch landing, step count) runs
+  // once, cores before resume_core are already served, and the folded
+  // fast-forward min accumulated so far is parked in next_time_partial.
+  BatchLaneStatus status = BatchLaneStatus::kRunning;
+  bool closed = true;           ///< No more requests will ever be appended.
+  bool in_step = false;         ///< Parked mid-step; resume at resume_core.
+  std::uint32_t resume_core = 0;
+  Time next_time_partial = 0;
 };
 
 /// The flat lanes.  Invariants (enforced by BatchEngine::validate()):
@@ -137,7 +163,8 @@ struct BatchState {
   std::vector<PageId> slot_page;
   std::vector<BatchSlotStatus> slot_status;
   std::vector<Time> slot_ready;             ///< fetch completion time
-  std::vector<std::uint64_t> slot_stamp;
+  std::vector<std::uint64_t> slot_stamp;    ///< eviction key: stamp, tagged
+                                            ///< while fetching/free
   std::vector<std::uint32_t> free_stack;    ///< absolute slot ids, segmented
                                             ///< per region like the slots
   std::vector<std::uint32_t> inflight;      ///< absolute slot ids

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -14,9 +15,10 @@ namespace mcp::service {
 
 namespace {
 
-/// One tenant's pre-encoded wire document: open, interleaved chunks,
-/// close, and a trailing fault-count query (query_id = session id), so a
-/// single submission drives the session end-to-end.
+/// One tenant's pre-encoded wire document: open, interleaved single-core
+/// run frames (the compact kRequestRun form), close, and a trailing
+/// fault-count query (query_id = session id), so a single submission
+/// drives the session end-to-end.
 [[nodiscard]] std::shared_ptr<const std::vector<std::byte>> encode_tenant(
     const RequestSet& trace, std::uint64_t session,
     const wire::SessionParams& params, std::size_t chunk_pairs) {
@@ -30,8 +32,8 @@ namespace {
       const RequestSequence& seq = trace.sequence(core);
       if (cursor[core] >= seq.size()) continue;
       const std::size_t n = std::min(chunk_pairs, seq.size() - cursor[core]);
-      writer.request_chunk(session, static_cast<std::uint32_t>(core),
-                           seq.pages().subspan(cursor[core], n));
+      writer.request_run(session, static_cast<std::uint32_t>(core),
+                         seq.pages().subspan(cursor[core], n));
       cursor[core] += n;
       emitted = true;
     }
@@ -48,10 +50,21 @@ LoadgenResult run_loadgen(const LoadgenConfig& config) {
   MCP_REQUIRE(config.tenants > 0, "loadgen: need at least one tenant");
   MCP_REQUIRE(config.producers > 0, "loadgen: need at least one producer");
 
-  const wire::SessionParams params{
-      static_cast<std::uint32_t>(config.cores_per_tenant),
-      static_cast<std::uint32_t>(config.cache_size),
-      static_cast<std::uint32_t>(config.fault_penalty), config.strategy};
+  // Tenant t's session parameters: the homogeneous mix is one cohort per
+  // shard, the mixed mix cycles every wire strategy (several cohorts).
+  static constexpr wire::StrategyKind kStrategyCycle[] = {
+      wire::StrategyKind::kSharedLru, wire::StrategyKind::kStaticEvenLru,
+      wire::StrategyKind::kSharedFifo, wire::StrategyKind::kStaticEvenFifo};
+  const auto tenant_params = [&config](std::size_t t) {
+    wire::SessionParams params{
+        static_cast<std::uint32_t>(config.cores_per_tenant),
+        static_cast<std::uint32_t>(config.cache_size),
+        static_cast<std::uint32_t>(config.fault_penalty), config.strategy};
+    if (config.mix == TenantMix::kMixed) {
+      params.strategy = kStrategyCycle[t % std::size(kStrategyCycle)];
+    }
+    return params;
+  };
 
   // Build every tenant's trace and wire document up front — excluded from
   // the timed region, the loadgen measures the daemon, not the generator.
@@ -61,6 +74,15 @@ LoadgenResult run_loadgen(const LoadgenConfig& config) {
   core_model.length = config.requests_per_core;
   core_model.working_set = std::max<std::size_t>(4, config.cache_size /
                                                         config.cores_per_tenant);
+  if (config.mix == TenantMix::kHomogeneous) {
+    // The cohort scenario models correctly-provisioned identical tenants:
+    // each core's page universe is exactly its cache share, so past the
+    // cold misses the daemon runs at an advisory service's design-point
+    // hit rate.  The mixed replay keeps the oversubscribed shape (a
+    // 128-page universe churning against a 16-page share) that stresses
+    // the fault path instead.
+    core_model.num_pages = core_model.working_set;
+  }
 
   std::vector<std::shared_ptr<const std::vector<std::byte>>> docs;
   docs.reserve(config.tenants);
@@ -72,10 +94,14 @@ LoadgenResult run_loadgen(const LoadgenConfig& config) {
         splitmix64(seed_state)));
     pairs += trace.total_requests();
     // Session ids start at 1; id 0 is reserved for "no session" in traces.
-    docs.push_back(encode_tenant(trace, t + 1, params, config.chunk_pairs));
+    docs.push_back(
+        encode_tenant(trace, t + 1, tenant_params(t), config.chunk_pairs));
   }
 
-  Mcpd daemon(McpdConfig{config.num_shards});
+  McpdConfig daemon_config;
+  daemon_config.num_shards = config.num_shards;
+  daemon_config.enable_batching = config.enable_batching;
+  Mcpd daemon(daemon_config);
 
   // Producers own disjoint tenant slices; each submits its documents, then
   // blocks until every one of its sessions replied to the trailing query.
@@ -134,6 +160,9 @@ LoadgenResult run_loadgen(const LoadgenConfig& config) {
     }
     result.epochs += stats.epochs;
     result.bad_frames += stats.bad_frames;
+    result.batched_sessions += stats.batched_sessions;
+    result.scalar_sessions += stats.scalar_sessions;
+    result.lane_steps += stats.lane_steps;
     result.epoch_latency.merge(stats.epoch_latency);
   }
   MCP_REQUIRE(result.bad_frames == 0, "loadgen: daemon dropped frames");

@@ -3,9 +3,13 @@
 #include <time.h>
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
+#include <limits>
 #include <utility>
 
+#include "core/batch_engine.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "policies/mattson.hpp"
@@ -58,7 +62,73 @@ constexpr std::uint32_t kMaxCurveK = 1u << 16;
   throw InputError("mcpd: unknown strategy kind");
 }
 
+/// The batched counterpart of make_strategy.  nullopt means the params are
+/// valid but only the scalar path may serve them: a shared cache smaller
+/// than the core count can legitimately abort with "no evictable page"
+/// (every slot reserved), and that must fail one session, never a cohort.
+/// Invalid params (static partition with K < p, unknown kind) throw the
+/// same InputError the scalar constructor would.
+[[nodiscard]] std::optional<BatchStrategySpec> batchable_spec(
+    const wire::SessionParams& params) {
+  const bool lru = params.strategy == wire::StrategyKind::kSharedLru ||
+                   params.strategy == wire::StrategyKind::kStaticEvenLru;
+  const BatchPolicy policy = lru ? BatchPolicy::kLru : BatchPolicy::kFifo;
+  switch (params.strategy) {
+    case wire::StrategyKind::kSharedLru:
+    case wire::StrategyKind::kSharedFifo:
+      if (params.cache_size < params.num_cores) return std::nullopt;
+      return BatchStrategySpec::shared(policy);
+    case wire::StrategyKind::kStaticEvenLru:
+    case wire::StrategyKind::kStaticEvenFifo:
+      if (params.cache_size < params.num_cores) {
+        throw InputError(
+            "mcpd: static partition session needs cache_size >= num_cores");
+      }
+      return BatchStrategySpec::static_partition(
+          even_partition(params.cache_size, params.num_cores), policy);
+  }
+  throw InputError("mcpd: unknown strategy kind");
+}
+
 }  // namespace
+
+// --- Cohorts ----------------------------------------------------------------
+
+/// Grouping key for batchable sessions: every wire parameter that shapes
+/// the simulation.  (Shared-fetch mode is not on the wire — every daemon
+/// session runs the default kCountsAsFault — so it needs no key field.)
+struct CohortKey {
+  std::uint32_t num_cores = 0;
+  std::uint32_t cache_size = 0;
+  std::uint32_t fault_penalty = 0;
+  wire::StrategyKind strategy = wire::StrategyKind::kSharedLru;
+
+  bool operator==(const CohortKey&) const = default;
+};
+
+struct CohortKeyHash {
+  [[nodiscard]] std::size_t operator()(const CohortKey& key) const noexcept {
+    std::uint64_t state = (std::uint64_t{key.num_cores} << 40) ^
+                          (std::uint64_t{key.cache_size} << 12) ^
+                          (std::uint64_t{key.fault_penalty} << 4) ^
+                          static_cast<std::uint64_t>(key.strategy);
+    return static_cast<std::size_t>(splitmix64(state));
+  }
+};
+
+class Session;
+
+/// One cohort: every session on a shard sharing a CohortKey occupies a lane
+/// of this group's cohort-mode BatchEngine.  `touched` collects the
+/// sessions refreshed in the current epoch, so the post-drain sweep visits
+/// only lanes that could have ended (a lane only ends in an epoch it was
+/// refreshed in — ending requires waking first).
+struct CohortGroup {
+  BatchEngine engine;
+  std::vector<Session*> touched;
+  std::uint64_t steps_seen = 0;  ///< engine.lane_steps() after last drain.
+  bool dirty = false;            ///< Queued in the epoch's drain list.
+};
 
 // --- ResponseMailbox --------------------------------------------------------
 
@@ -99,25 +169,43 @@ std::vector<std::byte> ResponseMailbox::wait() {
 
 // --- Session ----------------------------------------------------------------
 
-/// One tenant session, owned by exactly one shard.  The session *is* the
-/// RequestSource feeding its SimSession: pull() walks the accumulated
-/// trace behind a per-core cursor and reports kStalled past the buffered
-/// end until the client closes — SimSession parks mid-step and resumes on
-/// the next epoch, which is what makes per-session results independent of
-/// chunk arrival timing.
+/// One tenant session, owned by exactly one shard, on one of two stepping
+/// paths:
+///
+///   scalar   the session *is* the RequestSource feeding its SimSession:
+///            pull() walks the accumulated trace behind a per-core cursor
+///            and reports kStalled past the buffered end until the client
+///            closes — SimSession parks mid-step and resumes on the next
+///            epoch.
+///   batched  the session occupies a lane of its cohort group's
+///            BatchEngine, whose per-core cursors walk the same trace with
+///            the same stall/resume semantics, but p lanes step as one SoA
+///            kernel.
+///
+/// Both paths make per-session results independent of chunk arrival timing
+/// and bit-identical to a direct Simulator::run of the full trace.
 class Session final : public RequestSource {
  public:
-  Session(std::uint64_t id, const wire::SessionParams& params)
-      : id_(id),
-        params_(params),
-        trace_(params.num_cores),
-        cursor_(params.num_cores, 0),
-        strategy_(make_strategy(params)) {
-    SimConfig config;
-    config.cache_size = params.cache_size;
-    config.fault_penalty = params.fault_penalty;
-    config.record_fault_timeline = false;
-    sim_.emplace(config, params.num_cores, *strategy_);
+  /// `cohort == nullptr` selects the scalar path.  A batched session holds
+  /// no strategy object and no SimSession — the cohort engine is the
+  /// simulator.
+  Session(std::uint64_t id, const wire::SessionParams& params,
+          CohortGroup* cohort)
+      : id_(id), params_(params), trace_(params.num_cores) {
+    if (cohort == nullptr) {
+      cursor_.assign(params.num_cores, 0);
+      strategy_ = make_strategy(params);
+      SimConfig config;
+      config.cache_size = params.cache_size;
+      config.fault_penalty = params.fault_penalty;
+      config.record_fault_timeline = false;
+      sim_.emplace(config, params.num_cores, *strategy_);
+      return;
+    }
+    // Attach last: nothing before this line touches the engine, so a throw
+    // earlier in construction cannot leave an orphaned lane behind.
+    cohort_ = cohort;
+    lane_ = cohort->engine.attach_lane();
   }
 
   [[nodiscard]] std::size_t num_cores() const override {
@@ -137,15 +225,91 @@ class Session final : public RequestSource {
   /// the number of pairs ingested.
   std::size_t append_chunk(const wire::ChunkView& chunk) {
     if (closed_) throw InputError("mcpd: request chunk after session close");
-    for (std::size_t i = 0; i < chunk.size(); ++i) {
-      const wire::WirePair pair = chunk.pair(i);
-      if (pair.core >= params_.num_cores) {
-        throw InputError("mcpd: request pair core " +
-                         std::to_string(pair.core) + " out of range");
+    // Encoders emit single-core runs (WireWriter's per-core chunk shape),
+    // so pairs are ingested in core-run tiles: one bounds check, one
+    // sequence lookup and one bulk append per tile instead of a push_back
+    // per pair.  This loop is on every request's path in both session
+    // modes, scalar and batched alike.
+    const std::size_t n = chunk.size();
+    std::array<PageId, 256> tile;
+    std::size_t i = 0;
+    while (i < n) {
+      // Optimistic scan: accumulate the core mismatch and the page maximum
+      // branchlessly over the whole tile — for the single-core tiles every
+      // encoder produces, the loop has no data-dependent exits and the
+      // compiler can unroll or vectorize it.  A genuinely mixed tile (legal
+      // wire, just not what WireWriter emits) falls back to a re-scan for
+      // the leading run's length.
+      const std::size_t lim = std::min(tile.size(), n - i);
+      const std::uint32_t run_core = chunk.pair(i).core;
+      std::uint32_t core_diff = 0;
+      PageId max_page = 0;
+      for (std::size_t k = 0; k < lim; ++k) {
+        const wire::WirePair pair = chunk.pair(i + k);
+        core_diff |= pair.core ^ run_core;
+        max_page = std::max(max_page, pair.page);
+        tile[k] = pair.page;
       }
-      trace_.sequence(pair.core).push_back(pair.page);
+      std::size_t len = lim;
+      if (core_diff != 0) {
+        len = 1;
+        while (len < lim && chunk.pair(i + len).core == run_core) ++len;
+        max_page = 0;
+        for (std::size_t k = 0; k < len; ++k) {
+          max_page = std::max(max_page, tile[k]);
+        }
+      }
+      if (run_core >= params_.num_cores) {
+        throw InputError("mcpd: request pair core " +
+                         std::to_string(run_core) + " out of range");
+      }
+      // Tracked here so a lane refresh need not rescan the trace
+      // (RequestSet::page_bound() is O(total pairs)).
+      if (max_page >= page_bound_) page_bound_ = max_page + 1;
+      trace_.sequence(run_core).append({tile.data(), len});
+      i += len;
     }
-    return chunk.size();
+    return n;
+  }
+
+  /// kRequestRun ingest: the run's page words are already a little-endian
+  /// PageId array, so the hot path is a max-scan plus one bulk append —
+  /// half the wire bytes of a chunk and no per-pair core decode.  This is
+  /// what makes the daemon's ingest cost a small constant next to the
+  /// stepping paths (docs/MCPD.md "capacity").
+  std::size_t append_run(const wire::RunView& run) {
+    if (closed_) throw InputError("mcpd: request run after session close");
+    if (run.core() >= params_.num_cores) {
+      throw InputError("mcpd: request run core " +
+                       std::to_string(run.core()) + " out of range");
+    }
+    const std::size_t n = run.size();
+    if (n == 0) return 0;
+    RequestSequence& seq = trace_.sequence(run.core());
+    const std::size_t old_size = seq.size();
+    if constexpr (std::endian::native == std::endian::little) {
+      // The run payload already is a PageId array (4-aligned LE words):
+      // append straight from the client's buffer, the one unavoidable
+      // cold pass over the wire bytes.
+      seq.append({reinterpret_cast<const PageId*>(run.page_bytes()), n});
+    } else {
+      std::array<PageId, 1024> tile;
+      for (std::size_t i = 0; i < n;) {
+        const std::size_t len = std::min(tile.size(), n - i);
+        for (std::size_t k = 0; k < len; ++k) tile[k] = run.page(i + k);
+        seq.append({tile.data(), len});
+        i += len;
+      }
+    }
+    // Fold the page bound over the just-written (cache-hot) tail — kept
+    // current here so a lane refresh need not rescan the trace
+    // (RequestSet::page_bound() is O(total pairs)).
+    PageId bound = page_bound_;
+    for (const PageId page : seq.pages().subspan(old_size)) {
+      bound = std::max(bound, page + 1);
+    }
+    page_bound_ = bound;
+    return n;
   }
 
   void close() { closed_ = true; }
@@ -173,26 +337,41 @@ class Session final : public RequestSource {
     parked_.push_back({type, query, std::move(reply_to)});
   }
 
-  /// Steps the simulation as far as the buffered trace allows.  Returns
-  /// true when the session just finished (close seen and fully simulated).
+  /// Scalar path: steps the simulation as far as the buffered trace allows.
+  /// Returns true when the session just finished (close seen and fully
+  /// simulated).
   bool advance_buffered() {
     if (finished_ || !dirty_) return false;
     dirty_ = false;
     if (!sim_->advance(*this)) return false;
-    finished_ = true;
     stats_ = sim_->take_stats();
-    const std::vector<ParkedQuery> parked = std::exchange(parked_, {});
-    for (const ParkedQuery& query : parked) {
-      try {
-        answer(query.type, query.query, query.reply_to);
-      } catch (const std::exception&) {
-        // answer() turns its own failures into kError replies; landing here
-        // means even that failed (e.g. allocation).  Drop this reply and
-        // keep answering the rest — one bad query must not strand the
-        // others.
-      }
-    }
+    finish();
     return true;
+  }
+
+  /// Batched path: re-points the lane at the grown trace and wakes it when
+  /// it can progress.  Returns false when there is nothing to step.
+  bool refresh_lane() {
+    if (finished_ || !dirty_) return false;
+    dirty_ = false;
+    cohort_->engine.refresh_lane(lane_, trace_, page_bound_, closed_);
+    return true;
+  }
+
+  [[nodiscard]] bool batched() const noexcept { return cohort_ != nullptr; }
+  [[nodiscard]] CohortGroup* cohort() const noexcept { return cohort_; }
+
+  /// True once the lane served its last request (post-drain check).
+  [[nodiscard]] bool lane_ended() const {
+    return !finished_ &&
+           cohort_->engine.lane_status(lane_) == BatchLaneStatus::kEnded;
+  }
+
+  /// Collects the ended lane's stats, recycles the lane and answers parked
+  /// queries — the batched counterpart of advance_buffered()'s finish.
+  void finish_batched() {
+    stats_ = cohort_->engine.detach_lane(lane_);
+    finish();
   }
 
   void mark_dirty() { dirty_ = true; }
@@ -204,6 +383,23 @@ class Session final : public RequestSource {
     wire::QueryView query;
     std::weak_ptr<ResponseMailbox> reply_to;
   };
+
+  /// Marks the session finished (stats_ must already be final) and answers
+  /// every parked query.
+  void finish() {
+    finished_ = true;
+    const std::vector<ParkedQuery> parked = std::exchange(parked_, {});
+    for (const ParkedQuery& query : parked) {
+      try {
+        answer(query.type, query.query, query.reply_to);
+      } catch (const std::exception&) {
+        // answer() turns its own failures into kError replies; landing here
+        // means even that failed (e.g. allocation).  Drop this reply and
+        // keep answering the rest — one bad query must not strand the
+        // others.
+      }
+    }
+  }
 
   /// Why a query can never be answered on this session, or nullptr if it
   /// can.  Checked at enqueue time so the error reply is immediate — a
@@ -303,9 +499,14 @@ class Session final : public RequestSource {
   std::uint64_t id_;
   wire::SessionParams params_;
   RequestSet trace_;                 ///< Grows as chunks arrive.
+  PageId page_bound_ = 0;            ///< 1 + max page id seen in trace_.
+  // Scalar path only.
   std::vector<std::size_t> cursor_;  ///< Per-core feed position in trace_.
   std::unique_ptr<CacheStrategy> strategy_;
   std::optional<SimSession> sim_;
+  // Batched path only.
+  CohortGroup* cohort_ = nullptr;    ///< Owned by the shard; outlives us.
+  std::uint32_t lane_ = 0;           ///< Valid until finish_batched().
   RunStats stats_;  ///< Valid once finished_.
   std::vector<ParkedQuery> parked_;
   bool closed_ = false;
@@ -385,12 +586,50 @@ class Shard {
       }
     }
     if (frames == 0) return false;
+    // Step scalar sessions directly; batched sessions refresh their lanes
+    // and queue their cohort groups, each of which then drains as one SoA
+    // kernel.  Per-session results do not depend on this ordering — lanes
+    // never read each other's state.
+    dirty_groups_.clear();
     for (Session* session : dirty_) {
       try {
-        if (session->advance_buffered()) ++stats_.sessions_finished;
+        if (session->batched()) {
+          if (!session->refresh_lane()) continue;
+          CohortGroup* group = session->cohort();
+          group->touched.push_back(session);
+          if (!group->dirty) {
+            group->dirty = true;
+            dirty_groups_.push_back(group);
+          }
+        } else if (session->advance_buffered()) {
+          ++stats_.sessions_finished;
+        }
       } catch (const std::exception&) {
         ++stats_.bad_frames;
       }
+    }
+    for (CohortGroup* group : dirty_groups_) {
+      try {
+        group->engine.drain();
+      } catch (const std::exception&) {
+        // Accepted cohort shapes cannot abort (batchable_spec screens the
+        // K < p shared case); this is a defensive count, not a live path.
+        ++stats_.bad_frames;
+      }
+      stats_.lane_steps += group->engine.lane_steps() - group->steps_seen;
+      group->steps_seen = group->engine.lane_steps();
+      for (Session* session : group->touched) {
+        try {
+          if (session->lane_ended()) {
+            session->finish_batched();
+            ++stats_.sessions_finished;
+          }
+        } catch (const std::exception&) {
+          ++stats_.bad_frames;
+        }
+      }
+      group->touched.clear();
+      group->dirty = false;
     }
     stats_.frames += frames;
     ++stats_.epochs;
@@ -409,17 +648,35 @@ class Shard {
         if (sessions_.contains(frame.session)) {
           throw InputError("mcpd: duplicate session open");
         }
+        // batchable_spec and the scalar make_strategy reject invalid params
+        // with the same errors, so an open fails identically in both modes.
+        CohortGroup* cohort = nullptr;
+        if (config_.enable_batching) {
+          if (const std::optional<BatchStrategySpec> spec =
+                  batchable_spec(params)) {
+            cohort = &cohort_group(params, *spec);
+          }
+        }
         // Construct before inserting: a throwing Session constructor (e.g.
         // an infeasible strategy/cache combination) must not leave a null
         // map entry behind for later frames to dereference.
-        auto session = std::make_unique<Session>(frame.session, params);
+        auto session =
+            std::make_unique<Session>(frame.session, params, cohort);
         sessions_.emplace(frame.session, std::move(session));
         ++stats_.sessions_opened;
+        ++(cohort != nullptr ? stats_.batched_sessions
+                             : stats_.scalar_sessions);
         break;
       }
       case wire::FrameType::kRequestChunk: {
         Session& session = find_session(frame.session);
         stats_.pairs += session.append_chunk(wire::ChunkView(frame));
+        mark_dirty(session);
+        break;
+      }
+      case wire::FrameType::kRequestRun: {
+        Session& session = find_session(frame.session);
+        stats_.pairs += session.append_run(wire::RunView(frame));
         mark_dirty(session);
         break;
       }
@@ -443,10 +700,43 @@ class Shard {
   }
 
   Session& find_session(std::uint64_t id) {
+    // Frames arrive in per-tenant bursts (a tenant document is one run of
+    // open/chunks/close/query frames), so a one-entry MRU cache skips the
+    // hash lookup for nearly every chunk.  Session objects are uniquely
+    // owned by the map and never erased while the shard runs, so the
+    // cached pointer cannot dangle; id 0 is reserved, so the empty cache
+    // never matches.
+    if (id == mru_session_id_) return *mru_session_;
     const auto it = sessions_.find(id);
     if (it == sessions_.end() || it->second == nullptr) {
       throw InputError("mcpd: frame for unknown session " +
                        std::to_string(id));
+    }
+    mru_session_id_ = id;
+    mru_session_ = it->second.get();
+    return *mru_session_;
+  }
+
+  /// Finds or creates the cohort group for batchable params.  Groups are
+  /// never destroyed while the shard lives: a one-session cohort simply
+  /// keeps its engine (and recycled lanes) warm for the next compatible
+  /// open.
+  CohortGroup& cohort_group(const wire::SessionParams& params,
+                            const BatchStrategySpec& spec) {
+    const CohortKey key{params.num_cores, params.cache_size,
+                        params.fault_penalty, params.strategy};
+    auto it = cohorts_.find(key);
+    if (it == cohorts_.end()) {
+      auto group = std::make_unique<CohortGroup>();
+      CohortShape shape;
+      shape.cache_size = params.cache_size;
+      shape.num_cores = params.num_cores;
+      shape.fault_penalty = params.fault_penalty;
+      shape.strategy = spec;
+      // max_steps 0 (sessions may be arbitrarily long), no fault timeline —
+      // the same SimConfig the scalar path uses.
+      group->engine.init_cohort(shape);
+      it = cohorts_.emplace(key, std::move(group)).first;
     }
     return *it->second;
   }
@@ -463,7 +753,12 @@ class Shard {
   alignas(64) std::atomic<std::uint64_t> pending_{0};
   std::atomic<bool> stop_{false};
   std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
-  std::vector<Session*> dirty_;  ///< Sessions touched this epoch.
+  std::uint64_t mru_session_id_ = 0;     ///< 0 = empty (id 0 is reserved).
+  Session* mru_session_ = nullptr;
+  std::unordered_map<CohortKey, std::unique_ptr<CohortGroup>, CohortKeyHash>
+      cohorts_;
+  std::vector<Session*> dirty_;          ///< Sessions touched this epoch.
+  std::vector<CohortGroup*> dirty_groups_;  ///< Groups touched this epoch.
   ShardStats stats_;
   std::thread worker_;
 };
@@ -544,6 +839,9 @@ ShardStats Mcpd::total_stats() const {
     total.epochs += s.epochs;
     total.sessions_opened += s.sessions_opened;
     total.sessions_finished += s.sessions_finished;
+    total.batched_sessions += s.batched_sessions;
+    total.scalar_sessions += s.scalar_sessions;
+    total.lane_steps += s.lane_steps;
     total.bad_frames += s.bad_frames;
     total.busy_ns += s.busy_ns;
     total.epoch_latency.merge(s.epoch_latency);
@@ -608,6 +906,13 @@ void McpdClient::send_core_pages(std::uint64_t session, std::uint32_t core,
                                  std::span<const PageId> pages) {
   wire::WireWriter writer;
   writer.request_chunk(session, core, pages);
+  submit(std::move(writer));
+}
+
+void McpdClient::send_core_run(std::uint64_t session, std::uint32_t core,
+                               std::span<const PageId> pages) {
+  wire::WireWriter writer;
+  writer.request_run(session, core, pages);
   submit(std::move(writer));
 }
 

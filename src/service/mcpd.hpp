@@ -13,14 +13,18 @@
 // Each shard owns the sessions hashed to it outright — no session state is
 // shared between shards, so the only cross-thread traffic is the lock-free
 // ingress queue and the response mailboxes.  A shard runs an *epoch* per
-// wakeup: it drains every queued frame, steps each touched session's
-// SimSession as far as the buffered requests allow (the same resumable
-// step loop the library's Simulator::run uses — per-session results are
-// bit-identical to a direct simulate() of the full trace, regardless of
-// shard count or arrival interleaving), then publishes one batch of
-// responses.  Queries (fault counts, LRU fault curves via the Mattson
-// kernel, partition advice) are answered when the session finishes — the
-// only point at which the answer is independent of arrival timing.
+// wakeup: it drains every queued frame, steps each touched session as far
+// as the buffered requests allow, then publishes one batch of responses.
+// Identically-configured sessions (same strategy, p, K, tau) are grouped
+// into per-shard *cohorts* stepped in lockstep by one SoA BatchEngine per
+// group (docs/MCPD.md "Cohort scheduler"); the rest run a scalar
+// SimSession.  Both paths execute the same resumable step semantics the
+// library's Simulator::run uses — per-session results are bit-identical to
+// a direct simulate() of the full trace, regardless of shard count, cohort
+// composition or arrival interleaving.  Queries (fault counts, LRU fault
+// curves via the Mattson kernel, partition advice) are answered when the
+// session finishes — the only point at which the answer is independent of
+// arrival timing.
 //
 // Transport is in-process loopback: a "frame" is bytes in the mcpwire
 // format (wire_format.hpp) and delivery is a queue push.  A socket front
@@ -97,6 +101,9 @@ struct ShardStats {
   std::uint64_t epochs = 0;         ///< Wakeups that processed >= 1 frame.
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_finished = 0;
+  std::uint64_t batched_sessions = 0;  ///< Opened onto a cohort lane.
+  std::uint64_t scalar_sessions = 0;   ///< Opened onto a scalar SimSession.
+  std::uint64_t lane_steps = 0;        ///< Cohort lockstep iterations run.
   std::uint64_t bad_frames = 0;     ///< Malformed/out-of-protocol, dropped.
   std::uint64_t busy_ns = 0;        ///< CLOCK_THREAD_CPUTIME_ID spent in epochs.
   LatencyHistogram epoch_latency;   ///< Wall ns per epoch (drain->publish).
@@ -108,6 +115,11 @@ struct McpdConfig {
   /// Queries arriving before a session finishes park inside the session;
   /// at most this many may be parked (guards a client leak).
   std::size_t max_parked_queries = 1024;
+  /// Group batchable sessions into per-shard cohorts stepped by the SoA
+  /// BatchEngine (docs/MCPD.md "Cohort scheduler").  Per-session results
+  /// are bit-identical either way; off forces the scalar SimSession path
+  /// (the differential oracle and the loadgen baseline).
+  bool enable_batching = true;
 };
 
 class Shard;
@@ -163,6 +175,9 @@ class McpdClient {
                   std::span<const wire::WirePair> pairs);
   void send_core_pages(std::uint64_t session, std::uint32_t core,
                        std::span<const PageId> pages);
+  /// Same requests as send_core_pages in the compact kRequestRun framing.
+  void send_core_run(std::uint64_t session, std::uint32_t core,
+                     std::span<const PageId> pages);
   void close(std::uint64_t session);
 
   /// Fire-and-forget query posts (replies arrive in the mailbox).

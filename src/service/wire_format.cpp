@@ -14,7 +14,7 @@ namespace {
 
 [[nodiscard]] bool known_frame_type(std::uint32_t raw) noexcept {
   return raw >= static_cast<std::uint32_t>(FrameType::kSessionOpen) &&
-         raw <= static_cast<std::uint32_t>(FrameType::kError);
+         raw <= static_cast<std::uint32_t>(FrameType::kRequestRun);
 }
 
 /// Bounds an error reply's message on the wire (replies must stay small
@@ -54,6 +54,26 @@ ChunkView::ChunkView(const FrameView& frame) {
   if (frame.payload.size() != 8 + count_ * sizeof(WirePair)) {
     throw InputError("wire: request chunk declares " + std::to_string(count_) +
                      " pairs but carries " +
+                     std::to_string(frame.payload.size()) + " payload bytes");
+  }
+  data_ = frame.payload.data() + 8;
+}
+
+// --- RunView ----------------------------------------------------------------
+
+RunView::RunView(const FrameView& frame) {
+  MCP_REQUIRE(frame.type == FrameType::kRequestRun,
+              "RunView over a non-run frame");
+  if (frame.payload.size() < 8) {
+    throw InputError("wire: request run payload shorter than its header");
+  }
+  core_ = load_u32(frame.payload.data());
+  count_ = load_u32(frame.payload.data() + 4);
+  // count * 4 rounded up to the format's 8-byte alignment, exactly.
+  const std::size_t body = ((count_ * 4 + 7) / 8) * 8;
+  if (frame.payload.size() != 8 + body) {
+    throw InputError("wire: request run declares " + std::to_string(count_) +
+                     " pages but carries " +
                      std::to_string(frame.payload.size()) + " payload bytes");
   }
   data_ = frame.payload.data() + 8;
@@ -116,6 +136,22 @@ void WireWriter::request_chunk(std::uint64_t session, std::uint32_t core,
     store_u32(p + 4, static_cast<std::uint32_t>(page));
     p += sizeof(WirePair);
   }
+}
+
+void WireWriter::request_run(std::uint64_t session, std::uint32_t core,
+                             std::span<const PageId> pages) {
+  const std::size_t body = ((pages.size() * 4 + 7) / 8) * 8;
+  const std::size_t at =
+      begin_frame(FrameType::kRequestRun, session, 8 + body);
+  std::byte* p = buf_.data() + at;
+  store_u32(p, core);
+  store_u32(p + 4, static_cast<std::uint32_t>(pages.size()));
+  p += 8;
+  for (PageId page : pages) {
+    store_u32(p, static_cast<std::uint32_t>(page));
+    p += 4;
+  }
+  if (pages.size() % 2 != 0) store_u32(p, 0);  // alignment pad
 }
 
 void WireWriter::session_close(std::uint64_t session) {
@@ -470,6 +506,19 @@ DecodedTrace decode_trace(std::span<const std::byte> data) {
                              std::to_string(pair.core) + " out of range");
           }
           seqs[pair.core].push_back(pair.page);
+        }
+        break;
+      }
+      case FrameType::kRequestRun: {
+        const RunView run(frame);
+        if (run.core() >= seqs.size()) {
+          throw InputError("wire: request run core " +
+                           std::to_string(run.core()) + " out of range");
+        }
+        std::vector<PageId>& seq = seqs[run.core()];
+        seq.reserve(seq.size() + run.size());
+        for (std::size_t i = 0; i < run.size(); ++i) {
+          seq.push_back(run.page(i));
         }
         break;
       }

@@ -20,8 +20,9 @@
 // are little-endian; the load/store helpers below compile to plain loads
 // on little-endian targets and byte-swap elsewhere.
 //
-// Request frames:    kSessionOpen, kRequestChunk, kSessionClose,
-//                    kQueryFaults, kQueryFaultCurve, kQueryPartition.
+// Request frames:    kSessionOpen, kRequestChunk, kRequestRun,
+//                    kSessionClose, kQueryFaults, kQueryFaultCurve,
+//                    kQueryPartition.
 // Response frames:   kFaultCounts, kFaultCurve, kPartitionAdvice, kError.
 //
 // encode_trace()/decode_trace() convert between a materialized RequestSet
@@ -68,6 +69,7 @@ enum class FrameType : std::uint32_t {
   kFaultCurve = 8,
   kPartitionAdvice = 9,
   kError = 10,
+  kRequestRun = 11,
 };
 
 /// The strategy a session runs; the service instantiates the matching
@@ -160,6 +162,30 @@ class ChunkView {
   std::size_t count_ = 0;
 };
 
+/// kRequestRun payload view: `u32 core, u32 count, count x u32 page`,
+/// padded to the format's 8-byte alignment.  The compact form of
+/// kRequestChunk for a single core's consecutive requests — the shape
+/// every encoder here emits anyway — at half the bytes per pair; on a
+/// little-endian host the page array is already a PageId array, so the
+/// ingest path reduces to a bulk copy (page_bytes()).
+class RunView {
+ public:
+  explicit RunView(const FrameView& frame);
+
+  [[nodiscard]] std::uint32_t core() const noexcept { return core_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] PageId page(std::size_t i) const noexcept {
+    return load_u32(data_ + i * 4);
+  }
+  /// The run's raw little-endian page words (size() * 4 bytes, 4-aligned).
+  [[nodiscard]] const std::byte* page_bytes() const noexcept { return data_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::uint32_t core_ = 0;
+};
+
 /// kQueryFaults / kQueryFaultCurve / kQueryPartition payload:
 /// `u64 query_id, u32 max_k, u32 reserved` (max_k used by curve queries).
 struct QueryView {
@@ -217,6 +243,10 @@ class WireWriter {
   /// Chunk of one core's pages (the common converter shape).
   void request_chunk(std::uint64_t session, std::uint32_t core,
                      std::span<const PageId> pages);
+  /// Same requests as the single-core request_chunk at half the wire
+  /// bytes (kRequestRun).
+  void request_run(std::uint64_t session, std::uint32_t core,
+                   std::span<const PageId> pages);
   void session_close(std::uint64_t session);
   void query_faults(std::uint64_t session, std::uint64_t query_id);
   void query_fault_curve(std::uint64_t session, std::uint64_t query_id,

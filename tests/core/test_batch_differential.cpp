@@ -300,6 +300,227 @@ TEST(BatchDifferential, MaxStepsAbortMatchesScalar) {
   EXPECT_THROW((void)engine.run(std::span<const SimJob>(&job, 1)), ModelError);
 }
 
+// --- Cohort mode (mcpd's per-shard scheduler) -------------------------------
+
+/// Reveals a full trace to a cohort lane in chunks, the way mcpd's shard
+/// drains ingress frames into a session's append-only buffer.
+struct CohortFeeder {
+  const RequestSet* full;
+  RequestSet revealed;
+  std::vector<std::size_t> sent;
+  PageId bound = 0;
+  bool closed = false;
+
+  explicit CohortFeeder(const RequestSet& trace)
+      : full(&trace),
+        revealed(trace.num_cores()),
+        sent(trace.num_cores(), 0) {}
+
+  /// Reveals up to `chunk` more pages per core; once the trace is used up
+  /// the feeder marks itself closed.  Returns true while anything moved.
+  bool feed(std::size_t chunk) {
+    bool moved = false;
+    for (CoreId core = 0; core < full->num_cores(); ++core) {
+      const RequestSequence& seq = full->sequence(core);
+      const std::size_t n = std::min(chunk, seq.size() - sent[core]);
+      for (std::size_t i = 0; i < n; ++i) {
+        const PageId page = seq[sent[core] + i];
+        bound = std::max(bound, page + 1);
+        revealed.sequence(core).push_back(page);
+      }
+      sent[core] += n;
+      moved |= n > 0;
+    }
+    if (!moved) closed = true;
+    return moved;
+  }
+};
+
+/// Feeds every lane in chunks until all end, validating between drains, and
+/// returns each lane's detached RunStats.
+std::vector<RunStats> run_cohort(BatchEngine& engine,
+                                 std::vector<std::uint32_t>& lanes,
+                                 std::vector<CohortFeeder>& feeders,
+                                 std::size_t chunk) {
+  bool all_ended = false;
+  while (!all_ended) {
+    all_ended = true;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (engine.lane_status(lanes[i]) == BatchLaneStatus::kEnded) continue;
+      all_ended = false;
+      // Stagger chunk sizes across lanes so refreshes interleave unevenly.
+      feeders[i].feed(chunk + i % 2);
+      engine.refresh_lane(lanes[i], feeders[i].revealed, feeders[i].bound,
+                          feeders[i].closed);
+    }
+    engine.drain();
+    engine.validate();
+  }
+  std::vector<RunStats> got;
+  got.reserve(lanes.size());
+  for (const std::uint32_t lane : lanes) {
+    got.push_back(engine.detach_lane(lane));
+  }
+  return got;
+}
+
+TEST(BatchDifferential, CohortChunkedFeedsBitEqualToScalar) {
+  const std::size_t p = 3;
+  const std::size_t K = 6;
+  const std::vector<WorkloadCase> workloads = workload_grid(p);
+  const std::vector<BatchableCase> strategies = batchable_grid(p, K);
+
+  for (const BatchableCase& sc : strategies) {
+    for (const Time tau : {Time{0}, Time{3}}) {
+      SimConfig config = testing::sim_config(K, tau);
+      config.record_fault_timeline = true;
+      std::vector<RunStats> expected;
+      for (const WorkloadCase& wl : workloads) {
+        const std::unique_ptr<CacheStrategy> scalar = sc.make_scalar();
+        Simulator sim(config);
+        expected.push_back(sim.run(wl.requests, *scalar));
+      }
+
+      for (const std::size_t chunk :
+           {std::size_t{1}, std::size_t{7}, std::size_t{1000}}) {
+        CohortShape shape;
+        shape.cache_size = K;
+        shape.num_cores = p;
+        shape.fault_penalty = tau;
+        shape.record_fault_timeline = true;
+        shape.strategy = sc.spec;
+        BatchEngine engine;
+        engine.init_cohort(shape);
+
+        std::vector<CohortFeeder> feeders;
+        std::vector<std::uint32_t> lanes;
+        feeders.reserve(workloads.size());
+        for (const WorkloadCase& wl : workloads) {
+          feeders.emplace_back(wl.requests);
+          lanes.push_back(engine.attach_lane());
+        }
+        const std::vector<RunStats> got =
+            run_cohort(engine, lanes, feeders, chunk);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          expect_same_stats(got[i], expected[i],
+                            workloads[i].label + "/" + sc.label + "/tau=" +
+                                std::to_string(tau) + "/chunk=" +
+                                std::to_string(chunk));
+        }
+        EXPECT_EQ(engine.active_lanes(), 0u);
+      }
+    }
+  }
+}
+
+TEST(BatchDifferential, CohortLateAttachAndSlotReuse) {
+  const std::size_t p = 2;
+  const std::size_t K = 4;
+  Rng rng(31337);
+  const RequestSet trace_a = random_disjoint_workload(rng, p, 6, 120);
+  const RequestSet trace_b = random_shared_workload(rng, p, 8, 90);
+  const RequestSet trace_c = random_disjoint_workload(rng, p, 5, 150);
+  const RequestSet trace_d = random_shared_workload(rng, p, 7, 60);
+
+  SimConfig config = testing::sim_config(K, 2);
+  config.record_fault_timeline = true;
+  const auto oracle = [&config](const RequestSet& trace) {
+    SharedStrategy scalar(make_policy_factory("lru"));
+    Simulator sim(config);
+    return sim.run(trace, scalar);
+  };
+
+  CohortShape shape;
+  shape.cache_size = K;
+  shape.num_cores = p;
+  shape.fault_penalty = 2;
+  shape.record_fault_timeline = true;
+  shape.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+  BatchEngine engine;
+  engine.init_cohort(shape);
+
+  // Two lanes start and park mid-flight on a partial feed.
+  CohortFeeder fa(trace_a);
+  CohortFeeder fb(trace_b);
+  const std::uint32_t la = engine.attach_lane();
+  const std::uint32_t lb = engine.attach_lane();
+  fa.feed(20);
+  fb.feed(15);
+  engine.refresh_lane(la, fa.revealed, fa.bound, fa.closed);
+  engine.refresh_lane(lb, fb.revealed, fb.bound, fb.closed);
+  engine.drain();
+  engine.validate();
+  EXPECT_EQ(engine.lane_status(la), BatchLaneStatus::kStalled);
+  EXPECT_EQ(engine.lane_status(lb), BatchLaneStatus::kStalled);
+
+  // A third session joins the live cohort; all three then run to the end.
+  CohortFeeder fc(trace_c);
+  const std::uint32_t lc = engine.attach_lane();
+  EXPECT_EQ(lc, 2u);
+  std::vector<std::uint32_t> lanes = {la, lb, lc};
+  std::vector<CohortFeeder> feeders;
+  feeders.push_back(std::move(fa));
+  feeders.push_back(std::move(fb));
+  feeders.push_back(std::move(fc));
+  const std::vector<RunStats> got = run_cohort(engine, lanes, feeders, 9);
+  expect_same_stats(got[0], oracle(trace_a), "late_attach/a");
+  expect_same_stats(got[1], oracle(trace_b), "late_attach/b");
+  expect_same_stats(got[2], oracle(trace_c), "late_attach/c");
+  const Count steps_after_first_wave = engine.lane_steps();
+  EXPECT_EQ(steps_after_first_wave, got[0].sim_steps + got[1].sim_steps +
+                                        got[2].sim_steps);
+
+  // A fourth session reuses a detached slot; earlier lanes' steps stay in
+  // the monotonic counter.
+  CohortFeeder fd(trace_d);
+  const std::uint32_t ld = engine.attach_lane();
+  EXPECT_LT(ld, 3u);
+  std::vector<std::uint32_t> lanes2 = {ld};
+  std::vector<CohortFeeder> feeders2;
+  feeders2.push_back(std::move(fd));
+  const std::vector<RunStats> got2 = run_cohort(engine, lanes2, feeders2, 4);
+  expect_same_stats(got2[0], oracle(trace_d), "slot_reuse/d");
+  EXPECT_EQ(engine.lane_steps(),
+            steps_after_first_wave + got2[0].sim_steps);
+}
+
+TEST(BatchDifferential, CohortRefreshContract) {
+  CohortShape shape;
+  shape.cache_size = 4;
+  shape.num_cores = 2;
+  shape.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+  BatchEngine engine;
+  engine.init_cohort(shape);
+  const std::uint32_t lane = engine.attach_lane();
+
+  // Core-count mismatch.
+  RequestSet wrong(std::size_t{3});
+  EXPECT_THROW(engine.refresh_lane(lane, wrong, 0, false), ModelError);
+
+  // A closed lane cannot reopen, and a feed may only grow.
+  RequestSet trace(std::size_t{2});
+  trace.sequence(0).push_back(1);
+  engine.refresh_lane(lane, trace, 2, true);
+  EXPECT_THROW(engine.refresh_lane(lane, trace, 2, false), ModelError);
+  engine.drain();
+  EXPECT_EQ(engine.lane_status(lane), BatchLaneStatus::kEnded);
+
+  // Detaching a not-ended lane is rejected; ended lanes detach cleanly.
+  const std::uint32_t parked = engine.attach_lane();
+  EXPECT_THROW((void)engine.detach_lane(parked), ModelError);
+  const RunStats stats = engine.detach_lane(lane);
+  EXPECT_EQ(stats.core(0).requests, 1u);
+
+  // Shared cohorts with K < p may deadlock on reserved slots; the shape is
+  // rejected up front (such sessions belong on the scalar path).
+  CohortShape narrow;
+  narrow.cache_size = 1;
+  narrow.num_cores = 2;
+  narrow.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+  BatchEngine rejected;
+  EXPECT_THROW(rejected.init_cohort(narrow), ModelError);
+}
+
 TEST(BatchDifferential, RejectsMalformedJobs) {
   RequestSet rs;
   rs.add_sequence({1, 2, 3});

@@ -66,13 +66,31 @@ RunStats oracle_run(const Tenant& tenant) {
   return sim.run(tenant.trace, strategy);
 }
 
+/// Identically-configured tenants (one cohort per shard under the batched
+/// path) with traces of different lengths, so lanes end raggedly.
+std::vector<Tenant> make_homogeneous_tenants(std::size_t count, Rng& rng) {
+  std::vector<Tenant> tenants(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    tenants[t].session = t + 1;
+    tenants[t].trace =
+        testing::random_disjoint_workload(rng, 4, 10, 60 + 17 * t);
+    tenants[t].params = SessionParams{4, 8, 3, StrategyKind::kSharedLru};
+  }
+  return tenants;
+}
+
 /// Drives every tenant through a daemon with `shards` shards using small
 /// chunks, queries fault counts, and checks the replies against the
-/// library oracle field by field.
-void expect_shard_determinism(std::size_t shards,
-                              const std::vector<Tenant>& tenants,
-                              std::size_t chunk_pairs) {
-  Mcpd daemon(McpdConfig{shards});
+/// library oracle field by field.  Returns the daemon's merged counters.
+ShardStats expect_shard_determinism(std::size_t shards,
+                                    const std::vector<Tenant>& tenants,
+                                    std::size_t chunk_pairs,
+                                    bool enable_batching = true,
+                                    bool use_run_frames = false) {
+  McpdConfig daemon_config;
+  daemon_config.num_shards = shards;
+  daemon_config.enable_batching = enable_batching;
+  Mcpd daemon(daemon_config);
   McpdClient client(daemon);
   for (const Tenant& tenant : tenants) {
     client.open(tenant.session, tenant.params);
@@ -92,8 +110,15 @@ void expect_shard_determinism(std::size_t shards,
         if (cursor[t][core] >= seq.size()) continue;
         const std::size_t n =
             std::min(chunk_pairs, seq.size() - cursor[t][core]);
-        client.send_core_pages(tenant.session, static_cast<std::uint32_t>(core),
-                               seq.pages().subspan(cursor[t][core], n));
+        const std::span<const PageId> slice =
+            seq.pages().subspan(cursor[t][core], n);
+        if (use_run_frames) {
+          client.send_core_run(tenant.session,
+                               static_cast<std::uint32_t>(core), slice);
+        } else {
+          client.send_core_pages(tenant.session,
+                                 static_cast<std::uint32_t>(core), slice);
+        }
         cursor[t][core] += n;
         emitted = true;
       }
@@ -110,15 +135,19 @@ void expect_shard_determinism(std::size_t shards,
     EXPECT_TRUE(reply.finished);
     EXPECT_EQ(reply.requests_served, want.total_requests());
     EXPECT_EQ(reply.end_time, want.end_time);
-    ASSERT_EQ(reply.per_core_faults.size(), want.num_cores());
-    for (CoreId j = 0; j < want.num_cores(); ++j) {
+    EXPECT_EQ(reply.per_core_faults.size(), want.num_cores());
+    for (CoreId j = 0; j < want.num_cores() &&
+                       j < static_cast<CoreId>(reply.per_core_faults.size());
+         ++j) {
       EXPECT_EQ(reply.per_core_faults[j], want.core(j).faults) << "core " << j;
       EXPECT_EQ(reply.completion_times[j], want.core(j).completion_time)
           << "core " << j;
     }
   }
   daemon.stop();
-  EXPECT_EQ(daemon.total_stats().bad_frames, 0u);
+  const ShardStats total = daemon.total_stats();
+  EXPECT_EQ(total.bad_frames, 0u);
+  return total;
 }
 
 TEST(Mcpd, ShardCountNeverChangesResults) {
@@ -130,6 +159,125 @@ TEST(Mcpd, ShardCountNeverChangesResults) {
   // Chunk size must be equally irrelevant.
   expect_shard_determinism(2, tenants, /*chunk_pairs=*/1);
   expect_shard_determinism(2, tenants, /*chunk_pairs=*/1000);
+}
+
+TEST(Mcpd, HomogeneousCohortMatchesOracleAtEveryShardAndChunkSize) {
+  // The cohort scheduler's home turf: identical tenants, one cohort per
+  // shard.  Every reply is checked against the direct Simulator oracle, so
+  // passing at all grid points proves the batched path bit-identical to the
+  // library regardless of sharding or arrival chunking.
+  Rng rng(0xBEEF);
+  const std::vector<Tenant> tenants = make_homogeneous_tenants(10, rng);
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    for (const std::size_t chunk : {1u, 7u, 1000u}) {
+      const ShardStats total =
+          expect_shard_determinism(shards, tenants, chunk);
+      EXPECT_EQ(total.batched_sessions, tenants.size());
+      EXPECT_EQ(total.scalar_sessions, 0u);
+      EXPECT_GT(total.lane_steps, 0u);
+      EXPECT_EQ(total.sessions_finished, tenants.size());
+    }
+  }
+}
+
+TEST(Mcpd, RunFramesIngestIdenticallyOnBothSteppingPaths) {
+  // The compact kRequestRun framing must be indistinguishable from
+  // kRequestChunk once ingested: every reply is oracle-checked on the
+  // batched and the scalar path, at run lengths that do and do not hit the
+  // alignment pad.
+  Rng rng(0xF00D);
+  const std::vector<Tenant> mixed = make_tenants(9, rng);
+  const std::vector<Tenant> cohort = make_homogeneous_tenants(10, rng);
+  for (const std::size_t chunk : {1u, 7u, 1000u}) {
+    expect_shard_determinism(2, mixed, chunk, /*enable_batching=*/true,
+                             /*use_run_frames=*/true);
+    const ShardStats batched =
+        expect_shard_determinism(2, cohort, chunk, /*enable_batching=*/true,
+                                 /*use_run_frames=*/true);
+    EXPECT_EQ(batched.batched_sessions, cohort.size());
+    const ShardStats scalar =
+        expect_shard_determinism(2, cohort, chunk, /*enable_batching=*/false,
+                                 /*use_run_frames=*/true);
+    EXPECT_EQ(scalar.scalar_sessions, cohort.size());
+  }
+}
+
+TEST(Mcpd, BatchingOffForcesTheScalarPathWithIdenticalResults) {
+  // enable_batching=false is the differential baseline: same replies (both
+  // sides are oracle-checked), none of the cohort counters move.
+  Rng rng(0xBEEF);
+  const std::vector<Tenant> tenants = make_homogeneous_tenants(10, rng);
+  const ShardStats scalar =
+      expect_shard_determinism(2, tenants, 7, /*enable_batching=*/false);
+  EXPECT_EQ(scalar.batched_sessions, 0u);
+  EXPECT_EQ(scalar.scalar_sessions, tenants.size());
+  EXPECT_EQ(scalar.lane_steps, 0u);
+}
+
+TEST(Mcpd, CohortHandlesMidStreamFinishersAndLateJoiners) {
+  // Sessions that finish while the rest of their cohort is mid-flight must
+  // detach cleanly (their lane slot is recycled), and a session opened
+  // after the cohort has been stepping must attach to the live group and
+  // still produce oracle-exact results.
+  Rng rng(0xACE1);
+  std::vector<Tenant> tenants = make_homogeneous_tenants(6, rng);
+  McpdConfig daemon_config;
+  daemon_config.num_shards = 2;
+  Mcpd daemon(daemon_config);
+  McpdClient client(daemon);
+
+  const auto send_slice = [&client](const Tenant& tenant, std::size_t num,
+                                    std::size_t den) {
+    for (CoreId core = 0; core < tenant.trace.num_cores(); ++core) {
+      const std::span<const PageId> pages =
+          tenant.trace.sequence(core).pages();
+      const std::size_t mid = pages.size() * num / den;
+      client.send_core_pages(tenant.session, static_cast<std::uint32_t>(core),
+                             num == 1 ? pages.first(mid) : pages.subspan(mid / 2));
+    }
+  };
+  const auto finish_and_check = [&client](const Tenant& tenant) {
+    client.close(tenant.session);
+    const wire::FaultCountsReply reply =
+        client.query_faults(tenant.session, 500 + tenant.session);
+    const RunStats want = oracle_run(tenant);
+    SCOPED_TRACE("session " + std::to_string(tenant.session));
+    EXPECT_TRUE(reply.finished);
+    EXPECT_EQ(reply.requests_served, want.total_requests());
+    EXPECT_EQ(reply.end_time, want.end_time);
+    for (CoreId j = 0; j < want.num_cores(); ++j) {
+      EXPECT_EQ(reply.per_core_faults[j], want.core(j).faults) << "core " << j;
+    }
+  };
+
+  for (const Tenant& tenant : tenants) client.open(tenant.session, tenant.params);
+  // Everyone gets the first half of their trace and stalls on an open feed.
+  for (const Tenant& tenant : tenants) send_slice(tenant, 1, 2);
+  // Tenants 0 and 1 run to the end and leave the cohort early.
+  for (std::size_t t : {0u, 1u}) {
+    send_slice(tenants[t], 2, 2);
+    finish_and_check(tenants[t]);
+  }
+  // A new session joins the (still live) cohort and completes.
+  Tenant late;
+  late.session = 100;
+  late.trace = testing::random_disjoint_workload(rng, 4, 10, 140);
+  late.params = tenants[0].params;
+  client.open(late.session, late.params);
+  send_slice(late, 1, 2);
+  send_slice(late, 2, 2);
+  finish_and_check(late);
+  // The stragglers finish last.
+  for (std::size_t t = 2; t < tenants.size(); ++t) {
+    send_slice(tenants[t], 2, 2);
+    finish_and_check(tenants[t]);
+  }
+
+  daemon.stop();
+  const ShardStats total = daemon.total_stats();
+  EXPECT_EQ(total.bad_frames, 0u);
+  EXPECT_EQ(total.batched_sessions, tenants.size() + 1);
+  EXPECT_EQ(total.sessions_finished, tenants.size() + 1);
 }
 
 TEST(Mcpd, FaultCurveMatchesMattsonKernel) {

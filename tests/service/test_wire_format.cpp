@@ -263,6 +263,70 @@ TEST(WireFormat, ProtocolViolationsRejected) {
   }
 }
 
+TEST(WireFormat, RunFramesDecodeLikeChunks) {
+  // A document built from compact kRequestRun frames decodes to the same
+  // RequestSet as its kRequestChunk equivalent.  Odd run lengths exercise
+  // the trailing alignment pad; the zero-length run is legal and empty.
+  Rng rng(0x777);
+  const RequestSet original =
+      testing::random_disjoint_workload(rng, 3, 32, 201);
+  const SessionParams params = params_for(original, 16);
+  WireWriter writer;
+  writer.session_open(9, params);
+  for (CoreId core = 0; core < original.num_cores(); ++core) {
+    const std::span<const PageId> pages = original.sequence(core).pages();
+    // Uneven split: a 1-page run, a 7-page run, then the remainder.
+    std::size_t at = 0;
+    for (const std::size_t want : {std::size_t{1}, std::size_t{7}}) {
+      const std::size_t n = std::min(want, pages.size() - at);
+      writer.request_run(9, static_cast<std::uint32_t>(core),
+                         pages.subspan(at, n));
+      at += n;
+    }
+    writer.request_run(9, static_cast<std::uint32_t>(core),
+                       pages.subspan(at));
+    writer.request_run(9, static_cast<std::uint32_t>(core),
+                       pages.subspan(pages.size()));  // empty run
+  }
+  writer.session_close(9);
+  const DecodedTrace back = wire::decode_trace(writer.bytes());
+  EXPECT_EQ(back.session, 9u);
+  EXPECT_TRUE(back.closed);
+  EXPECT_EQ(back.requests, original);
+}
+
+TEST(WireFormat, RunFrameViolationsRejected) {
+  Rng rng(0x778);
+  const RequestSet requests = testing::random_disjoint_workload(rng, 2, 4, 10);
+  const SessionParams params = params_for(requests, 4);
+  const PageId page = 1;
+  {  // run before open
+    WireWriter writer;
+    writer.request_run(8, 0, std::span<const PageId>(&page, 1));
+    EXPECT_THROW((void)wire::decode_trace(writer.bytes()), InputError);
+  }
+  {  // run core out of range
+    WireWriter writer;
+    writer.session_open(1, params);
+    writer.request_run(1, 7, std::span<const PageId>(&page, 1));
+    EXPECT_THROW((void)wire::decode_trace(writer.bytes()), InputError);
+  }
+  {  // declared count disagrees with the payload length
+    WireWriter writer;
+    writer.session_open(1, params);
+    writer.request_run(1, 0, std::span<const PageId>(&page, 1));
+    std::vector<std::byte> doc(writer.bytes().begin(), writer.bytes().end());
+    // The run frame follows the 32-byte open frame; its count field sits 4
+    // bytes into the payload (after the core word).
+    const std::size_t run_payload =
+        wire::kMagicSize + wire::kFrameHeaderSize + 16 + wire::kFrameHeaderSize;
+    wire::store_u32(doc.data() + run_payload + 4, 3);
+    const std::string message = wire_error_message(doc);
+    EXPECT_NE(message.find("request run declares"), std::string::npos)
+        << message;
+  }
+}
+
 TEST(WireFormat, MutationFuzzNeverCrashes) {
   // Seeded corruption sweep: flip bytes / truncate a valid document and
   // require every outcome to be either a clean decode or InputError —

@@ -437,6 +437,131 @@ TEST(BatchStateValidate, CatchesInjectedLaneSwap) {
   EXPECT_THROW(engine.validate(), ModelError);
 }
 
+namespace {
+/// A one-lane cohort engine parked mid-step: the feed is revealed and
+/// drained dry but left open, so the lane stalls at the cursor pull with a
+/// parked step (in_step set) — the state the new cohort invariants guard.
+struct CohortFixture {
+  BatchEngine engine{BatchEngineOptions{.alloc_guard = false}};
+  RequestSet trace{std::size_t{2}};
+  std::uint32_t lane = 0;
+
+  CohortFixture() {
+    CohortShape shape;
+    shape.cache_size = 4;
+    shape.num_cores = 2;
+    shape.fault_penalty = 1;
+    shape.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+    engine.init_cohort(shape);
+    lane = engine.attach_lane();
+    const PageId pages_a[] = {1, 2, 1, 3};
+    const PageId pages_b[] = {5, 6, 5};
+    trace.sequence(0).append(pages_a);
+    trace.sequence(1).append(pages_b);
+    engine.refresh_lane(lane, trace, 8, /*closed=*/false);
+    engine.drain();
+  }
+};
+}  // namespace
+
+TEST(BatchStateValidate, CatchesCohortCursorPastFeed) {
+  CohortFixture fx;
+  ASSERT_EQ(fx.engine.lane_status(fx.lane), BatchLaneStatus::kStalled);
+  EXPECT_NO_THROW(fx.engine.validate());
+  BatchState& state = BatchEngineTestAccess::state(fx.engine);
+  // A desynced refresh would leave the cursor past the feed it borrowed.
+  state.core_next[0] = state.core_len[0] + 1;
+  EXPECT_THROW(fx.engine.validate(), ModelError);
+}
+
+TEST(BatchStateValidate, CatchesStalledLaneWithNoLiveCores) {
+  CohortFixture fx;
+  BatchState& state = BatchEngineTestAccess::state(fx.engine);
+  state.cells[fx.lane].active_cores = 0;
+  EXPECT_THROW(fx.engine.validate(), ModelError);
+}
+
+TEST(BatchStateValidate, CatchesParkedStepResumeCoreOutOfRange) {
+  CohortFixture fx;
+  BatchState& state = BatchEngineTestAccess::state(fx.engine);
+  BatchCell& cell = state.cells[fx.lane];
+  ASSERT_TRUE(cell.in_step);
+  cell.resume_core = cell.num_cores;
+  EXPECT_THROW(fx.engine.validate(), ModelError);
+}
+
+TEST(BatchStateValidate, CatchesLaneStatusActiveListDesync) {
+  CohortFixture fx;
+  BatchState& state = BatchEngineTestAccess::state(fx.engine);
+  // Claim the parked lane is running without putting it on the active list.
+  state.cells[fx.lane].in_step = false;
+  state.cells[fx.lane].status = BatchLaneStatus::kRunning;
+  EXPECT_THROW(fx.engine.validate(), ModelError);
+  // And the inverse: active list entry for a non-running lane.
+  state.cells[fx.lane].status = BatchLaneStatus::kStalled;
+  BatchEngineTestAccess::active(fx.engine).push_back(fx.lane);
+  EXPECT_THROW(fx.engine.validate(), ModelError);
+}
+
+TEST(AllocSentry, CohortDrainIsAllocationFree) {
+  // The cohort epoch loop's contract: attach_lane() and refresh_lane() are
+  // where ALL allocation happens (lane growth, page-index doubling,
+  // fault-timeline reserves) — drain() itself, across chunk arrivals,
+  // stalls, resumes and lane endings, performs zero allocations.
+  Rng rng(0xC0C0);
+  const RequestSet full_a = random_disjoint_workload(rng, 2, 6, 300);
+  const RequestSet full_b = random_disjoint_workload(rng, 2, 6, 210);
+
+  CohortShape shape;
+  shape.cache_size = 4;
+  shape.num_cores = 2;
+  shape.fault_penalty = 2;
+  shape.record_fault_timeline = true;
+  shape.strategy = BatchStrategySpec::shared(BatchPolicy::kLru);
+  BatchEngine engine(BatchEngineOptions{.alloc_guard = false});
+  engine.init_cohort(shape);
+  const std::uint32_t lane_a = engine.attach_lane();
+  const std::uint32_t lane_b = engine.attach_lane();
+
+  RequestSet fed_a(std::size_t{2});
+  RequestSet fed_b(std::size_t{2});
+  std::uint64_t attempts = 0;
+  const std::size_t slices = 3;
+  for (std::size_t slice = 1; slice <= slices; ++slice) {
+    PageId bound = 0;
+    for (RequestSet* fed : {&fed_a, &fed_b}) {
+      const RequestSet& full = fed == &fed_a ? full_a : full_b;
+      for (CoreId core = 0; core < 2; ++core) {
+        const std::span<const PageId> pages = full.sequence(core).pages();
+        const std::size_t upto = pages.size() * slice / slices;
+        RequestSequence& seq = fed->sequence(core);
+        seq.append(pages.subspan(seq.size(), upto - seq.size()));
+        for (const PageId page : seq) bound = std::max(bound, page + 1);
+      }
+    }
+    const bool last = slice == slices;
+    engine.refresh_lane(lane_a, fed_a, bound, last);
+    engine.refresh_lane(lane_b, fed_b, bound, last);
+    {
+      AllocGuard guard("cohort drain (test-armed)");
+      engine.drain();
+      attempts += guard.allocations();
+    }
+  }
+  EXPECT_EQ(engine.lane_status(lane_a), BatchLaneStatus::kEnded);
+  EXPECT_EQ(engine.lane_status(lane_b), BatchLaneStatus::kEnded);
+#ifdef MCP_CHECKED_BUILD
+  // Checked builds run the deep validator inside the round loop; its
+  // scratch is a declared AllocAllow growth point.
+  (void)attempts;
+#else
+  EXPECT_EQ(attempts, 0u);
+#endif
+  const RunStats stats_a = engine.detach_lane(lane_a);
+  const RunStats stats_b = engine.detach_lane(lane_b);
+  EXPECT_GT(stats_a.total_faults() + stats_b.total_faults(), 0u);
+}
+
 TEST(InternerValidate, PassesAfterInterning) {
   StateInterner interner(2);
   for (std::uint64_t i = 0; i < 100; ++i) {
