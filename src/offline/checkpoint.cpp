@@ -1,0 +1,235 @@
+#include "offline/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "offline/packed_state.hpp"
+
+namespace mcp::checkpoint {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x6d63705f63686b70ULL;  // "mcp_chkp"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderWords = 3;  // magic, version|kind, fingerprint
+
+[[noreturn]] void throw_input(const std::string& path, const std::string& why) {
+  throw InputError("checkpoint '" + path + "': " + why);
+}
+
+[[noreturn]] void throw_io(const std::string& path, const char* what) {
+  std::ostringstream os;
+  os << what << " failed: " << std::strerror(errno);
+  throw_input(path, os.str());
+}
+
+}  // namespace
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t word) noexcept {
+  return detail::mix64(h ^ word);
+}
+
+std::uint64_t fingerprint(const OfflineInstance& instance) {
+  std::uint64_t h = fold(0x6f66666c696e6530ULL, instance.cache_size);
+  h = fold(h, instance.tau);
+  h = fold(h, instance.requests.num_cores());
+  for (CoreId core = 0; core < instance.requests.num_cores(); ++core) {
+    const RequestSequence& seq = instance.requests[core];
+    h = fold(h, seq.size());
+    for (const PageId page : seq) h = fold(h, page);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const PifInstance& instance) {
+  std::uint64_t h = fold(fingerprint(instance.base), instance.deadline);
+  h = fold(h, instance.bounds.size());
+  for (const Count bound : instance.bounds) h = fold(h, bound);
+  return h;
+}
+
+std::vector<std::uint64_t> pack_u32(const std::uint32_t* data,
+                                    std::size_t count) {
+  std::vector<std::uint64_t> words(1 + (count + 1) / 2, 0);
+  words[0] = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    words[1 + i / 2] |= static_cast<std::uint64_t>(data[i]) << ((i & 1) * 32);
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> pack_u32(const std::vector<std::uint32_t>& values) {
+  return pack_u32(values.data(), values.size());
+}
+
+void unpack_u32(const std::vector<std::uint64_t>& words,
+                std::vector<std::uint32_t>& out) {
+  MCP_REQUIRE(!words.empty(), "unpack_u32: missing count word");
+  const std::size_t count = words[0];
+  MCP_REQUIRE(words.size() == 1 + (count + 1) / 2,
+              "unpack_u32: word count disagrees with element count");
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint32_t>(words[1 + i / 2] >> ((i & 1) * 32));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Writer::Writer(std::uint32_t kind, std::uint64_t fingerprint) {
+  words_.push_back(kMagic);
+  words_.push_back(static_cast<std::uint64_t>(kVersion) << 32 | kind);
+  words_.push_back(fingerprint);
+}
+
+void Writer::section(std::uint32_t tag, const std::uint64_t* words,
+                     std::size_t count) {
+  words_.push_back(tag);
+  words_.push_back(count);
+  words_.insert(words_.end(), words, words + count);
+}
+
+void Writer::write(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw_io(path, "open");
+  std::uint64_t checksum = 0;
+  for (const std::uint64_t word : words_) checksum = fold(checksum, word);
+  bool ok = true;
+  const auto write_all = [&](const void* data, std::size_t bytes) {
+    const char* p = static_cast<const char*>(data);
+    std::size_t done = 0;
+    while (ok && done < bytes) {
+      const ssize_t n = ::write(fd, p + done, bytes - done);
+      if (n < 0) {
+        ok = false;
+        break;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+  };
+  write_all(words_.data(), words_.size() * sizeof(std::uint64_t));
+  write_all(&checksum, sizeof(checksum));
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    throw_io(path, "write");
+  }
+  // The atomic step: a crash before this rename leaves the previous
+  // checkpoint untouched; after it, the new one is complete.
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io(path, "rename");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Reader::Reader(const std::string& path, std::uint32_t kind,
+               std::uint64_t fingerprint)
+    : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_io(path, "open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_io(path, "fstat");
+  }
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  if (bytes % sizeof(std::uint64_t) != 0) {
+    ::close(fd);
+    throw_input(path, "size is not a whole number of words (truncated?)");
+  }
+  std::vector<std::uint64_t> words(bytes / sizeof(std::uint64_t));
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::read(fd, reinterpret_cast<char*>(words.data()) + got,
+                             bytes - got);
+    if (n <= 0) {
+      ::close(fd);
+      throw_io(path, "read");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+
+  // header + checksum minimum
+  if (words.size() < kHeaderWords + 1)
+    throw_input(path, "file too short for a checkpoint header");
+  if (words[0] != kMagic) throw_input(path, "bad magic (not a checkpoint)");
+  const std::uint32_t version = static_cast<std::uint32_t>(words[1] >> 32);
+  const std::uint32_t file_kind = static_cast<std::uint32_t>(words[1]);
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << "unsupported version " << version << " (expected " << kVersion
+       << ")";
+    throw_input(path, os.str());
+  }
+  if (file_kind != kind) {
+    std::ostringstream os;
+    os << "solver kind mismatch: file has " << file_kind << ", resuming "
+       << kind;
+    throw_input(path, os.str());
+  }
+
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i + 1 < words.size(); ++i)
+    checksum = fold(checksum, words[i]);
+  if (checksum != words.back())
+    throw_input(path, "checksum mismatch (corrupted or truncated)");
+
+  if (words[2] != fingerprint)
+    throw_input(path,
+                "instance/options fingerprint mismatch: this checkpoint "
+                "belongs to a different solve");
+
+  std::size_t pos = kHeaderWords;
+  const std::size_t end = words.size() - 1;  // checksum word excluded
+  while (pos < end) {
+    if (end - pos < 2) throw_input(path, "truncated section header");
+    const std::uint64_t tag = words[pos];
+    const std::uint64_t count = words[pos + 1];
+    if (tag > 0xFFFFFFFFull) throw_input(path, "section tag out of range");
+    if (count > end - pos - 2) throw_input(path, "truncated section body");
+    if (has(static_cast<std::uint32_t>(tag)))
+      throw_input(path, "duplicate section tag");
+    const std::uint64_t* body = words.data() + pos + 2;
+    sections_.emplace_back(
+        static_cast<std::uint32_t>(tag),
+        std::vector<std::uint64_t>(body, body + count));
+    pos += 2 + static_cast<std::size_t>(count);
+  }
+}
+
+bool Reader::has(std::uint32_t tag) const noexcept {
+  for (const auto& [t, words] : sections_) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+const std::vector<std::uint64_t>& Reader::section(std::uint32_t tag) const {
+  for (const auto& [t, words] : sections_) {
+    if (t == tag) return words;
+  }
+  std::ostringstream os;
+  os << "missing section " << tag;
+  throw_input(path_, os.str());
+}
+
+void Reader::section_u32(std::uint32_t tag,
+                         std::vector<std::uint32_t>& out) const {
+  unpack_u32(section(tag), out);
+}
+
+}  // namespace mcp::checkpoint

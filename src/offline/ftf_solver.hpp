@@ -15,10 +15,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/types.hpp"
+#include "offline/checkpoint.hpp"
 #include "offline/instance.hpp"
+#include "offline/spill_arena.hpp"
 #include "offline/state_space.hpp"
 
 namespace mcp {
@@ -34,6 +37,25 @@ struct FtfOptions {
   /// distances are dense); kReference is the retained binary-heap Dijkstra
   /// over OfflineState nodes.  Both compute the same optimum.
   OfflineEngine engine = OfflineEngine::kPacked;
+  /// Worker cap for the packed engine's bucket-synchronous parallel
+  /// expansion (0 = all pool workers, 1 = the serial reference path).
+  /// Results are bit-identical at any worker count: each settled bucket is
+  /// expanded as chunked waves whose emissions are recorded in serial sink
+  /// order and merged in chunk order regardless of which worker ran them
+  /// (see the determinism note in ftf_solver.cpp).
+  std::size_t workers = 0;
+  /// Interner pre-sizing hint: expected distinct states of the solve
+  /// (0 = a small default).  Right-sizing it eliminates the early
+  /// arena/table doubling churn inside guarded hot loops.
+  std::size_t expected_states = 0;
+  /// Spill budget for the interner arena (packed engine).  Active budgets
+  /// make the state store file-backed — "instance too big" becomes
+  /// "instance takes longer" — and force the serial expansion path (the
+  /// spill layer's residency accounting is not concurrency-safe).
+  StorageBudget storage;
+  /// Bucket-boundary checkpointing (packed engine); resume produces results
+  /// bit-equal to an uninterrupted solve.
+  CheckpointOptions checkpoint;
   /// Allocation sentry (DESIGN.md §10, packed engine only): arm an
   /// AllocGuard over every state expansion after the first (the first call
   /// warms the step scratch).  Enforces the §9 claim that the packed
@@ -59,6 +81,24 @@ struct FtfResult {
   std::vector<PageId> schedule;
   std::size_t states_expanded = 0;
   std::size_t states_stored = 0;
+  /// Storage accounting (packed engine): logical state-arena bytes (the
+  /// spillable quantity — states * stride words; what a StorageBudget is
+  /// sized against), interner high-water resident bytes (arena segments +
+  /// hashes + table), and cumulative bytes written back to the spill file
+  /// (0 without a StorageBudget).
+  std::size_t arena_bytes = 0;
+  std::size_t peak_bytes_in_ram = 0;
+  std::size_t bytes_spilled = 0;
+  /// Parallel-expansion work decomposition (packed engine, chunked path):
+  /// wall ns spent inside the parallel expansion passes and the summed
+  /// per-chunk CLOCK_THREAD_CPUTIME_ID ns.  BENCH_OFFLINE's
+  /// capacity_states_per_sec projects the solve rate at W workers as
+  /// states / (serial_ns + expand_busy_ns / W) — the oversubscription-
+  /// immune convention capacity_rps established for mcpd.
+  std::uint64_t expand_wall_ns = 0;
+  std::uint64_t expand_busy_ns = 0;
+  /// True when the solve continued from FtfOptions::checkpoint.
+  bool resumed = false;
 };
 
 /// Minimum total faults to serve the instance (exact).

@@ -11,7 +11,8 @@ constexpr std::size_t kInitialTableSize = 64;  // power of two
 
 }  // namespace
 
-StateInterner::StateInterner(std::size_t stride) : stride_(stride) {
+StateInterner::StateInterner(std::size_t stride, StorageBudget budget)
+    : stride_(stride), arena_(stride, std::move(budget)) {
   MCP_REQUIRE(stride > 0, "StateInterner: zero stride");
   table_.assign(kInitialTableSize, kNoState);
 }
@@ -44,7 +45,8 @@ std::pair<std::uint32_t, bool> StateInterner::insert_new(
   AllocAllow allow;
   const std::uint32_t id = count_++;
   MCP_ASSERT_MSG(id != kNoState, "StateInterner: id space exhausted");
-  arena_.insert(arena_.end(), words, words + stride_);
+  const std::uint32_t arena_id = arena_.append(words);
+  MCP_ASSERT_MSG(arena_id == id, "StateInterner: arena/id desync");
   hashes_.push_back(hash);
   table_[slot] = id;
   return {id, true};
@@ -55,10 +57,12 @@ void StateInterner::validate() const {
   // region (checked builds arm guards and validators together).
   AllocAllow allow;
 
-  // Live-id density: ids are 0..count_-1, each backed by exactly stride_
-  // arena words and one stored hash.
-  MCP_ASSERT_MSG(arena_.size() == static_cast<std::size_t>(count_) * stride_,
-                 "interner validate: arena size != count * stride");
+  // Live-id density: ids are 0..count_-1, each backed by exactly one arena
+  // block and one stored hash; the arena's segment directory and (under a
+  // budget) every spill-segment header check out.
+  MCP_ASSERT_MSG(arena_.size() == count_,
+                 "interner validate: arena block count != count");
+  arena_.validate();
   MCP_ASSERT_MSG(hashes_.size() == count_,
                  "interner validate: stored-hash array size != count");
   MCP_ASSERT_MSG(table_.size() >= kInitialTableSize &&
@@ -107,7 +111,8 @@ void StateInterner::validate() const {
 }
 
 void StateInterner::reserve(std::size_t states) {
-  arena_.reserve(states * stride_);
+  AllocAllow allow;
+  arena_.reserve(states);
   hashes_.reserve(states);
   std::size_t target = table_.size();
   while (target * 7 < states * 10) target *= 2;

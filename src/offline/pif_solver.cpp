@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <iomanip>
 #include <numeric>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "core/error.hpp"
@@ -240,26 +243,120 @@ struct ChunkEmits {
   }
 };
 
-std::vector<PageId> reconstruct_packed(const std::vector<PackedLayer>& history,
+/// Serializes the provenance a finished layer contributes to witness
+/// reconstruction — prov tuples per (state, entry) plus the eviction pool;
+/// ids and fault vectors are never needed again once the layer is settled.
+/// Layout (u32, then pack_u32): [num_states, per state: entry count then 4
+/// prov words per entry, pool length, pool pages].
+std::vector<std::uint64_t> serialize_layer_prov(const PackedLayer& layer) {
+  std::vector<std::uint32_t> flat;
+  flat.push_back(static_cast<std::uint32_t>(layer.ids.size()));
+  for (const PackedFront& front : layer.fronts) {
+    flat.push_back(static_cast<std::uint32_t>(front.prov.size()));
+    for (const ParetoProv& prov : front.prov) {
+      flat.push_back(prov.parent_state);
+      flat.push_back(prov.parent_entry);
+      flat.push_back(prov.evict_off);
+      flat.push_back(prov.evict_len);
+    }
+  }
+  flat.push_back(static_cast<std::uint32_t>(layer.evict_pool.size()));
+  flat.insert(flat.end(), layer.evict_pool.begin(), layer.evict_pool.end());
+  return checkpoint::pack_u32(flat);
+}
+
+/// Walks provenance back through the layer log (record t = layer t's
+/// serialize_layer_prov words) and flattens the per-step eviction lists
+/// into the global fault-order schedule.
+std::vector<PageId> reconstruct_logged(const RecordLog& past,
                                        std::size_t layer_index,
                                        std::uint32_t state_index,
                                        std::uint32_t entry_index) {
-  std::vector<std::pair<const PageId*, std::uint32_t>> steps;
+  std::vector<std::vector<PageId>> steps;
+  std::vector<std::uint64_t> words;
+  std::vector<std::uint32_t> flat;
   while (layer_index > 0) {
-    const PackedLayer& layer = history[layer_index];
-    const ParetoProv& prov = layer.fronts[state_index].prov[entry_index];
-    steps.emplace_back(layer.evict_pool.data() + prov.evict_off,
-                       prov.evict_len);
-    state_index = prov.parent_state;
-    entry_index = prov.parent_entry;
+    past.read(layer_index, words);
+    checkpoint::unpack_u32(words, flat);
+    // Walk the variable-length state records up to state_index.
+    std::size_t pos = 0;
+    const std::uint32_t num_states = flat[pos++];
+    MCP_ASSERT_MSG(state_index < num_states,
+                   "pif witness: parent state out of range");
+    for (std::uint32_t s = 0; s < state_index; ++s) {
+      pos += 1 + static_cast<std::size_t>(flat[pos]) * 4;
+    }
+    const std::uint32_t entries = flat[pos++];
+    MCP_ASSERT_MSG(entry_index < entries,
+                   "pif witness: parent entry out of range");
+    pos += static_cast<std::size_t>(entry_index) * 4;
+    const std::uint32_t parent_state = flat[pos];
+    const std::uint32_t parent_entry = flat[pos + 1];
+    const std::uint32_t evict_off = flat[pos + 2];
+    const std::uint32_t evict_len = flat[pos + 3];
+    // The pool sits after the last state record; its length word precedes
+    // it.  Find it by walking the remaining states.
+    std::size_t tail = 0;
+    {
+      std::size_t scan = 1;
+      for (std::uint32_t s = 0; s < num_states; ++s) {
+        scan += 1 + static_cast<std::size_t>(flat[scan]) * 4;
+      }
+      tail = scan + 1;  // first pool page; flat[scan] is the pool length
+      MCP_ASSERT_MSG(static_cast<std::size_t>(evict_off) + evict_len <=
+                         flat[scan],
+                     "pif witness: eviction span out of range");
+    }
+    steps.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(tail + evict_off),
+                       flat.begin() + static_cast<std::ptrdiff_t>(tail + evict_off + evict_len));
+    state_index = parent_state;
+    entry_index = parent_entry;
     --layer_index;
   }
   std::reverse(steps.begin(), steps.end());
   std::vector<PageId> schedule;
-  for (const auto& [first, len] : steps) {
-    schedule.insert(schedule.end(), first, first + len);
+  for (const std::vector<PageId>& step : steps) {
+    schedule.insert(schedule.end(), step.begin(), step.end());
   }
   return schedule;
+}
+
+/// Fingerprint binding a checkpoint to (instance, trajectory-affecting
+/// options); workers/storage/sentry knobs are excluded — they do not change
+/// any solve result.
+std::uint64_t pif_fingerprint(const PifInstance& instance,
+                              const PifOptions& options) {
+  std::uint64_t h = checkpoint::fingerprint(instance);
+  h = checkpoint::fold(h, static_cast<std::uint64_t>(options.victim_rule));
+  h = checkpoint::fold(h, options.build_schedule ? 1 : 0);
+  h = checkpoint::fold(h, options.max_layer_width);
+  return checkpoint::fold(h, checkpoint::kKindPif);
+}
+
+// Checkpoint section tags (PIF).
+constexpr std::uint32_t kSecScalars = 1;
+constexpr std::uint32_t kSecArena = 2;
+constexpr std::uint32_t kSecHashes = 3;
+constexpr std::uint32_t kSecLayerIds = 10;
+constexpr std::uint32_t kSecLayerSizes = 11;
+constexpr std::uint32_t kSecLayerFaults = 12;
+constexpr std::uint32_t kSecLayerProv = 13;
+constexpr std::uint32_t kSecLayerEvicts = 14;
+constexpr std::uint32_t kSecPastIndex = 15;
+constexpr std::uint32_t kSecPastWords = 16;
+
+[[noreturn]] void throw_width_limit(const PifResult& result,
+                                    const StateInterner& interner) {
+  std::ostringstream os;
+  os << "solve_pif: layer width limit exceeded (peak_layer_width="
+     << result.peak_layer_width << ", states_expanded="
+     << result.states_expanded << ", states_stored=" << interner.size()
+     << ", arena_bytes=" << interner.arena_bytes()
+     << ", peak_bytes_in_ram=" << interner.peak_bytes_in_ram()
+     << ", table_load_factor=" << std::fixed << std::setprecision(3)
+     << interner.load_factor() << ", bytes_spilled=" << interner.bytes_spilled()
+     << ")";
+  throw ModelError(os.str());
 }
 
 PifResult solve_pif_packed(const PifInstance& instance,
@@ -268,23 +365,144 @@ PifResult solve_pif_packed(const PifInstance& instance,
   const std::size_t p = system.num_cores();
   const std::size_t stride = system.state_words();
   const bool schedule = options.build_schedule;
+  const bool spill = options.storage.active();
 
-  StateInterner interner(stride);
-  interner.reserve(1024);
-  {
+  StateInterner interner(stride, options.storage);
+  interner.reserve(options.expected_states != 0 ? options.expected_states
+                                                : 1024);
+
+  // The DP materializes exactly one layer.  Settled layers survive only as
+  // provenance records in `past` (schedule mode; record index == layer
+  // index, record 0 is the start layer for alignment), which an active
+  // StorageBudget keeps out of RAM entirely.
+  PackedLayer layer;
+  RecordLog past(options.storage);
+
+  PifResult result;
+  const auto finalize = [&result, &interner, &past] {
+    result.peak_bytes_in_ram =
+        interner.peak_bytes_in_ram() + past.bytes_in_ram();
+    result.bytes_spilled = interner.bytes_spilled() + past.bytes_spilled();
+  };
+
+  Time start_t = 0;
+  const std::uint64_t fp = pif_fingerprint(instance, options);
+  if (options.checkpoint.enabled() && options.checkpoint.resume) {
+    const std::string& path = options.checkpoint.path;
+    const auto bad = [&path](const char* why) {
+      return InputError("checkpoint '" + path + "': " + why);
+    };
+    const checkpoint::Reader reader(path, checkpoint::kKindPif, fp);
+    const std::vector<std::uint64_t>& scalars = reader.section(kSecScalars);
+    if (scalars.size() != 4) throw bad("malformed scalar section");
+    start_t = scalars[0];
+    result.states_expanded = static_cast<std::size_t>(scalars[1]);
+    result.peak_layer_width = static_cast<std::size_t>(scalars[2]);
+    const std::size_t count = static_cast<std::size_t>(scalars[3]);
+    if (start_t > instance.deadline) {
+      throw bad("resume layer past the deadline");
+    }
+    // The interner rebuilds by re-interning the arena in id order — table
+    // layout is an implementation detail no observable result depends on.
+    const std::vector<std::uint64_t>& arena = reader.section(kSecArena);
+    const std::vector<std::uint64_t>& hashes = reader.section(kSecHashes);
+    if (hashes.size() != count || arena.size() != count * stride) {
+      throw bad("arena/hash sections disagree with the state count");
+    }
+    interner.reserve(count);
+    for (std::size_t id = 0; id < count; ++id) {
+      const auto [got, inserted] =
+          interner.intern_hashed(arena.data() + id * stride, hashes[id]);
+      if (!inserted || got != id) {
+        throw bad("duplicate or out-of-order state record");
+      }
+    }
+    std::vector<std::uint32_t> ids;
+    reader.section_u32(kSecLayerIds, ids);
+    std::vector<std::uint32_t> sizes;
+    reader.section_u32(kSecLayerSizes, sizes);
+    if (sizes.size() != ids.size()) {
+      throw bad("front sizes disagree with the layer ids");
+    }
+    std::size_t width = 0;
+    for (const std::uint32_t id : ids) {
+      if (id >= count) throw bad("layer id out of range");
+    }
+    for (const std::uint32_t s : sizes) width += s;
+    std::vector<std::uint32_t> faults;
+    reader.section_u32(kSecLayerFaults, faults);
+    if (faults.size() != width * p) {
+      throw bad("fault vectors disagree with the layer width");
+    }
+    std::vector<std::uint32_t> prov;
+    std::vector<std::uint32_t> evicts;
+    if (schedule) {
+      reader.section_u32(kSecLayerProv, prov);
+      if (prov.size() != width * 4) {
+        throw bad("provenance disagrees with the layer width");
+      }
+      reader.section_u32(kSecLayerEvicts, evicts);
+    }
+    layer.ids.assign(ids.begin(), ids.end());
+    layer.evict_pool.assign(evicts.begin(), evicts.end());
+    layer.fronts.resize(ids.size());
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      PackedFront& front = layer.fronts[s];
+      front.faults.assign(
+          faults.begin() + static_cast<std::ptrdiff_t>(cursor * p),
+          faults.begin() +
+              static_cast<std::ptrdiff_t>((cursor + sizes[s]) * p));
+      front.prov.resize(sizes[s]);
+      if (schedule) {
+        for (std::size_t e = 0; e < sizes[s]; ++e) {
+          ParetoProv& pr = front.prov[e];
+          const std::size_t base = (cursor + e) * 4;
+          pr.parent_state = prov[base];
+          pr.parent_entry = prov[base + 1];
+          pr.evict_off = prov[base + 2];
+          pr.evict_len = prov[base + 3];
+          if (static_cast<std::size_t>(pr.evict_off) + pr.evict_len >
+              layer.evict_pool.size()) {
+            throw bad("eviction span out of range");
+          }
+        }
+      }
+      cursor += sizes[s];
+    }
+    if (schedule) {
+      std::vector<std::uint32_t> lens;
+      reader.section_u32(kSecPastIndex, lens);
+      if (lens.size() != static_cast<std::size_t>(start_t) + 1) {
+        throw bad("layer log disagrees with the resume layer");
+      }
+      const std::vector<std::uint64_t>& words = reader.section(kSecPastWords);
+      std::size_t off = 0;
+      for (const std::uint32_t len : lens) {
+        if (len > words.size() - off) throw bad("truncated layer log");
+        past.append(words.data() + off, len);
+        off += len;
+      }
+      if (off != words.size()) throw bad("trailing layer log words");
+    }
+    result.resumed = true;
+    MCP_CHECKED_ONLY({
+      for (const PackedFront& front : layer.fronts) validate_front(front, p);
+      interner.validate();
+    });
+  } else {
     std::vector<std::uint64_t> start(stride);
     system.initial(start.data());
     interner.intern(start.data());  // id 0
+    layer.ids.push_back(0);
+    layer.fronts.emplace_back();
+    layer.fronts.back().faults.assign(p, 0);
+    layer.fronts.back().prov.push_back(ParetoProv{});
+    if (schedule) {
+      const std::vector<std::uint64_t> rec = serialize_layer_prov(layer);
+      past.append(rec.data(), rec.size());
+    }
   }
-
-  // history.back() is the current layer; earlier layers are retained only in
-  // schedule mode (parent indices need them for reconstruction).
-  std::vector<PackedLayer> history;
-  history.emplace_back();
-  history.back().ids.push_back(0);
-  history.back().fronts.emplace_back();
-  history.back().fronts.back().faults.assign(p, 0);
-  history.back().fronts.back().prov.push_back(ParetoProv{});
 
   // Interned id -> state index in the layer being merged, stamped per layer
   // so the map never needs clearing (ids are dense).
@@ -304,9 +522,8 @@ PifResult solve_pif_packed(const PifInstance& instance,
   PackedLayer sort_buf;
   std::vector<std::uint32_t> order;
 
-  PifResult result;
-  for (Time t = 0; t < instance.deadline; ++t) {
-    const PackedLayer& layer = history.back();
+  std::uint32_t checkpoints_written = 0;
+  for (Time t = start_t; t < instance.deadline; ++t) {
     // Early success: a finished state's fault vector is frozen, and every
     // vector still alive satisfies the bounds by construction.  Scanning in
     // ascending id order makes the witness choice worker-count independent.
@@ -316,9 +533,10 @@ PifResult solve_pif_packed(const PifInstance& instance,
         result.feasible = true;
         result.decided_at = t;
         if (schedule) {
-          result.schedule = reconstruct_packed(
-              history, history.size() - 1, static_cast<std::uint32_t>(s), 0);
+          result.schedule = reconstruct_logged(
+              past, past.size() - 1, static_cast<std::uint32_t>(s), 0);
         }
+        finalize();
         return result;
       }
     }
@@ -399,7 +617,10 @@ PifResult solve_pif_packed(const PifInstance& instance,
     };
 
     // Pool dispatch pays off only with real workers and more than one chunk.
-    const bool parallel = options.workers != 1 && num_chunks > 1 &&
+    // An active StorageBudget forces the serial path: workers would race the
+    // spill layer's residency bookkeeping (see SpillArena's thread-safety
+    // note), and out-of-core solves are disk-bound anyway.
+    const bool parallel = options.workers != 1 && num_chunks > 1 && !spill &&
                           ThreadPool::global().num_workers() > 1;
     if (!parallel) {
       for (std::size_t s = 0; s < num_states; ++s) {
@@ -554,49 +775,121 @@ PifResult solve_pif_packed(const PifInstance& instance,
       std::swap(next, sort_buf);
     }
 
+    // The settled layer's provenance moves into the log (schedule mode) and
+    // its buffers return to the recycling pools — one layer materialized in
+    // either mode.  Checkpoint serialization below is declared outside the
+    // §10 steady-state allocation claim, so the layer guard ends here.
+    layer_guard.reset();
     {
-      // Declared growth: layer/front recycling pools, and (schedule mode)
-      // the retained layer history.
+      // Declared growth: layer/front recycling pools and the layer log.
       AllocAllow allow;
-      if (!schedule) {
-        spare_layer = std::move(history.back());
-        for (PackedFront& front : spare_layer.fronts) {
-          spare_fronts.push_back(std::move(front));
-        }
-        spare_layer.fronts.clear();
-        history.clear();
+      if (schedule) {
+        const std::vector<std::uint64_t> rec = serialize_layer_prov(next);
+        past.append(rec.data(), rec.size());
       }
-      history.push_back(std::move(next));
+      spare_layer = std::move(layer);
+      for (PackedFront& front : spare_layer.fronts) {
+        spare_fronts.push_back(std::move(front));
+      }
+      spare_layer.fronts.clear();
+      layer = std::move(next);
     }
 
     // Checked builds: every merged front is strictly sorted, duplicate-free
     // and Pareto-minimal, and the interner stays structurally sound as the
     // layer's successors were interned into it.
     MCP_CHECKED_ONLY({
-      for (const PackedFront& front : history.back().fronts) {
+      for (const PackedFront& front : layer.fronts) {
         validate_front(front, p);
       }
       interner.validate();
     });
 
-    result.peak_layer_width =
-        std::max(result.peak_layer_width, history.back().width());
+    result.peak_layer_width = std::max(result.peak_layer_width, layer.width());
     if (options.max_layer_width != 0 &&
         result.peak_layer_width > options.max_layer_width) {
-      throw ModelError("solve_pif: layer width limit exceeded");
+      throw_width_limit(result, interner);
     }
-    if (history.back().ids.empty()) {  // every branch blew a bound
+    if (layer.ids.empty()) {  // every branch blew a bound
       result.feasible = false;
       result.decided_at = t + 1;
+      finalize();
       return result;
+    }
+
+    if (options.checkpoint.enabled() &&
+        (t + 1) % options.checkpoint.every == 0) {
+      checkpoint::Writer writer(checkpoint::kKindPif, fp);
+      const std::size_t count = interner.size();
+      const std::uint64_t scalars[4] = {t + 1, result.states_expanded,
+                                        result.peak_layer_width, count};
+      writer.section(kSecScalars, scalars, 4);
+      {
+        std::vector<std::uint64_t> arena;
+        arena.reserve(count * stride);
+        std::vector<std::uint64_t> hashes;
+        hashes.reserve(count);
+        for (std::uint32_t id = 0; id < count; ++id) {
+          const std::uint64_t* words = interner.state(id);
+          arena.insert(arena.end(), words, words + stride);
+          hashes.push_back(interner.stored_hash(id));
+        }
+        writer.section(kSecArena, arena);
+        writer.section(kSecHashes, hashes);
+      }
+      writer.section(kSecLayerIds, checkpoint::pack_u32(layer.ids));
+      {
+        std::vector<std::uint32_t> sizes;
+        std::vector<std::uint32_t> faults;
+        std::vector<std::uint32_t> prov;
+        for (const PackedFront& front : layer.fronts) {
+          sizes.push_back(static_cast<std::uint32_t>(front.size()));
+          faults.insert(faults.end(), front.faults.begin(),
+                        front.faults.end());
+          if (schedule) {
+            for (const ParetoProv& pr : front.prov) {
+              prov.push_back(pr.parent_state);
+              prov.push_back(pr.parent_entry);
+              prov.push_back(pr.evict_off);
+              prov.push_back(pr.evict_len);
+            }
+          }
+        }
+        writer.section(kSecLayerSizes, checkpoint::pack_u32(sizes));
+        writer.section(kSecLayerFaults, checkpoint::pack_u32(faults));
+        if (schedule) {
+          writer.section(kSecLayerProv, checkpoint::pack_u32(prov));
+          writer.section(kSecLayerEvicts,
+                         checkpoint::pack_u32(layer.evict_pool));
+          std::vector<std::uint32_t> lens;
+          std::vector<std::uint64_t> log_words;
+          std::vector<std::uint64_t> rec;
+          for (std::size_t i = 0; i < past.size(); ++i) {
+            past.read(i, rec);
+            lens.push_back(static_cast<std::uint32_t>(rec.size()));
+            log_words.insert(log_words.end(), rec.begin(), rec.end());
+          }
+          writer.section(kSecPastIndex, checkpoint::pack_u32(lens));
+          writer.section(kSecPastWords, log_words);
+        }
+      }
+      writer.write(options.checkpoint.path);
+      ++checkpoints_written;
+      if (options.checkpoint.halt_after_checkpoints != 0 &&
+          checkpoints_written >= options.checkpoint.halt_after_checkpoints) {
+        throw SolveInterrupted("solve_pif: halted after " +
+                               std::to_string(checkpoints_written) +
+                               " checkpoint(s)");
+      }
     }
   }
 
-  result.feasible = !history.back().ids.empty();
+  result.feasible = !layer.ids.empty();
   result.decided_at = instance.deadline;
   if (result.feasible && schedule) {
-    result.schedule = reconstruct_packed(history, history.size() - 1, 0, 0);
+    result.schedule = reconstruct_logged(past, past.size() - 1, 0, 0);
   }
+  finalize();
   return result;
 }
 

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "offline/checkpoint.hpp"
 #include "offline/instance.hpp"
+#include "offline/spill_arena.hpp"
 #include "offline/state_space.hpp"
 
 namespace mcp {
@@ -46,6 +48,18 @@ struct PifOptions {
   /// emissions are produced in serial order, and chunks merge in index
   /// order regardless of which worker ran them.
   std::size_t workers = 0;
+  /// Interner pre-sizing hint: expected distinct states of the solve
+  /// (0 = a small default).  Right-sizing it eliminates the early
+  /// arena/table doubling churn inside guarded hot loops.
+  std::size_t expected_states = 0;
+  /// Spill budget (packed engine): makes the interner arena file-backed and
+  /// moves finished schedule-mode layer history into a spill file, so the
+  /// DP can exceed RAM.  Active budgets force the serial expansion path
+  /// (the spill layer's residency accounting is not concurrency-safe).
+  StorageBudget storage;
+  /// Layer-boundary checkpointing (packed engine); resume produces results
+  /// bit-equal to an uninterrupted solve.
+  CheckpointOptions checkpoint;
   /// Allocation sentry (DESIGN.md §10, packed engine only): arm an
   /// AllocGuard over every DP layer with index >= this value (0 = disabled),
   /// on the merging thread and inside each expansion chunk.  Enforces the §9
@@ -68,6 +82,13 @@ struct PifResult {
   /// verification replays it with an LRU fallback for the remainder (see
   /// verify_pif_witness).
   std::vector<PageId> schedule;
+  /// Storage accounting (packed engine): interner high-water resident bytes
+  /// plus the layer-history log, and cumulative bytes written to spill
+  /// files (0 without a StorageBudget).
+  std::size_t peak_bytes_in_ram = 0;
+  std::size_t bytes_spilled = 0;
+  /// True when the solve continued from PifOptions::checkpoint.
+  bool resumed = false;
 };
 
 /// Replays `schedule` (LRU after it is exhausted) on the instance and

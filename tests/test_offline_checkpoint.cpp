@@ -1,0 +1,343 @@
+// Checkpoint/resume tests: the container format round-trips and rejects
+// every corruption mode with InputError, and both packed solvers — killed
+// (via the deterministic halt hook) after any number of settled boundaries
+// — resume to results bit-equal to an uninterrupted solve, across a seeded
+// p x k x tau grid.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "offline/checkpoint.hpp"
+#include "offline/ftf_solver.hpp"
+#include "offline/pif_solver.hpp"
+#include "offline/replay.hpp"
+#include "test_support.hpp"
+
+namespace mcp {
+namespace {
+
+using testing::random_disjoint_workload;
+
+OfflineInstance make_instance(RequestSet rs, std::size_t k, Time tau) {
+  OfflineInstance inst;
+  inst.requests = std::move(rs);
+  inst.cache_size = k;
+  inst.tau = tau;
+  return inst;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "mcp-" + name + ".ckpt";
+}
+
+/// Flips one byte at `offset` (from the start, or from the end if negative).
+void corrupt_file(const std::string& path, std::ptrdiff_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(0, std::ios::end);
+  const std::ptrdiff_t size = f.tellg();
+  const std::ptrdiff_t pos = offset >= 0 ? offset : size + offset;
+  ASSERT_GE(pos, 0);
+  ASSERT_LT(pos, size);
+  f.seekg(pos);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  f.seekp(pos);
+  f.write(&byte, 1);
+}
+
+void truncate_file(const std::string& path, std::size_t drop_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), drop_bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - drop_bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Container format.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFormat, PackU32RoundTrips) {
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 17u}) {
+    std::vector<std::uint32_t> values;
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<std::uint32_t>(i * 2654435761u));
+    }
+    std::vector<std::uint32_t> back;
+    checkpoint::unpack_u32(checkpoint::pack_u32(values), back);
+    EXPECT_EQ(back, values) << "n=" << n;
+  }
+}
+
+TEST(CheckpointFormat, WriterReaderRoundTrip) {
+  const std::string path = temp_path("roundtrip");
+  checkpoint::Writer writer(checkpoint::kKindFtf, 0x1234u);
+  const std::vector<std::uint64_t> alpha = {1, 2, 3};
+  const std::vector<std::uint64_t> empty;
+  writer.section(7, alpha);
+  writer.section(9, empty);
+  writer.write(path);
+
+  const checkpoint::Reader reader(path, checkpoint::kKindFtf, 0x1234u);
+  EXPECT_TRUE(reader.has(7));
+  EXPECT_TRUE(reader.has(9));
+  EXPECT_FALSE(reader.has(8));
+  EXPECT_EQ(reader.section(7), alpha);
+  EXPECT_EQ(reader.section(9), empty);
+  EXPECT_THROW((void)reader.section(8), InputError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormat, RejectsEveryCorruptionMode) {
+  const std::string path = temp_path("corrupt");
+  const auto fresh = [&] {
+    checkpoint::Writer writer(checkpoint::kKindFtf, 0xfeedu);
+    const std::vector<std::uint64_t> body = {10, 20, 30, 40};
+    writer.section(1, body);
+    writer.write(path);
+  };
+  const auto expect_rejected = [&](const char* what) {
+    try {
+      const checkpoint::Reader reader(path, checkpoint::kKindFtf, 0xfeedu);
+      FAIL() << "expected InputError: " << what;
+    } catch (const InputError&) {
+    }
+  };
+
+  // Missing file.
+  std::remove(path.c_str());
+  expect_rejected("missing file");
+
+  // Bad magic.
+  fresh();
+  corrupt_file(path, 0);
+  expect_rejected("bad magic");
+
+  // Flipped body word -> checksum mismatch.
+  fresh();
+  corrupt_file(path, 5 * 8);
+  expect_rejected("checksum mismatch");
+
+  // Truncation to a non-word boundary, and to a word boundary (which must
+  // fail the checksum instead of parsing a shorter file).
+  fresh();
+  truncate_file(path, 3);
+  expect_rejected("ragged truncation");
+  fresh();
+  truncate_file(path, 8);
+  expect_rejected("word-aligned truncation");
+
+  // Wrong solver kind and wrong fingerprint on an intact file.
+  fresh();
+  EXPECT_THROW(checkpoint::Reader(path, checkpoint::kKindPif, 0xfeedu),
+               InputError);
+  EXPECT_THROW(checkpoint::Reader(path, checkpoint::kKindFtf, 0xbeefu),
+               InputError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume: every boundary, bit-equal continuation.
+// ---------------------------------------------------------------------------
+
+TEST(FtfCheckpoint, KillAndResumeAtEveryBucketBitEqual) {
+  Rng rng(20260809);
+  int interruptions = 0;
+  for (const std::size_t p : {1u, 2u}) {
+    for (const Time tau : {1u, 2u}) {
+      const RequestSet rs = random_disjoint_workload(rng, p, 3, 7);
+      const OfflineInstance inst = make_instance(rs, 3, tau);
+
+      FtfOptions base;
+      base.build_schedule = true;
+      const FtfResult clean = solve_ftf(inst, base);
+
+      const std::string path =
+          temp_path("ftf-" + std::to_string(p) + "-" + std::to_string(tau));
+      for (std::uint32_t halt = 1; halt < 64; ++halt) {
+        std::remove(path.c_str());
+        FtfOptions interrupted = base;
+        interrupted.checkpoint.path = path;
+        interrupted.checkpoint.halt_after_checkpoints = halt;
+        bool killed = false;
+        try {
+          const FtfResult full = solve_ftf(inst, interrupted);
+          // Ran past the last checkpoint boundary: uninterrupted result.
+          EXPECT_EQ(full.min_faults, clean.min_faults);
+          EXPECT_EQ(full.schedule, clean.schedule);
+        } catch (const SolveInterrupted&) {
+          killed = true;
+          ++interruptions;
+        }
+        if (!killed) break;  // no boundary left to kill at
+
+        FtfOptions resume = base;
+        resume.checkpoint.path = path;
+        resume.checkpoint.resume = true;
+        const FtfResult resumed = solve_ftf(inst, resume);
+        EXPECT_TRUE(resumed.resumed);
+        EXPECT_EQ(resumed.min_faults, clean.min_faults) << "halt=" << halt;
+        EXPECT_EQ(resumed.states_expanded, clean.states_expanded)
+            << "halt=" << halt;
+        EXPECT_EQ(resumed.states_stored, clean.states_stored)
+            << "halt=" << halt;
+        // Bit-equal schedule, not merely an equivalent optimum.
+        EXPECT_EQ(resumed.schedule, clean.schedule) << "halt=" << halt;
+      }
+      std::remove(path.c_str());
+    }
+  }
+  // The grid must actually exercise mid-solve kills.
+  EXPECT_GT(interruptions, 4);
+}
+
+TEST(FtfCheckpoint, ResumeComposesWithSpillBudget) {
+  Rng rng(31337);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 3, 8);
+  const OfflineInstance inst = make_instance(rs, 3, 2);
+
+  FtfOptions base;
+  base.build_schedule = true;
+  base.storage.segment_bytes = 256;
+  base.storage.ram_bytes = 512;
+  const FtfResult clean = solve_ftf(inst, base);
+  ASSERT_GT(clean.bytes_spilled, 0u);
+
+  const std::string path = temp_path("ftf-spill");
+  std::remove(path.c_str());
+  FtfOptions interrupted = base;
+  interrupted.checkpoint.path = path;
+  interrupted.checkpoint.halt_after_checkpoints = 1;
+  EXPECT_THROW((void)solve_ftf(inst, interrupted), SolveInterrupted);
+
+  FtfOptions resume = base;
+  resume.checkpoint.path = path;
+  resume.checkpoint.resume = true;
+  const FtfResult resumed = solve_ftf(inst, resume);
+  EXPECT_EQ(resumed.min_faults, clean.min_faults);
+  EXPECT_EQ(resumed.schedule, clean.schedule);
+  EXPECT_GT(resumed.bytes_spilled, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FtfCheckpoint, ResumeRejectsMismatchedSolve) {
+  Rng rng(606060);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 3, 7);
+  const OfflineInstance inst = make_instance(rs, 3, 1);
+
+  const std::string path = temp_path("ftf-mismatch");
+  std::remove(path.c_str());
+  FtfOptions interrupted;
+  interrupted.build_schedule = true;
+  interrupted.checkpoint.path = path;
+  interrupted.checkpoint.halt_after_checkpoints = 1;
+  EXPECT_THROW((void)solve_ftf(inst, interrupted), SolveInterrupted);
+
+  // Different instance -> fingerprint mismatch.
+  const RequestSet other_rs = random_disjoint_workload(rng, 2, 3, 7);
+  const OfflineInstance other = make_instance(other_rs, 3, 1);
+  FtfOptions resume = interrupted;
+  resume.checkpoint.halt_after_checkpoints = 0;
+  resume.checkpoint.resume = true;
+  EXPECT_THROW((void)solve_ftf(other, resume), InputError);
+
+  // Different trajectory-affecting option -> fingerprint mismatch.
+  FtfOptions no_schedule = resume;
+  no_schedule.build_schedule = false;
+  EXPECT_THROW((void)solve_ftf(inst, no_schedule), InputError);
+
+  // Corrupted file -> InputError, never a bad resume.
+  corrupt_file(path, -9);
+  EXPECT_THROW((void)solve_ftf(inst, resume), InputError);
+  std::remove(path.c_str());
+}
+
+TEST(PifCheckpoint, KillAndResumeAtEveryLayerBitEqual) {
+  Rng rng(80808);
+  int interruptions = 0;
+  for (const bool schedule : {true, false}) {
+    for (const std::size_t p : {1u, 2u}) {
+      const RequestSet rs = random_disjoint_workload(rng, p, 3, 6);
+      PifInstance inst;
+      inst.base = make_instance(rs, 3, 1);
+      inst.deadline = 10;
+      inst.bounds.assign(p, 3);
+
+      PifOptions base;
+      base.build_schedule = schedule;
+      const PifResult clean = solve_pif(inst, base);
+
+      const std::string path =
+          temp_path("pif-" + std::to_string(p) +
+                    (schedule ? "-sched" : "-plain"));
+      for (std::uint32_t halt = 1; halt < 32; ++halt) {
+        std::remove(path.c_str());
+        PifOptions interrupted = base;
+        interrupted.checkpoint.path = path;
+        interrupted.checkpoint.halt_after_checkpoints = halt;
+        bool killed = false;
+        try {
+          (void)solve_pif(inst, interrupted);
+        } catch (const SolveInterrupted&) {
+          killed = true;
+          ++interruptions;
+        }
+        if (!killed) break;
+
+        PifOptions resume = base;
+        resume.checkpoint.path = path;
+        resume.checkpoint.resume = true;
+        const PifResult resumed = solve_pif(inst, resume);
+        EXPECT_TRUE(resumed.resumed);
+        EXPECT_EQ(resumed.feasible, clean.feasible) << "halt=" << halt;
+        EXPECT_EQ(resumed.decided_at, clean.decided_at) << "halt=" << halt;
+        EXPECT_EQ(resumed.states_expanded, clean.states_expanded)
+            << "halt=" << halt;
+        EXPECT_EQ(resumed.peak_layer_width, clean.peak_layer_width)
+            << "halt=" << halt;
+        EXPECT_EQ(resumed.schedule, clean.schedule) << "halt=" << halt;
+        if (clean.feasible && schedule) {
+          EXPECT_TRUE(verify_pif_witness(inst, resumed.schedule));
+        }
+      }
+      std::remove(path.c_str());
+    }
+  }
+  EXPECT_GT(interruptions, 4);
+}
+
+TEST(PifCheckpoint, RejectsCheckpointFromOtherSolver) {
+  Rng rng(5555);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 3, 6);
+  const OfflineInstance base = make_instance(rs, 3, 1);
+
+  const std::string path = temp_path("kind-mismatch");
+  std::remove(path.c_str());
+  FtfOptions ftf;
+  ftf.checkpoint.path = path;
+  ftf.checkpoint.halt_after_checkpoints = 1;
+  EXPECT_THROW((void)solve_ftf(base, ftf), SolveInterrupted);
+
+  PifInstance inst;
+  inst.base = base;
+  inst.deadline = 8;
+  inst.bounds = {3, 3};
+  PifOptions pif;
+  pif.checkpoint.path = path;
+  pif.checkpoint.resume = true;
+  EXPECT_THROW((void)solve_pif(inst, pif), InputError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcp

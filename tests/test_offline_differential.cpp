@@ -281,6 +281,61 @@ TEST(OfflineDifferential, PifBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(OfflineDifferential, FtfBitIdenticalAcrossWorkerCounts) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t p = 1 + rng.below(3);
+    const RequestSet rs = random_disjoint_workload(rng, p, 3, 6);
+    const OfflineInstance inst =
+        make_instance(rs, p + 1 + rng.below(2), 1 + rng.below(2));
+
+    FtfOptions opts;
+    opts.build_schedule = true;
+    opts.workers = 1;
+    const FtfResult serial = solve_ftf(inst, opts);
+    for (const std::size_t workers : {0u, 2u, 8u}) {
+      opts.workers = workers;
+      const FtfResult parallel = solve_ftf(inst, opts);
+      EXPECT_EQ(parallel.min_faults, serial.min_faults)
+          << "workers=" << workers;
+      EXPECT_EQ(parallel.states_expanded, serial.states_expanded)
+          << "workers=" << workers;
+      EXPECT_EQ(parallel.states_stored, serial.states_stored)
+          << "workers=" << workers;
+      // Bit-identical schedule, not just an equivalent optimum.
+      EXPECT_EQ(parallel.schedule, serial.schedule) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(OfflineDifferential, FtfStateLimitAbortsBitIdenticallyAcrossWorkers) {
+  // The max_states abort must fire at the same expansion count on the serial
+  // and chunked paths: the merge replays per-entry limit checks in serial
+  // order, so the counters in the error message are worker-count invariant.
+  Rng rng(8181);
+  const RequestSet rs = random_disjoint_workload(rng, 2, 3, 8);
+  const OfflineInstance inst = make_instance(rs, 3, 2);
+  std::string serial_what;
+  for (const std::size_t workers : {1u, 0u, 8u}) {
+    FtfOptions opts;
+    opts.workers = workers;
+    opts.max_states = 40;
+    try {
+      (void)solve_ftf(inst, opts);
+      FAIL() << "expected ModelError at workers=" << workers;
+    } catch (const ModelError& e) {
+      const std::string what = e.what();
+      // Counters (before the memory-story fields) match the serial abort.
+      const std::string head = what.substr(0, what.find(", arena_bytes="));
+      if (workers == 1) {
+        serial_what = head;
+      } else {
+        EXPECT_EQ(head, serial_what) << "workers=" << workers;
+      }
+    }
+  }
+}
+
 TEST(OfflineDifferential, FtfStateLimitReportsCounters) {
   Rng rng(5150);
   const RequestSet rs = random_disjoint_workload(rng, 2, 3, 8);
@@ -296,6 +351,14 @@ TEST(OfflineDifferential, FtfStateLimitReportsCounters) {
       const std::string what = e.what();
       EXPECT_NE(what.find("states_expanded="), std::string::npos) << what;
       EXPECT_NE(what.find("states_stored="), std::string::npos) << what;
+      if (engine == OfflineEngine::kPacked) {
+        // The packed engine knows its memory story: the abort message alone
+        // must be enough to size the retry (budget, reserve hint, or limit).
+        EXPECT_NE(what.find("arena_bytes="), std::string::npos) << what;
+        EXPECT_NE(what.find("peak_bytes_in_ram="), std::string::npos) << what;
+        EXPECT_NE(what.find("table_load_factor="), std::string::npos) << what;
+        EXPECT_NE(what.find("bytes_spilled="), std::string::npos) << what;
+      }
     }
   }
 }

@@ -64,8 +64,8 @@ struct InternerTestAccess {
   /// consistent, so only the no-duplicates invariant is violated).
   static void duplicate_block(StateInterner& interner) {
     MCP_REQUIRE(interner.count_ >= 2, "need two interned states");
-    std::memcpy(interner.arena_.data() + interner.stride_,
-                interner.arena_.data(),
+    std::memcpy(const_cast<std::uint64_t*>(interner.arena_.block(1)),
+                interner.arena_.block(0),
                 interner.stride_ * sizeof(std::uint64_t));
     interner.hashes_[1] = interner.hashes_[0];
   }
