@@ -1,177 +1,34 @@
 #!/usr/bin/env python3
-"""Project-specific lint rules the generic tools don't cover.
+"""Project lint — thin delegator to tools/verify/mcp_verify.py.
 
-Part of the checked-build analysis matrix (DESIGN.md section 10); the CI
-`lint` job runs this after clang-format.  Each rule encodes a repo
-convention with an explicit, justified exemption list — a new exemption is
-a review decision, not a lint tweak.
+The four original rules (rng, builtin, hot-path, console) were absorbed
+into mcp-verify in the static-analysis PR; their scopes and exemption
+lists now live in tools/verify/rules.toml, so this script and the
+`analyze` CI job cannot drift apart.  The CI `lint` job keeps calling
+this entry point (after clang-format) with the same CLI:
 
-Rules:
-  rng        no `rand()` / `std::random_device` outside core/rng.hpp —
-             every experiment must draw from the seed-stable SplitMix/PCG
-             streams or sweeps stop being reproducible.
-  builtin    no `__builtin_*` where C++20 <bit> has the portable spelling
-             (popcount, countl_zero, countr_zero, bit_width, ...).
-  hot-path   no `std::function` and no naked `new` in the engine hot paths
-             (src/core + src/offline minus the declared control-plane /
-             reference-engine files) — type-erased calls and untracked
-             ownership are exactly what PR 3/4 removed.
-  console    no console writes (<iostream>, std::cout/cerr/clog, printf
-             family) under src/ outside src/lab — engines report through
-             return values and ModelError; only the lab/driver layer talks
-             to the terminal.  snprintf-into-buffer is fine.
-
-Usage:
   scripts/lint_project.py          # lint the tracked tree
   scripts/lint_project.py FILES... # lint specific files
+
+Everything beyond the four classic rules (unordered-iter, wall-clock,
+atomic-order, alloc-guard) runs in the `analyze` job via
+`tools/verify/mcp_verify.py` directly.
 """
 from __future__ import annotations
 
 import pathlib
-import re
 import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-
-# --- rule scopes -----------------------------------------------------------
-
-LINT_SUFFIXES = {".hpp", ".cpp"}
-LINT_ROOTS = ("src", "tests", "bench", "examples")
-
-# rng: the one file allowed to name the underlying sources of randomness.
-RNG_EXEMPT = {"src/core/rng.hpp"}
-
-# hot-path: src/core + src/offline minus declared exemptions.
-HOT_PATH_EXEMPT = {
-    # Control plane: the pool's task queue and the sweep dispatch hold
-    # type-erased callables by design; they run once per task, not per step.
-    "src/core/thread_pool.hpp",
-    "src/core/thread_pool.cpp",
-    "src/core/parallel.hpp",
-    # Reference engines / differential oracles: heap-backed by design,
-    # retained for clarity, never on the measured path.
-    "src/offline/state_space.hpp",
-    "src/offline/state_space.cpp",
-    "src/offline/exhaustive.cpp",
-    "src/offline/competitive.hpp",
-    # Defines the replacement operator new/delete themselves.
-    "src/core/sentry.cpp",
-}
-
-# console: the lab/driver layer owns the terminal; sentry's nothrow-new
-# violation path cannot throw, so it reports on stderr before aborting.
-# Service CLI entry points (src/service/*_main.cpp) are driver executables
-# — they emit benchmark JSON on stdout by design.  The service library
-# itself (wire format, queue, shards, loadgen harness) stays covered.
-CONSOLE_ALLOWED_PREFIXES = ("src/lab/",)
-CONSOLE_EXEMPT = {"src/core/sentry.cpp"}
-CONSOLE_EXEMPT_MAIN = re.compile(r"^src/service/[^/]*_main\.cpp$")
-
-# --- rule patterns ---------------------------------------------------------
-
-RE_RAND = re.compile(r"\b(?:std::)?random_device\b|(?<![\w:])rand\s*\(\s*\)")
-RE_BUILTIN = re.compile(
-    r"__builtin_(?:popcount(?:ll?)?|clz(?:ll?)?|ctz(?:ll?)?|"
-    r"bswap(?:16|32|64)|rotateleft|rotateright)\b")
-RE_STD_FUNCTION = re.compile(r"\bstd::function\s*<")
-# Naked `new Foo`, `new (nothrow) Foo`, `new Foo[` — but not `operator new`
-# (the sentry definitions) and not `new_handler`-style identifiers.
-RE_NAKED_NEW = re.compile(r"(?<![\w:])new\s+[\w:(<]")
-RE_OPERATOR_NEW = re.compile(r"operator\s+new")
-RE_CONSOLE = re.compile(
-    r"#\s*include\s*<iostream>|\bstd::(?:cout|cerr|clog)\b|"
-    r"(?<![\w:])(?:fprintf|printf|puts|fputs)\s*\(")
-
-RE_LINE_COMMENT = re.compile(r"//.*$")
-RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
-
-
-def tracked_files() -> list[pathlib.Path]:
-    out = subprocess.run(
-        ["git", "ls-files", "--", *LINT_ROOTS],
-        cwd=REPO, capture_output=True, text=True, check=True).stdout
-    return [REPO / line for line in out.splitlines()
-            if pathlib.Path(line).suffix in LINT_SUFFIXES]
-
-
-def strip_noise(line: str) -> str:
-    """Drop string literals and // comments so patterns see only code."""
-    return RE_LINE_COMMENT.sub("", RE_STRING.sub('""', line))
-
-
-def lint_file(path: pathlib.Path) -> list[str]:
-    rel = path.relative_to(REPO).as_posix()
-    in_src = rel.startswith("src/")
-    hot_path = (rel.startswith(("src/core/", "src/offline/"))
-                and rel not in HOT_PATH_EXEMPT)
-    console_checked = (in_src
-                       and not rel.startswith(CONSOLE_ALLOWED_PREFIXES)
-                       and rel not in CONSOLE_EXEMPT
-                       and not CONSOLE_EXEMPT_MAIN.match(rel))
-    errors = []
-    in_block_comment = False
-    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-        line, in_block_comment = strip_block_comments(raw, in_block_comment)
-        line = strip_noise(line)
-
-        def err(rule: str, msg: str) -> None:
-            errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
-
-        if rel not in RNG_EXEMPT and RE_RAND.search(line):
-            err("rng", "rand()/std::random_device outside core/rng.hpp "
-                "(use the seed-stable mcp::Rng streams)")
-        if RE_BUILTIN.search(line):
-            err("builtin", "__builtin_* intrinsic; use the <bit> equivalent "
-                "(std::popcount, std::countr_zero, ...)")
-        if hot_path:
-            if RE_STD_FUNCTION.search(line):
-                err("hot-path", "std::function in an engine hot path; use a "
-                    "template sink or a concrete callable")
-            if (RE_NAKED_NEW.search(line)
-                    and not RE_OPERATOR_NEW.search(line)):
-                err("hot-path", "naked new in an engine hot path; use "
-                    "containers or std::make_unique at the control plane")
-        if console_checked and RE_CONSOLE.search(line):
-            err("console", "console write outside src/lab (engines report "
-                "through return values and ModelError)")
-    return errors
-
-
-def strip_block_comments(line: str, in_block: bool) -> tuple[str, bool]:
-    out = []
-    i = 0
-    while i < len(line):
-        if in_block:
-            end = line.find("*/", i)
-            if end == -1:
-                return "".join(out), True
-            i = end + 2
-            in_block = False
-        else:
-            start = line.find("/*", i)
-            if start == -1:
-                out.append(line[i:])
-                break
-            out.append(line[i:start])
-            i = start + 2
-            in_block = True
-    return "".join(out), in_block
+MCP_VERIFY = REPO / "tools" / "verify" / "mcp_verify.py"
+ABSORBED_RULES = "rng,builtin,hot-path,console"
 
 
 def main(argv: list[str]) -> int:
-    files = ([pathlib.Path(a).resolve() for a in argv[1:]]
-             if len(argv) > 1 else tracked_files())
-    errors = []
-    for path in files:
-        errors.extend(lint_file(path))
-    for line in errors:
-        print(line)
-    if errors:
-        print(f"lint_project: {len(errors)} violation(s)", file=sys.stderr)
-        return 1
-    print(f"lint_project: OK ({len(files)} files)")
-    return 0
+    cmd = [sys.executable, str(MCP_VERIFY), "--rules", ABSORBED_RULES,
+           *argv[1:]]
+    return subprocess.run(cmd, cwd=REPO).returncode
 
 
 if __name__ == "__main__":

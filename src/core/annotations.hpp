@@ -1,0 +1,155 @@
+// Clang thread-safety annotations and the annotated lock primitives the
+// concurrent structures of this repo are written against.
+//
+// The repo's headline guarantee — bit-identical sweep/solver/service
+// results at any worker, shard, batch or chunk count — rests on a small
+// set of lock- and atomic-coordination invariants (DESIGN.md §10,
+// "Static concurrency & determinism analysis").  The dynamic checkers
+// (TSan, the differential tests, AllocGuard) catch violations that
+// *execute*; the annotations below let Clang's `-Wthread-safety`
+// analysis reject them at compile time, on every path, executed or not.
+// The `analyze` CI job builds with `-DMCP_ANALYZE=ON` under Clang and
+// treats any thread-safety warning as an error.
+//
+// Conventions (enforced by review + the analyze job):
+//  * every field whose access is serialized by a mutex carries
+//    MCP_GUARDED_BY(that_mutex);
+//  * member functions that must (or must not) run under a lock carry
+//    MCP_REQUIRES / MCP_EXCLUDES;
+//  * locks are mcp::Mutex + mcp::LockGuard / mcp::UniqueLock — never raw
+//    std::mutex with std::lock_guard.  libstdc++'s lock types are not
+//    annotated, so the analysis cannot see through them; the thin
+//    wrappers below are, at zero runtime cost.
+//  * condition-variable waits use an explicit `while (!pred) cv.wait(...)`
+//    loop inside the annotated critical section, not the predicate
+//    overload: the analysis treats the capability as held across the
+//    wait (the standard treatment — the predicate re-check happens with
+//    the lock reacquired), and a lambda predicate would be analyzed as
+//    an unannotated separate function.
+//  * purely atomic-coordinated structures (MpscQueue, the mcpd shard
+//    wake protocol, ResponseMailbox) have no capability to annotate;
+//    their invariant — every load/store names an explicit memory_order —
+//    is enforced by `tools/verify/mcp_verify.py` rule `atomic-order`.
+//
+// All macros expand to nothing on compilers without the capability
+// attributes (GCC, MSVC), so the annotations are free documentation off
+// Clang.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MCP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MCP_THREAD_ANNOTATION
+#define MCP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" in diagnostics).
+#define MCP_CAPABILITY(name) MCP_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define MCP_SCOPED_CAPABILITY MCP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define MCP_GUARDED_BY(x) MCP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field annotation: the pointed-to data is guarded by `x` (the
+/// pointer itself may be read freely).
+#define MCP_PT_GUARDED_BY(x) MCP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the listed capabilities.
+#define MCP_REQUIRES(...) \
+  MCP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the function acquires the listed capabilities
+/// (its own `this` for lock() of a capability class).
+#define MCP_ACQUIRE(...) \
+  MCP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capabilities iff it returns `ret`.
+#define MCP_TRY_ACQUIRE(ret, ...) \
+  MCP_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function annotation: the function releases the listed capabilities.
+#define MCP_RELEASE(...) \
+  MCP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (the function acquires them itself, or would deadlock).
+#define MCP_EXCLUDES(...) MCP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the named capability.
+#define MCP_RETURN_CAPABILITY(x) MCP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot model (documented at
+/// each use site; a bare use without a comment is a review error).
+#define MCP_NO_THREAD_SAFETY_ANALYSIS \
+  MCP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mcp {
+
+/// std::mutex with the capability attribute the analysis needs.  Same
+/// size, same cost — lock()/unlock() are inline forwards.
+class MCP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCP_ACQUIRE() { mutex_.lock(); }
+  void unlock() MCP_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() MCP_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// The raw std::mutex, for std::condition_variable interop only (the
+  /// wait itself releases/reacquires outside the analysis' view — the
+  /// standard treatment of condition waits; see the header comment).
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Annotated std::lock_guard equivalent: acquires on construction,
+/// releases on destruction, no manual unlock.
+class MCP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) MCP_ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~LockGuard() MCP_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+/// Annotated std::unique_lock equivalent for condition-variable waits and
+/// early manual release.  native() hands the underlying unique_lock to
+/// std::condition_variable::wait.
+class MCP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) MCP_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~UniqueLock() MCP_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// Early release (the destructor then does nothing).
+  void unlock() MCP_RELEASE() { lock_.unlock(); }
+
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace mcp

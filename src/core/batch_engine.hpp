@@ -19,6 +19,15 @@
 // bit-identical for any batch width B and — via SweepRunner::run_jobs,
 // which assigns each batch a fixed slice of the result vector — any worker
 // count (tests/core/test_batch_differential.cpp, test_sweep_determinism).
+//
+// Static analysis: an engine instance (including cohort mode, where one
+// engine serves a whole mcpd cohort) is single-threaded by contract — it
+// is confined to the shard worker or sweep task that owns it, so there is
+// no capability to annotate (core/annotations.hpp).  What the analysis
+// layer checks here instead: the cohort drain/lockstep AllocGuard kernels
+// stay registered and test-exercised (mcp_verify.py rule `alloc-guard`),
+// and no unordered-container order ever feeds the lane -> result emission
+// (rule `unordered-iter` over the emission paths).
 #pragma once
 
 #include <cstddef>

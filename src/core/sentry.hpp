@@ -17,6 +17,12 @@
 // Guards nest (the innermost region is reported) and are strictly
 // per-thread: a guard on the main thread says nothing about pool workers —
 // parallel regions arm a guard inside each worker task (see pif_solver.cpp).
+// All sentry state is thread_local (sentry.cpp), so there is no shared
+// capability for the thread-safety analysis to track; the *coverage*
+// invariant — every declared hot kernel still arms its guard and is
+// exercised under it by some test — is checked statically by
+// tools/verify/mcp_verify.py rule `alloc-guard` against the kernel
+// registry in tools/verify/rules.toml.
 //
 // Cost when unarmed: one thread-local counter update per program-wide
 // allocation, nothing per guarded-loop iteration.  The deep invariant

@@ -15,6 +15,13 @@
 // That contract — asserted by tests/test_sweep_determinism.cpp — is what
 // makes the repo's bench trajectory trustworthy: a result can be reproduced
 // on a laptop or a 128-way box from the master seed alone.
+//
+// Static analysis: the sweep layer coordinates by *disjoint-slot
+// confinement*, not locks — there is no capability to annotate (see
+// core/annotations.hpp for the conventions).  The lock-coordinated half of
+// the contract lives in ThreadPool, whose state is MCP_GUARDED_BY-checked
+// by the `analyze` CI job; the determinism half (per-cell RNG, no wall
+// clock, no hash-order emission) is enforced by tools/verify/mcp_verify.py.
 #pragma once
 
 #include <chrono>

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -31,15 +31,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(std::function<void()> task) {
   MCP_REQUIRE(static_cast<bool>(task), "ThreadPool::enqueue: empty task");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  // Explicit wait loop, not the predicate overload: the analysis treats
+  // mutex_ as held across the wait, and the guarded reads stay inside this
+  // annotated function (see core/annotations.hpp, conventions).
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.wait(lock.native());
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -51,8 +54,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(lock.native());
       // Drain-then-exit: a worker only leaves once the queue is empty, so
       // tasks enqueued by still-running tasks are always served.
       if (queue_.empty()) return;
@@ -63,11 +66,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
@@ -87,10 +90,12 @@ void ThreadPool::run_indexed(std::size_t count,
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable done_cv;
-    std::size_t completed = 0;        // cells finished or skipped (guarded)
-    std::exception_ptr error;         // first failure (guarded)
+    /// Cells finished or skipped.
+    std::size_t completed MCP_GUARDED_BY(mutex) = 0;
+    /// First failure.
+    std::exception_ptr error MCP_GUARDED_BY(mutex);
   };
   auto job = std::make_shared<Job>();
   job->fn = fn;
@@ -104,14 +109,14 @@ void ThreadPool::run_indexed(std::size_t count,
         try {
           job->fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(job->mutex);
+          LockGuard lock(job->mutex);
           if (!job->error) job->error = std::current_exception();
           job->failed.store(true, std::memory_order_relaxed);
         }
       }
       bool all_done = false;
       {
-        std::lock_guard<std::mutex> lock(job->mutex);
+        LockGuard lock(job->mutex);
         all_done = ++job->completed == job->count;
       }
       if (all_done) job->done_cv.notify_all();
@@ -125,8 +130,8 @@ void ThreadPool::run_indexed(std::size_t count,
   for (std::size_t h = 0; h < helpers; ++h) enqueue(runner);
   runner();
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&job] { return job->completed == job->count; });
+  UniqueLock lock(job->mutex);
+  while (job->completed != job->count) job->done_cv.wait(lock.native());
   if (job->error) {
     std::exception_ptr error = std::exchange(job->error, nullptr);
     lock.unlock();

@@ -20,6 +20,13 @@
 //    task (the inline runner guarantees progress even when every worker is
 //    busy — no deadlock by construction).
 //
+// Lock discipline: all mutable pool state is guarded by `mutex_` and
+// annotated MCP_GUARDED_BY (core/annotations.hpp), so the `analyze` CI
+// job's Clang thread-safety pass rejects any unguarded access at compile
+// time.  The public entry points are MCP_EXCLUDES(mutex_): callers never
+// hold the pool lock (a task calling enqueue() mid-run would otherwise
+// self-deadlock).
+//
 // Determinism note: the pool itself promises nothing about execution order.
 // Reproducibility across worker counts is the sweep layer's job (sweep.hpp):
 // each cell writes only its own result slot and draws randomness only from a
@@ -31,9 +38,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace mcp {
 
@@ -49,12 +57,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Queues `task` for execution on some worker.  Safe from inside a task.
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) MCP_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no task is running, then rethrows
   /// the first exception captured since the last wait (if any).  Must not be
   /// called from inside a pool task (it would wait on itself).
-  void wait_idle();
+  void wait_idle() MCP_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t num_workers() const noexcept {
     return workers_.size();
@@ -68,7 +76,7 @@ class ThreadPool {
   /// remaining cells and is rethrown on the caller.
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& fn,
-                   std::size_t max_workers = 0);
+                   std::size_t max_workers = 0) MCP_EXCLUDES(mutex_);
 
   /// The process-wide shared pool (lazily constructed, hardware-sized).
   /// This is the one deliberate exception to the "no global mutable state"
@@ -76,16 +84,16 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop() MCP_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable work_cv_;  ///< workers sleep here
   std::condition_variable idle_cv_;  ///< wait_idle sleeps here
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t in_flight_ = 0;        ///< tasks currently executing
-  bool stopping_ = false;
-  std::exception_ptr first_error_;   ///< guarded by mutex_
+  std::deque<std::function<void()>> queue_ MCP_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_;  ///< written by the ctor only
+  std::size_t in_flight_ MCP_GUARDED_BY(mutex_) = 0;  ///< tasks executing
+  bool stopping_ MCP_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ MCP_GUARDED_BY(mutex_);
 };
 
 }  // namespace mcp

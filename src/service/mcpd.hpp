@@ -29,6 +29,18 @@
 // Transport is in-process loopback: a "frame" is bytes in the mcpwire
 // format (wire_format.hpp) and delivery is a queue push.  A socket front
 // end would sit entirely outside this file, decoding to the same frames.
+//
+// Static analysis: the daemon is deliberately mutex-free, so Clang's
+// capability analysis has nothing to hold here (core/annotations.hpp
+// documents when that applies).  Its concurrency discipline is checked two
+// other ways: (1) session/cohort maps are *thread-confined* to their
+// shard's worker thread — they are looked up, never iterated, and
+// mcp_verify.py rule `unordered-iter` keeps hash order out of the response
+// path; (2) every cross-thread handshake below (ingress pending_, stop_,
+// mailbox delivered_) is an explicit-memory_order atomic, enforced by rule
+// `atomic-order` over src/service.  The comments on each atomic field name
+// the protocol it implements; the tsan-full CI job checks the claims
+// dynamically.
 #pragma once
 
 #include <atomic>

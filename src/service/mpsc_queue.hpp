@@ -17,6 +17,13 @@
 // Memory ordering: push publishes the message payload via the release
 // store to prev->next; pop's acquire load of next synchronizes-with it, so
 // everything written before push() is visible to the consumer after pop().
+//
+// Static analysis: the queue is purely atomic-coordinated — there is no
+// lock capability for Clang's -Wthread-safety to track (the single-consumer
+// discipline is a caller contract, checked dynamically by the tsan-full CI
+// job).  Its static invariant — every access above names an explicit
+// memory_order — is enforced by `tools/verify/mcp_verify.py` rule
+// `atomic-order` over src/service (see src/core/annotations.hpp).
 #pragma once
 
 #include <atomic>
@@ -30,6 +37,9 @@ namespace mcp::service {
 struct MpscHook {
   std::atomic<MpscHook*> next{nullptr};
 };
+// push()'s wait-freedom claim assumes the link pointer is a real atomic
+// word, not a lock-backed emulation.
+static_assert(std::atomic<MpscHook*>::is_always_lock_free);
 
 /// T must derive from MpscHook.  The queue never owns messages: the pusher
 /// hands ownership to the popper through the queue, and destruction of a

@@ -38,6 +38,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/error.hpp"
@@ -92,6 +93,16 @@ struct SessionParams {
 
   friend bool operator==(const SessionParams&, const SessionParams&) = default;
 };
+// Wire-layout invariants (the kSessionOpen encoder/decoder walk fields at
+// these offsets; see encode/decode in wire_format.cpp).
+static_assert(std::is_trivially_copyable_v<SessionParams>);
+static_assert(std::is_standard_layout_v<SessionParams>);
+static_assert(sizeof(SessionParams) == 16 && alignof(SessionParams) == 4);
+static_assert(offsetof(SessionParams, num_cores) == 0);
+static_assert(offsetof(SessionParams, cache_size) == 4);
+static_assert(offsetof(SessionParams, fault_penalty) == 8);
+static_assert(offsetof(SessionParams, strategy) == 12);
+static_assert(sizeof(StrategyKind) == 4 && sizeof(FrameType) == 4);
 
 /// One (core, page) request pair as it travels in a kRequestChunk payload.
 struct WirePair {
@@ -100,7 +111,17 @@ struct WirePair {
 
   friend bool operator==(const WirePair&, const WirePair&) = default;
 };
-static_assert(sizeof(WirePair) == 8);
+// A kRequestChunk payload is `count x WirePair` with no padding: the pair
+// array's in-memory layout must equal its wire layout field-for-field.
+static_assert(std::is_trivially_copyable_v<WirePair>);
+static_assert(std::is_standard_layout_v<WirePair>);
+static_assert(sizeof(WirePair) == 8 && alignof(WirePair) == 4);
+static_assert(offsetof(WirePair, core) == 0);
+static_assert(offsetof(WirePair, page) == 4);
+
+// The frame header is `u32 type, u32 payload_len, u64 session`.
+static_assert(kFrameHeaderSize ==
+              2 * sizeof(std::uint32_t) + sizeof(std::uint64_t));
 
 // --- little-endian primitives ----------------------------------------------
 
@@ -185,6 +206,13 @@ class RunView {
   std::size_t count_ = 0;
   std::uint32_t core_ = 0;
 };
+// page_bytes() hands the wire words to a bulk memcpy into PageId storage
+// on little-endian hosts (mcpd ingest): a page word and a PageId must be
+// the same 4 bytes, and the endianness must be one the load/store
+// primitives handle (no mixed/PDP byte orders).
+static_assert(sizeof(PageId) == 4 && std::is_trivially_copyable_v<PageId>);
+static_assert(std::endian::native == std::endian::little ||
+              std::endian::native == std::endian::big);
 
 /// kQueryFaults / kQueryFaultCurve / kQueryPartition payload:
 /// `u64 query_id, u32 max_k, u32 reserved` (max_k used by curve queries).

@@ -1,0 +1,11 @@
+// mcp-verify fixture: the "guard side" of the alloc-guard pass registry
+// (alloc_guard_pass.toml points its guard-pattern here).  Never compiled.
+
+struct AllocGuard {
+  explicit AllocGuard(const char*) {}
+};
+
+void fixture_kernel() {
+  AllocGuard guard("fixture kernel region");
+  // allocation-free work would run here
+}

@@ -1,0 +1,8 @@
+// mcp-verify fixture: the "test side" of the alloc-guard pass registry
+// (alloc_guard_pass.toml points its test-pattern here).  Never compiled.
+
+void fixture_kernel();
+
+void exercises_fixture_kernel_under_guard() {
+  fixture_kernel();  // runs the region with its guard armed
+}

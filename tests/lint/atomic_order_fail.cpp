@@ -1,0 +1,21 @@
+// mcp-verify fixture: MUST fail rule `atomic-order` (linted as a
+// src/service file).
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  std::atomic<std::uint64_t> pending_{0};
+
+  void arrive() {
+    pending_.fetch_add(1);  // fail: defaulted seq_cst, claim unstated
+  }
+  std::uint64_t read() const {
+    return pending_.load();  // fail: defaulted seq_cst
+  }
+  void reset() {
+    pending_ = 0;  // fail: operator store, implicit seq_cst
+  }
+  void bump() {
+    ++pending_;  // fail: operator RMW, implicit seq_cst
+  }
+};

@@ -1,0 +1,14 @@
+// mcp-verify fixture: MUST pass rule `atomic-order`.
+// Every access names its ordering claim — relaxed is a claim too.
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  std::atomic<std::uint64_t> pending_{0};
+
+  void arrive() { pending_.fetch_add(1, std::memory_order_release); }
+  std::uint64_t read() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+  void reset() { pending_.store(0, std::memory_order_relaxed); }
+};

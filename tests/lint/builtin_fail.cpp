@@ -1,0 +1,10 @@
+// mcp-verify fixture: MUST fail rule `builtin`.
+#include <cstdint>
+
+int ones(std::uint64_t x) {
+  return __builtin_popcountll(x);  // fail: C++20 <bit> has std::popcount
+}
+
+int trailing(unsigned x) {
+  return __builtin_ctz(x);  // fail: std::countr_zero
+}

@@ -1,0 +1,6 @@
+// mcp-verify fixture: MUST pass rule `builtin`.
+#include <bit>
+#include <cstdint>
+
+int ones(std::uint64_t x) { return std::popcount(x); }
+int trailing(unsigned x) { return std::countr_zero(x); }

@@ -1,0 +1,8 @@
+// mcp-verify fixture: MUST fail rule `console` (linted as a src/ file
+// outside src/lab).
+#include <iostream>  // fail: <iostream> in an engine
+
+void report(int faults) {
+  std::cout << faults << "\n";  // fail: console write
+  printf("faults=%d\n", faults);  // fail: printf family
+}

@@ -1,0 +1,7 @@
+// mcp-verify fixture: MUST pass rule `console`.
+// Engines report through return values; snprintf-into-buffer is fine.
+#include <cstdio>
+
+int format(char* buffer, int size, int faults) {
+  return snprintf(buffer, static_cast<size_t>(size), "faults=%d", faults);
+}

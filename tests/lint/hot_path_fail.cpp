@@ -1,0 +1,10 @@
+// mcp-verify fixture: MUST fail rule `hot-path` (linted as an engine file).
+#include <functional>
+
+struct Engine {
+  std::function<void(int)> sink;  // fail: type-erased call per step
+};
+
+int* make_state() {
+  return new int[64];  // fail: naked new, untracked ownership
+}

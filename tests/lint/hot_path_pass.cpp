@@ -1,0 +1,12 @@
+// mcp-verify fixture: MUST pass rule `hot-path`.
+#include <memory>
+#include <vector>
+
+template <typename Sink>
+void drive(Sink&& sink) {  // concrete callable, inlined per step
+  for (int i = 0; i < 64; ++i) sink(i);
+}
+
+std::unique_ptr<std::vector<int>> make_state() {
+  return std::make_unique<std::vector<int>>(64);  // tracked ownership
+}

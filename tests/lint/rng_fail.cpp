@@ -1,0 +1,10 @@
+// mcp-verify fixture: MUST fail rule `rng`.
+// Naming an underlying randomness source outside core/rng.hpp breaks
+// seed-stable reproducibility.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device entropy;  // fail: nondeterministic seed source
+  return static_cast<int>(entropy()) + rand();  // fail: C rand()
+}

@@ -1,0 +1,14 @@
+// mcp-verify fixture: MUST pass rule `rng`.
+// Randomness drawn from the repo's seed-stable streams: every value is a
+// pure function of (master_seed, stream_index).
+#include <cstdint>
+
+struct SplitStream {
+  std::uint64_t state;
+  std::uint64_t next() { return state += 0x9e3779b97f4a7c15ull; }
+};
+
+std::uint64_t roll(std::uint64_t master_seed, std::uint64_t cell_index) {
+  SplitStream stream{master_seed ^ cell_index};
+  return stream.next();
+}

@@ -1,0 +1,19 @@
+// mcp-verify fixture: MUST fail rule `unordered-iter` (linted as a file
+// on a declared emission path).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+using Index = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+std::vector<std::uint64_t> emit(const Index& index,
+                                const std::unordered_map<int, int>& extra) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, value] : index) {  // fail: hash order reaches out
+    out.push_back(key ^ value);
+  }
+  for (auto it = extra.begin(); it != extra.end(); ++it) {  // fail: begin()
+    out.push_back(static_cast<std::uint64_t>(it->first));
+  }
+  return out;
+}

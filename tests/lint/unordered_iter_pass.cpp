@@ -1,0 +1,19 @@
+// mcp-verify fixture: MUST pass rule `unordered-iter`.
+// Lookups in unordered containers are fine on an emission path; only
+// iteration order is banned.  Emission walks a sorted materialization.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::uint64_t> emit(
+    const std::vector<std::uint64_t>& sorted_keys,
+    const std::unordered_map<std::uint64_t, std::uint64_t>& index) {
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t key : sorted_keys) {  // deterministic order
+    const auto it = index.find(key);             // lookup: allowed
+    if (it != index.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());  // begin() on a vector: allowed
+  return out;
+}

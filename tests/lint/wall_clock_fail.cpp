@@ -1,0 +1,10 @@
+// mcp-verify fixture: MUST fail rule `wall-clock` (linted as a src/ file
+// outside src/lab).
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  const auto now = std::chrono::system_clock::now();  // fail: wall clock
+  (void)now;
+  return static_cast<long>(time(nullptr));  // fail: time()
+}

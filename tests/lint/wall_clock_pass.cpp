@@ -1,0 +1,17 @@
+// mcp-verify fixture: MUST pass rule `wall-clock`.
+// steady_clock for intervals, thread-CPU clock for accounting: both are
+// allowed everywhere (they cannot leak wall time into results).
+#include <chrono>
+#include <ctime>
+
+double interval_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
